@@ -1,0 +1,102 @@
+// Figure 3: Message Size Locality in Hadoop RPC.
+//
+// Runs a Sort job with per-call size tracing enabled and prints, for the
+// paper's three example call kinds — JT heartbeat, TT statusUpdate, NN
+// getFileInfo — the observed sizes, their size-class distribution, and
+// the locality rate (consecutive calls landing in the same power-of-two
+// size class), which is the property the shadow pool exploits.
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "mapred/mr_cluster.hpp"
+#include "metrics/table.hpp"
+#include "net/testbed.hpp"
+
+using namespace rpcoib;
+
+namespace {
+
+std::size_t size_class(std::uint32_t n) {
+  std::size_t c = 64;
+  while (c < n) c *= 2;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  sim::Scheduler s;
+  net::Testbed tb(s, net::Testbed::cluster_a(9));
+  oib::RpcEngine engine(tb, oib::EngineConfig{.mode = oib::RpcMode::kSocketIPoIB});
+  engine.record_size_sequences(true);
+
+  std::vector<cluster::HostId> slaves;
+  for (int i = 1; i <= 8; ++i) slaves.push_back(i);
+  hdfs::HdfsConfig hdfs_cfg;
+  hdfs_cfg.datanode_disk_writes = true;
+  hdfs::HdfsCluster hdfs_cluster(engine, 0, slaves, hdfs::DataMode::kSocketIPoIB, hdfs_cfg);
+  mapred::MrCluster mr(engine, hdfs_cluster, 0, slaves);
+  hdfs_cluster.start();
+  mr.start();
+
+  mapred::JobSpec sort;
+  sort.name = "sort-4g";
+  sort.num_maps = 64;
+  sort.num_reduces = 32;
+  sort.input_bytes = 4ULL << 30;
+  sort.output_path = "/sort-out";
+
+  s.spawn([](mapred::MrCluster& cluster, hdfs::HdfsCluster& hc, net::Testbed& t,
+             mapred::JobSpec spec) -> sim::Task {
+    std::unique_ptr<mapred::JobClient> client = cluster.make_client(t.host(0));
+    (void)co_await client->run(spec);
+    cluster.stop();
+    hc.stop();
+  }(mr, hdfs_cluster, tb, sort));
+  s.run_until(sim::seconds(36000));
+
+  metrics::print_banner(std::cout, "Figure 3: Message Size Locality in Hadoop RPC");
+
+  const std::map<rpc::MethodKey, rpc::MethodProfile> agg = engine.aggregated_profiles();
+  struct Probe {
+    rpc::MethodKey key;
+    const char* label;
+  };
+  const std::vector<Probe> probes = {
+      {{"mapred.InterTrackerProtocol", "heartbeat"}, "JT_heartbeat"},
+      {{"mapred.TaskUmbilicalProtocol", "statusUpdate"}, "TT_statusUpdate"},
+      {{"hdfs.ClientProtocol", "getFileInfo"}, "NN_getFileInfo"},
+      {{"hdfs.DatanodeProtocol", "blockReceived"}, "DN_blockReceived"},
+  };
+
+  metrics::Table t({"Call kind", "Calls", "Min (B)", "Max (B)", "Distinct size classes",
+                    "Same-class as previous call"});
+  for (const Probe& p : probes) {
+    auto it = agg.find(p.key);
+    if (it == agg.end() || it->second.size_sequence.empty()) continue;
+    const std::vector<std::uint32_t>& seq = it->second.size_sequence;
+    std::map<std::size_t, int> classes;
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      ++classes[size_class(seq[i])];
+      if (i > 0 && size_class(seq[i]) == size_class(seq[i - 1])) ++same;
+    }
+    const double locality = seq.size() > 1
+                                ? 100.0 * static_cast<double>(same) /
+                                      static_cast<double>(seq.size() - 1)
+                                : 100.0;
+    t.row({p.label, std::to_string(seq.size()),
+           metrics::Table::num(it->second.msg_bytes.min(), 0),
+           metrics::Table::num(it->second.msg_bytes.max(), 0),
+           std::to_string(classes.size()), metrics::Table::pct(locality)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper: sizes vary widely across calls (especially heartbeat and\n"
+               "       getFileInfo), but consecutive calls of one <protocol, method>\n"
+               "       almost always fall in the same size class — Message Size\n"
+               "       Locality, the basis of the history-based shadow pool.\n";
+  s.drain_tasks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks on the real buffer-management code:
+// Algorithm-1 growth vs pre-sized buffers vs the pooled RDMA stream,
+// Writable serialization, VInt codec, pool acquire/release, and the
+// locality-history predictor. These measure actual host CPU time of the
+// reproduced algorithms (not simulated time).
+#include <benchmark/benchmark.h>
+
+#include "net/testbed.hpp"
+#include "rpc/buffers.hpp"
+#include "rpcoib/buffer_pool.hpp"
+#include "rpcoib/rdma_streams.hpp"
+
+namespace {
+
+using namespace rpcoib;
+
+const cluster::CostModel kCm{};
+
+void BM_Alg1_SmallWrites(benchmark::State& state) {
+  const auto writes = static_cast<std::size_t>(state.range(0));
+  net::Bytes chunk(4, net::Byte{1});
+  for (auto _ : state) {
+    rpc::DataOutputBuffer buf(kCm);  // 32-byte Hadoop default
+    for (std::size_t i = 0; i < writes; ++i) buf.write_raw(chunk);
+    benchmark::DoNotOptimize(buf.data().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * writes * 4));
+}
+BENCHMARK(BM_Alg1_SmallWrites)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Alg1_PresizedWrites(benchmark::State& state) {
+  const auto writes = static_cast<std::size_t>(state.range(0));
+  net::Bytes chunk(4, net::Byte{1});
+  for (auto _ : state) {
+    rpc::DataOutputBuffer buf(kCm, rpc::kServerInitialBuffer);  // 10 KB server default
+    for (std::size_t i = 0; i < writes; ++i) buf.write_raw(chunk);
+    benchmark::DoNotOptimize(buf.data().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * writes * 4));
+}
+BENCHMARK(BM_Alg1_PresizedWrites)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+struct PoolEnv {
+  PoolEnv() : tb(sched, net::Testbed::cluster_b()), stack(tb.fabric()),
+              pool(tb.host(0), stack), shadow(pool) {}
+  sim::Scheduler sched;
+  net::Testbed tb;
+  verbs::VerbsStack stack;
+  oib::NativeBufferPool pool;
+  oib::ShadowPool shadow;
+};
+
+void BM_RdmaStream_SmallWrites(benchmark::State& state) {
+  PoolEnv env;
+  const rpc::MethodKey key{"bench", "m"};
+  const auto writes = static_cast<std::size_t>(state.range(0));
+  net::Bytes chunk(4, net::Byte{1});
+  for (auto _ : state) {
+    oib::RDMAOutputStream out(kCm, env.shadow, key);
+    for (std::size_t i = 0; i < writes; ++i) out.write_raw(chunk);
+    benchmark::DoNotOptimize(out.data().data());
+    oib::NativeBuffer* b = out.take_buffer();
+    out.finish(b);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * writes * 4));
+}
+BENCHMARK(BM_RdmaStream_SmallWrites)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Pool_AcquireRelease(benchmark::State& state) {
+  PoolEnv env;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oib::NativeBuffer* b = env.pool.acquire(size);
+    benchmark::DoNotOptimize(b);
+    env.pool.release(b);
+  }
+}
+BENCHMARK(BM_Pool_AcquireRelease)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_VIntRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    rpc::DataOutputBuffer out(kCm, 4096);
+    for (std::int64_t v : {0LL, 127LL, 128LL, 1LL << 20, -1LL, 1LL << 40}) out.write_vi64(v);
+    rpc::DataInputBuffer in(kCm, out.data());
+    for (int i = 0; i < 6; ++i) benchmark::DoNotOptimize(in.read_vi64());
+  }
+}
+BENCHMARK(BM_VIntRoundTrip);
+
+void BM_HistoryPredictor(benchmark::State& state) {
+  PoolEnv env;
+  const rpc::MethodKey key{"hdfs.DatanodeProtocol", "blockReceived"};
+  for (auto _ : state) {
+    oib::NativeBuffer* b = env.shadow.acquire_for(key);
+    benchmark::DoNotOptimize(b);
+    env.shadow.release_for(key, b, 430);
+  }
+  state.counters["history_hits"] =
+      static_cast<double>(env.pool.stats().history_hits);
+}
+BENCHMARK(BM_HistoryPredictor);
+
+}  // namespace
+
+BENCHMARK_MAIN();

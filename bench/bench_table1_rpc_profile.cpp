@@ -1,0 +1,100 @@
+// Table I: RPC invocation profiling in a MapReduce job of Sort.
+//
+// Runs a 4 GB Sort on 9 nodes (1 master + 8 slaves, the paper's Cluster A
+// subset) with default socket RPC, then prints per-<protocol, method>
+// averages of memory-adjustment count, serialization time, and send time,
+// split into Map-phase and Reduce-phase protocols like the paper's table.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mapred/mr_cluster.hpp"
+#include "metrics/table.hpp"
+#include "net/testbed.hpp"
+
+using namespace rpcoib;
+
+namespace {
+
+struct Row {
+  std::string protocol, method;
+  double adjustments, serialize_us, send_us;
+  std::uint64_t calls;
+};
+
+}  // namespace
+
+int main() {
+  sim::Scheduler s;
+  net::TestbedConfig cfg = net::Testbed::cluster_a(9);
+  net::Testbed tb(s, cfg);
+  oib::RpcEngine engine(tb, oib::EngineConfig{.mode = oib::RpcMode::kSocketIPoIB});
+
+  std::vector<cluster::HostId> slaves;
+  for (int i = 1; i <= 8; ++i) slaves.push_back(i);
+  hdfs::HdfsConfig hdfs_cfg;
+  hdfs_cfg.datanode_disk_writes = true;
+  hdfs::HdfsCluster hdfs_cluster(engine, 0, slaves, hdfs::DataMode::kSocketIPoIB, hdfs_cfg);
+  mapred::MrCluster mr(engine, hdfs_cluster, 0, slaves);
+  hdfs_cluster.start();
+  mr.start();
+
+  mapred::JobSpec sort;
+  sort.name = "sort-4g";
+  sort.num_maps = 64;  // 4 GB / 64 MB
+  sort.num_reduces = 32;
+  sort.input_bytes = 4ULL << 30;
+  sort.output_path = "/sort-out";
+
+  double secs = 0;
+  s.spawn([](mapred::MrCluster& cluster, hdfs::HdfsCluster& hc, net::Testbed& t,
+             mapred::JobSpec spec, double& out) -> sim::Task {
+    std::unique_ptr<mapred::JobClient> client = cluster.make_client(t.host(0));
+    out = co_await client->run(spec);
+    // Stop the daemons so post-job heartbeats don't pollute the profile.
+    cluster.stop();
+    hc.stop();
+  }(mr, hdfs_cluster, tb, sort, secs));
+  s.run_until(sim::seconds(36000));
+
+  // Aggregate client-side method profiles. The umbilical and DFS clients
+  // live inside the TaskTrackers; we reach them through the engine's trace
+  // aggregation: every RpcClient records into its own stats, so collect
+  // from the trackers' clients via the registry below.
+  metrics::print_banner(std::cout,
+                        "Table I: RPC invocation profiling (Sort, 4GB, 9 nodes)");
+  std::cout << "Job execution time: " << secs << " s\n\n";
+
+  metrics::Table t({"Protocol", "Method", "Avg Mem Adjustments", "Avg Serialization (us)",
+                    "Avg Send (us)", "Calls"});
+  std::map<rpc::MethodKey, rpc::MethodProfile> agg;
+  for (const auto& [key, prof] : engine.aggregated_profiles()) {
+    agg[key] = prof;
+  }
+  // Print Map/Reduce umbilical methods first (the paper's grouping), then
+  // HDFS ClientProtocol, then the tracker/datanode protocols.
+  const std::vector<std::string> order = {"mapred.TaskUmbilicalProtocol",
+                                          "hdfs.ClientProtocol",
+                                          "mapred.InterTrackerProtocol",
+                                          "hdfs.DatanodeProtocol",
+                                          "mapred.JobSubmissionProtocol"};
+  for (const std::string& proto : order) {
+    for (const auto& [key, prof] : agg) {
+      if (key.protocol != proto || prof.mem_adjustments.count() == 0) continue;
+      t.row({key.protocol, key.method, metrics::Table::num(prof.mem_adjustments.mean(), 1),
+             metrics::Table::num(prof.serialize_us.mean(), 0),
+             metrics::Table::num(prof.send_us.mean(), 0),
+             std::to_string(prof.mem_adjustments.count())});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper: 2-5 adjustments per call; serialization dominated by memory\n"
+               "       adjustments (statusUpdate ~5 adjustments); Reduce phase more\n"
+               "       RPC-intensive than Map.\n";
+  mr.stop();
+  hdfs_cluster.stop();
+  s.drain_tasks();
+  return 0;
+}

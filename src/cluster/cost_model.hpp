@@ -1,0 +1,91 @@
+// Host-side cost model.
+//
+// The paper's central claim is that on fast networks the *host* costs —
+// JVM heap allocation, buffer-growth copies, heap<->native copies, JNI
+// crossings, thread wakeups — dominate Hadoop RPC latency. The substituted
+// simulator makes each of those costs an explicit, named, chargeable
+// quantity. The baseline RPC stack executes the real algorithms (real
+// reallocations, real memcpys of real bytes) and *accrues* these model
+// costs as it goes; the owning coroutine then charges the accrued time to
+// its host's CPU in virtual time.
+//
+// Defaults are calibrated so the micro-benchmarks land on the paper's
+// measured endpoints (see bench/bench_fig5_latency.cpp and DESIGN.md §3).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace rpcoib::cluster {
+
+struct CostModel {
+  // --- JVM memory management -------------------------------------------
+  /// Fixed cost of one heap allocation (TLAB bump + header init).
+  double heap_alloc_base_us = 0.25;
+  /// Effective bandwidth for fresh heap buffers, GB/s (zeroing plus the
+  /// amortized GC pressure large short-lived arrays create).
+  double heap_alloc_bw_gbps = 3.0;
+  /// Fixed cost of an intra-heap memcpy (System.arraycopy).
+  double heap_copy_base_us = 0.05;
+  /// Intra-heap copy bandwidth, GB/s.
+  double heap_copy_bw_gbps = 3.5;
+  /// Fixed cost of a heap<->native copy (JNI Get/SetByteArrayRegion or
+  /// socket-write heap pinning).
+  double native_copy_base_us = 0.30;
+  /// Heap<->native copy bandwidth, GB/s.
+  double native_copy_bw_gbps = 2.5;
+  /// Copy bandwidth into a DirectByteBuffer (no pinning, no JNI), GB/s.
+  double direct_copy_bw_gbps = 6.0;
+
+  // --- Runtime crossings and scheduling --------------------------------
+  /// One JNI call boundary crossing.
+  double jni_call_us = 0.30;
+  /// Cost of one Writable primitive write/read (stream virtual dispatch).
+  double field_op_us = 0.04;
+  /// Waking a blocked Java thread (notify + scheduler latency).
+  double thread_wakeup_us = 2.0;
+  /// One syscall (socket read/write entry), excluding copies.
+  double syscall_us = 1.5;
+  /// Hadoop RPC framework cost shared by BOTH transports (call object
+  /// churn, connection-table synchronization, Invocation reflection,
+  /// handler queueing). Charged at four symmetric points per round trip:
+  /// client send, server dispatch, server respond, client deliver.
+  double rpc_framework_us = 4.05;
+  /// Java NIO selector dispatch per readable event (Reader thread); the
+  /// serial-Reader bottleneck that caps socket-RPC throughput (Fig. 5b).
+  double selector_us = 4.8;
+  /// JNI verbs completion-queue poll per completion (Java->native WC
+  /// array marshalling); caps RPCoIB throughput at its reader.
+  double cq_poll_us = 5.3;
+
+  // --- Derived charges ---------------------------------------------------
+  // All *_bw_gbps fields are gigaBYTES per second; a copy of `bytes` at
+  // B GB/s takes bytes / (B * 1000) microseconds.
+  sim::Dur heap_alloc(std::size_t bytes) const {
+    return sim::from_us(heap_alloc_base_us + bw_us(bytes, heap_alloc_bw_gbps));
+  }
+  sim::Dur heap_copy(std::size_t bytes) const {
+    return sim::from_us(heap_copy_base_us + bw_us(bytes, heap_copy_bw_gbps));
+  }
+  sim::Dur native_copy(std::size_t bytes) const {
+    return sim::from_us(native_copy_base_us + bw_us(bytes, native_copy_bw_gbps));
+  }
+  sim::Dur direct_copy(std::size_t bytes) const {
+    return sim::from_us(heap_copy_base_us + bw_us(bytes, direct_copy_bw_gbps));
+  }
+  sim::Dur jni_call() const { return sim::from_us(jni_call_us); }
+  sim::Dur field_op() const { return sim::from_us(field_op_us); }
+  sim::Dur thread_wakeup() const { return sim::from_us(thread_wakeup_us); }
+  sim::Dur syscall() const { return sim::from_us(syscall_us); }
+  sim::Dur rpc_framework() const { return sim::from_us(rpc_framework_us); }
+  sim::Dur selector() const { return sim::from_us(selector_us); }
+  sim::Dur cq_poll() const { return sim::from_us(cq_poll_us); }
+
+ private:
+  static double bw_us(std::size_t bytes, double gb_per_sec) {
+    return static_cast<double>(bytes) / (gb_per_sec * 1000.0);
+  }
+};
+
+}  // namespace rpcoib::cluster

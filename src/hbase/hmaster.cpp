@@ -1,0 +1,43 @@
+#include "hbase/hmaster.hpp"
+
+namespace rpcoib::hbase {
+
+using sim::Co;
+
+HMaster::HMaster(cluster::Host& host, oib::RpcEngine& engine, net::Address addr,
+                 int expected_region_servers)
+    : host_(host), addr_(addr), expected_(expected_region_servers) {
+  server_ = engine.make_server(host_, addr_);
+  register_handlers();
+}
+
+HMaster::~HMaster() { stop(); }
+
+void HMaster::start() { server_->start(); }
+void HMaster::stop() {
+  if (server_) server_->stop();
+}
+
+void HMaster::register_handlers() {
+  rpc::Dispatcher& d = server_->dispatcher();
+
+  d.register_method(kMasterProtocol, "regionServerStartup",
+                    [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+                      RegionServerStartupParam p;
+                      p.read_fields(in);
+                      regions_[p.location.index] = p.location;
+                      rpc::BooleanWritable(true).write(out);
+                      co_return;
+                    });
+
+  d.register_method(kMasterProtocol, "getRegionLocations",
+                    [this](rpc::DataInput&, rpc::DataOutput& out) -> Co<void> {
+                      RegionLocationsResult r;
+                      r.complete = static_cast<int>(regions_.size()) >= expected_;
+                      for (const auto& [idx, loc] : regions_) r.regions.push_back(loc);
+                      r.write(out);
+                      co_return;
+                    });
+}
+
+}  // namespace rpcoib::hbase

@@ -1,0 +1,84 @@
+// HMaster: HBase's master daemon.
+//
+// Runs on its own node (as in the paper's Fig. 8 setup: "The master node,
+// HMaster, runs on a separate node"). Region servers report in over
+// HMasterInterface at startup; clients fetch the region map from the
+// master before their first operation — so region discovery is real RPC
+// traffic, not wiring.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "hdfs/types.hpp"
+#include "rpc/rpc.hpp"
+#include "rpcoib/engine.hpp"
+
+namespace rpcoib::hbase {
+
+inline constexpr const char* kMasterProtocol = "hbase.HMasterInterface";
+
+struct RegionLocation {
+  std::int32_t index = -1;
+  std::int32_t host = -1;
+  std::uint16_t port = 0;
+
+  void write(rpc::DataOutput& out) const {
+    out.write_vi32(index);
+    out.write_vi32(host);
+    out.write_u16(port);
+  }
+  void read_fields(rpc::DataInput& in) {
+    index = in.read_vi32();
+    host = in.read_vi32();
+    port = in.read_u16();
+  }
+};
+
+struct RegionServerStartupParam final : rpc::Writable {
+  RegionLocation location;
+  void write(rpc::DataOutput& out) const override { location.write(out); }
+  void read_fields(rpc::DataInput& in) override { location.read_fields(in); }
+};
+
+struct RegionLocationsResult final : rpc::Writable {
+  bool complete = false;  // all expected region servers have reported
+  std::vector<RegionLocation> regions;
+
+  void write(rpc::DataOutput& out) const override {
+    out.write_bool(complete);
+    out.write_vi32(static_cast<std::int32_t>(regions.size()));
+    for (const RegionLocation& r : regions) r.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    complete = in.read_bool();
+    regions.resize(static_cast<std::size_t>(in.read_vi32()));
+    for (RegionLocation& r : regions) r.read_fields(in);
+  }
+};
+
+class HMaster {
+ public:
+  HMaster(cluster::Host& host, oib::RpcEngine& engine, net::Address addr,
+          int expected_region_servers);
+  ~HMaster();
+  HMaster(const HMaster&) = delete;
+  HMaster& operator=(const HMaster&) = delete;
+
+  void start();
+  void stop();
+
+  const net::Address& addr() const { return addr_; }
+  std::size_t registered_regions() const { return regions_.size(); }
+
+ private:
+  void register_handlers();
+
+  cluster::Host& host_;
+  net::Address addr_;
+  int expected_;
+  std::unique_ptr<rpc::RpcServer> server_;
+  std::map<std::int32_t, RegionLocation> regions_;
+};
+
+}  // namespace rpcoib::hbase

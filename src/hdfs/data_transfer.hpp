@@ -1,0 +1,63 @@
+// HDFS data-transfer path model.
+//
+// The block pipeline (client -> DN1 -> DN2 -> DN3) is a DATA path, not an
+// RPC path; the paper's integrated experiments switch it independently:
+//   socket data path over 1GigE / IPoIB  — stock HDFS,
+//   RDMA data path                        — HDFSoIB [6].
+// Per-packet (64 KB) host costs mirror the RPC layer's findings: the
+// socket path pays JVM allocation + copies + kernel crossings per packet;
+// the RDMA path pays a pooled-buffer copy and a doorbell.
+#pragma once
+
+#include "cluster/cost_model.hpp"
+#include "net/params.hpp"
+
+namespace rpcoib::hdfs {
+
+enum class DataMode {
+  kSocket1GigE,
+  kSocketIPoIB,
+  kRdma,  // HDFSoIB
+};
+
+inline const char* data_mode_name(DataMode m) {
+  switch (m) {
+    case DataMode::kSocket1GigE: return "HDFS(1GigE)";
+    case DataMode::kSocketIPoIB: return "HDFS(IPoIB)";
+    case DataMode::kRdma: return "HDFSoIB";
+  }
+  return "?";
+}
+
+inline net::Transport data_transport(DataMode m) {
+  switch (m) {
+    case DataMode::kSocket1GigE: return net::Transport::kOneGigE;
+    case DataMode::kSocketIPoIB: return net::Transport::kIPoIB;
+    case DataMode::kRdma: return net::Transport::kIBVerbs;
+  }
+  return net::Transport::kOneGigE;
+}
+
+/// Sender-side CPU per data packet.
+inline sim::Dur data_packet_send_cost(const cluster::CostModel& cm, DataMode m,
+                                      std::size_t pkt) {
+  if (m == DataMode::kRdma) {
+    // Copy into a pre-registered pooled buffer + doorbell (one JNI).
+    return cm.direct_copy(pkt) + cm.jni_call();
+  }
+  // DFSOutputStream: packet heap buffer + checksum copy + heap->native +
+  // syscall.
+  return cm.heap_alloc(pkt) + cm.heap_copy(pkt) + cm.native_copy(pkt) + cm.syscall();
+}
+
+/// Receiver-side CPU per data packet (each pipeline datanode pays this;
+/// intermediate nodes also pay the send cost to forward).
+inline sim::Dur data_packet_recv_cost(const cluster::CostModel& cm, DataMode m,
+                                      std::size_t pkt) {
+  if (m == DataMode::kRdma) {
+    return cm.jni_call() + cm.direct_copy(pkt);
+  }
+  return cm.heap_alloc(pkt) + cm.native_copy(pkt) + cm.syscall();
+}
+
+}  // namespace rpcoib::hdfs

@@ -1,0 +1,117 @@
+#include "hdfs/datanode.hpp"
+
+namespace rpcoib::hdfs {
+
+using sim::Co;
+using sim::Task;
+
+namespace {
+const rpc::MethodKey kRegister{kDatanodeProtocol, "register"};
+const rpc::MethodKey kSendHeartbeat{kDatanodeProtocol, "sendHeartbeat"};
+const rpc::MethodKey kBlockReceived{kDatanodeProtocol, "blockReceived"};
+const rpc::MethodKey kBlockReport{kDatanodeProtocol, "blockReport"};
+}  // namespace
+
+DataNode::DataNode(cluster::Host& host, oib::RpcEngine& engine, net::Address nn_addr,
+                   HdfsConfig cfg)
+    : host_(host),
+      engine_(engine),
+      nn_addr_(nn_addr),
+      cfg_(cfg),
+      rpc_(engine.make_client(host)) {}
+
+DataNode::~DataNode() { stop(); }
+
+void DataNode::start() {
+  if (running_) return;
+  running_ = true;
+  host_.sched().spawn(heartbeat_loop());
+  host_.sched().spawn(block_report_loop());
+}
+
+void DataNode::stop() { running_ = false; }
+
+sim::Task DataNode::heartbeat_loop() {
+  // Register first, then heartbeat every cfg_.heartbeat_interval.
+  try {
+    DatanodeRegistration reg;
+    reg.id = id();
+    reg.capacity_bytes = 2ULL << 40;
+    rpc::BooleanWritable ok;
+    co_await rpc_->call(nn_addr_, kRegister, reg, &ok);
+    while (running_) {
+      co_await sim::delay(host_.sched(), cfg_.heartbeat_interval);
+      if (!running_) break;
+      HeartbeatParam hb;
+      hb.id = id();
+      hb.used_bytes = used_;
+      hb.remaining_bytes = reg.capacity_bytes - used_;
+      hb.xceiver_count = 0;
+      HeartbeatResult r;
+      co_await rpc_->call(nn_addr_, kSendHeartbeat, hb, &r);
+      if (r.command == 1) {
+        host_.sched().spawn(replicate_block(r.replicate_target));
+      }
+    }
+  } catch (const rpc::RpcTransportError&) {
+    // NameNode went away; daemon exits.
+  } catch (const rpc::RemoteException&) {
+  }
+}
+
+sim::Task DataNode::block_report_loop() {
+  try {
+    while (running_) {
+      co_await sim::delay(host_.sched(), cfg_.block_report_interval);
+      if (!running_) break;
+      BlockReportParam p;
+      p.id = id();
+      p.blocks.reserve(blocks_.size());
+      for (const auto& [bid, bytes] : blocks_) p.blocks.push_back(Block{bid, bytes});
+      rpc::BooleanWritable ok;
+      co_await rpc_->call(nn_addr_, kBlockReport, p, &ok);
+    }
+  } catch (const rpc::RpcTransportError&) {
+  } catch (const rpc::RemoteException&) {
+  }
+}
+
+// DNA_TRANSFER: stream a local block to the target datanode, which then
+// reports blockReceived, restoring the replication factor.
+sim::Task DataNode::replicate_block(LocatedBlock cmd) {
+  if (peer_lookup_ == nullptr || cmd.locations.empty()) co_return;
+  DataNode* target = peer_lookup_(cmd.locations.front());
+  if (target == nullptr || !blocks_.contains(cmd.block.id)) co_return;
+  // Sender-side read + stream, then the wire, then the target's normal
+  // block-ingest path (receive costs + blockReceived to the NameNode).
+  const std::size_t packets =
+      (cmd.block.num_bytes + cfg_.packet_size - 1) / cfg_.packet_size;
+  co_await host_.compute(
+      data_packet_send_cost(host_.cost(), DataMode::kSocketIPoIB, cfg_.packet_size) *
+      packets);
+  co_await engine_.testbed().fabric().transfer(host_.id(), target->host().id(),
+                                               net::Transport::kIPoIB,
+                                               cmd.block.num_bytes);
+  co_await target->store_block(cmd.block, DataMode::kSocketIPoIB);
+}
+
+sim::Co<void> DataNode::store_block(Block b, DataMode mode) {
+  // Per-packet receive costs for the whole block (checksum verify + copy
+  // to the block file; page cache at benchmark scale, per the testbed).
+  const std::size_t packets =
+      (b.num_bytes + cfg_.packet_size - 1) / cfg_.packet_size;
+  const sim::Dur per_pkt = data_packet_recv_cost(host_.cost(), mode, cfg_.packet_size);
+  co_await host_.compute(per_pkt * packets);
+  if (cfg_.datanode_disk_writes) co_await host_.disk_io(b.num_bytes);
+
+  blocks_[b.id] = b.num_bytes;
+  used_ += b.num_bytes;
+
+  BlockReceivedParam p;
+  p.id = id();
+  p.block = b;
+  rpc::BooleanWritable ok;
+  co_await rpc_->call(nn_addr_, kBlockReceived, p, &ok);
+}
+
+}  // namespace rpcoib::hdfs

@@ -1,0 +1,204 @@
+#include "hdfs/dfs_client.hpp"
+
+#include <algorithm>
+
+namespace rpcoib::hdfs {
+
+using sim::Co;
+
+namespace {
+const rpc::MethodKey kGetFileInfo{kClientProtocol, "getFileInfo"};
+const rpc::MethodKey kMkdirs{kClientProtocol, "mkdirs"};
+const rpc::MethodKey kCreate{kClientProtocol, "create"};
+const rpc::MethodKey kAddBlock{kClientProtocol, "addBlock"};
+const rpc::MethodKey kComplete{kClientProtocol, "complete"};
+const rpc::MethodKey kRenewLease{kClientProtocol, "renewLease"};
+const rpc::MethodKey kGetBlockLocations{kClientProtocol, "getBlockLocations"};
+const rpc::MethodKey kGetListing{kClientProtocol, "getListing"};
+const rpc::MethodKey kRename{kClientProtocol, "rename"};
+const rpc::MethodKey kDelete{kClientProtocol, "delete"};
+}  // namespace
+
+DFSClient::DFSClient(cluster::Host& host, oib::RpcEngine& engine, net::Address nn_addr,
+                     DatanodeResolver& resolver, DataMode data_mode, HdfsConfig cfg,
+                     std::string client_name)
+    : host_(host),
+      fabric_(engine.testbed().fabric()),
+      nn_addr_(nn_addr),
+      resolver_(resolver),
+      data_mode_(data_mode),
+      cfg_(cfg),
+      rpc_(engine.make_client(host)),
+      name_(std::move(client_name)) {}
+
+sim::Co<bool> DFSClient::mkdirs(const std::string& path) {
+  PathParam p(path, name_);
+  rpc::BooleanWritable r;
+  co_await rpc_->call(nn_addr_, kMkdirs, p, &r);
+  co_return r.value;
+}
+
+sim::Co<bool> DFSClient::exists(const std::string& path) {
+  FileStatusResult r = co_await get_file_info(path);
+  co_return r.exists;
+}
+
+sim::Co<FileStatusResult> DFSClient::get_file_info(const std::string& path) {
+  PathParam p(path, name_);
+  FileStatusResult r;
+  co_await rpc_->call(nn_addr_, kGetFileInfo, p, &r);
+  co_return r;
+}
+
+sim::Co<bool> DFSClient::rename(const std::string& src, const std::string& dst) {
+  RenameParam p;
+  p.src = src;
+  p.dst = dst;
+  rpc::BooleanWritable r;
+  co_await rpc_->call(nn_addr_, kRename, p, &r);
+  co_return r.value;
+}
+
+sim::Co<bool> DFSClient::remove(const std::string& path) {
+  PathParam p(path, name_);
+  rpc::BooleanWritable r;
+  co_await rpc_->call(nn_addr_, kDelete, p, &r);
+  co_return r.value;
+}
+
+sim::Co<bool> DFSClient::renew_lease(const std::string& path) {
+  PathParam p(path, name_);
+  rpc::BooleanWritable r;
+  co_await rpc_->call(nn_addr_, kRenewLease, p, &r);
+  co_return r.value;
+}
+
+sim::Co<ListingResult> DFSClient::get_listing(const std::string& path) {
+  PathParam p(path, name_);
+  ListingResult r;
+  co_await rpc_->call(nn_addr_, kGetListing, p, &r);
+  co_return r;
+}
+
+sim::Co<LocatedBlocksResult> DFSClient::get_block_locations(const std::string& path,
+                                                            std::uint64_t offset,
+                                                            std::uint64_t length) {
+  GetBlockLocationsParam p;
+  p.path = path;
+  p.offset = offset;
+  p.length = length;
+  LocatedBlocksResult r;
+  co_await rpc_->call(nn_addr_, kGetBlockLocations, p, &r);
+  co_return r;
+}
+
+sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbytes) {
+  // addBlock -> targets.
+  AddBlockParam ab;
+  ab.path = path;
+  ab.client = name_;
+  LocatedBlockResult lb;
+  co_await rpc_->call(nn_addr_, kAddBlock, ab, &lb);
+  lb.located.block.num_bytes = nbytes;
+
+  const net::Transport t = data_transport(data_mode_);
+  const net::NetParams& np = fabric_.params(t);
+
+  // Pipeline setup: serial connection establishment hop by hop.
+  for (std::size_t i = 0; i < lb.located.locations.size(); ++i) {
+    co_await sim::delay(host_.sched(), 2 * np.one_way_latency);
+  }
+
+  // Stream the block: sender-side per-packet costs on the client, wire
+  // time on the client's egress; the forwarding hops overlap with the
+  // stream and add one store-and-forward packet + latency each.
+  const std::size_t packets = static_cast<std::size_t>(
+      (nbytes + cfg_.packet_size - 1) / cfg_.packet_size);
+  const sim::Dur send_cpu =
+      data_packet_send_cost(host_.cost(), data_mode_, cfg_.packet_size) *
+      packets;
+  co_await host_.compute(send_cpu);
+  co_await fabric_.transfer(host_.id(), lb.located.locations.front(), t, nbytes);
+
+  // Forwarding: reserve intermediate egress (contends with other
+  // pipelines) and pay per-hop pipelining latency.
+  for (std::size_t i = 0; i + 1 < lb.located.locations.size(); ++i) {
+    fabric_.reserve_egress(lb.located.locations[i], t, nbytes);
+    co_await sim::delay(host_.sched(),
+                        np.one_way_latency + np.wire_time(cfg_.packet_size));
+  }
+
+  // Deliver to each datanode (receive costs + blockReceived RPC).
+  sim::WaitGroup wg(host_.sched());
+  for (DatanodeId dn_id : lb.located.locations) {
+    DataNode* dn = resolver_.datanode(dn_id);
+    if (dn == nullptr) continue;
+    wg.add(1);
+    host_.sched().spawn([](DataNode* node, Block blk, DataMode mode,
+                           sim::WaitGroup& done) -> sim::Task {
+      co_await node->store_block(blk, mode);
+      done.done();
+    }(dn, lb.located.block, data_mode_, wg));
+  }
+  // The client's end-of-block ack waits for the last pipeline node.
+  co_await wg.wait();
+
+  // Client<->NameNode synchronization attributable to this block beyond
+  // addBlock (lease renewals, packet-window bookkeeping; calibrated per
+  // full block and scaled by the bytes actually written — see
+  // HdfsConfig::nn_syncs_per_block and EXPERIMENTS.md).
+  const int syncs = std::max(
+      1, static_cast<int>(static_cast<double>(cfg_.nn_syncs_per_block) *
+                          static_cast<double>(nbytes) / static_cast<double>(cfg_.block_size)));
+  for (int i = 0; i < syncs; ++i) {
+    PathParam p(path, name_);
+    rpc::BooleanWritable ok;
+    co_await rpc_->call(nn_addr_, kRenewLease, p, &ok);
+  }
+}
+
+sim::Co<void> DFSClient::write_file(const std::string& path, std::uint64_t nbytes) {
+  CreateParam cp;
+  cp.path = path;
+  cp.client = name_;
+  cp.replication = static_cast<std::uint16_t>(cfg_.replication);
+  cp.block_size = cfg_.block_size;
+  rpc::BooleanWritable ok;
+  co_await rpc_->call(nn_addr_, kCreate, cp, &ok);
+
+  std::uint64_t remaining = nbytes;
+  while (remaining > 0) {
+    const std::uint64_t n = std::min(remaining, cfg_.block_size);
+    co_await write_block(path, n);
+    remaining -= n;
+  }
+
+  // complete() polls until all blocks have at least one reported replica.
+  PathParam p(path, name_);
+  for (;;) {
+    rpc::BooleanWritable done;
+    co_await rpc_->call(nn_addr_, kComplete, p, &done);
+    if (done.value) break;
+    co_await sim::delay(host_.sched(), sim::millis(400));  // Hadoop's retry backoff
+  }
+}
+
+sim::Co<std::uint64_t> DFSClient::read_file(const std::string& path) {
+  LocatedBlocksResult blocks =
+      co_await get_block_locations(path, 0, ~0ULL);
+  const net::Transport t = data_transport(data_mode_);
+  std::uint64_t total = 0;
+  for (const LocatedBlock& lb : blocks.blocks) {
+    if (lb.locations.empty()) continue;
+    const std::size_t packets = static_cast<std::size_t>(
+        (lb.block.num_bytes + cfg_.packet_size - 1) / cfg_.packet_size);
+    // Reader-side per-packet cost + wire from the chosen replica.
+    co_await fabric_.transfer(lb.locations.front(), host_.id(), t, lb.block.num_bytes);
+    co_await host_.compute(
+        data_packet_recv_cost(host_.cost(), data_mode_, cfg_.packet_size) * packets);
+    total += lb.block.num_bytes;
+  }
+  co_return total;
+}
+
+}  // namespace rpcoib::hdfs

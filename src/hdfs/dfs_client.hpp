@@ -1,0 +1,72 @@
+// DFSClient: the HDFS client library (file API + write pipeline).
+//
+// Drives the ClientProtocol calls from Table I (create, addBlock,
+// complete, renewLease, getFileInfo, getBlockLocations, mkdirs, rename,
+// delete, getListing) and the replication pipeline over the configured
+// data path. Used directly by the Fig. 7 bench, by MapReduce tasks for
+// input/output, and by HBase region servers for WAL/flush traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hdfs/data_transfer.hpp"
+#include "hdfs/datanode.hpp"
+#include "hdfs/namenode.hpp"
+#include "rpc/rpc.hpp"
+#include "rpcoib/engine.hpp"
+
+namespace rpcoib::hdfs {
+
+/// Resolves datanode ids to daemon objects for pipeline delivery.
+class DatanodeResolver {
+ public:
+  virtual ~DatanodeResolver() = default;
+  virtual DataNode* datanode(DatanodeId id) = 0;
+};
+
+class DFSClient {
+ public:
+  DFSClient(cluster::Host& host, oib::RpcEngine& engine, net::Address nn_addr,
+            DatanodeResolver& resolver, DataMode data_mode, HdfsConfig cfg,
+            std::string client_name);
+
+  // --- namespace operations (thin RPC wrappers) -------------------------
+  sim::Co<bool> mkdirs(const std::string& path);
+  sim::Co<bool> exists(const std::string& path);
+  sim::Co<FileStatusResult> get_file_info(const std::string& path);
+  sim::Co<bool> rename(const std::string& src, const std::string& dst);
+  sim::Co<bool> remove(const std::string& path);
+  sim::Co<ListingResult> get_listing(const std::string& path);
+  sim::Co<LocatedBlocksResult> get_block_locations(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t length);
+  sim::Co<bool> renew_lease(const std::string& path);
+
+  // --- data operations ----------------------------------------------------
+  /// create + block-by-block pipelined write of `nbytes` + complete.
+  sim::Co<void> write_file(const std::string& path, std::uint64_t nbytes);
+
+  /// getBlockLocations + streamed read of the whole file (time-modeled;
+  /// reads from the first replica of each block).
+  sim::Co<std::uint64_t> read_file(const std::string& path);
+
+  cluster::Host& host() const { return host_; }
+  rpc::RpcClient& rpc() { return *rpc_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  /// One block through the replication pipeline.
+  sim::Co<void> write_block(const std::string& path, std::uint64_t nbytes);
+
+  cluster::Host& host_;
+  net::Fabric& fabric_;
+  net::Address nn_addr_;
+  DatanodeResolver& resolver_;
+  DataMode data_mode_;
+  HdfsConfig cfg_;
+  std::unique_ptr<rpc::RpcClient> rpc_;
+  std::string name_;
+};
+
+}  // namespace rpcoib::hdfs

@@ -1,0 +1,49 @@
+#include "hdfs/hdfs_cluster.hpp"
+
+namespace rpcoib::hdfs {
+
+namespace {
+constexpr std::uint16_t kNameNodePort = 8020;  // Hadoop's fs.default.name port
+}
+
+HdfsCluster::HdfsCluster(oib::RpcEngine& engine, cluster::HostId nn_host,
+                         std::vector<cluster::HostId> dn_hosts, DataMode data_mode,
+                         HdfsConfig cfg)
+    : engine_(engine),
+      nn_addr_{nn_host, kNameNodePort},
+      data_mode_(data_mode),
+      cfg_(cfg) {
+  nn_ = std::make_unique<NameNode>(engine.testbed().host(nn_host), engine, nn_addr_, cfg);
+  for (cluster::HostId h : dn_hosts) {
+    dns_.push_back(
+        std::make_unique<DataNode>(engine.testbed().host(h), engine, nn_addr_, cfg));
+  }
+}
+
+void HdfsCluster::start() {
+  nn_->start();
+  for (auto& dn : dns_) {
+    // Peer lookup enables DNA_TRANSFER re-replication between datanodes.
+    dn->set_peer_lookup([this](DatanodeId id) { return datanode(id); });
+    dn->start();
+  }
+}
+
+void HdfsCluster::stop() {
+  for (auto& dn : dns_) dn->stop();
+  nn_->stop();
+}
+
+DataNode* HdfsCluster::datanode(DatanodeId id) {
+  for (auto& dn : dns_) {
+    if (dn->id() == id) return dn.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DFSClient> HdfsCluster::make_client(cluster::Host& host, std::string name) {
+  return std::make_unique<DFSClient>(host, engine_, nn_addr_, *this, data_mode_, cfg_,
+                                     std::move(name));
+}
+
+}  // namespace rpcoib::hdfs

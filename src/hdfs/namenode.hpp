@@ -1,0 +1,86 @@
+// NameNode: HDFS metadata server.
+//
+// Serves ClientProtocol (hdfs.ClientProtocol in Table I) and
+// DatanodeProtocol over the configured RPC transport. Keeps the namespace
+// tree, the block map, datanode liveness, and the replication policy
+// (3 distinct datanodes per block, round-robin with randomization like the
+// default placement's non-rack-aware core).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hdfs/types.hpp"
+#include "rpc/rpc.hpp"
+#include "rpcoib/engine.hpp"
+
+namespace rpcoib::hdfs {
+
+class NameNode {
+ public:
+  NameNode(cluster::Host& host, oib::RpcEngine& engine, net::Address addr,
+           HdfsConfig cfg = {});
+  ~NameNode();
+  NameNode(const NameNode&) = delete;
+  NameNode& operator=(const NameNode&) = delete;
+
+  void start();
+  void stop();
+
+  const net::Address& addr() const { return addr_; }
+  const HdfsConfig& config() const { return cfg_; }
+  rpc::RpcServer& server() { return *server_; }
+
+  // Introspection for tests/benches.
+  std::size_t num_files() const { return files_.size(); }
+  std::size_t num_blocks() const { return block_map_.size(); }
+  std::size_t replica_count(BlockId id) const;
+  std::vector<DatanodeId> live_datanodes() const;
+  bool file_exists(const std::string& path) const { return files_.contains(path); }
+  std::uint64_t file_length(const std::string& path) const;
+
+ private:
+  struct INode {
+    bool is_dir = false;
+    std::uint16_t replication = 3;
+    std::uint64_t block_size = 64ULL << 20;
+    std::vector<BlockId> blocks;
+    bool under_construction = false;
+    std::string lease_holder;
+    std::uint64_t mtime = 0;
+  };
+  struct BlockInfo {
+    std::uint64_t num_bytes = 0;
+    std::set<DatanodeId> replicas;
+  };
+  struct DatanodeInfo {
+    std::uint64_t capacity = 0;
+    std::uint64_t used = 0;
+    sim::Time last_heartbeat = 0;
+  };
+
+  void register_handlers();
+  std::vector<DatanodeId> choose_targets(int n);
+  sim::Task replication_monitor();
+
+  cluster::Host& host_;
+  oib::RpcEngine& engine_;
+  net::Address addr_;
+  HdfsConfig cfg_;
+  std::unique_ptr<rpc::RpcServer> server_;
+
+  std::map<std::string, INode> files_;
+  std::map<BlockId, BlockInfo> block_map_;
+  std::map<DatanodeId, DatanodeInfo> datanodes_;
+  // Replicate commands awaiting delivery in the source DN's next
+  // heartbeat response: block + target datanode.
+  std::map<DatanodeId, std::vector<LocatedBlock>> pending_replications_;
+  BlockId next_block_id_ = 1000;
+  std::size_t next_target_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace rpcoib::hdfs

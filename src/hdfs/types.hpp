@@ -1,0 +1,311 @@
+// HDFS data model and protocol message writables.
+//
+// A compact port of the Hadoop 0.20.2 structures the paper's workloads
+// exercise: blocks, located blocks, file status, datanode registration,
+// plus the Writable request/response payloads for ClientProtocol and
+// DatanodeProtocol — the protocols whose calls populate Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "rpc/writable.hpp"
+
+namespace rpcoib::hdfs {
+
+/// Protocol names exactly as Table I reports them.
+inline constexpr const char* kClientProtocol = "hdfs.ClientProtocol";
+inline constexpr const char* kDatanodeProtocol = "hdfs.DatanodeProtocol";
+
+using BlockId = std::uint64_t;
+using DatanodeId = std::int32_t;  // host id of the datanode
+
+struct HdfsConfig {
+  std::uint64_t block_size = 64ULL << 20;  // dfs.block.size (0.20 default)
+  int replication = 3;                     // dfs.replication
+  sim::Dur heartbeat_interval = sim::seconds(3);
+  sim::Dur block_report_interval = sim::seconds(60);
+  /// Data-transfer pipeline packet size (dfs packet, 64 KB in 0.20).
+  std::size_t packet_size = 64 * 1024;
+  /// Client<->NameNode synchronization rounds per written block beyond
+  /// addBlock itself (pipeline recovery checks, persistBlocks-style
+  /// bookkeeping, lease/queue coordination). Calibrated so the RPC share
+  /// of HDFS Write matches Fig. 7; see EXPERIMENTS.md.
+  int nn_syncs_per_block = 160;
+  /// When true, DataNodes pay HDD time for stored blocks (MapReduce-scale
+  /// datasets exceed the page cache); false models the paper's Fig. 7
+  /// microbenchmark where 24 GB-RAM nodes absorb writes in cache.
+  bool datanode_disk_writes = false;
+  /// A DataNode whose last heartbeat is older than this is declared dead
+  /// and its blocks re-replicated. (Hadoop's default is 10.5 min; scaled
+  /// down so failure tests run in simulated seconds.)
+  sim::Dur dn_dead_after = sim::seconds(30);
+  /// How often the NameNode scans for dead DataNodes / under-replication.
+  sim::Dur replication_check_interval = sim::seconds(10);
+};
+
+/// Block with generation stamp (simplified).
+struct Block {
+  BlockId id = 0;
+  std::uint64_t num_bytes = 0;
+
+  void write(rpc::DataOutput& out) const {
+    out.write_u64(id);
+    out.write_u64(num_bytes);
+  }
+  void read_fields(rpc::DataInput& in) {
+    id = in.read_u64();
+    num_bytes = in.read_u64();
+  }
+};
+
+/// A block plus the datanodes holding it.
+struct LocatedBlock {
+  Block block;
+  std::vector<DatanodeId> locations;
+
+  void write(rpc::DataOutput& out) const {
+    block.write(out);
+    out.write_vi32(static_cast<std::int32_t>(locations.size()));
+    for (DatanodeId d : locations) out.write_vi32(d);
+  }
+  void read_fields(rpc::DataInput& in) {
+    block.read_fields(in);
+    locations.resize(static_cast<std::size_t>(in.read_vi32()));
+    for (DatanodeId& d : locations) d = in.read_vi32();
+  }
+};
+
+struct FileStatus {
+  std::string path;
+  bool is_dir = false;
+  std::uint64_t length = 0;
+  std::uint16_t replication = 0;
+  std::uint64_t block_size = 0;
+  std::uint64_t modification_time = 0;
+
+  void write(rpc::DataOutput& out) const {
+    out.write_text(path);
+    out.write_bool(is_dir);
+    out.write_u64(length);
+    out.write_u16(replication);
+    out.write_u64(block_size);
+    out.write_u64(modification_time);
+  }
+  void read_fields(rpc::DataInput& in) {
+    path = in.read_text();
+    is_dir = in.read_bool();
+    length = in.read_u64();
+    replication = in.read_u16();
+    block_size = in.read_u64();
+    modification_time = in.read_u64();
+  }
+};
+
+// --- Protocol payloads -----------------------------------------------------
+
+/// Generic single-path request (getFileInfo, mkdirs, delete, getListing...).
+struct PathParam final : rpc::Writable {
+  std::string path;
+  std::string client;
+  PathParam() = default;
+  PathParam(std::string p, std::string c) : path(std::move(p)), client(std::move(c)) {}
+  void write(rpc::DataOutput& out) const override {
+    out.write_text(path);
+    out.write_text(client);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    path = in.read_text();
+    client = in.read_text();
+  }
+};
+
+struct RenameParam final : rpc::Writable {
+  std::string src, dst;
+  void write(rpc::DataOutput& out) const override {
+    out.write_text(src);
+    out.write_text(dst);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    src = in.read_text();
+    dst = in.read_text();
+  }
+};
+
+struct CreateParam final : rpc::Writable {
+  std::string path;
+  std::string client;
+  bool overwrite = true;
+  std::uint16_t replication = 3;
+  std::uint64_t block_size = 64ULL << 20;
+  void write(rpc::DataOutput& out) const override {
+    out.write_text(path);
+    out.write_text(client);
+    out.write_bool(overwrite);
+    out.write_u16(replication);
+    out.write_u64(block_size);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    path = in.read_text();
+    client = in.read_text();
+    overwrite = in.read_bool();
+    replication = in.read_u16();
+    block_size = in.read_u64();
+  }
+};
+
+struct GetBlockLocationsParam final : rpc::Writable {
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  void write(rpc::DataOutput& out) const override {
+    out.write_text(path);
+    out.write_u64(offset);
+    out.write_u64(length);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    path = in.read_text();
+    offset = in.read_u64();
+    length = in.read_u64();
+  }
+};
+
+struct LocatedBlocksResult final : rpc::Writable {
+  std::uint64_t file_length = 0;
+  std::vector<LocatedBlock> blocks;
+  void write(rpc::DataOutput& out) const override {
+    out.write_u64(file_length);
+    out.write_vi32(static_cast<std::int32_t>(blocks.size()));
+    for (const LocatedBlock& b : blocks) b.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    file_length = in.read_u64();
+    blocks.resize(static_cast<std::size_t>(in.read_vi32()));
+    for (LocatedBlock& b : blocks) b.read_fields(in);
+  }
+};
+
+struct LocatedBlockResult final : rpc::Writable {
+  LocatedBlock located;
+  void write(rpc::DataOutput& out) const override { located.write(out); }
+  void read_fields(rpc::DataInput& in) override { located.read_fields(in); }
+};
+
+struct FileStatusResult final : rpc::Writable {
+  bool exists = false;
+  FileStatus status;
+  void write(rpc::DataOutput& out) const override {
+    out.write_bool(exists);
+    if (exists) status.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    exists = in.read_bool();
+    if (exists) status.read_fields(in);
+  }
+};
+
+struct ListingResult final : rpc::Writable {
+  std::vector<FileStatus> entries;
+  void write(rpc::DataOutput& out) const override {
+    out.write_vi32(static_cast<std::int32_t>(entries.size()));
+    for (const FileStatus& e : entries) e.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    entries.resize(static_cast<std::size_t>(in.read_vi32()));
+    for (FileStatus& e : entries) e.read_fields(in);
+  }
+};
+
+// --- DatanodeProtocol payloads ----------------------------------------------
+
+struct DatanodeRegistration final : rpc::Writable {
+  DatanodeId id = -1;
+  std::uint64_t capacity_bytes = 0;
+  void write(rpc::DataOutput& out) const override {
+    out.write_vi32(id);
+    out.write_u64(capacity_bytes);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    id = in.read_vi32();
+    capacity_bytes = in.read_u64();
+  }
+};
+
+struct HeartbeatParam final : rpc::Writable {
+  DatanodeId id = -1;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t remaining_bytes = 0;
+  std::uint32_t xceiver_count = 0;
+  void write(rpc::DataOutput& out) const override {
+    out.write_vi32(id);
+    out.write_u64(used_bytes);
+    out.write_u64(remaining_bytes);
+    out.write_u32(xceiver_count);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    id = in.read_vi32();
+    used_bytes = in.read_u64();
+    remaining_bytes = in.read_u64();
+    xceiver_count = in.read_u32();
+  }
+};
+
+/// Heartbeat response can carry commands (e.g. replicate block).
+struct HeartbeatResult final : rpc::Writable {
+  // command 0 = none, 1 = replicate
+  std::uint8_t command = 0;
+  LocatedBlock replicate_target;
+  void write(rpc::DataOutput& out) const override {
+    out.write_u8(command);
+    if (command == 1) replicate_target.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    command = in.read_u8();
+    if (command == 1) replicate_target.read_fields(in);
+  }
+};
+
+struct BlockReceivedParam final : rpc::Writable {
+  DatanodeId id = -1;
+  Block block;
+  void write(rpc::DataOutput& out) const override {
+    out.write_vi32(id);
+    block.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    id = in.read_vi32();
+    block.read_fields(in);
+  }
+};
+
+struct BlockReportParam final : rpc::Writable {
+  DatanodeId id = -1;
+  std::vector<Block> blocks;
+  void write(rpc::DataOutput& out) const override {
+    out.write_vi32(id);
+    out.write_vi32(static_cast<std::int32_t>(blocks.size()));
+    for (const Block& b : blocks) b.write(out);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    id = in.read_vi32();
+    blocks.resize(static_cast<std::size_t>(in.read_vi32()));
+    for (Block& b : blocks) b.read_fields(in);
+  }
+};
+
+struct AddBlockParam final : rpc::Writable {
+  std::string path;
+  std::string client;
+  void write(rpc::DataOutput& out) const override {
+    out.write_text(path);
+    out.write_text(client);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    path = in.read_text();
+    client = in.read_text();
+  }
+};
+
+}  // namespace rpcoib::hdfs

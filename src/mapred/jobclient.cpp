@@ -1,0 +1,40 @@
+#include "mapred/jobclient.hpp"
+
+namespace rpcoib::mapred {
+
+namespace {
+const rpc::MethodKey kSubmitJob{kJobSubmissionProtocol, "submitJob"};
+const rpc::MethodKey kGetJobStatus{kJobSubmissionProtocol, "getJobStatus"};
+}  // namespace
+
+JobClient::JobClient(cluster::Host& host, oib::RpcEngine& engine, net::Address jt_addr)
+    : host_(host), jt_addr_(jt_addr), rpc_(engine.make_client(host)) {}
+
+sim::Co<JobId> JobClient::submit(const JobSpec& spec) {
+  JobSubmission sub;
+  sub.id = next_id_++;
+  sub.spec = spec;
+  rpc::BooleanWritable ok;
+  co_await rpc_->call(jt_addr_, kSubmitJob, sub, &ok);
+  co_return sub.id;
+}
+
+sim::Co<double> JobClient::wait_for_completion(JobId id) {
+  const sim::Time start = host_.sched().now();
+  rpc::IntWritable param(id);
+  for (;;) {
+    JobStatusResult st;
+    co_await rpc_->call(jt_addr_, kGetJobStatus, param, &st);
+    if (st.exists && st.complete) break;
+    co_await sim::delay(host_.sched(), sim::millis(250));
+  }
+  co_return sim::to_sec(host_.sched().now() - start);
+}
+
+sim::Co<double> JobClient::run(const JobSpec& spec) {
+  const JobId id = co_await submit(spec);
+  const double secs = co_await wait_for_completion(id);
+  co_return secs;
+}
+
+}  // namespace rpcoib::mapred

@@ -1,0 +1,33 @@
+// JobClient: submits jobs and polls for completion, like
+// `hadoop jar ... && waitForCompletion`.
+#pragma once
+
+#include <memory>
+
+#include "mapred/types.hpp"
+#include "rpc/rpc.hpp"
+#include "rpcoib/engine.hpp"
+
+namespace rpcoib::mapred {
+
+class JobClient {
+ public:
+  JobClient(cluster::Host& host, oib::RpcEngine& engine, net::Address jt_addr);
+
+  sim::Co<JobId> submit(const JobSpec& spec);
+
+  /// Poll getJobStatus once a second until the job completes; returns the
+  /// job execution time in virtual seconds.
+  sim::Co<double> wait_for_completion(JobId id);
+
+  /// submit + wait.
+  sim::Co<double> run(const JobSpec& spec);
+
+ private:
+  cluster::Host& host_;
+  net::Address jt_addr_;
+  std::unique_ptr<rpc::RpcClient> rpc_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace rpcoib::mapred

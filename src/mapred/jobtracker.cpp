@@ -1,0 +1,155 @@
+#include "mapred/jobtracker.hpp"
+
+namespace rpcoib::mapred {
+
+using sim::Co;
+
+JobTracker::JobTracker(cluster::Host& host, oib::RpcEngine& engine, net::Address addr)
+    : host_(host), engine_(engine), addr_(addr) {
+  server_ = engine_.make_server(host_, addr_);
+  register_handlers();
+}
+
+JobTracker::~JobTracker() { stop(); }
+
+void JobTracker::start() { server_->start(); }
+void JobTracker::stop() {
+  if (server_) server_->stop();
+}
+
+const JobSpec* JobTracker::spec_of(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second.spec;
+}
+
+JobStatus JobTracker::status_of(JobId id) const {
+  JobStatus st;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return st;
+  st.exists = true;
+  st.complete = it->second.complete;
+  st.maps_done = it->second.maps_done;
+  st.reduces_done = it->second.reduces_done;
+  st.submit_time = it->second.submit_time;
+  st.finish_time = it->second.finish_time;
+  return st;
+}
+
+void JobTracker::on_task_complete(Job& job, const TaskAssignment& t,
+                                  std::int32_t tracker_host) {
+  if (t.type == TaskType::kMap) {
+    ++job.maps_done;
+    job.completed_map_hosts.push_back(tracker_host);
+  } else {
+    ++job.reduces_done;
+  }
+  const int total_reduces = job.spec.map_only ? 0 : job.spec.num_reduces;
+  if (job.maps_done >= job.spec.num_maps && job.reduces_done >= total_reduces &&
+      !job.complete) {
+    job.complete = true;
+    job.finish_time = host_.sched().now();
+  }
+}
+
+void JobTracker::register_handlers() {
+  rpc::Dispatcher& d = server_->dispatcher();
+
+  d.register_method(kJobSubmissionProtocol, "submitJob",
+                    [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+                      JobSubmission sub;
+                      sub.read_fields(in);
+                      Job job;
+                      job.id = sub.id;
+                      job.spec = sub.spec;
+                      job.submit_time = host_.sched().now();
+                      for (TaskId t = 0; t < sub.spec.num_maps; ++t) {
+                        job.pending_maps.push_back(t);
+                      }
+                      if (!sub.spec.map_only) {
+                        for (TaskId t = 0; t < sub.spec.num_reduces; ++t) {
+                          job.pending_reduces.push_back(t);
+                        }
+                      }
+                      jobs_[sub.id] = std::move(job);
+                      rpc::BooleanWritable(true).write(out);
+                      co_return;
+                    });
+
+  d.register_method(kJobSubmissionProtocol, "getJobStatus",
+                    [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+                      rpc::IntWritable id;
+                      id.read_fields(in);
+                      const JobStatus st = status_of(id.value);
+                      JobStatusResult r;
+                      r.exists = st.exists;
+                      r.complete = st.complete;
+                      r.maps_done = st.maps_done;
+                      r.reduces_done = st.reduces_done;
+                      r.write(out);
+                      co_return;
+                    });
+
+  d.register_method(
+      kInterTrackerProtocol, "heartbeat",
+      [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        HeartbeatRequest req;
+        req.read_fields(in);
+
+        HeartbeatResponse resp;
+        // Process completions first so freed slots can be refilled.
+        for (const TaskAssignment& t : req.completed) {
+          auto it = jobs_.find(t.job);
+          if (it != jobs_.end()) on_task_complete(it->second, t, req.tracker);
+        }
+        // Failed attempts go back on the pending queue (front: retry soon).
+        for (const TaskAssignment& t : req.failed) {
+          auto it = jobs_.find(t.job);
+          if (it == jobs_.end()) continue;
+          if (t.type == TaskType::kMap) {
+            it->second.pending_maps.push_front(t.task);
+          } else {
+            it->second.pending_reduces.push_front(t.task);
+          }
+        }
+        // FIFO over jobs: hand out maps; reduces once 5% of maps finished
+        // (mapred.reduce.slowstart semantics, simplified).
+        int free_maps = req.free_map_slots;
+        int free_reduces = req.free_reduce_slots;
+        for (auto& [id, job] : jobs_) {
+          if (job.complete) continue;
+          while (free_maps > 0 && !job.pending_maps.empty()) {
+            resp.new_tasks.push_back(
+                TaskAssignment{job.id, job.pending_maps.front(), TaskType::kMap});
+            job.pending_maps.pop_front();
+            --free_maps;
+          }
+          const bool slowstart_met =
+              job.maps_done * 20 >= job.spec.num_maps || job.pending_maps.empty();
+          while (free_reduces > 0 && slowstart_met && !job.pending_reduces.empty()) {
+            resp.new_tasks.push_back(
+                TaskAssignment{job.id, job.pending_reduces.front(), TaskType::kReduce});
+            job.pending_reduces.pop_front();
+            --free_reduces;
+          }
+        }
+        resp.write(out);
+        co_return;
+      });
+
+  // Shuffle support: TaskTrackers relay reduce-side completion-event polls.
+  d.register_method(kInterTrackerProtocol, "getMapCompletionEvents",
+                    [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+                      rpc::IntWritable job_id;
+                      job_id.read_fields(in);
+                      MapCompletionEventsResult r;
+                      auto it = jobs_.find(job_id.value);
+                      if (it != jobs_.end()) {
+                        r.total_maps = it->second.spec.num_maps;
+                        r.completed_map_hosts = it->second.completed_map_hosts;
+                      }
+                      r.write(out);
+                      co_return;
+                    });
+}
+
+}  // namespace rpcoib::mapred

@@ -1,0 +1,68 @@
+// JobTracker: the MapReduce master.
+//
+// Serves JobSubmissionProtocol (submitJob/getJobStatus) and
+// InterTrackerProtocol (heartbeat — the "JT heartbeat" whose size
+// locality Fig. 3 plots, since every beat carries the tracker's full task
+// status array). Scheduling is slot-based FIFO like Hadoop 0.20's default
+// scheduler: maps first, reduces once enough maps have finished.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mapred/types.hpp"
+#include "rpc/rpc.hpp"
+#include "rpcoib/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace rpcoib::mapred {
+
+class JobTracker {
+ public:
+  JobTracker(cluster::Host& host, oib::RpcEngine& engine, net::Address addr);
+  ~JobTracker();
+  JobTracker(const JobTracker&) = delete;
+  JobTracker& operator=(const JobTracker&) = delete;
+
+  void start();
+  void stop();
+
+  const net::Address& addr() const { return addr_; }
+
+  /// In-process job registry: TaskTrackers resolve the JobSpec here (the
+  /// real job.xml fetch through HDFS is charged separately via
+  /// JobSpec::localization_nn_calls).
+  const JobSpec* spec_of(JobId id) const;
+
+  JobStatus status_of(JobId id) const;
+  std::size_t jobs_submitted() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    JobId id = -1;
+    JobSpec spec;
+    std::deque<TaskId> pending_maps;
+    std::deque<TaskId> pending_reduces;
+    int maps_done = 0;
+    int reduces_done = 0;
+    bool complete = false;
+    sim::Time submit_time = 0;
+    sim::Time finish_time = 0;
+    std::vector<std::int32_t> completed_map_hosts;  // shuffle sources
+  };
+
+  void register_handlers();
+  void on_task_complete(Job& job, const TaskAssignment& t, std::int32_t tracker_host);
+
+  cluster::Host& host_;
+  oib::RpcEngine& engine_;
+  net::Address addr_;
+  std::unique_ptr<rpc::RpcServer> server_;
+  std::map<JobId, Job> jobs_;
+  JobId next_job_id_ = 1;
+};
+
+}  // namespace rpcoib::mapred

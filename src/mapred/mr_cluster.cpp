@@ -1,0 +1,36 @@
+#include "mapred/mr_cluster.hpp"
+
+namespace rpcoib::mapred {
+
+namespace {
+constexpr std::uint16_t kJobTrackerPort = 8021;
+}
+
+MrCluster::MrCluster(oib::RpcEngine& engine, hdfs::HdfsCluster& hdfs,
+                     cluster::HostId jt_host, std::vector<cluster::HostId> tt_hosts,
+                     TaskTrackerConfig tt_cfg)
+    : engine_(engine), jt_addr_{jt_host, kJobTrackerPort} {
+  jt_ = std::make_unique<JobTracker>(engine.testbed().host(jt_host), engine, jt_addr_);
+  for (cluster::HostId h : tt_hosts) {
+    auto tt = std::make_unique<TaskTracker>(engine.testbed().host(h), engine, jt_addr_,
+                                            hdfs, tt_cfg);
+    tt->set_spec_lookup([jt = jt_.get()](JobId id) { return jt->spec_of(id); });
+    tts_.push_back(std::move(tt));
+  }
+}
+
+void MrCluster::start() {
+  jt_->start();
+  for (auto& tt : tts_) tt->start();
+}
+
+void MrCluster::stop() {
+  for (auto& tt : tts_) tt->stop();
+  jt_->stop();
+}
+
+std::unique_ptr<JobClient> MrCluster::make_client(cluster::Host& host) {
+  return std::make_unique<JobClient>(host, engine_, jt_addr_);
+}
+
+}  // namespace rpcoib::mapred

@@ -1,0 +1,34 @@
+// MrCluster: JobTracker + TaskTrackers wired over an HDFS cluster —
+// the full Hadoop deployment shape of the paper's Fig. 6 experiments
+// (1 master running JobTracker+NameNode, N slaves running
+// TaskTracker+DataNode).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mapred/jobclient.hpp"
+#include "mapred/tasktracker.hpp"
+
+namespace rpcoib::mapred {
+
+class MrCluster {
+ public:
+  MrCluster(oib::RpcEngine& engine, hdfs::HdfsCluster& hdfs, cluster::HostId jt_host,
+            std::vector<cluster::HostId> tt_hosts, TaskTrackerConfig tt_cfg = {});
+
+  void start();
+  void stop();
+
+  JobTracker& jobtracker() { return *jt_; }
+  const net::Address& jt_addr() const { return jt_addr_; }
+  std::unique_ptr<JobClient> make_client(cluster::Host& host);
+
+ private:
+  oib::RpcEngine& engine_;
+  net::Address jt_addr_;
+  std::unique_ptr<JobTracker> jt_;
+  std::vector<std::unique_ptr<TaskTracker>> tts_;
+};
+
+}  // namespace rpcoib::mapred

@@ -1,0 +1,96 @@
+// TaskTracker: the per-node MapReduce worker daemon.
+//
+// Heartbeats to the JobTracker every 3 s carrying the full status of every
+// running task (the variable-size "JT heartbeat" of Fig. 3), runs map and
+// reduce tasks in slots (8 maps + 4 reduces per node, the paper's
+// configuration), and serves TaskUmbilicalProtocol to its child tasks —
+// the protocol whose getTask / ping / statusUpdate / commitPending /
+// canCommit / done calls fill Table I.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "hdfs/hdfs_cluster.hpp"
+#include "mapred/jobtracker.hpp"
+#include "mapred/types.hpp"
+
+namespace rpcoib::mapred {
+
+struct TaskTrackerConfig {
+  int map_slots = 8;
+  int reduce_slots = 4;
+  sim::Dur heartbeat_interval = sim::seconds(3);
+  /// Send a heartbeat immediately when a task completes
+  /// (mapreduce.tasktracker.outofband.heartbeat).
+  bool out_of_band_heartbeat = true;
+  sim::Dur reduce_event_poll_interval = sim::seconds(1);
+  /// Umbilical progress-report interval while a task runs.
+  sim::Dur status_interval = sim::seconds(1);
+  std::uint16_t umbilical_port = 50060;
+};
+
+class TaskTracker {
+ public:
+  TaskTracker(cluster::Host& host, oib::RpcEngine& engine, net::Address jt_addr,
+              hdfs::HdfsCluster& hdfs, TaskTrackerConfig cfg = {});
+  ~TaskTracker();
+  TaskTracker(const TaskTracker&) = delete;
+  TaskTracker& operator=(const TaskTracker&) = delete;
+
+  void start();
+  void stop();
+
+  /// In-process JobSpec resolution (normally the job.xml fetched from
+  /// HDFS; that fetch's RPC cost is modeled by localization_nn_calls).
+  using SpecLookup = std::function<const JobSpec*(JobId)>;
+  void set_spec_lookup(SpecLookup fn) { jt_spec_lookup_ = std::move(fn); }
+
+  cluster::Host& host() const { return host_; }
+  int tasks_completed() const { return tasks_completed_; }
+
+ private:
+  struct RunningTask {
+    TaskAssignment assignment;
+    float progress = 0;
+  };
+
+  sim::Task heartbeat_loop();
+  sim::Task run_task(TaskAssignment t, JobSpec spec);
+  sim::Co<void> run_map(const TaskAssignment& t, const JobSpec& spec);
+  sim::Co<void> run_reduce(const TaskAssignment& t, const JobSpec& spec);
+
+  // Umbilical helpers (child task -> local TaskTracker RPC).
+  sim::Co<void> umbilical_get_task(const TaskAssignment& t);
+  sim::Co<void> umbilical_status(const TaskAssignment& t, float progress);
+  sim::Co<void> umbilical_simple(const char* method, const TaskAssignment& t);
+  sim::Co<MapCompletionEventsResult> umbilical_completion_events(JobId job);
+  void register_umbilical_handlers();
+
+  cluster::Host& host_;
+  oib::RpcEngine& engine_;
+  net::Address jt_addr_;
+  net::Address umbilical_addr_;
+  hdfs::HdfsCluster& hdfs_;
+  TaskTrackerConfig cfg_;
+
+  std::unique_ptr<rpc::RpcClient> jt_rpc_;         // tracker -> JobTracker
+  std::unique_ptr<rpc::RpcClient> umbilical_rpc_;  // child tasks -> tracker (loopback)
+  std::unique_ptr<rpc::RpcServer> umbilical_server_;
+  std::unique_ptr<hdfs::DFSClient> dfs_;           // shared by this node's tasks
+
+  SpecLookup jt_spec_lookup_;
+  bool oob_pending_ = false;
+  std::map<std::pair<JobId, TaskId>, RunningTask> running_;
+  std::deque<TaskAssignment> completed_pending_report_;
+  std::deque<TaskAssignment> failed_pending_report_;
+  std::set<std::pair<JobId, TaskId>> attempted_;  // fault-injection bookkeeping
+  int free_map_slots_;
+  int free_reduce_slots_;
+  int tasks_completed_ = 0;
+  bool running_flag_ = false;
+};
+
+}  // namespace rpcoib::mapred

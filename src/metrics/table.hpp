@@ -1,0 +1,33 @@
+// Fixed-width table printer for bench output.
+//
+// Every bench binary reproduces one paper table/figure by printing the same
+// rows/series the paper reports; this keeps that output aligned and uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rpcoib::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "Figure N" style section banner.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace rpcoib::metrics

@@ -1,0 +1,16 @@
+// Byte-buffer aliases shared by the network and RPC layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rpcoib::net {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+using MutByteSpan = std::span<Byte>;
+
+}  // namespace rpcoib::net

@@ -1,0 +1,60 @@
+#include "net/params.hpp"
+
+namespace rpcoib::net {
+
+NetParams one_gige_params() {
+  return NetParams{
+      .bw_gBps = 0.117,  // ~940 Mbit/s effective
+      .one_way_latency = sim::from_us(23.0),
+      .per_msg_send_cpu = sim::from_us(2.5),
+      .per_msg_recv_cpu = sim::from_us(2.5),
+      .kernel_copy_gBps = 2.5,
+  };
+}
+
+NetParams ten_gige_params() {
+  return NetParams{
+      .bw_gBps = 1.15,  // ~9.2 Gbit/s effective (NE020 iWARP NIC in socket mode)
+      .one_way_latency = sim::from_us(6.0),
+      .per_msg_send_cpu = sim::from_us(2.0),
+      .per_msg_recv_cpu = sim::from_us(3.4),
+      .kernel_copy_gBps = 2.5,
+  };
+}
+
+NetParams ipoib_params() {
+  // IPoIB on QDR: high signaling rate but the TCP/IP emulation layer caps
+  // effective bandwidth (~13 Gbit/s) and adds per-packet CPU.
+  return NetParams{
+      .bw_gBps = 1.6,
+      .one_way_latency = sim::from_us(8.0),
+      .per_msg_send_cpu = sim::from_us(2.5),
+      .per_msg_recv_cpu = sim::from_us(2.1),
+      .kernel_copy_gBps = 2.5,
+  };
+}
+
+NetParams ib_verbs_params() {
+  // Native QDR verbs: kernel bypass, ~1.3us one-way small-message latency,
+  // ~3.2 GB/s large-message bandwidth; "CPU" costs are doorbell ring and
+  // completion poll only.
+  return NetParams{
+      .bw_gBps = 3.2,
+      .one_way_latency = sim::from_us(1.3),
+      .per_msg_send_cpu = sim::from_us(0.3),
+      .per_msg_recv_cpu = sim::from_us(0.5),
+      .kernel_copy_gBps = 0.0,
+  };
+}
+
+NetParams params_for(Transport t) {
+  switch (t) {
+    case Transport::kOneGigE: return one_gige_params();
+    case Transport::kTenGigE: return ten_gige_params();
+    case Transport::kIPoIB: return ipoib_params();
+    case Transport::kIBVerbs: return ib_verbs_params();
+  }
+  return one_gige_params();
+}
+
+}  // namespace rpcoib::net

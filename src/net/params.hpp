@@ -1,0 +1,70 @@
+// Per-transport network parameters.
+//
+// Four transports, matching the paper's evaluation matrix:
+//   1GigE           — baseline Ethernet (Fig. 1, Fig. 7, Fig. 8 low lines)
+//   10GigE          — NetEffect NE020 on Cluster B (Fig. 5)
+//   IPoIB           — TCP/IP emulation over QDR IB, 32 Gbps signaling
+//   IB verbs (QDR)  — native InfiniBand used by RPCoIB / HDFSoIB / HBaseoIB
+//
+// Socket transports pay kernel-stack CPU per message plus a user<->kernel
+// copy; the verbs transport pays only a doorbell/poll cost (kernel bypass,
+// zero copy). Bandwidths are effective application-level figures, not
+// signaling rates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rpcoib::net {
+
+/// Which physical transport a message travels on.
+enum class Transport {
+  kOneGigE,
+  kTenGigE,
+  kIPoIB,
+  kIBVerbs,
+};
+
+inline const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kOneGigE: return "1GigE";
+    case Transport::kTenGigE: return "10GigE";
+    case Transport::kIPoIB: return "IPoIB";
+    case Transport::kIBVerbs: return "IB-verbs";
+  }
+  return "?";
+}
+
+struct NetParams {
+  /// Effective wire bandwidth, gigaBYTES per second.
+  double bw_gBps;
+  /// One-way NIC-to-NIC latency through one switch hop.
+  sim::Dur one_way_latency;
+  /// Kernel/stack CPU charged on the sender per message (0 for verbs).
+  sim::Dur per_msg_send_cpu;
+  /// Kernel/stack CPU charged on the receiver per message.
+  sim::Dur per_msg_recv_cpu;
+  /// user<->kernel copy bandwidth for socket transports, GB/s (0 = zero copy).
+  double kernel_copy_gBps;
+
+  sim::Dur wire_time(std::size_t bytes) const {
+    return sim::from_us(static_cast<double>(bytes) / (bw_gBps * 1000.0));
+  }
+  sim::Dur kernel_copy(std::size_t bytes) const {
+    if (kernel_copy_gBps <= 0) return 0;
+    return sim::from_us(static_cast<double>(bytes) / (kernel_copy_gBps * 1000.0));
+  }
+};
+
+/// Calibrated parameter sets. Latency figures chosen so the reproduced
+/// Fig. 5 curves land on the paper's endpoints; see EXPERIMENTS.md.
+NetParams one_gige_params();
+NetParams ten_gige_params();
+NetParams ipoib_params();
+NetParams ib_verbs_params();
+
+NetParams params_for(Transport t);
+
+}  // namespace rpcoib::net

@@ -1,0 +1,52 @@
+#include "net/testbed.hpp"
+
+namespace rpcoib::net {
+
+namespace {
+
+std::vector<cluster::Host*> raw_hosts(
+    const std::vector<std::unique_ptr<cluster::Host>>& hosts) {
+  std::vector<cluster::Host*> out;
+  out.reserve(hosts.size());
+  for (const auto& h : hosts) out.push_back(h.get());
+  return out;
+}
+
+std::vector<std::unique_ptr<cluster::Host>> make_hosts(sim::Scheduler& sched,
+                                                       const TestbedConfig& cfg) {
+  sim::Rng master(cfg.seed);
+  std::vector<std::unique_ptr<cluster::Host>> hosts;
+  hosts.reserve(static_cast<std::size_t>(cfg.nodes));
+  for (int i = 0; i < cfg.nodes; ++i) {
+    hosts.push_back(std::make_unique<cluster::Host>(
+        sched, i, "node" + std::to_string(i), cfg.cores_per_node, cfg.cost, master.fork()));
+  }
+  return hosts;
+}
+
+}  // namespace
+
+Testbed::Testbed(sim::Scheduler& sched, const TestbedConfig& cfg)
+    : sched_(sched),
+      cfg_(cfg),
+      hosts_(make_hosts(sched, cfg)),
+      fabric_(sched, hosts_.size()),
+      sockets_(fabric_, raw_hosts(hosts_)) {}
+
+TestbedConfig Testbed::cluster_a(int nodes) {
+  TestbedConfig cfg;
+  cfg.nodes = nodes;
+  cfg.cores_per_node = 8;
+  cfg.has_ten_gige = false;
+  return cfg;
+}
+
+TestbedConfig Testbed::cluster_b() {
+  TestbedConfig cfg;
+  cfg.nodes = 9;
+  cfg.cores_per_node = 8;
+  cfg.has_ten_gige = true;
+  return cfg;
+}
+
+}  // namespace rpcoib::net

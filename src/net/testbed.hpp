@@ -1,0 +1,56 @@
+// Testbed: a fully wired simulated cluster (hosts + fabric + sockets).
+//
+// Mirrors the paper's two clusters:
+//   Cluster A — up to 65 nodes, 8 cores, 12 GB, QDR IB (verbs + IPoIB) and
+//               1GigE; single Mellanox QDR switch.
+//   Cluster B — 9 nodes, same CPUs, 24 GB, plus NetEffect 10GigE; used for
+//               the Fig. 5 micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/host.hpp"
+#include "net/fabric.hpp"
+#include "net/socket.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rpcoib::net {
+
+struct TestbedConfig {
+  int nodes = 9;
+  int cores_per_node = 8;
+  cluster::CostModel cost{};
+  std::uint64_t seed = 20130701;  // ICPP'13-flavored default seed
+  bool has_ten_gige = false;
+};
+
+class Testbed {
+ public:
+  Testbed(sim::Scheduler& sched, const TestbedConfig& cfg);
+
+  sim::Scheduler& sched() { return sched_; }
+  Fabric& fabric() { return fabric_; }
+  SocketTable& sockets() { return sockets_; }
+  cluster::Host& host(cluster::HostId i) { return *hosts_.at(static_cast<std::size_t>(i)); }
+  int size() const { return static_cast<int>(hosts_.size()); }
+  const TestbedConfig& config() const { return cfg_; }
+
+  /// The paper's Cluster A at the requested scale (default full 65 nodes).
+  static TestbedConfig cluster_a(int nodes = 65);
+  /// The paper's Cluster B (9 nodes, adds 10GigE).
+  static TestbedConfig cluster_b();
+
+ private:
+  sim::Scheduler& sched_;
+  TestbedConfig cfg_;
+  std::vector<std::unique_ptr<cluster::Host>> hosts_;
+  Fabric fabric_;
+  SocketTable sockets_;
+};
+
+}  // namespace rpcoib::net

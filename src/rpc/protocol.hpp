@@ -1,0 +1,71 @@
+// Protocol/method registry and call dispatch.
+//
+// Hadoop registers protocol interfaces (ClientProtocol, DatanodeProtocol,
+// TaskUmbilicalProtocol, ...) with the RPC server and dispatches calls by
+// reflection. Here a server registers handlers keyed by the same
+// <protocol, method> tuple the paper uses to define a "kind of call" —
+// the key both for dispatch and for the message-size-locality history.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "rpc/writable.hpp"
+#include "sim/task.hpp"
+
+namespace rpcoib::rpc {
+
+/// The paper's call identity: a <protocol, method> tuple.
+struct MethodKey {
+  std::string protocol;
+  std::string method;
+
+  friend bool operator<(const MethodKey& a, const MethodKey& b) {
+    return a.protocol != b.protocol ? a.protocol < b.protocol : a.method < b.method;
+  }
+  friend bool operator==(const MethodKey& a, const MethodKey& b) = default;
+
+  std::string to_string() const { return protocol + "." + method; }
+};
+
+/// Raised at the caller when the server-side handler threw; carries the
+/// remote message, like Hadoop's RemoteException.
+class RemoteException : public std::runtime_error {
+ public:
+  explicit RemoteException(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised for transport-level failures (connection reset, refused, ...).
+class RpcTransportError : public std::runtime_error {
+ public:
+  explicit RpcTransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A server-side method implementation: deserialize from `in`, do the work
+/// (may suspend in virtual time), serialize the result into `out`.
+using MethodHandler = std::function<sim::Co<void>(DataInput& in, DataOutput& out)>;
+
+class Dispatcher {
+ public:
+  void register_method(std::string protocol, std::string method, MethodHandler h) {
+    MethodKey key{std::move(protocol), std::move(method)};
+    if (!handlers_.emplace(std::move(key), std::move(h)).second) {
+      throw std::logic_error("method registered twice");
+    }
+  }
+
+  const MethodHandler* find(const MethodKey& key) const {
+    auto it = handlers_.find(key);
+    return it == handlers_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return handlers_.size(); }
+
+ private:
+  std::map<MethodKey, MethodHandler> handlers_;
+};
+
+}  // namespace rpcoib::rpc

@@ -1,0 +1,75 @@
+// Abstract RPC endpoints.
+//
+// Everything above the RPC layer (HDFS, MapReduce, HBase) talks to these
+// interfaces; whether calls ride the default socket path or RPCoIB is a
+// configuration switch (the paper's `rpc.ib.enabled`), so integrated
+// experiments can flip transports without touching the components.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cluster/host.hpp"
+#include "net/socket.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/stats.hpp"
+#include "rpc/writable.hpp"
+#include "sim/task.hpp"
+
+namespace rpcoib::rpc {
+
+class RpcClient {
+ public:
+  virtual ~RpcClient() {
+    if (on_destroy_) on_destroy_(stats_);
+  }
+
+  /// Observer invoked with the final stats when the client dies (the
+  /// engine uses this to keep Table I aggregation safe across short-lived
+  /// clients).
+  void set_on_destroy(std::function<void(const RpcStats&)> fn) {
+    on_destroy_ = std::move(fn);
+  }
+
+  /// Invoke `key` on the server at `addr` with `param`; on success the
+  /// reply is deserialized into `*response` (pass nullptr to discard).
+  /// Throws RemoteException for handler errors, RpcTransportError for
+  /// connection failures.
+  virtual sim::Co<void> call(net::Address addr, const MethodKey& key, const Writable& param,
+                             Writable* response) = 0;
+
+  virtual cluster::Host& host() const = 0;
+
+  RpcStats& stats() { return stats_; }
+  const RpcStats& stats() const { return stats_; }
+
+ protected:
+  RpcStats stats_;
+
+ private:
+  std::function<void(const RpcStats&)> on_destroy_;
+};
+
+class RpcServer {
+ public:
+  virtual ~RpcServer() = default;
+
+  /// Method registry; populate before start().
+  Dispatcher& dispatcher() { return dispatcher_; }
+
+  /// Spawn the server's threads (Listener/Reader/Handlers/Responder).
+  virtual void start() = 0;
+
+  /// Tear down: stop accepting, close connections, drain threads. After
+  /// stop() the simulation can run to quiescence.
+  virtual void stop() = 0;
+
+  RpcStats& stats() { return stats_; }
+  const RpcStats& stats() const { return stats_; }
+
+ protected:
+  Dispatcher dispatcher_;
+  RpcStats stats_;
+};
+
+}  // namespace rpcoib::rpc

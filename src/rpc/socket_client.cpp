@@ -1,0 +1,164 @@
+#include "rpc/socket_client.hpp"
+
+#include <utility>
+
+#include "rpc/buffers.hpp"
+
+namespace rpcoib::rpc {
+
+namespace {
+// Connection header written once per connection, like Hadoop's
+// "hrpc" + version preamble.
+constexpr net::Byte kRpcMagic[] = {'h', 'r', 'p', 'c', 4};
+}  // namespace
+
+SocketRpcClient::SocketRpcClient(cluster::Host& host, net::SocketTable& sockets,
+                                 net::Transport transport)
+    : host_(host), sockets_(sockets), transport_(transport) {}
+
+SocketRpcClient::~SocketRpcClient() { close_connections(); }
+
+void SocketRpcClient::close_connections() {
+  for (auto& [addr, conn] : connections_) {
+    if (conn->sock) conn->sock->close();
+    fail_all(*conn, "client shutdown");
+  }
+  connections_.clear();
+}
+
+void SocketRpcClient::fail_all(Connection& conn, const std::string& why) {
+  conn.broken = true;
+  for (auto& [id, pc] : conn.pending) {
+    pc->error = true;
+    pc->error_msg = why;
+    pc->done.set();
+  }
+  conn.pending.clear();
+}
+
+sim::Co<SocketRpcClient::ConnectionPtr> SocketRpcClient::get_connection(net::Address addr) {
+  auto it = connections_.find(addr);
+  if (it != connections_.end() && !it->second->broken) {
+    ConnectionPtr conn = it->second;
+    co_await conn->ready.wait();  // another caller may still be handshaking
+    if (!conn->broken) co_return conn;
+    it = connections_.find(addr);  // fall through and reconnect
+  }
+  if (it != connections_.end()) connections_.erase(it);
+
+  auto raw = std::make_shared<Connection>(host_.sched());
+  connections_[addr] = raw;
+  try {
+    raw->sock = co_await sockets_.connect(host_, addr, transport_);
+    co_await raw->sock->write(net::ByteSpan(kRpcMagic, sizeof(kRpcMagic)));
+  } catch (const net::SocketError& e) {
+    raw->ready.set();
+    fail_all(*raw, e.what());
+    throw RpcTransportError(e.what());
+  }
+  raw->receiver = host_.sched().spawn(receive_loop(raw));
+  raw->ready.set();
+  co_return raw;
+}
+
+sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
+  const cluster::CostModel& cm = host_.cost();
+  try {
+    for (;;) {
+      // Listing 2's client twin: 4-byte length buffer, then a fresh heap
+      // buffer per response, with the native->heap copy.
+      net::Bytes len_buf(4);
+      co_await conn->sock->read_full(len_buf);
+      co_await host_.compute(2 * cm.syscall() + cm.heap_alloc(4));
+      DataInputBuffer len_in(cm, len_buf);
+      const std::uint32_t len = len_in.read_u32();
+
+      net::Bytes data(len);
+      co_await host_.compute(cm.heap_alloc(len));
+      co_await conn->sock->read_full(data);
+      co_await host_.compute(cm.native_copy(len));
+
+      DataInputBuffer in(cm, data);
+      const std::uint64_t id = in.read_u64();
+      const bool is_error = in.read_u8() != 0;
+      auto it = conn->pending.find(id);
+      if (it == conn->pending.end()) continue;  // call raced a timeout; drop
+      PendingCall* pc = it->second;
+      conn->pending.erase(it);
+      if (is_error) {
+        pc->error = true;
+        pc->error_msg = in.read_text();
+      } else {
+        pc->value.assign(data.begin() + static_cast<std::ptrdiff_t>(in.position()),
+                         data.end());
+      }
+      co_await host_.compute(in.take_accrued() + cm.thread_wakeup() + cm.rpc_framework());
+      pc->done.set();
+    }
+  } catch (const net::SocketError& e) {
+    fail_all(*conn, e.what());
+  }
+}
+
+sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
+                                    const Writable& param, Writable* response) {
+  const cluster::CostModel& cm = host_.cost();
+  const sim::Time t_start = host_.sched().now();
+  ConnectionPtr conn = co_await get_connection(addr);
+  // Shared Hadoop RPC framework cost (call table, synchronization).
+  co_await host_.compute(cm.rpc_framework());
+
+  // --- Serialization (Listing 1, lines 2-7) ---------------------------
+  DataOutputBuffer d(cm, kClientInitialBuffer);
+  const std::uint64_t id = next_call_id_++;
+  d.write_u64(id);
+  d.write_text(key.protocol);
+  d.write_text(key.method);
+  param.write(d);
+  co_await host_.compute(d.take_accrued());
+  const sim::Time t_serialized = host_.sched().now();
+
+  // --- Sending (Listing 1, lines 9-13) --------------------------------
+  BufferedOutputStream out(cm);
+  out.write_u32(static_cast<std::uint32_t>(d.length()));
+  out.write_payload(d.data());
+  out.flush();
+  co_await host_.compute(out.take_accrued());
+
+  PendingCall pc(host_.sched());
+  conn->pending[id] = &pc;
+  {
+    co_await conn->send_mu.lock();
+    sim::SimLockGuard guard(conn->send_mu);
+    if (conn->broken) throw RpcTransportError("connection broken");
+    const net::Bytes wire = out.take_pending();
+    co_await conn->sock->write(wire);
+  }
+  const sim::Time t_sent = host_.sched().now();
+
+  // --- Profiling (Table I / Fig. 3 feeds) ------------------------------
+  MethodProfile& prof = stats_.method(key);
+  prof.mem_adjustments.add(static_cast<double>(d.stats().mem_adjustments));
+  prof.serialize_us.add(sim::to_us(t_serialized - t_start));
+  prof.send_us.add(sim::to_us(t_sent - t_serialized));
+  prof.msg_bytes.add(static_cast<double>(d.length()));
+  if (stats_.record_sequences) {
+    prof.size_sequence.push_back(static_cast<std::uint32_t>(d.length()));
+  }
+  ++stats_.calls_sent;
+
+  co_await pc.done.wait();
+  if (pc.error) {
+    conn->pending.erase(id);
+    if (conn->broken) throw RpcTransportError(pc.error_msg);
+    throw RemoteException(pc.error_msg);
+  }
+  if (response != nullptr) {
+    DataInputBuffer in(cm, pc.value);
+    response->read_fields(in);
+    co_await host_.compute(in.take_accrued());
+  }
+  prof.total_us.add(sim::to_us(host_.sched().now() - t_start));
+}
+
+}  // namespace rpcoib::rpc

@@ -1,0 +1,70 @@
+// Default Hadoop RPC client (socket path) — the baseline the paper
+// profiles in Section II.
+//
+// Mirrors org.apache.hadoop.ipc.Client: per-server Connection with a
+// receiver thread multiplexing concurrent calls by id; per-call
+// serialization into a fresh 32-byte DataOutputBuffer grown by Algorithm 1;
+// a fresh DataOutputStream/BufferedOutputStream pair per send (Listing 1);
+// per-response heap buffer allocation + native->heap copy on receive
+// (Listing 2's client-side twin).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "rpc/rpc.hpp"
+#include "sim/sync.hpp"
+
+namespace rpcoib::rpc {
+
+class SocketRpcClient final : public RpcClient {
+ public:
+  /// `transport` is the network the socket rides (1GigE / 10GigE / IPoIB).
+  SocketRpcClient(cluster::Host& host, net::SocketTable& sockets, net::Transport transport);
+  ~SocketRpcClient() override;
+
+  sim::Co<void> call(net::Address addr, const MethodKey& key, const Writable& param,
+                     Writable* response) override;
+
+  cluster::Host& host() const override { return host_; }
+  net::Transport transport() const { return transport_; }
+
+  /// Drop all cached connections (peers observe EOF).
+  void close_connections();
+
+ private:
+  struct PendingCall {
+    explicit PendingCall(sim::Scheduler& s) : done(s) {}
+    sim::SimEvent done;
+    net::Bytes value;
+    bool error = false;
+    std::string error_msg;
+  };
+
+  struct Connection {
+    explicit Connection(sim::Scheduler& s) : send_mu(s), ready(s) {}
+    net::SocketPtr sock;
+    sim::SimMutex send_mu;
+    sim::SimEvent ready;  // set once the socket handshake completed
+    bool broken = false;
+    std::map<std::uint64_t, PendingCall*> pending;
+    sim::JoinHandle receiver;
+  };
+
+  // Shared-owned for the same reason as RdmaRpcClient: the receive loop
+  // and in-flight calls must outlive close_connections().
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  sim::Co<ConnectionPtr> get_connection(net::Address addr);
+  sim::Task receive_loop(ConnectionPtr conn);
+  static void fail_all(Connection& conn, const std::string& why);
+
+  cluster::Host& host_;
+  net::SocketTable& sockets_;
+  net::Transport transport_;
+  std::uint64_t next_call_id_ = 1;
+  std::map<net::Address, std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace rpcoib::rpc

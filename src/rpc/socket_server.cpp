@@ -1,0 +1,191 @@
+#include "rpc/socket_server.hpp"
+
+#include <utility>
+
+#include "rpc/buffers.hpp"
+
+namespace rpcoib::rpc {
+
+namespace {
+/// Releases a Reader slot on scope exit (including exceptional exits).
+class ReaderSlotGuard {
+ public:
+  explicit ReaderSlotGuard(sim::Semaphore& sem) : sem_(sem) {}
+  ReaderSlotGuard(const ReaderSlotGuard&) = delete;
+  ReaderSlotGuard& operator=(const ReaderSlotGuard&) = delete;
+  ~ReaderSlotGuard() { sem_.release(); }
+
+ private:
+  sim::Semaphore& sem_;
+};
+}  // namespace
+
+SocketRpcServer::SocketRpcServer(cluster::Host& host, net::SocketTable& sockets,
+                                 net::Address addr, int num_handlers, int num_readers)
+    : host_(host),
+      sockets_(sockets),
+      addr_(addr),
+      num_handlers_(num_handlers),
+      num_readers_(num_readers) {}
+
+SocketRpcServer::~SocketRpcServer() { stop(); }
+
+void SocketRpcServer::start() {
+  if (running_) return;
+  running_ = true;
+  call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
+  response_queue_ = std::make_unique<sim::Channel<Response>>(host_.sched());
+  reader_slots_ = std::make_unique<sim::Semaphore>(host_.sched(), num_readers_);
+  listener_ = &sockets_.listen(addr_);
+  host_.sched().spawn(listener_loop());
+  for (int i = 0; i < num_handlers_; ++i) host_.sched().spawn(handler_loop(i));
+  host_.sched().spawn(responder_loop());
+}
+
+void SocketRpcServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sockets_.unlisten(addr_);
+  listener_ = nullptr;
+  for (net::SocketPtr& c : conns_) c->close();
+  conns_.clear();
+  if (call_queue_) call_queue_->close();
+  if (response_queue_) response_queue_->close();
+}
+
+sim::Task SocketRpcServer::listener_loop() {
+  net::Listener* l = listener_;
+  try {
+    for (;;) {
+      net::SocketPtr conn = co_await l->accept();
+      conns_.push_back(conn);
+      host_.sched().spawn(reader_loop(std::move(conn)));
+    }
+  } catch (const sim::ChannelClosed&) {
+    // stop() shut the listener down.
+  }
+}
+
+sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn) {
+  const cluster::CostModel& cm = host_.cost();
+  try {
+    // The connection's receive CPU is paid inside the Reader critical
+    // section below, as on a real selector-driven Reader thread.
+    conn->set_deferred_rx_charge(true);
+    // Connection preamble ("hrpc" + version).
+    net::Bytes magic(5);
+    co_await conn->read_full(magic);
+
+    for (;;) {
+      // Listing 2, lines 3-5: 4-byte length buffer. Waiting for the call
+      // to start arriving is idle time; once readable, the connection's
+      // processing serializes through the Reader thread pool (default 1,
+      // Hadoop's selector model) — the socket server's throughput cap.
+      net::Bytes len_buf(4);
+      co_await conn->read_full(len_buf);
+      co_await reader_slots_->acquire();
+      // From here to release() any exception must free the Reader slot.
+      ReaderSlotGuard slot_guard(*reader_slots_);
+      const sim::Time t_recv_start = host_.sched().now();
+      sim::Dur alloc_cost = cm.heap_alloc(4);
+      co_await host_.compute(conn->take_rx_charge() + cm.selector() + 2 * cm.syscall() +
+                              cm.heap_alloc(4));
+      DataInputBuffer len_in(cm, len_buf);
+      const std::uint32_t len = len_in.read_u32();
+
+      // Listing 2, lines 6-8: fresh per-call data buffer + full read +
+      // native->heap copy.
+      net::Bytes frame(len);
+      alloc_cost += cm.heap_alloc(len);
+      co_await host_.compute(cm.heap_alloc(len));
+      co_await conn->read_full(frame);
+      co_await host_.compute(conn->take_rx_charge() + cm.native_copy(len));
+
+      // Parse the call header; param bytes stay in place in `frame`.
+      DataInputBuffer in(cm, frame);
+      ServerCall call;
+      call.recv_start = t_recv_start;
+      call.recv_alloc = alloc_cost;
+      call.id = in.read_u64();
+      call.key.protocol = in.read_text();
+      call.key.method = in.read_text();
+      call.param_off = in.position();
+      co_await host_.compute(in.take_accrued());
+      call.conn = conn;
+      call.frame = std::move(frame);
+      call_queue_->push(std::move(call));
+    }
+  } catch (const net::SocketError&) {
+    // Peer went away; connection reader exits.
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
+  const cluster::CostModel& cm = host_.cost();
+  try {
+    for (;;) {
+      ServerCall call = co_await call_queue_->recv();
+      co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
+
+      // Deserialize the param and invoke the method; the server-side
+      // output buffer starts at 10 KB (Section II-A).
+      DataInputBuffer in(cm, net::ByteSpan(call.frame).subspan(call.param_off));
+      DataOutputBuffer out(cm, kServerInitialBuffer);
+      bool error = false;
+      std::string error_msg;
+      const MethodHandler* handler = dispatcher_.find(call.key);
+      if (handler == nullptr) {
+        error = true;
+        error_msg = "unknown method " + call.key.to_string();
+      } else {
+        try {
+          co_await (*handler)(in, out);
+        } catch (const std::exception& e) {
+          error = true;
+          error_msg = e.what();
+        }
+      }
+      co_await host_.compute(in.take_accrued() + out.take_accrued());
+
+      // The receive path per Listing 2 runs through deserialization;
+      // Fig. 1 compares its allocation share to its total duration.
+      stats_.recv_alloc_us.add(sim::to_us(call.recv_alloc + in.take_alloc_accrued()));
+      stats_.recv_total_us.add(sim::to_us(host_.sched().now() - call.recv_start));
+
+      // Frame the response: [len][id][status][value|error text].
+      BufferedOutputStream frame(cm);
+      DataOutputBuffer hdr(cm, kClientInitialBuffer);
+      hdr.write_u64(call.id);
+      hdr.write_u8(error ? 1 : 0);
+      if (error) hdr.write_text(error_msg);
+      const std::uint32_t total =
+          static_cast<std::uint32_t>(hdr.length() + (error ? 0 : out.length()));
+      frame.write_u32(total);
+      frame.write_payload(hdr.data());
+      if (!error) frame.write_payload(out.data());
+      frame.flush();
+      co_await host_.compute(hdr.take_accrued() + frame.take_accrued() + cm.rpc_framework());
+
+      response_queue_->push(Response{call.conn, frame.take_pending()});
+      ++stats_.calls_handled;
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Task SocketRpcServer::responder_loop() {
+  try {
+    for (;;) {
+      Response r = co_await response_queue_->recv();
+      try {
+        co_await r.conn->write(r.data);
+      } catch (const net::SocketError&) {
+        // Client vanished between handling and responding; drop it.
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+}  // namespace rpcoib::rpc

@@ -1,0 +1,71 @@
+// Default Hadoop RPC server (socket path).
+//
+// The thread structure of Hadoop 0.20.2 + the Reader introduced in 1.0.3,
+// exactly as Section III-D describes it:
+//   Listener   — accepts connections,
+//   Reader     — per-connection: reads a call (fresh ByteBuffer per call,
+//                Listing 2), pushes it onto the call queue,
+//   Handler xN — pop the call queue, deserialize, invoke, serialize the
+//                response into a 10 KB-initial DataOutputBuffer,
+//   Responder  — writes responses back on the right connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rpc/rpc.hpp"
+#include "sim/channel.hpp"
+#include "sim/sync.hpp"
+
+namespace rpcoib::rpc {
+
+class SocketRpcServer final : public RpcServer {
+ public:
+  /// `num_readers` models Hadoop's Reader thread count (default 1, as in
+  /// Hadoop 1.0.3): all connections' receive processing serializes
+  /// through this many threads, which is what caps socket-RPC throughput.
+  SocketRpcServer(cluster::Host& host, net::SocketTable& sockets, net::Address addr,
+                  int num_handlers, int num_readers = 1);
+  ~SocketRpcServer() override;
+
+  void start() override;
+  void stop() override;
+
+  cluster::Host& host() const { return host_; }
+  const net::Address& addr() const { return addr_; }
+
+ private:
+  struct ServerCall {
+    net::SocketPtr conn;
+    std::uint64_t id = 0;
+    MethodKey key;
+    net::Bytes frame;        // full received frame
+    std::size_t param_off = 0;  // offset of the param bytes within frame
+    sim::Time recv_start = 0;   // when the frame began arriving (Fig. 1)
+    sim::Dur recv_alloc = 0;    // buffer-allocation share of the receive path
+  };
+  struct Response {
+    net::SocketPtr conn;
+    net::Bytes data;
+  };
+
+  sim::Task listener_loop();
+  sim::Task reader_loop(net::SocketPtr conn);
+  sim::Task handler_loop(int handler_id);
+  sim::Task responder_loop();
+
+  cluster::Host& host_;
+  net::SocketTable& sockets_;
+  net::Address addr_;
+  int num_handlers_;
+  std::unique_ptr<sim::Semaphore> reader_slots_;
+  int num_readers_;
+  net::Listener* listener_ = nullptr;
+  std::unique_ptr<sim::Channel<ServerCall>> call_queue_;
+  std::unique_ptr<sim::Channel<Response>> response_queue_;
+  std::vector<net::SocketPtr> conns_;
+  bool running_ = false;
+};
+
+}  // namespace rpcoib::rpc

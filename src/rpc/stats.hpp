@@ -1,0 +1,46 @@
+// Per-<protocol, method> RPC profiling.
+//
+// Feeds three paper artifacts directly:
+//   Table I — avg mem-adjustment count, serialization time, send time per
+//             method during a MapReduce job,
+//   Fig. 1  — server-side buffer-allocation time vs total receive time,
+//   Fig. 3  — per-call-type message-size sequences (size locality).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "rpc/protocol.hpp"
+
+namespace rpcoib::rpc {
+
+struct MethodProfile {
+  metrics::Summary mem_adjustments;  // Algorithm-1 reallocation events per call
+  metrics::Summary serialize_us;     // Listing 1 "Serialization" section
+  metrics::Summary send_us;          // Listing 1 "Sending" section
+  metrics::Summary total_us;         // full round-trip at the caller
+  metrics::Summary msg_bytes;        // serialized request size
+  std::vector<std::uint32_t> size_sequence;  // per-call sizes (Fig. 3)
+};
+
+struct RpcStats {
+  /// When true, every call appends its size to the per-method sequence
+  /// (Fig. 3 traces; off by default to bound memory).
+  bool record_sequences = false;
+
+  std::map<MethodKey, MethodProfile> methods;
+
+  // Server-side receive-path decomposition (Fig. 1).
+  metrics::Summary recv_alloc_us;
+  metrics::Summary recv_total_us;
+
+  std::uint64_t calls_sent = 0;
+  std::uint64_t calls_handled = 0;
+
+  MethodProfile& method(const MethodKey& key) { return methods[key]; }
+};
+
+}  // namespace rpcoib::rpc

@@ -1,0 +1,121 @@
+#include "rpcoib/buffer_pool.hpp"
+
+#include <stdexcept>
+
+namespace rpcoib::oib {
+
+NativeBufferPool::NativeBufferPool(cluster::Host& host, verbs::VerbsStack& stack,
+                                   PoolConfig cfg)
+    : host_(host), pd_(stack, host), cfg_(cfg) {
+  if (cfg_.min_class == 0 || cfg_.min_class > cfg_.max_class) {
+    throw std::invalid_argument("bad pool class bounds");
+  }
+  for (std::size_t s = cfg_.min_class; s <= cfg_.max_class; s *= 2) {
+    class_sizes_.push_back(s);
+  }
+  free_.resize(class_sizes_.size());
+}
+
+NativeBufferPool::~NativeBufferPool() = default;
+
+std::size_t NativeBufferPool::class_index_for(std::size_t size) const {
+  for (std::size_t i = 0; i < class_sizes_.size(); ++i) {
+    if (class_sizes_[i] >= size) return i;
+  }
+  throw std::length_error("buffer request exceeds pool max class");
+}
+
+std::size_t NativeBufferPool::class_size_for(std::size_t size) const {
+  return class_sizes_[class_index_for(size)];
+}
+
+std::unique_ptr<NativeBuffer> NativeBufferPool::make_buffer(std::size_t cls_index) {
+  auto buf = std::make_unique<NativeBuffer>();
+  buf->cls = cls_index;
+  // Backing storage lives in a Bytes the NativeBuffer's span points into;
+  // keep it alive by storing it adjacent. Simplest: allocate raw and wrap.
+  backing_.push_back(net::Bytes(class_sizes_[cls_index]));
+  buf->span = net::MutByteSpan(backing_.back());
+  return buf;
+}
+
+sim::Co<void> NativeBufferPool::initialize() {
+  if (initialized_) co_return;
+  initialized_ = true;
+  for (std::size_t c = 0; c < class_sizes_.size(); ++c) {
+    if (class_sizes_[c] > cfg_.prealloc_max_class) break;
+    for (std::size_t i = 0; i < cfg_.buffers_per_class; ++i) {
+      std::unique_ptr<NativeBuffer> buf = make_buffer(c);
+      buf->mr = co_await pd_.register_mr(buf->span);
+      free_[c].push_back(buf.get());
+      owned_.push_back(std::move(buf));
+    }
+  }
+}
+
+NativeBuffer* NativeBufferPool::acquire(std::size_t size) {
+  const std::size_t c = class_index_for(size);
+  ++stats_.acquires;
+  if (!free_[c].empty()) {
+    ++stats_.freelist_hits;
+    NativeBuffer* buf = free_[c].back();
+    free_[c].pop_back();
+    buf->leased = true;
+    return buf;
+  }
+  // Pool ran dry for this class: demand-allocate + register (untimed here;
+  // the miss is visible in stats and the registration cost is charged by
+  // the caller if it cares — on the paper's workloads this path is cold).
+  ++stats_.demand_allocations;
+  std::unique_ptr<NativeBuffer> buf = make_buffer(c);
+  buf->mr = pd_.register_mr_untimed(buf->span);
+  NativeBuffer* raw = buf.get();
+  owned_.push_back(std::move(buf));
+  raw->leased = true;
+  return raw;
+}
+
+void NativeBufferPool::release(NativeBuffer* buf) {
+  if (buf == nullptr) return;
+  if (!buf->leased) throw std::logic_error("double release of pooled buffer");
+  buf->leased = false;
+  ++stats_.releases;
+  free_[buf->cls].push_back(buf);
+}
+
+NativeBuffer* ShadowPool::acquire_for(const rpc::MethodKey& key) {
+  auto it = history_.find(key);
+  const std::size_t want = it == history_.end() ? native_.config().min_class : it->second;
+  return native_.acquire(want);
+}
+
+void ShadowPool::update_history(const rpc::MethodKey& key, std::size_t used) {
+  const std::size_t fit = native_.class_size_for(used == 0 ? 1 : used);
+  auto [it, inserted] = history_.emplace(key, fit);
+  if (!inserted) {
+    if (fit > it->second) {
+      // The stream had to re-get bigger buffers: grow the record.
+      it->second = fit;
+      ++native_.stats().history_misses;
+    } else if (fit < it->second) {
+      // Oversized: shrink toward the actual need to bound footprint.
+      it->second = fit;
+      ++native_.stats().history_shrinks;
+    } else {
+      ++native_.stats().history_hits;
+    }
+  }
+}
+
+void ShadowPool::release_for(const rpc::MethodKey& key, NativeBuffer* buf,
+                             std::size_t used) {
+  update_history(key, used);
+  native_.release(buf);
+}
+
+std::size_t ShadowPool::history(const rpc::MethodKey& key) const {
+  auto it = history_.find(key);
+  return it == history_.end() ? 0 : it->second;
+}
+
+}  // namespace rpcoib::oib

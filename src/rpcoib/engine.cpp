@@ -1,0 +1,97 @@
+#include "rpcoib/engine.hpp"
+
+#include "rpc/socket_client.hpp"
+#include "rpc/socket_server.hpp"
+
+namespace rpcoib::oib {
+
+const char* rpc_mode_name(RpcMode mode) {
+  switch (mode) {
+    case RpcMode::kSocket1GigE: return "RPC(1GigE)";
+    case RpcMode::kSocket10GigE: return "RPC(10GigE)";
+    case RpcMode::kSocketIPoIB: return "RPC(IPoIB)";
+    case RpcMode::kRpcoIB: return "RPCoIB";
+  }
+  return "?";
+}
+
+RpcEngine::RpcEngine(net::Testbed& tb, EngineConfig cfg)
+    : tb_(tb), cfg_(cfg), verbs_(tb.fabric()) {}
+
+namespace {
+void merge_profiles(std::map<rpc::MethodKey, rpc::MethodProfile>& agg,
+                    const rpc::RpcStats& stats) {
+  for (const auto& [key, prof] : stats.methods) {
+    rpc::MethodProfile& dst = agg[key];
+    dst.mem_adjustments.merge(prof.mem_adjustments);
+    dst.serialize_us.merge(prof.serialize_us);
+    dst.send_us.merge(prof.send_us);
+    dst.total_us.merge(prof.total_us);
+    dst.msg_bytes.merge(prof.msg_bytes);
+    dst.size_sequence.insert(dst.size_sequence.end(), prof.size_sequence.begin(),
+                             prof.size_sequence.end());
+  }
+}
+}  // namespace
+
+std::unique_ptr<rpc::RpcClient> RpcEngine::make_client(cluster::Host& host) {
+  std::unique_ptr<rpc::RpcClient> client = make_client_impl(host);
+  client->stats().record_sequences = record_sequences_;
+  rpc::RpcClient* raw = client.get();
+  clients_.push_back(raw);
+  // Dead clients flush their stats into the engine accumulator so
+  // aggregation never touches a dangling pointer.
+  client->set_on_destroy([this, raw](const rpc::RpcStats& st) {
+    merge_profiles(retired_profiles_, st);
+    std::erase(clients_, raw);
+  });
+  return client;
+}
+
+std::map<rpc::MethodKey, rpc::MethodProfile> RpcEngine::aggregated_profiles() const {
+  std::map<rpc::MethodKey, rpc::MethodProfile> agg = retired_profiles_;
+  for (const rpc::RpcClient* c : clients_) merge_profiles(agg, c->stats());
+  return agg;
+}
+
+std::unique_ptr<rpc::RpcClient> RpcEngine::make_client_impl(cluster::Host& host) {
+  switch (cfg_.mode) {
+    case RpcMode::kSocket1GigE:
+      return std::make_unique<rpc::SocketRpcClient>(host, tb_.sockets(),
+                                                    net::Transport::kOneGigE);
+    case RpcMode::kSocket10GigE:
+      return std::make_unique<rpc::SocketRpcClient>(host, tb_.sockets(),
+                                                    net::Transport::kTenGigE);
+    case RpcMode::kSocketIPoIB:
+      return std::make_unique<rpc::SocketRpcClient>(host, tb_.sockets(),
+                                                    net::Transport::kIPoIB);
+    case RpcMode::kRpcoIB: {
+      RdmaClientConfig rc;
+      rc.eager_threshold = cfg_.eager_threshold;
+      rc.pool = cfg_.pool;
+      return std::make_unique<RdmaRpcClient>(host, tb_.sockets(), verbs_, rc);
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
+                                                       net::Address addr) {
+  switch (cfg_.mode) {
+    case RpcMode::kSocket1GigE:
+    case RpcMode::kSocket10GigE:
+    case RpcMode::kSocketIPoIB:
+      return std::make_unique<rpc::SocketRpcServer>(host, tb_.sockets(), addr,
+                                                    cfg_.server_handlers);
+    case RpcMode::kRpcoIB: {
+      RdmaServerConfig sc;
+      sc.num_handlers = cfg_.server_handlers;
+      sc.eager_threshold = cfg_.eager_threshold;
+      sc.pool = cfg_.pool;
+      return std::make_unique<RdmaRpcServer>(host, tb_.sockets(), verbs_, addr, sc);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rpcoib::oib

@@ -1,0 +1,308 @@
+#include "rpcoib/rdma_client.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace rpcoib::oib {
+
+namespace {
+
+/// wr_id carries the pooled buffer pointer (0 = no buffer attached).
+std::uint64_t wr_of(NativeBuffer* b) { return reinterpret_cast<std::uint64_t>(b); }
+NativeBuffer* buf_of(std::uint64_t wr) { return reinterpret_cast<NativeBuffer*>(wr); }
+
+/// Fixed-layout control frame, trivially destructible (safe as a co_await
+/// temporary) and copied by post_send at post time.
+struct ControlFrame {
+  net::Byte bytes[17];
+  std::size_t len = 0;
+
+  static ControlFrame make(FrameType t, std::uint32_t rkey, std::uint64_t off,
+                           std::uint32_t payload_len) {
+    ControlFrame f;
+    f.bytes[0] = static_cast<net::Byte>(t);
+    std::memcpy(f.bytes + 1, &rkey, 4);
+    std::memcpy(f.bytes + 5, &off, 8);
+    std::memcpy(f.bytes + 13, &payload_len, 4);
+    f.len = 17;
+    return f;
+  }
+  static ControlFrame ack(std::uint32_t rkey) {
+    ControlFrame f;
+    f.bytes[0] = static_cast<net::Byte>(FrameType::kAck);
+    std::memcpy(f.bytes + 1, &rkey, 4);
+    f.len = 5;
+    return f;
+  }
+  net::ByteSpan span() const { return net::ByteSpan(bytes, len); }
+};
+
+void parse_control(net::ByteSpan frame, std::uint32_t& rkey, std::uint64_t& off,
+                   std::uint32_t& len) {
+  std::memcpy(&rkey, frame.data() + 1, 4);
+  std::memcpy(&off, frame.data() + 5, 8);
+  std::memcpy(&len, frame.data() + 13, 4);
+}
+
+}  // namespace
+
+RdmaRpcClient::RdmaRpcClient(cluster::Host& host, net::SocketTable& sockets,
+                             verbs::VerbsStack& stack, RdmaClientConfig cfg)
+    : host_(host),
+      sockets_(sockets),
+      stack_(stack),
+      cm_(stack, sockets),
+      cfg_(cfg),
+      native_(host, stack, cfg.pool),
+      shadow_(native_),
+      pool_ready_(host.sched()) {
+  // Pre-posted receive buffers must hold any eager frame plus headers.
+  cfg_.recv_buf_size = std::max(cfg_.recv_buf_size, cfg_.eager_threshold + 512);
+  // Register the pool at construction ("library load" in the paper) so
+  // the cost is off every call's critical path.
+  host_.sched().spawn(init_pool_task());
+}
+
+sim::Task RdmaRpcClient::init_pool_task() {
+  co_await native_.initialize();
+  pool_ready_.set();
+}
+
+RdmaRpcClient::~RdmaRpcClient() { close_connections(); }
+
+void RdmaRpcClient::close_connections() {
+  for (auto& [addr, conn] : connections_) {
+    if (conn->qp) conn->qp->disconnect();
+    conn->cq.close();
+    fail_all(*conn, "client shutdown");
+  }
+  connections_.clear();
+}
+
+void RdmaRpcClient::fail_all(Connection& conn, const std::string& why) {
+  conn.broken = true;
+  for (auto& [id, pc] : conn.pending) {
+    pc->transport_error = true;
+    pc->error_msg = why;
+    pc->done.set();
+  }
+  conn.pending.clear();
+}
+
+sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address addr) {
+  co_await pool_ready_.wait();
+  auto it = connections_.find(addr);
+  if (it != connections_.end() && !it->second->broken) {
+    ConnectionPtr conn = it->second;
+    co_await conn->ready.wait();
+    if (!conn->broken) co_return conn;
+    it = connections_.find(addr);
+  }
+  if (it != connections_.end()) connections_.erase(it);
+
+  auto raw = std::make_shared<Connection>(host_.sched());
+  connections_[addr] = raw;
+  try {
+    // Bootstrap over the server's socket address (Section III-D), then
+    // pre-post pooled receive buffers for eager traffic.
+    raw->qp = co_await cm_.connect(host_, addr, raw->cq, raw->cq);
+    for (int i = 0; i < cfg_.recv_depth; ++i) {
+      NativeBuffer* rb = native_.acquire(cfg_.recv_buf_size);
+      raw->qp->post_recv(wr_of(rb), rb->span);
+    }
+  } catch (const std::exception& e) {
+    raw->ready.set();
+    fail_all(*raw, e.what());
+    throw rpc::RpcTransportError(e.what());
+  }
+  host_.sched().spawn(receive_loop(raw));
+  raw->ready.set();
+  co_return raw;
+}
+
+void RdmaRpcClient::repost_recv(const ConnectionPtr& conn, NativeBuffer* buf) {
+  if (conn->broken || !conn->qp->connected()) {
+    native_.release(buf);
+    return;
+  }
+  conn->qp->post_recv(wr_of(buf), buf->span);
+}
+
+void RdmaRpcClient::deliver_response(const ConnectionPtr& conn, net::ByteSpan frame,
+                                     NativeBuffer* buf, bool is_recv_slot) {
+  // frame = [u8 kResp][u64 id][u8 status][...]
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | frame[1 + static_cast<std::size_t>(i)];
+  auto it = conn->pending.find(id);
+  if (it == conn->pending.end()) {
+    // Stale response; recycle the buffer.
+    if (is_recv_slot) {
+      repost_recv(conn, buf);
+    } else {
+      native_.release(buf);
+    }
+    return;
+  }
+  PendingCall* pc = it->second;
+  conn->pending.erase(it);
+  pc->resp = frame;
+  pc->resp_buf = buf;
+  pc->resp_is_recv_slot = is_recv_slot;
+  pc->done.set();
+}
+
+sim::Task RdmaRpcClient::fetch_response(ConnectionPtr conn, std::uint32_t rkey,
+                                        std::uint64_t off, std::uint32_t len) {
+  NativeBuffer* dst = shadow_.acquire_sized(len);
+  const std::uint64_t token = (conn->next_read_token++ << 1) | 1;
+  sim::SimEvent read_done(host_.sched());
+  conn->read_waiters[token] = &read_done;
+  try {
+    net::MutByteSpan into(dst->span.data(), len);
+    co_await conn->qp->post_rdma_read(token, into, verbs::RemoteBuffer{rkey, off, len});
+    co_await read_done.wait();  // receive_loop routes the completion here
+    conn->read_waiters.erase(token);
+    const ControlFrame ack = ControlFrame::ack(rkey);
+    co_await conn->qp->post_send(wr_of(nullptr), ack.span());
+    deliver_response(conn, net::ByteSpan(dst->span.data(), len), dst, /*is_recv_slot=*/false);
+  } catch (const std::exception& e) {
+    conn->read_waiters.erase(token);
+    native_.release(dst);
+    fail_all(*conn, e.what());
+  }
+}
+
+sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
+  const cluster::CostModel& cm = host_.cost();
+  try {
+    for (;;) {
+      verbs::WorkCompletion wc = co_await conn->cq.wait();
+      switch (wc.opcode) {
+        case verbs::Opcode::kSend: {
+          // Eager frame is on the wire; pooled source (if any) is reusable.
+          if (NativeBuffer* b = buf_of(wc.wr_id); b != nullptr) native_.release(b);
+          break;
+        }
+        case verbs::Opcode::kRdmaRead: {
+          auto it = conn->read_waiters.find(wc.wr_id);
+          if (it != conn->read_waiters.end()) it->second->set();
+          break;
+        }
+        case verbs::Opcode::kRecv: {
+          NativeBuffer* rb = buf_of(wc.wr_id);
+          net::ByteSpan frame(rb->span.data(), wc.byte_len);
+          co_await host_.compute(cm.cq_poll() + cm.thread_wakeup() + cm.rpc_framework());
+          const auto type = static_cast<FrameType>(frame[0]);
+          if (type == FrameType::kResp) {
+            deliver_response(conn, frame, rb, /*is_recv_slot=*/true);
+            // NOTE: reposted by the caller after deserialization.
+          } else if (type == FrameType::kCtrlResp) {
+            std::uint32_t rkey = 0, len = 0;
+            std::uint64_t off = 0;
+            parse_control(frame, rkey, off, len);
+            host_.sched().spawn(fetch_response(conn, rkey, off, len));
+            repost_recv(conn, rb);
+          } else {
+            repost_recv(conn, rb);  // unknown frame; drop
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+    // Shutdown path.
+  } catch (const verbs::VerbsError& e) {
+    fail_all(*conn, e.what());
+  }
+}
+
+sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
+                                  const rpc::Writable& param, rpc::Writable* response) {
+  const cluster::CostModel& cm = host_.cost();
+  const sim::Time t_start = host_.sched().now();
+  ConnectionPtr conn = co_await get_connection(addr);
+  // Shared Hadoop RPC framework cost (call table, synchronization) — the
+  // same charge the socket path pays; RPCoIB only removes buffer and
+  // transport overheads, not the framework around them.
+  co_await host_.compute(cm.rpc_framework());
+
+  // --- Serialization: directly into a pooled, registered buffer ---------
+  RDMAOutputStream out(cm, shadow_, key);
+  const std::uint64_t id = next_call_id_++;
+  out.write_u8(static_cast<std::uint8_t>(FrameType::kCall));
+  out.write_u64(id);
+  out.write_text(key.protocol);
+  out.write_text(key.method);
+  param.write(out);
+  co_await host_.compute(out.take_accrued());
+  const sim::Time t_serialized = host_.sched().now();
+
+  const std::uint64_t regets = out.regets();
+  const std::size_t msg_len = out.length();
+  const net::ByteSpan msg = out.data();
+  NativeBuffer* buf = out.take_buffer();
+  shadow_.update_history(key, msg_len);
+
+  PendingCall pc(host_.sched());
+  conn->pending[id] = &pc;
+
+  // --- Hybrid send: eager below the threshold, rendezvous above ---------
+  try {
+    co_await host_.compute(cm.jni_call());  // one JNI crossing per post
+    if (msg_len <= cfg_.eager_threshold) {
+      co_await conn->qp->post_send(wr_of(buf), msg);
+      buf = nullptr;  // released by receive_loop at the kSend completion
+    } else {
+      const ControlFrame ctrl = ControlFrame::make(
+          FrameType::kCtrlCall, buf->mr.rkey,
+          static_cast<std::uint64_t>(msg.data() - buf->mr.addr),
+          static_cast<std::uint32_t>(msg_len));
+      co_await conn->qp->post_send(wr_of(nullptr), ctrl.span());
+      // `buf` stays leased until the response arrives (implicit ack).
+    }
+  } catch (const std::exception& e) {
+    conn->pending.erase(id);
+    if (buf != nullptr) native_.release(buf);
+    throw rpc::RpcTransportError(e.what());
+  }
+  const sim::Time t_sent = host_.sched().now();
+
+  rpc::MethodProfile& prof = stats_.method(key);
+  prof.mem_adjustments.add(static_cast<double>(regets));
+  prof.serialize_us.add(sim::to_us(t_serialized - t_start));
+  prof.send_us.add(sim::to_us(t_sent - t_serialized));
+  prof.msg_bytes.add(static_cast<double>(msg_len));
+  if (stats_.record_sequences) {
+    prof.size_sequence.push_back(static_cast<std::uint32_t>(msg_len));
+  }
+  ++stats_.calls_sent;
+
+  co_await pc.done.wait();
+  if (buf != nullptr) {  // rendezvous source: response doubles as the ack
+    native_.release(buf);
+    buf = nullptr;
+  }
+  if (pc.transport_error) throw rpc::RpcTransportError(pc.error_msg);
+
+  // --- Deserialize in place from the registered buffer ------------------
+  RDMAInputStream in(cm, pc.resp.subspan(9));  // skip [type][id]
+  const bool is_error = in.read_u8() != 0;
+  std::string error_msg;
+  if (is_error) {
+    error_msg = in.read_text();
+  } else if (response != nullptr) {
+    response->read_fields(in);
+  }
+  co_await host_.compute(in.take_accrued());
+  if (pc.resp_is_recv_slot) {
+    repost_recv(conn, pc.resp_buf);
+  } else {
+    native_.release(pc.resp_buf);
+  }
+  if (is_error) throw rpc::RemoteException(error_msg);
+  prof.total_us.add(sim::to_us(host_.sched().now() - t_start));
+}
+
+}  // namespace rpcoib::oib

@@ -1,0 +1,100 @@
+// RPCoIB client (paper Section III).
+//
+// Same RpcClient interface as the socket path, but:
+//  * connection bootstrap exchanges QP info over the server's socket
+//    address, then all traffic is native IB (Section III-D),
+//  * serialization goes straight into a pre-registered pooled buffer via
+//    RDMAOutputStream (JVM-bypass, Section III-B),
+//  * the buffer is sized by the <protocol, method> history (Section III-C),
+//  * eager SEND below the threshold, RDMA-READ rendezvous above it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "rpc/rpc.hpp"
+#include "rpcoib/buffer_pool.hpp"
+#include "rpcoib/rdma_streams.hpp"
+#include "rpcoib/wire.hpp"
+#include "sim/sync.hpp"
+#include "verbs/verbs.hpp"
+
+namespace rpcoib::oib {
+
+struct RdmaClientConfig {
+  std::size_t eager_threshold = WireDefaults::kEagerThreshold;
+  std::size_t recv_buf_size = WireDefaults::kRecvBufSize;
+  int recv_depth = WireDefaults::kRecvDepth;
+  PoolConfig pool{};
+};
+
+class RdmaRpcClient final : public rpc::RpcClient {
+ public:
+  RdmaRpcClient(cluster::Host& host, net::SocketTable& sockets, verbs::VerbsStack& stack,
+                RdmaClientConfig cfg = {});
+  ~RdmaRpcClient() override;
+
+  sim::Co<void> call(net::Address addr, const rpc::MethodKey& key, const rpc::Writable& param,
+                     rpc::Writable* response) override;
+
+  cluster::Host& host() const override { return host_; }
+  ShadowPool& pool() { return shadow_; }
+  const RdmaClientConfig& config() const { return cfg_; }
+
+  void close_connections();
+
+ private:
+  struct PendingCall {
+    explicit PendingCall(sim::Scheduler& s) : done(s) {}
+    sim::SimEvent done;
+    net::ByteSpan resp;          // full kResp frame
+    NativeBuffer* resp_buf = nullptr;
+    bool resp_is_recv_slot = false;  // repost vs release-to-pool
+    bool transport_error = false;
+    std::string error_msg;
+  };
+
+  struct Connection {
+    explicit Connection(sim::Scheduler& s) : cq(s), ready(s) {}
+    verbs::QueuePairPtr qp;
+    verbs::CompletionQueue cq;  // shared send+recv CQ for this connection
+    sim::SimEvent ready;
+    bool broken = false;
+    std::map<std::uint64_t, PendingCall*> pending;
+    // RDMA-READ completions are routed from receive_loop to the fetch
+    // task that posted them, keyed by an odd wr_id token (buffer-pointer
+    // wr_ids are even addresses, so the spaces can't collide).
+    std::map<std::uint64_t, sim::SimEvent*> read_waiters;
+    std::uint64_t next_read_token = 1;
+  };
+
+  // Connections are shared-owned: the map, the receive loop, and every
+  // in-flight call hold references, so close_connections() can drop the
+  // map without freeing state that already-posted wakeups still touch.
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  sim::Co<ConnectionPtr> get_connection(net::Address addr);
+  sim::Task receive_loop(ConnectionPtr conn);
+  sim::Task fetch_response(ConnectionPtr conn, std::uint32_t rkey, std::uint64_t off,
+                           std::uint32_t len);
+  void deliver_response(const ConnectionPtr& conn, net::ByteSpan frame, NativeBuffer* buf,
+                        bool is_recv_slot);
+  void repost_recv(const ConnectionPtr& conn, NativeBuffer* buf);
+  void fail_all(Connection& conn, const std::string& why);
+
+  sim::Task init_pool_task();
+
+  cluster::Host& host_;
+  net::SocketTable& sockets_;
+  verbs::VerbsStack& stack_;
+  verbs::ConnectionManager cm_;
+  RdmaClientConfig cfg_;
+  NativeBufferPool native_;
+  ShadowPool shadow_;
+  sim::SimEvent pool_ready_;
+  std::uint64_t next_call_id_ = 1;
+  std::map<net::Address, std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace rpcoib::oib

@@ -1,0 +1,294 @@
+#include "rpcoib/rdma_server.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace rpcoib::oib {
+
+namespace {
+
+struct ControlFrame {
+  net::Byte bytes[17];
+  std::size_t len = 0;
+
+  static ControlFrame make(FrameType t, std::uint32_t rkey, std::uint64_t off,
+                           std::uint32_t payload_len) {
+    ControlFrame f;
+    f.bytes[0] = static_cast<net::Byte>(t);
+    std::memcpy(f.bytes + 1, &rkey, 4);
+    std::memcpy(f.bytes + 5, &off, 8);
+    std::memcpy(f.bytes + 13, &payload_len, 4);
+    f.len = 17;
+    return f;
+  }
+  net::ByteSpan span() const { return net::ByteSpan(bytes, len); }
+};
+
+void parse_control(net::ByteSpan frame, std::uint32_t& rkey, std::uint64_t& off,
+                   std::uint32_t& len) {
+  std::memcpy(&rkey, frame.data() + 1, 4);
+  std::memcpy(&off, frame.data() + 5, 8);
+  std::memcpy(&len, frame.data() + 13, 4);
+}
+
+std::uint32_t parse_ack(net::ByteSpan frame) {
+  std::uint32_t rkey = 0;
+  std::memcpy(&rkey, frame.data() + 1, 4);
+  return rkey;
+}
+
+}  // namespace
+
+RdmaRpcServer::RdmaRpcServer(cluster::Host& host, net::SocketTable& sockets,
+                             verbs::VerbsStack& stack, net::Address addr,
+                             RdmaServerConfig cfg)
+    : host_(host),
+      sockets_(sockets),
+      stack_(stack),
+      cm_(stack, sockets),
+      addr_(addr),
+      cfg_(cfg),
+      native_(host, stack, cfg.pool),
+      shadow_(native_) {
+  // Pre-posted receive buffers must hold any eager frame plus headers.
+  cfg_.recv_buf_size = std::max(cfg_.recv_buf_size, cfg_.eager_threshold + 512);
+}
+
+RdmaRpcServer::~RdmaRpcServer() { stop(); }
+
+void RdmaRpcServer::start() {
+  if (running_) return;
+  running_ = true;
+  cq_ = std::make_unique<verbs::CompletionQueue>(host_.sched());
+  call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
+  listener_ = &sockets_.listen(addr_);
+  host_.sched().spawn(listener_loop());
+  host_.sched().spawn(reader_loop());
+  for (int i = 0; i < cfg_.num_handlers; ++i) host_.sched().spawn(handler_loop(i));
+}
+
+void RdmaRpcServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sockets_.unlisten(addr_);
+  listener_ = nullptr;
+  for (auto& c : conns_) {
+    if (c->qp) c->qp->disconnect();
+  }
+  if (cq_) cq_->close();
+  if (call_queue_) call_queue_->close();
+}
+
+void RdmaRpcServer::post_slot(ConnState* conn, NativeBuffer* buf) {
+  auto slot = std::make_unique<Slot>();
+  slot->buf = buf;
+  slot->conn = conn;
+  Slot* raw = slot.get();
+  slots_.push_back(std::move(slot));
+  conn->qp->post_recv(reinterpret_cast<std::uint64_t>(raw), buf->span);
+}
+
+sim::Task RdmaRpcServer::listener_loop() {
+  net::Listener* l = listener_;
+  try {
+    // Library-load-time pool registration (amortized across all calls).
+    co_await native_.initialize();
+    for (;;) {
+      net::SocketPtr boot = co_await l->accept();
+      verbs::QueuePairPtr qp;
+      try {
+        qp = co_await cm_.accept(boot, *cq_, *cq_);
+      } catch (const verbs::VerbsError&) {
+        continue;  // malformed bootstrap (e.g. a socket client); drop it
+      } catch (const net::SocketError&) {
+        continue;
+      }
+      auto conn = std::make_unique<ConnState>();
+      conn->qp = std::move(qp);
+      ConnState* raw = conn.get();
+      conns_.push_back(std::move(conn));
+      for (int i = 0; i < cfg_.recv_depth; ++i) {
+        post_slot(raw, native_.acquire(cfg_.recv_buf_size));
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+  } catch (const net::SocketError&) {
+  }
+}
+
+sim::Task RdmaRpcServer::fetch_call(ConnState* conn, std::uint32_t rkey, std::uint64_t off,
+                                    std::uint32_t len) {
+  const sim::Time recv_start = host_.sched().now();
+  NativeBuffer* dst = shadow_.acquire_sized(len);
+  const std::uint64_t token = (next_read_token_++ << 1) | 1;
+  sim::SimEvent read_done(host_.sched());
+  read_waiters_[token] = &read_done;
+  try {
+    net::MutByteSpan into(dst->span.data(), len);
+    co_await conn->qp->post_rdma_read(token, into, verbs::RemoteBuffer{rkey, off, len});
+    co_await read_done.wait();
+    read_waiters_.erase(token);
+    ServerCall call;
+    call.conn = conn;
+    call.buf = dst;
+    call.frame_len = len;
+    call.recv_start = recv_start;
+    call_queue_->push(std::move(call));
+  } catch (const std::exception&) {
+    read_waiters_.erase(token);
+    native_.release(dst);
+  }
+}
+
+sim::Task RdmaRpcServer::reader_loop() {
+  const cluster::CostModel& cm = host_.cost();
+  try {
+    for (;;) {
+      verbs::WorkCompletion wc = co_await cq_->wait();
+      switch (wc.opcode) {
+        case verbs::Opcode::kSend: {
+          // Eager response on the wire: pooled source is reusable.
+          if (auto* b = reinterpret_cast<NativeBuffer*>(wc.wr_id); b != nullptr &&
+              (wc.wr_id & 1) == 0) {
+            native_.release(b);
+          }
+          break;
+        }
+        case verbs::Opcode::kRdmaRead: {
+          auto it = read_waiters_.find(wc.wr_id);
+          if (it != read_waiters_.end()) it->second->set();
+          break;
+        }
+        case verbs::Opcode::kRecv: {
+          auto* slot = reinterpret_cast<Slot*>(wc.wr_id);
+          ConnState* conn = slot->conn;
+          NativeBuffer* rb = slot->buf;
+          net::ByteSpan frame(rb->span.data(), wc.byte_len);
+          co_await host_.compute(cm.cq_poll() + cm.thread_wakeup());
+          const auto type = static_cast<FrameType>(frame[0]);
+          if (type == FrameType::kCall) {
+            // Hand the pooled buffer to the call; replace the recv slot.
+            ServerCall call;
+            call.conn = conn;
+            call.buf = rb;
+            call.frame_len = wc.byte_len;
+            call.recv_start = host_.sched().now();
+            call_queue_->push(std::move(call));
+            post_slot(conn, native_.acquire(cfg_.recv_buf_size));
+          } else if (type == FrameType::kCtrlCall) {
+            std::uint32_t rkey = 0, len = 0;
+            std::uint64_t off = 0;
+            parse_control(frame, rkey, off, len);
+            host_.sched().spawn(fetch_call(conn, rkey, off, len));
+            conn->qp->post_recv(wc.wr_id, rb->span);  // reuse slot in place
+          } else if (type == FrameType::kAck) {
+            const std::uint32_t rkey = parse_ack(frame);
+            auto it = pending_resp_.find(rkey);
+            if (it != pending_resp_.end()) {
+              native_.release(it->second);
+              pending_resp_.erase(it);
+            }
+            conn->qp->post_recv(wc.wr_id, rb->span);
+          } else {
+            conn->qp->post_recv(wc.wr_id, rb->span);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
+  const cluster::CostModel& cm = host_.cost();
+  try {
+    for (;;) {
+      ServerCall call = co_await call_queue_->recv();
+      co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
+
+      // Deserialize in place from the registered buffer: no per-call heap
+      // buffer, no native->heap copy (Section III-B).
+      RDMAInputStream in(cm, net::ByteSpan(call.buf->span.data(), call.frame_len));
+      (void)in.read_u8();  // frame type
+      const std::uint64_t id = in.read_u64();
+      rpc::MethodKey key;
+      key.protocol = in.read_text();
+      key.method = in.read_text();
+
+      bool error = false;
+      std::string error_msg;
+      RDMAOutputStream out(cm, shadow_, key);
+      out.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+      out.write_u64(id);
+      out.write_u8(0);  // status placeholder; rewritten below on error
+
+      const rpc::MethodHandler* handler = dispatcher_.find(key);
+      if (handler == nullptr) {
+        error = true;
+        error_msg = "unknown method " + key.to_string();
+      } else {
+        try {
+          co_await (*handler)(in, out);
+        } catch (const std::exception& e) {
+          error = true;
+          error_msg = e.what();
+        }
+      }
+
+      stats_.recv_alloc_us.add(sim::to_us(in.take_alloc_accrued()) +
+                               RDMAOutputStream::kAcquireUs);
+      stats_.recv_total_us.add(sim::to_us(host_.sched().now() - call.recv_start));
+
+      try {
+        if (error) {
+          // Rebuild the frame with the error payload.
+          RDMAOutputStream err(cm, shadow_, key);
+          err.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+          err.write_u64(id);
+          err.write_u8(1);
+          err.write_text(error_msg);
+          co_await respond(call, err);
+        } else {
+          co_await respond(call, out);
+        }
+      } catch (const verbs::VerbsError&) {
+        // Client disconnected between handling and responding; drop it.
+      }
+      co_await host_.compute(in.take_accrued());
+      native_.release(call.buf);  // the kCall frame's buffer
+      ++stats_.calls_handled;
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
+  const cluster::CostModel& cm = host_.cost();
+  co_await host_.compute(out.take_accrued() + cm.jni_call() + cm.rpc_framework());
+  const std::size_t len = out.length();
+  const net::ByteSpan msg = out.data();
+  NativeBuffer* buf = out.take_buffer();
+  shadow_.update_history(out.key(), len);
+  try {
+    if (len <= cfg_.eager_threshold) {
+      co_await call.conn->qp->post_send(reinterpret_cast<std::uint64_t>(buf), msg);
+      // Released by reader_loop at the kSend completion.
+    } else {
+      pending_resp_[buf->mr.rkey] = buf;
+      const ControlFrame ctrl = ControlFrame::make(
+          FrameType::kCtrlResp, buf->mr.rkey,
+          static_cast<std::uint64_t>(msg.data() - buf->mr.addr),
+          static_cast<std::uint32_t>(len));
+      co_await call.conn->qp->post_send(0, ctrl.span());
+    }
+  } catch (const verbs::VerbsError&) {
+    pending_resp_.erase(buf->mr.rkey);
+    native_.release(buf);
+    throw;
+  }
+}
+
+}  // namespace rpcoib::oib

@@ -1,0 +1,92 @@
+// RPCoIB server (paper Section III-D).
+//
+// Keeps the default server's thread architecture — Listener, Reader,
+// Handler pool, Responder — but the Listener accepts QP bootstrap over the
+// socket address, the Reader polls one shared completion queue for every
+// connection, calls arrive in pooled registered buffers (eager) or are
+// RDMA-READ in (rendezvous), and responses are serialized straight into
+// pooled registered buffers whose size comes from per-method history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rpc/rpc.hpp"
+#include "rpcoib/buffer_pool.hpp"
+#include "rpcoib/rdma_streams.hpp"
+#include "rpcoib/wire.hpp"
+#include "sim/channel.hpp"
+#include "verbs/verbs.hpp"
+
+namespace rpcoib::oib {
+
+struct RdmaServerConfig {
+  int num_handlers = 8;
+  std::size_t eager_threshold = WireDefaults::kEagerThreshold;
+  std::size_t recv_buf_size = WireDefaults::kRecvBufSize;
+  int recv_depth = WireDefaults::kRecvDepth;
+  PoolConfig pool{};
+};
+
+class RdmaRpcServer final : public rpc::RpcServer {
+ public:
+  RdmaRpcServer(cluster::Host& host, net::SocketTable& sockets, verbs::VerbsStack& stack,
+                net::Address addr, RdmaServerConfig cfg = {});
+  ~RdmaRpcServer() override;
+
+  void start() override;
+  void stop() override;
+
+  cluster::Host& host() const { return host_; }
+  const net::Address& addr() const { return addr_; }
+  ShadowPool& pool() { return shadow_; }
+
+ private:
+  struct ConnState {
+    verbs::QueuePairPtr qp;
+  };
+  /// One posted receive slot; wr_id is this object's address.
+  struct Slot {
+    NativeBuffer* buf = nullptr;
+    ConnState* conn = nullptr;
+  };
+  struct ServerCall {
+    ConnState* conn = nullptr;
+    NativeBuffer* buf = nullptr;  // holds the kCall frame (recv slot or fetched)
+    std::uint32_t frame_len = 0;
+    sim::Time recv_start = 0;
+  };
+
+  sim::Task listener_loop();
+  sim::Task reader_loop();
+  sim::Task handler_loop(int handler_id);
+  sim::Task fetch_call(ConnState* conn, std::uint32_t rkey, std::uint64_t off,
+                       std::uint32_t len);
+  sim::Co<void> respond(ServerCall& call, RDMAOutputStream& out);
+  void post_slot(ConnState* conn, NativeBuffer* buf);
+
+  cluster::Host& host_;
+  net::SocketTable& sockets_;
+  verbs::VerbsStack& stack_;
+  verbs::ConnectionManager cm_;
+  net::Address addr_;
+  RdmaServerConfig cfg_;
+  NativeBufferPool native_;
+  ShadowPool shadow_;
+
+  net::Listener* listener_ = nullptr;
+  std::unique_ptr<verbs::CompletionQueue> cq_;  // shared by all QPs
+  std::unique_ptr<sim::Channel<ServerCall>> call_queue_;
+  std::vector<std::unique_ptr<ConnState>> conns_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  // Rendezvous response sources awaiting the client's ack, keyed by rkey.
+  std::map<std::uint32_t, NativeBuffer*> pending_resp_;
+  // RDMA-READ fetches in flight, keyed by odd wr_id token.
+  std::map<std::uint64_t, sim::SimEvent*> read_waiters_;
+  std::uint64_t next_read_token_ = 1;
+  bool running_ = false;
+};
+
+}  // namespace rpcoib::oib

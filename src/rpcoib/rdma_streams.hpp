@@ -1,0 +1,105 @@
+// RDMAOutputStream / RDMAInputStream (paper Section III-A/III-B, Fig. 2).
+//
+// Java-IO-compatible streams whose backing storage is a pre-registered
+// native buffer from the two-level pool. Serialization writes land
+// directly in RDMA-accessible memory: no JVM-heap intermediate, no
+// serialize-then-copy, no heap->native copy at send time. When the buffer
+// fills, the stream re-gets a doubled buffer from the pool (the warm path
+// never does this, thanks to message size locality).
+#pragma once
+
+#include <cstring>
+
+#include "rpc/writable.hpp"
+#include "rpcoib/buffer_pool.hpp"
+
+namespace rpcoib::oib {
+
+class RDMAOutputStream final : public rpc::DataOutput {
+ public:
+  /// Acquires the initial buffer via the shadow pool's history for `key`.
+  RDMAOutputStream(const cluster::CostModel& cm, ShadowPool& pool, rpc::MethodKey key)
+      : rpc::DataOutput(cm), pool_(pool), key_(std::move(key)) {
+    buf_ = pool_.acquire_for(key_);
+    // Pool acquire is a freelist pop, amortizing the registration done at
+    // library load — orders of magnitude below a JVM allocation.
+    accrue(sim::from_us(kAcquireUs));
+  }
+
+  ~RDMAOutputStream() override {
+    // Streams normally hand the buffer to the transport via take_buffer();
+    // if serialization failed mid-way, return it without history update.
+    if (buf_ != nullptr) pool_.release(buf_);
+  }
+
+  void write_raw(net::ByteSpan bs) override {
+    while (count_ + bs.size() > buf_->span.size()) regrow(count_ + bs.size());
+    std::memcpy(buf_->span.data() + count_, bs.data(), bs.size());
+    accrue(cost_model().direct_copy(bs.size()));
+    count_ += bs.size();
+  }
+
+  net::ByteSpan data() const { return net::ByteSpan(buf_->span.data(), count_); }
+  std::size_t length() const { return count_; }
+  const verbs::MemoryRegion& mr() const { return buf_->mr; }
+
+  /// Times the stream had to re-get a larger buffer (the RPCoIB analogue
+  /// of Algorithm 1's "memory adjustment"; ~0 on the warm path).
+  std::uint64_t regets() const { return regets_; }
+
+  /// Detach the buffer for the transport to own until the call completes.
+  /// The caller must eventually `finish()` it back to the pool.
+  NativeBuffer* take_buffer() {
+    NativeBuffer* b = buf_;
+    buf_ = nullptr;
+    return b;
+  }
+
+  /// Return a taken buffer to the pool, updating the size history.
+  void finish(NativeBuffer* b) { pool_.release_for(key_, b, count_); }
+
+  const rpc::MethodKey& key() const { return key_; }
+
+  static constexpr double kAcquireUs = 0.15;
+
+ private:
+  void regrow(std::size_t need) {
+    NativeBuffer* bigger = pool_.acquire_sized(
+        std::max(need, buf_->span.size() * 2));
+    std::memcpy(bigger->span.data(), buf_->span.data(), count_);
+    accrue(cost_model().direct_copy(count_) + sim::from_us(kAcquireUs));
+    pool_.release(buf_);
+    buf_ = bigger;
+    ++regets_;
+  }
+
+  ShadowPool& pool_;
+  rpc::MethodKey key_;
+  NativeBuffer* buf_ = nullptr;
+  std::size_t count_ = 0;
+  std::uint64_t regets_ = 0;
+};
+
+/// Reads directly from a registered native buffer — the receive side of
+/// Fig. 2. No per-call heap allocation, no native->heap copy: the paper's
+/// Section II-B bottleneck is structurally absent.
+class RDMAInputStream final : public rpc::DataInput {
+ public:
+  RDMAInputStream(const cluster::CostModel& cm, net::ByteSpan data)
+      : rpc::DataInput(cm), data_(data) {}
+
+  void read_raw(net::MutByteSpan out) override {
+    if (out.size() > remaining()) throw rpc::SerializationError("read past end of RDMA buffer");
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+  }
+
+  std::size_t remaining() const override { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  net::ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rpcoib::oib

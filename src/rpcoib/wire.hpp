@@ -1,0 +1,37 @@
+// RPCoIB wire protocol.
+//
+// The hybrid transport from Section III-D: messages at or below the eager
+// threshold ride two-sided SEND into pre-posted pooled receive buffers;
+// larger messages stay in the sender's registered buffer and a small
+// control message tells the peer to RDMA-READ them (rendezvous).
+//
+// Buffer-content layouts (first byte is the frame type):
+//   kCall     [u8][u64 id][text protocol][text method][param bytes]
+//   kResp     [u8][u64 id][u8 status][value bytes | error text]
+//   kCtrlCall [u8][u32 rkey][u64 offset][u32 len]   - fetch a kCall
+//   kCtrlResp [u8][u32 rkey][u64 offset][u32 len]   - fetch a kResp
+//   kAck      [u8][u32 rkey]                        - rendezvous source may be released
+#pragma once
+
+#include <cstdint>
+
+namespace rpcoib::oib {
+
+enum class FrameType : std::uint8_t {
+  kCall = 0,
+  kResp = 1,
+  kCtrlCall = 2,
+  kCtrlResp = 3,
+  kAck = 4,
+};
+
+struct WireDefaults {
+  /// Eager/rendezvous switch point (tunable, Section III-D).
+  static constexpr std::size_t kEagerThreshold = 4 * 1024;
+  /// Pre-posted receive buffer size: must hold any eager frame.
+  static constexpr std::size_t kRecvBufSize = 8 * 1024;
+  /// Receive buffers pre-posted per queue pair.
+  static constexpr int kRecvDepth = 16;
+};
+
+}  // namespace rpcoib::oib

@@ -1,0 +1,62 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rpcoib::sim {
+
+void Scheduler::call_at(Time t, std::function<void()> fn) {
+  if (terminated_) return;  // post-drain scheduling is ignored (see drain_tasks)
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Scheduler::resume_at(Time t, std::coroutine_handle<> h) {
+  call_at(t, [h] { h.resume(); });
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.fn();
+  if (failure_) {
+    std::exception_ptr ex = std::exchange(failure_, nullptr);
+    std::rethrow_exception(ex);
+  }
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+bool Scheduler::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at < deadline) {
+    step();
+  }
+  return !queue_.empty();
+}
+
+void Scheduler::report_failure(std::exception_ptr ex) {
+  if (!failure_) failure_ = std::move(ex);
+}
+
+void Scheduler::drain_tasks() {
+  terminated_ = true;
+  // Destroying a task frame may spawn-complete nested frames and
+  // unregister entries, so iterate over a snapshot.
+  std::vector<void*> snapshot(live_tasks_.begin(), live_tasks_.end());
+  for (void* frame : snapshot) {
+    if (live_tasks_.contains(frame)) {
+      live_tasks_.erase(frame);
+      std::coroutine_handle<>::from_address(frame).destroy();
+    }
+  }
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace rpcoib::sim

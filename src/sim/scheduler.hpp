@@ -1,0 +1,129 @@
+// Discrete-event scheduler: the single source of virtual time.
+//
+// Every simulated Hadoop thread (caller, Connection, Listener, Reader,
+// Handler, Responder, heartbeat loop, ...) is a coroutine whose suspension
+// points are registered here. Events at equal timestamps run in FIFO order
+// of insertion, which makes whole-cluster runs bit-for-bit deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rpcoib::sim {
+
+class Task;
+class JoinHandle;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule an arbitrary callback at absolute virtual time `t`
+  /// (clamped to `now()` if in the past).
+  void call_at(Time t, std::function<void()> fn);
+
+  /// Schedule a callback after `d` has elapsed.
+  void call_after(Dur d, std::function<void()> fn) { call_at(now_ + d, std::move(fn)); }
+
+  /// Resume a suspended coroutine at absolute time `t`.
+  void resume_at(Time t, std::coroutine_handle<> h);
+
+  /// Resume a suspended coroutine after `d`.
+  void resume_after(Dur d, std::coroutine_handle<> h) { resume_at(now_ + d, h); }
+
+  /// Resume a suspended coroutine at the current time (after already-queued
+  /// same-time events).
+  void post(std::coroutine_handle<> h) { resume_at(now_, h); }
+
+  /// Launch a top-level simulated process. The coroutine starts at the
+  /// current virtual time; its frame is destroyed automatically when it
+  /// finishes. The returned handle can be co_awaited to join.
+  JoinHandle spawn(Task task);
+
+  /// Launch a process at a future time.
+  JoinHandle spawn_after(Dur d, Task task);
+
+  /// Run until no events remain. Rethrows the first exception that escaped
+  /// any spawned process.
+  void run();
+
+  /// Run until virtual time reaches `deadline` (exclusive) or the queue
+  /// drains. Returns true if events remain.
+  bool run_until(Time deadline);
+
+  /// Process a single event. Returns false if the queue was empty.
+  bool step();
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool idle() const { return queue_.empty(); }
+
+  /// Called by the Task machinery when a detached process dies with an
+  /// uncaught exception. The first failure aborts `run()`.
+  void report_failure(std::exception_ptr ex);
+
+  /// Terminal teardown: destroy the frames of all still-suspended
+  /// top-level tasks (e.g. server loops blocked on an accept channel),
+  /// drop queued events, and put the scheduler in a terminated state in
+  /// which further scheduling is ignored — destructors running afterwards
+  /// may still try to wake waiters whose frames are now gone. Call only
+  /// when the simulation is finished, while the objects those tasks
+  /// reference are still alive; use a fresh Scheduler per experiment.
+  void drain_tasks();
+
+  bool terminated() const { return terminated_; }
+
+  // Task-frame registry (managed by Task/spawn machinery).
+  void register_task(void* frame) { live_tasks_.insert(frame); }
+  void unregister_task(void* frame) { live_tasks_.erase(frame); }
+  std::size_t live_task_count() const { return live_tasks_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::exception_ptr failure_;
+  std::set<void*> live_tasks_;
+  bool terminated_ = false;
+};
+
+/// Awaitable that suspends the current coroutine for `d` of virtual time.
+/// Usage: `co_await delay(sched, micros(10));`
+struct DelayAwaiter {
+  Scheduler& sched;
+  Dur d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { sched.resume_after(d, h); }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(Scheduler& sched, Dur d) { return {sched, d}; }
+
+/// Yield to other same-time events, then continue.
+inline DelayAwaiter yield(Scheduler& sched) { return {sched, 0}; }
+
+}  // namespace rpcoib::sim

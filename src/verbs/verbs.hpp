@@ -1,0 +1,248 @@
+// Simulated InfiniBand verbs.
+//
+// A faithful-shape ibverbs API over the simulated fabric: protection
+// domains, registered memory regions with l/rkeys, reliable-connected
+// queue pairs, completion queues, two-sided SEND/RECV and one-sided
+// RDMA WRITE / RDMA READ. RPCoIB (and HDFSoIB / HBaseoIB data paths) are
+// written against this API exactly as they would be against OFED:
+//
+//  * buffers must be registered before use; registration is expensive and
+//    meant to be amortized (which is why RPCoIB pre-registers its pool),
+//  * SEND consumes a posted RECV on the remote side, FIFO,
+//  * RDMA WRITE/READ move bytes without remote CPU involvement; WRITE can
+//    carry immediate data that surfaces as a remote completion,
+//  * completions are reaped by polling a CQ, one CQ can serve many QPs.
+//
+// Payload bytes are really copied between the registered buffers (they
+// live in this process), so data integrity is testable end to end; only
+// wire timing is modeled, through net::Fabric's IB-verbs parameters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "cluster/host.hpp"
+#include "net/bytes.hpp"
+#include "net/fabric.hpp"
+#include "net/socket.hpp"
+#include "sim/channel.hpp"
+#include "sim/task.hpp"
+
+namespace rpcoib::verbs {
+
+class VerbsError : public std::runtime_error {
+ public:
+  explicit VerbsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class Opcode {
+  kSend,
+  kRecv,
+  kRdmaWrite,
+  kRdmaRead,
+  kRecvRdmaWithImm,
+};
+
+struct WorkCompletion {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm_data = 0;
+};
+
+/// A registered memory region. `lkey`/`rkey` identify it locally/remotely;
+/// the rkey is resolvable cluster-wide (the simulator's stand-in for the
+/// HCA's translation table).
+struct MemoryRegion {
+  net::Byte* addr = nullptr;
+  std::size_t length = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  cluster::HostId owner = -1;
+};
+
+/// Remote buffer descriptor carried in rendezvous control messages.
+struct RemoteBuffer {
+  std::uint32_t rkey = 0;
+  std::uint64_t offset = 0;  // offset within the region
+  std::uint32_t length = 0;
+};
+
+class VerbsStack;
+
+/// Per-host registration domain.
+class ProtectionDomain {
+ public:
+  ProtectionDomain(VerbsStack& stack, cluster::Host& host);
+  ~ProtectionDomain();
+  ProtectionDomain(const ProtectionDomain&) = delete;
+  ProtectionDomain& operator=(const ProtectionDomain&) = delete;
+
+  /// Register memory; charges pinning cost to the host (page pinning +
+  /// HCA table update). RPCoIB calls this once per pool chunk at load.
+  sim::Co<MemoryRegion> register_mr(net::MutByteSpan buf);
+
+  /// Registration without the timing charge, for tests/setup fast paths.
+  MemoryRegion register_mr_untimed(net::MutByteSpan buf);
+
+  void deregister(const MemoryRegion& mr);
+
+  cluster::Host& host() const { return host_; }
+
+ private:
+  VerbsStack& stack_;
+  cluster::Host& host_;
+  std::vector<std::uint32_t> owned_rkeys_;
+};
+
+/// Completion queue. One CQ may serve any number of QPs (the RPCoIB server
+/// polls a single CQ for all client connections).
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Scheduler& sched) : q_(sched) {}
+
+  /// Blocking poll (suspends in virtual time until a completion arrives).
+  sim::Co<WorkCompletion> wait() {
+    WorkCompletion wc = co_await q_.recv();
+    co_return wc;
+  }
+
+  /// Non-blocking poll.
+  bool poll(WorkCompletion& wc) { return q_.try_recv(wc); }
+
+  void push(WorkCompletion wc) { q_.push(std::move(wc)); }
+  std::size_t depth() const { return q_.size(); }
+  void close() { q_.close(); }
+
+ private:
+  sim::Channel<WorkCompletion> q_;
+};
+
+class QueuePair;
+using QueuePairPtr = std::shared_ptr<QueuePair>;
+
+/// Reliable-connected queue pair. Created connected by ConnectionManager.
+class QueuePair : public std::enable_shared_from_this<QueuePair> {
+ public:
+  QueuePair(VerbsStack& stack, cluster::Host& host, CompletionQueue& send_cq,
+            CompletionQueue& recv_cq);
+
+  /// Post a receive buffer; consumed FIFO by incoming SENDs.
+  void post_recv(std::uint64_t wr_id, net::MutByteSpan buf);
+
+  /// Two-sided send into the peer's next posted receive buffer. The local
+  /// completion (kSend) is delivered once the message is on the wire and
+  /// acknowledged. Charges the doorbell cost to the calling thread.
+  sim::Co<void> post_send(std::uint64_t wr_id, net::ByteSpan buf);
+
+  /// One-sided write into remote registered memory. Optional immediate
+  /// data raises a kRecvRdmaWithImm completion at the peer.
+  sim::Co<void> post_rdma_write(std::uint64_t wr_id, net::ByteSpan local, RemoteBuffer dst,
+                                std::optional<std::uint32_t> imm = std::nullopt);
+
+  /// One-sided read from remote registered memory into `local`.
+  sim::Co<void> post_rdma_read(std::uint64_t wr_id, net::MutByteSpan local, RemoteBuffer src);
+
+  CompletionQueue& send_cq() const { return send_cq_; }
+  CompletionQueue& recv_cq() const { return recv_cq_; }
+  cluster::Host& host() const { return host_; }
+  bool connected() const { return !peer_.expired(); }
+  cluster::HostId remote_host() const { return remote_host_; }
+
+  /// Tear down; peer sees flushed state on next use.
+  void disconnect();
+
+ private:
+  friend class ConnectionManager;
+  friend class VerbsStack;
+
+  struct PostedRecv {
+    std::uint64_t wr_id;
+    net::MutByteSpan buf;
+  };
+  struct InboundMsg {
+    net::Bytes data;  // already-arrived SEND waiting for a posted recv (RNR case)
+  };
+
+  void connect_to(const QueuePairPtr& peer);
+  /// Deliver an arrived SEND payload into a posted recv (or park it).
+  void on_send_arrival(net::Bytes data);
+  void match_inbound();
+
+  VerbsStack& stack_;
+  cluster::Host& host_;
+  CompletionQueue& send_cq_;
+  CompletionQueue& recv_cq_;
+  std::weak_ptr<QueuePair> peer_;
+  cluster::HostId remote_host_ = -1;
+  std::deque<PostedRecv> posted_recvs_;
+  std::deque<InboundMsg> inbound_;
+  sim::Time send_clock_ = 0;  // RC ordering: sends never reorder on a QP
+};
+
+/// Cluster-wide verbs state: rkey resolution and device parameters.
+class VerbsStack {
+ public:
+  explicit VerbsStack(net::Fabric& fab) : fab_(fab) {}
+  VerbsStack(const VerbsStack&) = delete;
+  VerbsStack& operator=(const VerbsStack&) = delete;
+
+  net::Fabric& fabric() { return fab_; }
+
+  /// Resolve an rkey to the registered region (throws VerbsError if the
+  /// key is unknown or the access is out of bounds).
+  net::MutByteSpan resolve(std::uint32_t rkey, std::uint64_t offset, std::size_t len) const;
+
+  // Registration bookkeeping (used by ProtectionDomain).
+  std::uint32_t add_region(MemoryRegion mr);
+  void remove_region(std::uint32_t rkey);
+
+  /// Cost of registering `bytes` of memory (page pinning + HCA update).
+  sim::Dur registration_cost(std::size_t bytes) const;
+
+  // Connection-manager rendezvous registry: half-open client QPs awaiting
+  // the server's accept, keyed by the cookie in the endpoint-info payload.
+  // Lives here (not per-ConnectionManager) because client and server use
+  // separate managers over the same fabric.
+  void cm_register(std::uintptr_t cookie, QueuePairPtr qp) { cm_pending_[cookie] = std::move(qp); }
+  QueuePairPtr cm_lookup(std::uintptr_t cookie) {
+    auto it = cm_pending_.find(cookie);
+    return it == cm_pending_.end() ? nullptr : it->second;
+  }
+  void cm_erase(std::uintptr_t cookie) { cm_pending_.erase(cookie); }
+
+ private:
+  net::Fabric& fab_;
+  std::uint32_t next_key_ = 1;
+  std::map<std::uint32_t, MemoryRegion> regions_;
+  std::map<std::uintptr_t, QueuePairPtr> cm_pending_;
+};
+
+/// Establishes RC connections by exchanging endpoint info over a plain
+/// socket — exactly the bootstrap the paper describes (Section III-D).
+class ConnectionManager {
+ public:
+  ConnectionManager(VerbsStack& stack, net::SocketTable& sockets)
+      : stack_(stack), sockets_(sockets) {}
+
+  /// Client side: connect to `addr` (where a Listener must be accepting),
+  /// exchanging QP info over `mgmt_transport`.
+  sim::Co<QueuePairPtr> connect(cluster::Host& src, net::Address addr,
+                                CompletionQueue& send_cq, CompletionQueue& recv_cq,
+                                net::Transport mgmt_transport = net::Transport::kIPoIB);
+
+  /// Server side: accept one connection from an already-accepted bootstrap
+  /// socket.
+  sim::Co<QueuePairPtr> accept(net::SocketPtr bootstrap, CompletionQueue& send_cq,
+                               CompletionQueue& recv_cq);
+
+ private:
+  VerbsStack& stack_;
+  net::SocketTable& sockets_;
+};
+
+}  // namespace rpcoib::verbs

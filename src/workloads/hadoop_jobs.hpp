@@ -1,0 +1,57 @@
+// Paper workload drivers: RandomWriter, Sort, CloudBurst (Fig. 6), the
+// HDFS Write microbenchmark (Fig. 7) and the YCSB-on-HBase matrix (Fig. 8).
+//
+// Each driver stands up the paper's deployment shape (master node running
+// NameNode+JobTracker, slave nodes running DataNode+TaskTracker /
+// RegionServer) on a simulated testbed and reports job execution times or
+// throughput for a given transport configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbase/hbase.hpp"
+#include "hdfs/data_transfer.hpp"
+#include "rpcoib/engine.hpp"
+#include "ycsb/ycsb.hpp"
+
+namespace rpcoib::workloads {
+
+struct SortResult {
+  double randomwriter_secs = 0;
+  double sort_secs = 0;
+};
+
+/// Fig. 6(a): RandomWriter writes `data_bytes` of random records via
+/// map-only tasks, then Sort runs over the generated data. 1 master +
+/// `slaves` slaves, 8 map / 4 reduce slots per node (the paper's config).
+SortResult run_randomwriter_sort(oib::RpcMode rpc_mode, int slaves,
+                                 std::uint64_t data_bytes, std::uint64_t seed = 7);
+
+struct CloudBurstResult {
+  double alignment_secs = 0;
+  double filtering_secs = 0;
+  double total_secs = 0;
+};
+
+/// Fig. 6(b): CloudBurst short-read mapping — Alignment (240 maps /
+/// 48 reduces, compute-heavy) followed by Filtering (24 / 24, small),
+/// on 9 nodes (1 master + 8 slaves).
+CloudBurstResult run_cloudburst(oib::RpcMode rpc_mode, std::uint64_t seed = 7);
+
+/// Fig. 7: single-client HDFS Write of `file_bytes` with 32 DataNodes,
+/// replication 3; independent data-path and RPC transports.
+double run_hdfs_write(hdfs::DataMode data_mode, oib::RpcMode rpc_mode,
+                      std::uint64_t file_bytes, std::uint64_t seed = 7);
+
+struct HBaseRunResult {
+  double throughput_kops = 0;
+};
+
+/// Fig. 8: YCSB over HBase — 16 region servers, 16 clients, 1 KB records,
+/// `record_count` loaded then `op_count` operations at the given mix.
+HBaseRunResult run_hbase_ycsb(hbase::HBaseMode hbase_mode, oib::RpcMode hadoop_rpc,
+                              std::uint64_t record_count, std::uint64_t op_count,
+                              double read_proportion, std::uint64_t seed = 7);
+
+}  // namespace rpcoib::workloads

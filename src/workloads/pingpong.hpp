@@ -1,0 +1,49 @@
+// Hadoop RPC micro-benchmark suite (the paper's [12], WBDB'13).
+//
+// Two benchmarks, exactly as Section IV-B describes:
+//  * ping-pong latency — one server, one client, a `pingpong` method whose
+//    parameter is a BytesWritable of the requested payload size,
+//  * throughput — one server with 8 handlers, N concurrent clients spread
+//    uniformly over 8 nodes, 512-byte payloads, measuring Kops/sec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpcoib/engine.hpp"
+
+namespace rpcoib::workloads {
+
+struct LatencyResult {
+  std::size_t payload = 0;
+  double avg_us = 0;
+  double p99_us = 0;
+};
+
+struct ThroughputResult {
+  int clients = 0;
+  double kops = 0;
+};
+
+/// Registers the micro-benchmark's `pingpong` protocol on a server.
+void register_pingpong(rpc::RpcServer& server);
+
+/// Ping-pong latency for each payload size: client on host 0, server on
+/// host 1, `warmup` unmeasured iterations then `iters` measured ones.
+std::vector<LatencyResult> run_latency(oib::RpcMode mode, const std::vector<std::size_t>& payloads,
+                                       int warmup = 4, int iters = 16,
+                                       std::uint64_t seed = 1);
+
+/// Throughput at each client count: server on host 0 with `handlers`
+/// handler threads; clients distributed round-robin over hosts 1..8, each
+/// issuing back-to-back 512-byte calls for `duration_ms` of virtual time.
+std::vector<ThroughputResult> run_throughput(oib::RpcMode mode,
+                                             const std::vector<int>& client_counts,
+                                             int handlers = 8, std::size_t payload = 512,
+                                             int duration_ms = 200, std::uint64_t seed = 1);
+
+/// Server-side receive-path decomposition for Fig. 1: returns the ratio of
+/// buffer-allocation time to total receive time at the given payload.
+double run_alloc_ratio(oib::RpcMode mode, std::size_t payload, int iters = 12);
+
+}  // namespace rpcoib::workloads

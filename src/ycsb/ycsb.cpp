@@ -1,0 +1,121 @@
+#include "ycsb/ycsb.hpp"
+
+#include <memory>
+
+#include "sim/sync.hpp"
+
+namespace rpcoib::ycsb {
+
+using sim::Co;
+using sim::Task;
+
+std::string ycsb_key(std::uint64_t i) { return "user" + std::to_string(1000000000 + i); }
+
+namespace {
+
+struct ClientStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_hits = 0;
+};
+
+Task client_thread(oib::RpcEngine& engine, hbase::HBaseCluster& cluster,
+                   cluster::HostId host_id, const WorkloadSpec& spec, std::uint64_t ops,
+                   std::uint64_t thread_seed, ClientStats& stats, sim::WaitGroup& wg) {
+  cluster::Host& host = engine.testbed().host(host_id);
+  std::unique_ptr<hbase::HTable> table = cluster.make_table(host);
+  sim::Rng rng(thread_seed);
+  sim::ZipfianGenerator zipf(spec.record_count ? spec.record_count : 1);
+  net::Bytes value(spec.record_bytes, net::Byte{0x59});
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t k = spec.chooser == KeyChooser::kZipfian
+                                ? zipf.next(rng)
+                                : rng.next_below(spec.record_count);
+    const std::string key = ycsb_key(k);
+    if (rng.next_double() < spec.read_proportion) {
+      hbase::GetResult r = co_await table->get(key);
+      ++stats.reads;
+      if (r.found) ++stats.read_hits;
+    } else {
+      co_await table->put(key, value);
+      ++stats.writes;
+    }
+  }
+  wg.done();
+}
+
+Task load_thread(oib::RpcEngine& engine, hbase::HBaseCluster& cluster,
+                 cluster::HostId host_id, const WorkloadSpec& spec, std::uint64_t first,
+                 std::uint64_t count, sim::WaitGroup& wg) {
+  cluster::Host& host = engine.testbed().host(host_id);
+  std::unique_ptr<hbase::HTable> table = cluster.make_table(host);
+  net::Bytes value(spec.record_bytes, net::Byte{0x4C});
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string key = ycsb_key(first + i);
+    co_await table->put(key, value);
+  }
+  wg.done();
+}
+
+}  // namespace
+
+sim::Co<WorkloadResult> run_workload(oib::RpcEngine& hbase_engine,
+                                     hbase::HBaseCluster& cluster,
+                                     std::vector<cluster::HostId> client_hosts,
+                                     WorkloadSpec spec) {
+  sim::Scheduler& sched = hbase_engine.testbed().sched();
+  WorkloadResult result;
+
+  // --- Load phase --------------------------------------------------------
+  const sim::Time t_load = sched.now();
+  {
+    sim::WaitGroup wg(sched);
+    const int n = spec.num_clients;
+    const std::uint64_t per = spec.record_count / static_cast<std::uint64_t>(n);
+    for (int c = 0; c < n; ++c) {
+      const std::uint64_t first = per * static_cast<std::uint64_t>(c);
+      const std::uint64_t count =
+          c == n - 1 ? spec.record_count - first : per;  // remainder to the last
+      wg.add(1);
+      sched.spawn(load_thread(hbase_engine, cluster,
+                              client_hosts[static_cast<std::size_t>(c) % client_hosts.size()],
+                              spec, first, count, wg));
+    }
+    co_await wg.wait();
+  }
+  result.load_secs = sim::to_sec(sched.now() - t_load);
+
+  // --- Run phase ----------------------------------------------------------
+  std::vector<std::unique_ptr<ClientStats>> stats;
+  const sim::Time t_run = sched.now();
+  {
+    sim::WaitGroup wg(sched);
+    const int n = spec.num_clients;
+    const std::uint64_t per = spec.operation_count / static_cast<std::uint64_t>(n);
+    for (int c = 0; c < n; ++c) {
+      stats.push_back(std::make_unique<ClientStats>());
+      const std::uint64_t ops =
+          c == n - 1 ? spec.operation_count - per * static_cast<std::uint64_t>(n - 1) : per;
+      wg.add(1);
+      sched.spawn(client_thread(hbase_engine, cluster,
+                                client_hosts[static_cast<std::size_t>(c) % client_hosts.size()],
+                                spec, ops, spec.seed + static_cast<std::uint64_t>(c) * 7919,
+                                *stats.back(), wg));
+    }
+    co_await wg.wait();
+  }
+  result.run_secs = sim::to_sec(sched.now() - t_run);
+  for (const auto& s : stats) {
+    result.reads += s->reads;
+    result.writes += s->writes;
+    result.read_hits += s->read_hits;
+  }
+  result.throughput_kops =
+      result.run_secs > 0
+          ? static_cast<double>(spec.operation_count) / result.run_secs / 1000.0
+          : 0;
+  co_return result;
+}
+
+}  // namespace rpcoib::ycsb

@@ -1,0 +1,49 @@
+// YCSB: Yahoo! Cloud Serving Benchmark workload generator and runner [16].
+//
+// Implements the pieces Fig. 8 uses: a load phase inserting `record_count`
+// 1 KB records, then a run phase issuing `operation_count` operations with
+// a configurable read/update mix (100% Get, 100% Put, 50/50) from
+// `num_clients` concurrent client threads, reporting aggregate Kops/sec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbase/hbase.hpp"
+#include "sim/random.hpp"
+
+namespace rpcoib::ycsb {
+
+enum class KeyChooser { kUniform, kZipfian };
+
+struct WorkloadSpec {
+  std::uint64_t record_count = 100000;
+  std::uint64_t operation_count = 640000;
+  double read_proportion = 0.5;  // rest are updates (Put)
+  KeyChooser chooser = KeyChooser::kZipfian;
+  std::size_t record_bytes = 1024;
+  int num_clients = 16;
+  std::uint64_t seed = 42;
+};
+
+struct WorkloadResult {
+  double load_secs = 0;
+  double run_secs = 0;
+  double throughput_kops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_hits = 0;
+};
+
+std::string ycsb_key(std::uint64_t i);
+
+/// Runs load + run phases against an HBase cluster. `client_hosts` are
+/// cycled for the `num_clients` client threads. Must be called from a
+/// simulated process (it suspends in virtual time).
+sim::Co<WorkloadResult> run_workload(oib::RpcEngine& hbase_engine,
+                                     hbase::HBaseCluster& cluster,
+                                     std::vector<cluster::HostId> client_hosts,
+                                     WorkloadSpec spec);
+
+}  // namespace rpcoib::ycsb

@@ -1,0 +1,82 @@
+// Tests for the host cost model and network parameters: monotonicity,
+// calibration-critical orderings, and unit sanity.
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.hpp"
+#include "net/params.hpp"
+
+namespace rpcoib {
+namespace {
+
+const cluster::CostModel kCm{};
+
+TEST(CostModel, CopyCostsScaleWithSize) {
+  EXPECT_LT(kCm.heap_copy(64), kCm.heap_copy(64 * 1024));
+  EXPECT_LT(kCm.heap_alloc(64), kCm.heap_alloc(1 << 20));
+  EXPECT_LT(kCm.native_copy(0), kCm.native_copy(4096));
+}
+
+TEST(CostModel, NativeCopySlowerThanHeapCopy) {
+  // The JVM->native crossing is the expensive copy the paper targets.
+  EXPECT_GT(kCm.native_copy(1 << 20), kCm.heap_copy(1 << 20));
+}
+
+TEST(CostModel, DirectBufferCopyCheapestPerByte) {
+  // RPCoIB serializes into DirectByteBuffer-wrapped native memory: no
+  // pinning, no kernel crossing.
+  EXPECT_LT(kCm.direct_copy(1 << 20), kCm.heap_copy(1 << 20));
+  EXPECT_LT(kCm.direct_copy(1 << 20), kCm.native_copy(1 << 20));
+}
+
+TEST(CostModel, FixedCostsArePositive) {
+  EXPECT_GT(kCm.jni_call(), 0u);
+  EXPECT_GT(kCm.field_op(), 0u);
+  EXPECT_GT(kCm.thread_wakeup(), 0u);
+  EXPECT_GT(kCm.syscall(), 0u);
+  EXPECT_GT(kCm.rpc_framework(), 0u);
+  EXPECT_GT(kCm.selector(), 0u);
+  EXPECT_GT(kCm.cq_poll(), 0u);
+}
+
+TEST(NetParams, BandwidthOrdering) {
+  using namespace net;
+  EXPECT_LT(one_gige_params().bw_gBps, ten_gige_params().bw_gBps);
+  EXPECT_LT(ten_gige_params().bw_gBps, ipoib_params().bw_gBps);
+  EXPECT_LT(ipoib_params().bw_gBps, ib_verbs_params().bw_gBps);
+}
+
+TEST(NetParams, LatencyOrdering) {
+  using namespace net;
+  // Verbs << everything; 1GigE worst.
+  EXPECT_LT(ib_verbs_params().one_way_latency, ten_gige_params().one_way_latency);
+  EXPECT_LT(ib_verbs_params().one_way_latency, ipoib_params().one_way_latency);
+  EXPECT_GT(one_gige_params().one_way_latency, ipoib_params().one_way_latency);
+}
+
+TEST(NetParams, VerbsIsKernelBypass) {
+  using namespace net;
+  EXPECT_EQ(ib_verbs_params().kernel_copy_gBps, 0.0);
+  EXPECT_EQ(ib_verbs_params().kernel_copy(1 << 20), 0u);
+  EXPECT_GT(ipoib_params().kernel_copy(1 << 20), 0u);
+  // Verbs per-message CPU (doorbell/poll) far below socket stacks.
+  EXPECT_LT(ib_verbs_params().per_msg_send_cpu, one_gige_params().per_msg_send_cpu);
+}
+
+TEST(NetParams, WireTimeMatchesBandwidth) {
+  using namespace net;
+  const NetParams p = ib_verbs_params();
+  // 3.2 GB/s: 3.2 MB should take ~1 ms.
+  EXPECT_NEAR(sim::to_ms(p.wire_time(3200000)), 1.0, 0.01);
+  EXPECT_EQ(p.wire_time(0), 0u);
+}
+
+TEST(NetParams, ParamsForCoversAllTransports) {
+  using namespace net;
+  for (Transport t : {Transport::kOneGigE, Transport::kTenGigE, Transport::kIPoIB,
+                      Transport::kIBVerbs}) {
+    EXPECT_GT(params_for(t).bw_gBps, 0.0) << transport_name(t);
+  }
+}
+
+}  // namespace
+}  // namespace rpcoib

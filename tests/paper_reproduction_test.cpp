@@ -1,0 +1,96 @@
+// Regression tests pinning the paper's headline properties, so future
+// changes to the cost model or transports can't silently break the
+// reproduction. Bounds are deliberately looser than the bench output so
+// legitimate re-calibration doesn't thrash these tests.
+#include <gtest/gtest.h>
+
+#include "workloads/hadoop_jobs.hpp"
+#include "workloads/pingpong.hpp"
+
+namespace rpcoib {
+namespace {
+
+using oib::RpcMode;
+
+TEST(PaperFig5a, RpcoIBLatencyNearPaperEndpoints) {
+  // Paper: 39 us @1B, ~52 us @4KB.
+  std::vector<workloads::LatencyResult> r =
+      workloads::run_latency(RpcMode::kRpcoIB, {1, 4096});
+  EXPECT_NEAR(r[0].avg_us, 39.0, 4.0);
+  EXPECT_NEAR(r[1].avg_us, 52.0, 5.0);
+}
+
+TEST(PaperFig5a, ReductionBandsHold) {
+  // Paper: 42-49% vs 10GigE, 46-50% vs IPoIB across 1B..4KB.
+  const std::vector<std::size_t> payloads = {1, 256, 4096};
+  std::vector<workloads::LatencyResult> rdma =
+      workloads::run_latency(RpcMode::kRpcoIB, payloads);
+  std::vector<workloads::LatencyResult> tengige =
+      workloads::run_latency(RpcMode::kSocket10GigE, payloads);
+  std::vector<workloads::LatencyResult> ipoib =
+      workloads::run_latency(RpcMode::kSocketIPoIB, payloads);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const double vs10 = 1.0 - rdma[i].avg_us / tengige[i].avg_us;
+    const double vsip = 1.0 - rdma[i].avg_us / ipoib[i].avg_us;
+    EXPECT_GT(vs10, 0.40) << payloads[i];
+    EXPECT_LT(vs10, 0.55) << payloads[i];
+    EXPECT_GT(vsip, 0.44) << payloads[i];
+    EXPECT_LT(vsip, 0.55) << payloads[i];
+  }
+}
+
+TEST(PaperFig5b, PeakThroughputAndRatios) {
+  // Paper: RPCoIB ~135 Kops/s peak, +82% vs 10GigE, +64% vs IPoIB.
+  auto peak = [](RpcMode m) {
+    std::vector<workloads::ThroughputResult> r =
+        workloads::run_throughput(m, {32}, 8, 512, /*duration_ms=*/60);
+    return r[0].kops;
+  };
+  const double rdma = peak(RpcMode::kRpcoIB);
+  const double tengige = peak(RpcMode::kSocket10GigE);
+  const double ipoib = peak(RpcMode::kSocketIPoIB);
+  EXPECT_NEAR(rdma, 135.0, 12.0);
+  EXPECT_GT(rdma / tengige, 1.6);
+  EXPECT_LT(rdma / tengige, 2.05);
+  EXPECT_GT(rdma / ipoib, 1.45);
+  EXPECT_LT(rdma / ipoib, 1.85);
+}
+
+TEST(PaperFig1, AllocationShareHighOnIPoIBLowOnGigE) {
+  const double ipoib = workloads::run_alloc_ratio(RpcMode::kSocketIPoIB, 2u << 20, 6);
+  const double gige = workloads::run_alloc_ratio(RpcMode::kSocket1GigE, 2u << 20, 6);
+  EXPECT_GT(ipoib, 0.18);  // paper ~30%
+  EXPECT_LT(gige, 0.10);   // paper: "not obvious" on 1GigE
+  EXPECT_GT(ipoib, 2.5 * gige);
+}
+
+TEST(PaperFig7, RpcoIBCutsHdfsWriteTenPercent) {
+  const double ipoib =
+      workloads::run_hdfs_write(hdfs::DataMode::kRdma, RpcMode::kSocketIPoIB, 1ULL << 30);
+  const double rdma =
+      workloads::run_hdfs_write(hdfs::DataMode::kRdma, RpcMode::kRpcoIB, 1ULL << 30);
+  const double gain = 1.0 - rdma / ipoib;
+  EXPECT_GT(gain, 0.07);  // paper ~10%
+  EXPECT_LT(gain, 0.14);
+}
+
+TEST(PaperFig8, PutGainNearSixteenPercentGetSmall) {
+  const auto put_ipoib = workloads::run_hbase_ycsb(hbase::HBaseMode::kRdma,
+                                                   RpcMode::kSocketIPoIB, 4000, 12000, 0.0);
+  const auto put_rdma = workloads::run_hbase_ycsb(hbase::HBaseMode::kRdma,
+                                                  RpcMode::kRpcoIB, 4000, 12000, 0.0);
+  const double put_gain = put_rdma.throughput_kops / put_ipoib.throughput_kops - 1.0;
+  EXPECT_GT(put_gain, 0.08);  // paper +16%
+  EXPECT_LT(put_gain, 0.30);
+
+  const auto get_ipoib = workloads::run_hbase_ycsb(hbase::HBaseMode::kRdma,
+                                                   RpcMode::kSocketIPoIB, 4000, 12000, 1.0);
+  const auto get_rdma = workloads::run_hbase_ycsb(hbase::HBaseMode::kRdma,
+                                                  RpcMode::kRpcoIB, 4000, 12000, 1.0);
+  const double get_gain = get_rdma.throughput_kops / get_ipoib.throughput_kops - 1.0;
+  EXPECT_LT(get_gain, put_gain);  // paper: Get benefits least
+  EXPECT_GT(get_gain, -0.05);     // and never regresses materially
+}
+
+}  // namespace
+}  // namespace rpcoib

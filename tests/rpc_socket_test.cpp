@@ -1,0 +1,287 @@
+// End-to-end tests of the default (socket) Hadoop RPC path: echo calls,
+// concurrent calls, exceptions, multiple clients, stats capture.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/testbed.hpp"
+#include "rpc/buffers.hpp"
+#include "rpc/socket_client.hpp"
+#include "rpc/socket_server.hpp"
+
+namespace rpcoib::rpc {
+namespace {
+
+using net::Address;
+using net::Testbed;
+using net::Transport;
+using sim::Co;
+using sim::Scheduler;
+using sim::Task;
+
+constexpr Address kServerAddr{1, 9000};
+
+// Named method keys: the codebase rule forbids non-trivially-destructible
+// temporaries in co_await statements (see sim/task.hpp).
+const MethodKey kEcho{"test.EchoProtocol", "echo"};
+const MethodKey kAdd{"test.EchoProtocol", "add"};
+const MethodKey kFail{"test.EchoProtocol", "fail"};
+const MethodKey kNope{"test.EchoProtocol", "nope"};
+
+/// Registers a tiny test protocol on a server:
+///   echo(BytesWritable) -> BytesWritable
+///   add(two i32)        -> IntWritable
+///   fail(Null)          -> always throws
+void register_test_protocol(RpcServer& server) {
+  server.dispatcher().register_method(
+      "test.EchoProtocol", "echo", [](DataInput& in, DataOutput& out) -> Co<void> {
+        BytesWritable payload;
+        payload.read_fields(in);
+        BytesWritable(std::move(payload.value)).write(out);
+        co_return;
+      });
+  server.dispatcher().register_method(
+      "test.EchoProtocol", "add", [](DataInput& in, DataOutput& out) -> Co<void> {
+        const std::int32_t a = in.read_i32();
+        const std::int32_t b = in.read_i32();
+        IntWritable(a + b).write(out);
+        co_return;
+      });
+  server.dispatcher().register_method(
+      "test.EchoProtocol", "fail", [](DataInput&, DataOutput&) -> Co<void> {
+        throw std::runtime_error("deliberate failure");
+        co_return;
+      });
+}
+
+struct AddParam final : Writable {
+  std::int32_t a = 0, b = 0;
+  void write(DataOutput& out) const override {
+    out.write_i32(a);
+    out.write_i32(b);
+  }
+  void read_fields(DataInput& in) override {
+    a = in.read_i32();
+    b = in.read_i32();
+  }
+};
+
+struct Fixture {
+  Fixture(Scheduler& s, Transport t = Transport::kIPoIB)
+      : tb(s, Testbed::cluster_b()),
+        server(tb.host(1), tb.sockets(), kServerAddr, 4),
+        client(tb.host(0), tb.sockets(), t) {
+    register_test_protocol(server);
+    server.start();
+  }
+  ~Fixture() {
+    client.close_connections();
+    server.stop();
+  }
+  Testbed tb;
+  SocketRpcServer server;
+  SocketRpcClient client;
+};
+
+Task call_echo(Fixture& f, std::size_t n, net::Bytes& got, bool& ok) {
+  net::Bytes payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<net::Byte>(i * 7);
+  BytesWritable req(payload);
+  BytesWritable resp;
+  co_await f.client.call(kServerAddr, kEcho, req, &resp);
+  got = std::move(resp.value);
+  ok = (got == payload);
+}
+
+TEST(SocketRpc, EchoRoundTripsPayload) {
+  Scheduler s;
+  Fixture f(s);
+  net::Bytes got;
+  bool ok = false;
+  s.spawn(call_echo(f, 512, got, ok));
+  s.run_until(sim::seconds(10));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got.size(), 512u);
+}
+
+class EchoSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EchoSizes, RoundTripsAllSizes) {
+  Scheduler s;
+  Fixture f(s);
+  net::Bytes got;
+  bool ok = false;
+  s.spawn(call_echo(f, GetParam(), got, ok));
+  s.run_until(sim::seconds(30));
+  EXPECT_TRUE(ok) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EchoSizes,
+                         ::testing::Values(1, 4, 64, 1024, 4096, 65536, 1u << 20,
+                                           2u << 20));
+
+Task call_add(Fixture& f, std::int32_t a, std::int32_t b, std::int32_t& out) {
+  AddParam p;
+  p.a = a;
+  p.b = b;
+  IntWritable r;
+  co_await f.client.call(kServerAddr, kAdd, p, &r);
+  out = r.value;
+}
+
+TEST(SocketRpc, TypedCall) {
+  Scheduler s;
+  Fixture f(s);
+  std::int32_t out = 0;
+  s.spawn(call_add(f, 20, 22, out));
+  s.run_until(sim::seconds(10));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(SocketRpc, ManyConcurrentCallsMultiplexOneConnection) {
+  Scheduler s;
+  Fixture f(s);
+  constexpr int kN = 32;
+  std::vector<std::int32_t> out(kN, 0);
+  for (int i = 0; i < kN; ++i) s.spawn(call_add(f, i, 1000, out[static_cast<std::size_t>(i)]));
+  s.run_until(sim::seconds(30));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 1000 + i);
+}
+
+Task call_fail(Fixture& f, bool& remote_ex, std::string& msg) {
+  NullWritable arg;
+  try {
+    co_await f.client.call(kServerAddr, kFail, arg, nullptr);
+  } catch (const RemoteException& e) {
+    remote_ex = true;
+    msg = e.what();
+  }
+}
+
+TEST(SocketRpc, HandlerExceptionSurfacesAsRemoteException) {
+  Scheduler s;
+  Fixture f(s);
+  bool remote_ex = false;
+  std::string msg;
+  s.spawn(call_fail(f, remote_ex, msg));
+  s.run_until(sim::seconds(10));
+  EXPECT_TRUE(remote_ex);
+  EXPECT_EQ(msg, "deliberate failure");
+}
+
+Task call_unknown(Fixture& f, bool& remote_ex) {
+  NullWritable arg;
+  try {
+    co_await f.client.call(kServerAddr, kNope, arg, nullptr);
+  } catch (const RemoteException&) {
+    remote_ex = true;
+  }
+}
+
+TEST(SocketRpc, UnknownMethodIsRemoteError) {
+  Scheduler s;
+  Fixture f(s);
+  bool remote_ex = false;
+  s.spawn(call_unknown(f, remote_ex));
+  s.run_until(sim::seconds(10));
+  EXPECT_TRUE(remote_ex);
+}
+
+Task call_refused(Fixture& f, bool& transport_err) {
+  NullWritable arg;
+  try {
+    co_await f.client.call({5, 4242}, kAdd, arg, nullptr);
+  } catch (const RpcTransportError&) {
+    transport_err = true;
+  }
+}
+
+TEST(SocketRpc, ConnectionRefusedIsTransportError) {
+  Scheduler s;
+  Fixture f(s);
+  bool transport_err = false;
+  s.spawn(call_refused(f, transport_err));
+  s.run_until(sim::seconds(10));
+  EXPECT_TRUE(transport_err);
+}
+
+TEST(SocketRpc, StatsCaptureTableOneQuantities) {
+  Scheduler s;
+  Fixture f(s);
+  std::int32_t out = 0;
+  for (int i = 0; i < 10; ++i) s.spawn(call_add(f, i, i, out));
+  s.run_until(sim::seconds(30));
+
+  const MethodKey key{"test.EchoProtocol", "add"};
+  ASSERT_TRUE(f.client.stats().methods.contains(key));
+  const MethodProfile& prof = f.client.stats().methods.at(key);
+  EXPECT_EQ(prof.mem_adjustments.count(), 10u);
+  // Request is ~50 bytes: 32 -> 64 is one adjustment.
+  EXPECT_GE(prof.mem_adjustments.mean(), 1.0);
+  EXPECT_GT(prof.serialize_us.mean(), 0.0);
+  EXPECT_GT(prof.send_us.mean(), 0.0);
+  EXPECT_GT(prof.total_us.mean(), prof.serialize_us.mean());
+  EXPECT_EQ(f.client.stats().calls_sent, 10u);
+  EXPECT_EQ(f.server.stats().calls_handled, 10u);
+  EXPECT_EQ(f.server.stats().recv_total_us.count(), 10u);
+  EXPECT_GT(f.server.stats().recv_alloc_us.mean(), 0.0);
+}
+
+TEST(SocketRpc, SizeSequencesRecordedWhenEnabled) {
+  Scheduler s;
+  Fixture f(s);
+  f.client.stats().record_sequences = true;
+  std::int32_t out = 0;
+  for (int i = 0; i < 5; ++i) s.spawn(call_add(f, i, i, out));
+  s.run_until(sim::seconds(30));
+  const MethodProfile& prof = f.client.stats().methods.at({"test.EchoProtocol", "add"});
+  ASSERT_EQ(prof.size_sequence.size(), 5u);
+  // add() has fixed-size params: perfect message size locality.
+  for (std::uint32_t sz : prof.size_sequence) EXPECT_EQ(sz, prof.size_sequence[0]);
+}
+
+Task two_clients_run(Fixture& f, SocketRpcClient& c2, std::int32_t& o1, std::int32_t& o2) {
+  AddParam p;
+  p.a = 1;
+  p.b = 2;
+  IntWritable r1, r2;
+  co_await f.client.call(kServerAddr, kAdd, p, &r1);
+  co_await c2.call(kServerAddr, kAdd, p, &r2);
+  o1 = r1.value;
+  o2 = r2.value;
+}
+
+TEST(SocketRpc, MultipleClientHostsShareOneServer) {
+  Scheduler s;
+  Fixture f(s);
+  SocketRpcClient c2(f.tb.host(2), f.tb.sockets(), Transport::kIPoIB);
+  std::int32_t o1 = 0, o2 = 0;
+  s.spawn(two_clients_run(f, c2, o1, o2));
+  s.run_until(sim::seconds(10));
+  EXPECT_EQ(o1, 3);
+  EXPECT_EQ(o2, 3);
+  c2.close_connections();
+}
+
+TEST(SocketRpc, LatencyOrderingAcrossTransports) {
+  auto latency = [](Transport t) {
+    Scheduler s;
+    Fixture f(s, t);
+    std::int32_t out = 0;
+    const sim::Time t0 = s.now();
+    s.spawn(call_add(f, 1, 2, out));
+    s.run_until(sim::seconds(10));
+    EXPECT_EQ(out, 3);
+    return f.client.stats().methods.at({"test.EchoProtocol", "add"}).total_us.mean() +
+           sim::to_us(t0) * 0;
+  };
+  const double gige = latency(Transport::kOneGigE);
+  const double tengige = latency(Transport::kTenGigE);
+  const double ipoib = latency(Transport::kIPoIB);
+  EXPECT_LT(tengige, gige);
+  EXPECT_LT(ipoib, gige);
+}
+
+}  // namespace
+}  // namespace rpcoib::rpc

@@ -1,0 +1,234 @@
+// Tests for the two-level history-based buffer pool and the RDMA streams:
+// size classes, lease/release invariants, history grow/shrink (message
+// size locality), stream re-gets, zero-copy reads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/testbed.hpp"
+#include "rpc/buffers.hpp"
+#include "rpcoib/buffer_pool.hpp"
+#include "rpcoib/rdma_streams.hpp"
+
+namespace rpcoib::oib {
+namespace {
+
+using net::Testbed;
+using sim::Scheduler;
+using sim::Task;
+
+struct PoolFixture {
+  explicit PoolFixture(Scheduler& s, PoolConfig cfg = {})
+      : tb(s, Testbed::cluster_b()), stack(tb.fabric()), pool(tb.host(0), stack, cfg),
+        shadow(pool) {}
+  Testbed tb;
+  verbs::VerbsStack stack;
+  NativeBufferPool pool;
+  ShadowPool shadow;
+};
+
+Task init_pool(NativeBufferPool& p) { co_await p.initialize(); }
+
+TEST(NativePool, ClassSizesArePowersOfTwoFromMin) {
+  Scheduler s;
+  PoolFixture f(s);
+  EXPECT_EQ(f.pool.class_size_for(1), 512u);
+  EXPECT_EQ(f.pool.class_size_for(512), 512u);
+  EXPECT_EQ(f.pool.class_size_for(513), 1024u);
+  EXPECT_EQ(f.pool.class_size_for(100000), 128u * 1024);
+  EXPECT_EQ(f.pool.class_size_for(4u << 20), 4u << 20);
+  EXPECT_THROW(f.pool.class_size_for((4u << 20) + 1), std::length_error);
+}
+
+TEST(NativePool, InitializePreallocatesAndCostsTime) {
+  Scheduler s;
+  PoolFixture f(s);
+  s.spawn(init_pool(f.pool));
+  s.run();
+  // Registration of a multi-MB pool is milliseconds of virtual time.
+  EXPECT_GT(sim::to_ms(s.now()), 1.0);
+  // Warm acquires afterwards all hit the freelist (8 per class).
+  std::vector<NativeBuffer*> got;
+  for (int i = 0; i < 8; ++i) got.push_back(f.pool.acquire(4096));
+  EXPECT_EQ(f.pool.stats().freelist_hits, 8u);
+  EXPECT_EQ(f.pool.stats().demand_allocations, 0u);
+  for (auto* b : got) f.pool.release(b);
+}
+
+TEST(NativePool, ExhaustionFallsBackToDemandAllocation) {
+  Scheduler s;
+  PoolFixture f(s, PoolConfig{.min_class = 512, .max_class = 4096, .buffers_per_class = 2});
+  s.spawn(init_pool(f.pool));
+  s.run();
+  NativeBuffer* a = f.pool.acquire(512);
+  NativeBuffer* b = f.pool.acquire(512);
+  NativeBuffer* c = f.pool.acquire(512);  // class dry
+  EXPECT_EQ(f.pool.stats().demand_allocations, 1u);
+  f.pool.release(a);
+  f.pool.release(b);
+  f.pool.release(c);
+  // The demand-allocated buffer joins the pool: next acquires all hit.
+  NativeBuffer* d = f.pool.acquire(512);
+  EXPECT_EQ(f.pool.stats().demand_allocations, 1u);
+  f.pool.release(d);
+}
+
+TEST(NativePool, DoubleReleaseThrows) {
+  Scheduler s;
+  PoolFixture f(s);
+  NativeBuffer* b = f.pool.acquire(512);
+  f.pool.release(b);
+  EXPECT_THROW(f.pool.release(b), std::logic_error);
+}
+
+TEST(NativePool, BuffersAreRegisteredForRdma) {
+  Scheduler s;
+  PoolFixture f(s);
+  NativeBuffer* b = f.pool.acquire(2048);
+  EXPECT_GT(b->mr.rkey, 0u);
+  // The rkey resolves to the buffer's own memory.
+  EXPECT_EQ(f.stack.resolve(b->mr.rkey, 0, 16).data(), b->span.data());
+  f.pool.release(b);
+}
+
+TEST(ShadowPool, UnknownKeyGetsMinimumClass) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"p", "m"};
+  NativeBuffer* b = f.shadow.acquire_for(key);
+  EXPECT_EQ(b->span.size(), f.pool.config().min_class);
+  f.shadow.release(b);
+}
+
+TEST(ShadowPool, HistoryGrowsOnLargerUseAndShrinksOnSmaller) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"mapred.TaskUmbilicalProtocol", "statusUpdate"};
+  NativeBuffer* b = f.shadow.acquire_for(key);
+  f.shadow.release_for(key, b, 3000);
+  EXPECT_EQ(f.shadow.history(key), 4096u);
+
+  // Next acquire uses the learned size.
+  b = f.shadow.acquire_for(key);
+  EXPECT_EQ(b->span.size(), 4096u);
+  f.shadow.release_for(key, b, 3100);  // same class: a history hit
+  EXPECT_EQ(f.pool.stats().history_hits, 1u);
+
+  // A much smaller call shrinks the record (bounding footprint).
+  b = f.shadow.acquire_for(key);
+  f.shadow.release_for(key, b, 100);
+  EXPECT_EQ(f.shadow.history(key), 512u);
+  EXPECT_EQ(f.pool.stats().history_shrinks, 1u);
+}
+
+TEST(ShadowPool, MessageSizeLocalityYieldsHitsAfterFirstCall) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"hdfs.DatanodeProtocol", "blockReceived"};
+  // The paper's observation: ~430-byte messages, call after call.
+  for (int i = 0; i < 100; ++i) {
+    NativeBuffer* b = f.shadow.acquire_for(key);
+    f.shadow.release_for(key, b, 430);
+  }
+  EXPECT_EQ(f.pool.stats().history_hits, 99u);
+  EXPECT_EQ(f.pool.stats().history_misses, 0u);
+}
+
+TEST(ShadowPool, IndependentHistoriesPerMethodKey) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey small{"p", "ping"};
+  const rpc::MethodKey large{"p", "statusUpdate"};
+  NativeBuffer* b = f.shadow.acquire_for(small);
+  f.shadow.release_for(small, b, 100);
+  b = f.shadow.acquire_for(large);
+  f.shadow.release_for(large, b, 5000);
+  EXPECT_EQ(f.shadow.history(small), 512u);
+  EXPECT_EQ(f.shadow.history(large), 8192u);
+}
+
+// --- RDMAOutputStream ------------------------------------------------------
+
+TEST(RdmaStream, WarmPathHasNoRegets) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"p", "m"};
+  {
+    RDMAOutputStream out(f.tb.host(0).cost(), f.shadow, key);
+    net::Bytes payload(3000, net::Byte{1});
+    out.write_raw(payload);
+    // Cold path: one re-get straight to the fitting class (the pool's
+    // size classes subsume the doubling ladder for a single large write).
+    EXPECT_EQ(out.regets(), 1u);
+    NativeBuffer* b = out.take_buffer();
+    out.finish(b);
+  }
+  {
+    RDMAOutputStream out(f.tb.host(0).cost(), f.shadow, key);
+    net::Bytes payload(3000, net::Byte{2});
+    out.write_raw(payload);
+    EXPECT_EQ(out.regets(), 0u);  // history remembered 4096
+    NativeBuffer* b = out.take_buffer();
+    out.finish(b);
+  }
+}
+
+TEST(RdmaStream, DataRoundTripsThroughRegisteredBuffer) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"p", "rt"};
+  RDMAOutputStream out(f.tb.host(0).cost(), f.shadow, key);
+  out.write_u64(0xCAFEBABEDEADBEEFULL);
+  out.write_text("locality");
+  out.write_vi64(430);
+  RDMAInputStream in(f.tb.host(0).cost(), out.data());
+  EXPECT_EQ(in.read_u64(), 0xCAFEBABEDEADBEEFULL);
+  EXPECT_EQ(in.read_text(), "locality");
+  EXPECT_EQ(in.read_vi64(), 430);
+  NativeBuffer* b = out.take_buffer();
+  out.finish(b);
+}
+
+TEST(RdmaStream, AccruedCostFarBelowAlgorithmOne) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"p", "cheap"};
+  // Warm the history.
+  {
+    RDMAOutputStream warm(f.tb.host(0).cost(), f.shadow, key);
+    net::Bytes payload(2000, net::Byte{1});
+    warm.write_raw(payload);
+    NativeBuffer* b = warm.take_buffer();
+    warm.finish(b);
+  }
+  RDMAOutputStream out(f.tb.host(0).cost(), f.shadow, key);
+  rpc::DataOutputBuffer alg1(f.tb.host(0).cost());  // 32-byte Hadoop default
+  (void)out.take_accrued();
+  (void)alg1.take_accrued();
+  net::Bytes chunk(4);
+  for (int i = 0; i < 500; ++i) {
+    out.write_raw(chunk);
+    alg1.write_raw(chunk);
+  }
+  EXPECT_LT(out.take_accrued(), alg1.take_accrued());
+  EXPECT_EQ(out.regets(), 0u);
+  EXPECT_GE(alg1.stats().mem_adjustments, 6u);
+  NativeBuffer* b = out.take_buffer();
+  out.finish(b);
+}
+
+TEST(RdmaStream, AbandonedStreamReturnsBufferToPool) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"p", "abandon"};
+  const std::uint64_t releases_before = f.pool.stats().releases;
+  {
+    RDMAOutputStream out(f.tb.host(0).cost(), f.shadow, key);
+    out.write_u32(1);
+    // no take_buffer: destructor must release
+  }
+  EXPECT_EQ(f.pool.stats().releases, releases_before + 1);
+}
+
+}  // namespace
+}  // namespace rpcoib::oib

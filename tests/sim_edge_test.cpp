@@ -1,0 +1,200 @@
+// Edge-case tests for the simulation core: run_until boundaries, channel
+// close with queued items, semaphore fairness under churn, wait-group
+// reuse, drain semantics, scheduler termination, and host resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "net/testbed.hpp"
+#include "sim/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rpcoib::sim {
+namespace {
+
+TEST(SchedulerEdge, RunUntilIsExclusiveOfDeadline) {
+  Scheduler s;
+  bool at_10 = false, at_20 = false;
+  s.call_at(micros(10), [&] { at_10 = true; });
+  s.call_at(micros(20), [&] { at_20 = true; });
+  s.run_until(micros(20));
+  EXPECT_TRUE(at_10);
+  EXPECT_FALSE(at_20);  // deadline exclusive
+  s.run_until(micros(21));
+  EXPECT_TRUE(at_20);
+}
+
+TEST(SchedulerEdge, StepOnEmptyQueueReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(SchedulerEdge, TerminatedSchedulerIgnoresNewEvents) {
+  Scheduler s;
+  s.drain_tasks();
+  EXPECT_TRUE(s.terminated());
+  bool ran = false;
+  s.call_at(micros(5), [&] { ran = true; });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+Task forever_waiter(Channel<int>& ch, bool& got) {
+  (void)co_await ch.recv();
+  got = true;
+}
+
+TEST(SchedulerEdge, DrainDestroysSuspendedTasks) {
+  Scheduler s;
+  Channel<int> ch(s);
+  bool got = false;
+  s.spawn(forever_waiter(ch, got));
+  s.run();
+  EXPECT_EQ(s.live_task_count(), 1u);
+  s.drain_tasks();
+  EXPECT_EQ(s.live_task_count(), 0u);
+  EXPECT_FALSE(got);
+}
+
+Task drain_consumer(Channel<int>& ch, std::vector<int>& got) {
+  try {
+    for (;;) got.push_back(co_await ch.recv());
+  } catch (const ChannelClosed&) {
+  }
+}
+
+TEST(ChannelEdge, CloseDeliversQueuedItemsFirst) {
+  Scheduler s;
+  Channel<int> ch(s);
+  ch.push(1);
+  ch.push(2);
+  ch.close();
+  std::vector<int> got;
+  s.spawn(drain_consumer(ch, got));
+  s.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+Task recv_one(Channel<int>& ch, bool& closed_seen) {
+  try {
+    (void)co_await ch.recv();
+  } catch (const ChannelClosed&) {
+    closed_seen = true;
+  }
+}
+
+TEST(ChannelEdge, CloseWakesBlockedReceiverWithException) {
+  Scheduler s;
+  Channel<int> ch(s);
+  bool closed_seen = false;
+  s.spawn(recv_one(ch, closed_seen));
+  s.call_after(micros(5), [&] { ch.close(); });
+  s.run();
+  EXPECT_TRUE(closed_seen);
+}
+
+TEST(ChannelEdge, RecvOnClosedEmptyChannelThrowsImmediately) {
+  Scheduler s;
+  Channel<int> ch(s);
+  ch.close();
+  bool closed_seen = false;
+  s.spawn(recv_one(ch, closed_seen));
+  s.run();
+  EXPECT_TRUE(closed_seen);
+}
+
+Task sem_user(Scheduler& s, Semaphore& sem, std::vector<int>& order, int id) {
+  co_await sem.acquire();
+  order.push_back(id);
+  co_await delay(s, micros(10));
+  sem.release();
+}
+
+TEST(SemaphoreEdge, FifoOrderUnderContention) {
+  Scheduler s;
+  Semaphore sem(s, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) s.spawn(sem_user(s, sem, order, i));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SemaphoreEdge, TryAcquireNeverBlocks) {
+  Scheduler s;
+  Semaphore sem(s, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+Task wg_user(WaitGroup& wg) {
+  wg.done();
+  co_return;
+}
+
+TEST(WaitGroupEdge, ReusableAfterCompletion) {
+  Scheduler s;
+  WaitGroup wg(s);
+  wg.add(1);
+  s.spawn(wg_user(wg));
+  s.run();
+  EXPECT_EQ(wg.pending(), 0);
+  wg.add(2);
+  EXPECT_EQ(wg.pending(), 2);
+  s.spawn(wg_user(wg));
+  s.spawn(wg_user(wg));
+  s.run();
+  EXPECT_EQ(wg.pending(), 0);
+}
+
+Task disk_user(cluster::Host& h, std::size_t bytes, sim::Time& done_at) {
+  co_await h.disk_io(bytes);
+  done_at = h.sched().now();
+}
+
+TEST(HostEdge, DiskIoSerializesConcurrentAccess) {
+  Scheduler s;
+  net::Testbed tb(s, net::Testbed::cluster_b());
+  cluster::Host& h = tb.host(0);
+  sim::Time t1 = 0, t2 = 0;
+  // Two concurrent 11 MB reads at 110 MB/s: 100 ms each, serialized.
+  s.spawn(disk_user(h, 11'000'000, t1));
+  s.spawn(disk_user(h, 11'000'000, t2));
+  s.run();
+  const double first = std::min(to_ms(t1), to_ms(t2));
+  const double second = std::max(to_ms(t1), to_ms(t2));
+  EXPECT_NEAR(first, 100.0, 2.0);
+  EXPECT_NEAR(second, 200.0, 4.0);
+}
+
+Task core_user(cluster::Host& h, Dur d, int& running, int& peak) {
+  co_await h.compute(0);  // zero-charge shortcut must not touch cores
+  ++running;
+  peak = std::max(peak, running);
+  co_await h.compute(d);
+  --running;
+}
+
+TEST(HostEdge, ComputeBoundedByCoreCount) {
+  Scheduler s;
+  net::TestbedConfig cfg = net::Testbed::cluster_b();
+  cfg.cores_per_node = 2;
+  net::Testbed tb(s, cfg);
+  cluster::Host& h = tb.host(0);
+  int running = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) s.spawn(core_user(h, micros(100), running, peak));
+  s.run();
+  // 6 jobs x 100us on 2 cores: 300us, never more than 2 in flight inside
+  // compute (the counter brackets compute, so peak counts waiters too —
+  // assert the makespan instead).
+  EXPECT_EQ(s.now(), micros(300));
+}
+
+}  // namespace
+}  // namespace rpcoib::sim
