@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cloudburst.dir/bench_fig6_cloudburst.cpp.o"
+  "CMakeFiles/bench_fig6_cloudburst.dir/bench_fig6_cloudburst.cpp.o.d"
+  "bench_fig6_cloudburst"
+  "bench_fig6_cloudburst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cloudburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hbase.dir/bench_fig8_hbase.cpp.o"
+  "CMakeFiles/bench_fig8_hbase.dir/bench_fig8_hbase.cpp.o.d"
+  "bench_fig8_hbase"
+  "bench_fig8_hbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_buffers.dir/bench_micro_buffers.cpp.o"
+  "CMakeFiles/bench_micro_buffers.dir/bench_micro_buffers.cpp.o.d"
+  "bench_micro_buffers"
+  "bench_micro_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

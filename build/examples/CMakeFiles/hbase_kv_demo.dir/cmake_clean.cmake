@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbase_kv_demo.dir/hbase_kv_demo.cpp.o"
+  "CMakeFiles/hbase_kv_demo.dir/hbase_kv_demo.cpp.o.d"
+  "hbase_kv_demo"
+  "hbase_kv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbase_kv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbase_kv_demo.
+# This may be replaced when dependencies are built.

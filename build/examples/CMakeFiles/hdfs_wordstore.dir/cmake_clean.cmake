@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_wordstore.dir/hdfs_wordstore.cpp.o"
+  "CMakeFiles/hdfs_wordstore.dir/hdfs_wordstore.cpp.o.d"
+  "hdfs_wordstore"
+  "hdfs_wordstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_wordstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

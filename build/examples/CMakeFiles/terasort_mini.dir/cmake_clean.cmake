@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terasort_mini.dir/terasort_mini.cpp.o"
+  "CMakeFiles/terasort_mini.dir/terasort_mini.cpp.o.d"
+  "terasort_mini"
+  "terasort_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terasort_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_hbase.dir/hbase.cpp.o"
+  "CMakeFiles/rpcoib_hbase.dir/hbase.cpp.o.d"
+  "CMakeFiles/rpcoib_hbase.dir/hmaster.cpp.o"
+  "CMakeFiles/rpcoib_hbase.dir/hmaster.cpp.o.d"
+  "librpcoib_hbase.a"
+  "librpcoib_hbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_hbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

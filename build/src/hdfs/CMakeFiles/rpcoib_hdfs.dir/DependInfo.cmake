@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/datanode.cpp" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/datanode.cpp.o" "gcc" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/datanode.cpp.o.d"
+  "/root/repo/src/hdfs/dfs_client.cpp" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/dfs_client.cpp.o" "gcc" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/dfs_client.cpp.o.d"
+  "/root/repo/src/hdfs/hdfs_cluster.cpp" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/hdfs_cluster.cpp.o" "gcc" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/hdfs_cluster.cpp.o.d"
+  "/root/repo/src/hdfs/namenode.cpp" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/namenode.cpp.o" "gcc" "src/hdfs/CMakeFiles/rpcoib_hdfs.dir/namenode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpcoib/CMakeFiles/rpcoib_oib.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpcoib_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpcoib_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rpcoib_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcoib_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcoib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

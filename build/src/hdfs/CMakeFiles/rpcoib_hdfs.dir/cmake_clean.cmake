@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_hdfs.dir/datanode.cpp.o"
+  "CMakeFiles/rpcoib_hdfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/rpcoib_hdfs.dir/dfs_client.cpp.o"
+  "CMakeFiles/rpcoib_hdfs.dir/dfs_client.cpp.o.d"
+  "CMakeFiles/rpcoib_hdfs.dir/hdfs_cluster.cpp.o"
+  "CMakeFiles/rpcoib_hdfs.dir/hdfs_cluster.cpp.o.d"
+  "CMakeFiles/rpcoib_hdfs.dir/namenode.cpp.o"
+  "CMakeFiles/rpcoib_hdfs.dir/namenode.cpp.o.d"
+  "librpcoib_hdfs.a"
+  "librpcoib_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_mapred.dir/jobclient.cpp.o"
+  "CMakeFiles/rpcoib_mapred.dir/jobclient.cpp.o.d"
+  "CMakeFiles/rpcoib_mapred.dir/jobtracker.cpp.o"
+  "CMakeFiles/rpcoib_mapred.dir/jobtracker.cpp.o.d"
+  "CMakeFiles/rpcoib_mapred.dir/mr_cluster.cpp.o"
+  "CMakeFiles/rpcoib_mapred.dir/mr_cluster.cpp.o.d"
+  "CMakeFiles/rpcoib_mapred.dir/tasktracker.cpp.o"
+  "CMakeFiles/rpcoib_mapred.dir/tasktracker.cpp.o.d"
+  "librpcoib_mapred.a"
+  "librpcoib_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

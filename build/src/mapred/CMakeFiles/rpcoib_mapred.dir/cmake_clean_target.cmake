@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpcoib_mapred.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_metrics.dir/table.cpp.o"
+  "CMakeFiles/rpcoib_metrics.dir/table.cpp.o.d"
+  "librpcoib_metrics.a"
+  "librpcoib_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_net.dir/fabric.cpp.o"
+  "CMakeFiles/rpcoib_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/rpcoib_net.dir/params.cpp.o"
+  "CMakeFiles/rpcoib_net.dir/params.cpp.o.d"
+  "CMakeFiles/rpcoib_net.dir/socket.cpp.o"
+  "CMakeFiles/rpcoib_net.dir/socket.cpp.o.d"
+  "CMakeFiles/rpcoib_net.dir/testbed.cpp.o"
+  "CMakeFiles/rpcoib_net.dir/testbed.cpp.o.d"
+  "librpcoib_net.a"
+  "librpcoib_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

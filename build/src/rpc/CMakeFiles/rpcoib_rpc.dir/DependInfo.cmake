@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/socket_client.cpp" "src/rpc/CMakeFiles/rpcoib_rpc.dir/socket_client.cpp.o" "gcc" "src/rpc/CMakeFiles/rpcoib_rpc.dir/socket_client.cpp.o.d"
+  "/root/repo/src/rpc/socket_server.cpp" "src/rpc/CMakeFiles/rpcoib_rpc.dir/socket_server.cpp.o" "gcc" "src/rpc/CMakeFiles/rpcoib_rpc.dir/socket_server.cpp.o.d"
+  "/root/repo/src/rpc/writable.cpp" "src/rpc/CMakeFiles/rpcoib_rpc.dir/writable.cpp.o" "gcc" "src/rpc/CMakeFiles/rpcoib_rpc.dir/writable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rpcoib_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpcoib_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcoib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_rpc.dir/socket_client.cpp.o"
+  "CMakeFiles/rpcoib_rpc.dir/socket_client.cpp.o.d"
+  "CMakeFiles/rpcoib_rpc.dir/socket_server.cpp.o"
+  "CMakeFiles/rpcoib_rpc.dir/socket_server.cpp.o.d"
+  "CMakeFiles/rpcoib_rpc.dir/writable.cpp.o"
+  "CMakeFiles/rpcoib_rpc.dir/writable.cpp.o.d"
+  "librpcoib_rpc.a"
+  "librpcoib_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpcoib/buffer_pool.cpp" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/buffer_pool.cpp.o" "gcc" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/rpcoib/engine.cpp" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/engine.cpp.o" "gcc" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/engine.cpp.o.d"
+  "/root/repo/src/rpcoib/rdma_client.cpp" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/rdma_client.cpp.o" "gcc" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/rdma_client.cpp.o.d"
+  "/root/repo/src/rpcoib/rdma_server.cpp" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/rdma_server.cpp.o" "gcc" "src/rpcoib/CMakeFiles/rpcoib_oib.dir/rdma_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/rpcoib_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rpcoib_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpcoib_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcoib_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcoib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_oib.dir/buffer_pool.cpp.o"
+  "CMakeFiles/rpcoib_oib.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/rpcoib_oib.dir/engine.cpp.o"
+  "CMakeFiles/rpcoib_oib.dir/engine.cpp.o.d"
+  "CMakeFiles/rpcoib_oib.dir/rdma_client.cpp.o"
+  "CMakeFiles/rpcoib_oib.dir/rdma_client.cpp.o.d"
+  "CMakeFiles/rpcoib_oib.dir/rdma_server.cpp.o"
+  "CMakeFiles/rpcoib_oib.dir/rdma_server.cpp.o.d"
+  "librpcoib_oib.a"
+  "librpcoib_oib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_oib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

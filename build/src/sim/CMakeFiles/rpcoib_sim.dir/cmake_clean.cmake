@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/rpcoib_sim.dir/scheduler.cpp.o.d"
+  "librpcoib_sim.a"
+  "librpcoib_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

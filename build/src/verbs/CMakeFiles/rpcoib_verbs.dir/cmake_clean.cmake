@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/rpcoib_verbs.dir/verbs.cpp.o.d"
+  "librpcoib_verbs.a"
+  "librpcoib_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

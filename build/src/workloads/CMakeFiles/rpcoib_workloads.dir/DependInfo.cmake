@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hadoop_jobs.cpp" "src/workloads/CMakeFiles/rpcoib_workloads.dir/hadoop_jobs.cpp.o" "gcc" "src/workloads/CMakeFiles/rpcoib_workloads.dir/hadoop_jobs.cpp.o.d"
+  "/root/repo/src/workloads/pingpong.cpp" "src/workloads/CMakeFiles/rpcoib_workloads.dir/pingpong.cpp.o" "gcc" "src/workloads/CMakeFiles/rpcoib_workloads.dir/pingpong.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpcoib/CMakeFiles/rpcoib_oib.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpcoib_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/rpcoib_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbase/CMakeFiles/rpcoib_hbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/rpcoib_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/rpcoib_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpcoib_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rpcoib_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcoib_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcoib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_workloads.dir/hadoop_jobs.cpp.o"
+  "CMakeFiles/rpcoib_workloads.dir/hadoop_jobs.cpp.o.d"
+  "CMakeFiles/rpcoib_workloads.dir/pingpong.cpp.o"
+  "CMakeFiles/rpcoib_workloads.dir/pingpong.cpp.o.d"
+  "librpcoib_workloads.a"
+  "librpcoib_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

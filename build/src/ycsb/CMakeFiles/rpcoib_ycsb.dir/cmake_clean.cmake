@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_ycsb.dir/ycsb.cpp.o"
+  "CMakeFiles/rpcoib_ycsb.dir/ycsb.cpp.o.d"
+  "librpcoib_ycsb.a"
+  "librpcoib_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

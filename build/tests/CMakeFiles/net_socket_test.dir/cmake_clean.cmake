@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_socket_test.dir/net_socket_test.cpp.o"
+  "CMakeFiles/net_socket_test.dir/net_socket_test.cpp.o.d"
+  "net_socket_test"
+  "net_socket_test.pdb"
+  "net_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_socket_test.dir/rpc_socket_test.cpp.o"
+  "CMakeFiles/rpc_socket_test.dir/rpc_socket_test.cpp.o.d"
+  "rpc_socket_test"
+  "rpc_socket_test.pdb"
+  "rpc_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

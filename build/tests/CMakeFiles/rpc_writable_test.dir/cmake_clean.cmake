@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_writable_test.dir/rpc_writable_test.cpp.o"
+  "CMakeFiles/rpc_writable_test.dir/rpc_writable_test.cpp.o.d"
+  "rpc_writable_test"
+  "rpc_writable_test.pdb"
+  "rpc_writable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_writable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

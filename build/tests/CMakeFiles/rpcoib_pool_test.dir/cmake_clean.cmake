@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_pool_test.dir/rpcoib_pool_test.cpp.o"
+  "CMakeFiles/rpcoib_pool_test.dir/rpcoib_pool_test.cpp.o.d"
+  "rpcoib_pool_test"
+  "rpcoib_pool_test.pdb"
+  "rpcoib_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcoib_rpc_test.dir/rpcoib_rpc_test.cpp.o"
+  "CMakeFiles/rpcoib_rpc_test.dir/rpcoib_rpc_test.cpp.o.d"
+  "rpcoib_rpc_test"
+  "rpcoib_rpc_test.pdb"
+  "rpcoib_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcoib_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writable_roundtrip_test.dir/writable_roundtrip_test.cpp.o"
+  "CMakeFiles/writable_roundtrip_test.dir/writable_roundtrip_test.cpp.o.d"
+  "writable_roundtrip_test"
+  "writable_roundtrip_test.pdb"
+  "writable_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writable_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

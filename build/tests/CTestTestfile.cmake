@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/net_socket_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_writable_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_socket_test[1]_include.cmake")
+include("/root/repo/build/tests/rpcoib_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/rpcoib_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_test[1]_include.cmake")
+include("/root/repo/build/tests/hbase_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/writable_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_reproduction_test[1]_include.cmake")
