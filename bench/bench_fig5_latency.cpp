@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "metrics/table.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
 #include "workloads/pingpong.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpcoib;
   using oib::RpcMode;
 
@@ -45,5 +47,28 @@ int main() {
 
   std::cout << "\nPaper: RPCoIB 39us @1B, ~52us @4KB; 42-49% vs 10GigE; 46-50% vs IPoIB;\n"
                "       1.42-2.48x speedup vs 1GigE.\n";
+
+  // --trace-out=FILE: re-run the IPoIB and RPCoIB sweeps with tracing on,
+  // export chrome://tracing JSON per transport, and print where each
+  // ping-pong spends its time. (Separate runs: traced calls carry a trace
+  // context on the wire, so the table above stays untouched.)
+  const std::string trace_path = trace::trace_out_arg(argc, argv);
+  if (!trace_path.empty()) {
+    struct { RpcMode mode; const char* tag; } traced[] = {
+        {RpcMode::kSocketIPoIB, "ipoib"}, {RpcMode::kRpcoIB, "rpcoib"}};
+    for (const auto& tc : traced) {
+      trace::TraceCollector col;
+      col.set_enabled(true);
+      workloads::run_latency(tc.mode, payloads, 4, 16, 1, &col);
+      const std::string out = trace::path_with_tag(trace_path, tc.tag);
+      if (trace::write_chrome_trace_file(out, col)) {
+        std::cout << "\nwrote " << out << " (" << col.spans().size() << " spans)\n";
+      } else {
+        std::cerr << "error: could not write trace file " << out << "\n";
+      }
+      std::cout << "critical path, " << tc.tag << " (longest RPC):\n";
+      trace::print_critical_path(std::cout, col);
+    }
+  }
   return 0;
 }

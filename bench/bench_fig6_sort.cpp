@@ -5,19 +5,61 @@
 // RandomWriter by 9.1% (64 GB) / 12% (128 GB) and Sort by 12.3% / 15.2%.
 //
 // Pass a scale factor (default 1 = the full 64-slave, up-to-128 GB sweep;
-// e.g. 4 runs 16 slaves with 8-32 GB for a quick look).
+// e.g. 4 runs 16 slaves with 8-32 GB for a quick look). With
+// --trace-out=FILE, a traced RandomWriter+Sort run per transport is
+// exported as chrome://tracing JSON (FILE gets an .ipoib/.rpcoib tag) and
+// a critical-path breakdown of the Sort job span is printed.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "metrics/table.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
 #include "workloads/hadoop_jobs.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpcoib;
-  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  // Reject unknown --flags (a typo like `--trace-out sort.json` must not
+  // silently fall through to the full 64-slave sweep).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0 &&
+        std::strncmp(argv[i], "--trace-out=", 12) != 0) {
+      std::cerr << "error: unknown option " << argv[i]
+                << " (usage: bench_fig6_sort [scale] [--trace-out=FILE])\n";
+      return 2;
+    }
+  }
+  const bool explicit_scale = argc > 1 && std::strncmp(argv[1], "--", 2) != 0;
+  const int scale = explicit_scale ? std::atoi(argv[1]) : 1;
   const int slaves = 64 / scale;
   const std::vector<std::uint64_t> sizes = {32ULL << 30, 64ULL << 30, 128ULL << 30};
+
+  // Tracing mode: run a mini RandomWriter+Sort (8 slaves, 2 GB) per
+  // transport with the collector attached, export, and attribute the
+  // longest job span. Without an explicit scale argument this replaces the
+  // full sweep (a traced 128 GB / 64-slave run is needlessly slow).
+  const std::string trace_path = trace::trace_out_arg(argc, argv);
+  if (!trace_path.empty()) {
+    struct { oib::RpcMode mode; const char* tag; } traced[] = {
+        {oib::RpcMode::kSocketIPoIB, "ipoib"}, {oib::RpcMode::kRpcoIB, "rpcoib"}};
+    for (const auto& tc : traced) {
+      trace::TraceCollector col;
+      col.set_enabled(true);
+      workloads::run_randomwriter_sort(tc.mode, 8, 2ULL << 30, 7, &col);
+      const std::string out = trace::path_with_tag(trace_path, tc.tag);
+      if (trace::write_chrome_trace_file(out, col)) {
+        std::cout << "wrote " << out << " (" << col.spans().size() << " spans)\n";
+      } else {
+        std::cerr << "error: could not write trace file " << out << "\n";
+      }
+      std::cout << "critical path, " << tc.tag << " (longest job):\n";
+      trace::print_critical_path(std::cout, col);
+      std::cout << "\n";
+    }
+    if (!explicit_scale) return 0;
+  }
 
   metrics::print_banner(std::cout, "Figure 6(a): RandomWriter and Sort, " +
                                        std::to_string(slaves) + " slaves");

@@ -1,0 +1,65 @@
+// Tracing-off overhead check: with no collector attached — or a collector
+// attached but disabled — the simulation must behave *identically* to the
+// seed code path: same virtual-time results, zero spans recorded, and no
+// trace context bytes on the wire. The instrumentation guards every record
+// with a single `trace::active()` pointer test, so "off" must be free.
+//
+// Exits non-zero if the guarded fast path ever diverges.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workloads/pingpong.hpp"
+
+// assert() is compiled out under -DNDEBUG; the check must survive Release.
+#define CHECK(cond, msg)                                     \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      std::fprintf(stderr, "FAIL: %s (%s)\n", msg, #cond);   \
+      std::exit(1);                                          \
+    }                                                        \
+  } while (0)
+
+int main() {
+  using namespace rpcoib;
+  using oib::RpcMode;
+  const std::vector<std::size_t> payloads = {1, 256, 4096};
+
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    // Baseline: no tracer attached anywhere (the seed configuration).
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<workloads::LatencyResult> base =
+        workloads::run_latency(mode, payloads, 4, 64, 1, nullptr);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Attached-but-disabled tracer: hosts carry the pointer, but
+    // trace::active() returns null, so every span site is a no-op.
+    trace::TraceCollector off;
+    off.set_enabled(false);
+    std::vector<workloads::LatencyResult> disabled =
+        workloads::run_latency(mode, payloads, 4, 64, 1, &off);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    CHECK(off.spans().empty(), "disabled tracer must record nothing");
+    CHECK(base.size() == disabled.size(), "result count mismatch");
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      // Deterministic sim + identical wire bytes => bit-identical results.
+      CHECK(base[i].avg_us == disabled[i].avg_us,
+            "tracing-off run diverged from untraced run");
+      CHECK(base[i].p99_us == disabled[i].p99_us,
+            "tracing-off run diverged from untraced run (p99)");
+    }
+
+    const double ms_base =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double ms_off =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf("mode=%d untraced %.1f ms, disabled-tracer %.1f ms (%+.1f%%)\n",
+                static_cast<int>(mode), ms_base, ms_off,
+                (ms_off / ms_base - 1.0) * 100.0);
+  }
+  std::printf("PASS: disabled tracing is behavior-identical to no tracing\n");
+  return 0;
+}

@@ -17,6 +17,10 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
+namespace rpcoib::trace {
+class TraceCollector;
+}  // namespace rpcoib::trace
+
 namespace rpcoib::cluster {
 
 /// Index of a host within its cluster.
@@ -41,6 +45,10 @@ class Host {
   const std::string& name() const { return name_; }
   const CostModel& cost() const { return cost_; }
   sim::Rng& rng() { return rng_; }
+
+  /// Tracing sink for everything running on this host (null = untraced).
+  trace::TraceCollector* tracer() const { return tracer_; }
+  void set_tracer(trace::TraceCollector* t) { tracer_ = t; }
 
   /// Occupy one CPU core for `d` of virtual time (queueing if all cores
   /// are busy). Zero-duration charges return immediately without touching
@@ -77,6 +85,7 @@ class Host {
   CostModel cost_;
   sim::Rng rng_;
   sim::Semaphore cores_;
+  trace::TraceCollector* tracer_ = nullptr;
   double disk_bw_gbps_ = 0.11;  // ~110 MB/s HDD, per the testbed's single disk
   sim::Time disk_free_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::hbase {
 
 using sim::Co;
@@ -51,28 +53,38 @@ void RegionServer::stop() {
   if (server_) server_->stop();
 }
 
-sim::Co<void> RegionServer::append_wal(std::size_t bytes) {
+sim::Co<void> RegionServer::append_wal(std::size_t bytes, trace::TraceContext ctx) {
   // Group commit: the batch's bytes go down the WAL pipeline and the
   // NameNode is consulted for the append's block bookkeeping — the
   // durability sync that puts wait on in real HBase.
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope wal(tr, "wal.sync", trace::Kind::kInternal, trace::Category::kDisk,
+                       ctx, host_.id());
   const net::Transport t = hdfs::data_transport(hdfs_.data_mode());
   const auto dns = hdfs_.namenode().live_datanodes();
   if (!dns.empty()) {
     const auto dn = dns[static_cast<std::size_t>(index_) % dns.size()];
     co_await hbase_engine_.testbed().fabric().transfer(host_.id(), dn, t, bytes);
   }
+  wal.activate();
   const bool ok = co_await dfs_->renew_lease("/hbase/wal-" + std::to_string(index_));
   (void)ok;
+  wal.end();
 }
 
-sim::Task RegionServer::flush_memstore(std::uint64_t bytes) {
+sim::Task RegionServer::flush_memstore(std::uint64_t bytes, trace::TraceContext ctx) {
   // HFile flush: the full HDFS write path (create/addBlock/pipeline/
   // blockReceived/complete) — where Hadoop RPC performance bites Fig. 8.
   // The region blocks updates until the flush finishes.
   ++flushes_;
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope flush(tr, "memstore.flush", trace::Kind::kInternal,
+                         trace::Category::kDisk, ctx, host_.id());
+  flush.activate();
   co_await dfs_->write_file("/hbase/region-" + std::to_string(index_) + "/hfile-" +
                                 std::to_string(flush_seq_++),
                             bytes);
+  flush.end();
   flushing_ = false;
   flush_done_->set();
 }
@@ -82,6 +94,7 @@ void RegionServer::register_handlers() {
 
   d.register_method(kRegionProtocol, "put",
                     [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+                      const trace::TraceContext hctx = in.trace_context;
                       PutParam p;
                       p.read_fields(in);
                       ++puts_;
@@ -95,7 +108,7 @@ void RegionServer::register_handlers() {
                         const std::size_t batch =
                             wal_pending_puts_ * (cfg_.record_bytes + 64);
                         wal_pending_puts_ = 0;
-                        co_await append_wal(batch);
+                        co_await append_wal(batch, hctx);
                       }
                       if (memstore_bytes_ >= cfg_.memstore_flush_bytes && !flushing_) {
                         flushing_ = true;
@@ -104,7 +117,7 @@ void RegionServer::register_handlers() {
                         memstore_bytes_ = 0;
                         for (auto& [k, v] : memstore_) store_[k] = v;
                         memstore_.clear();
-                        host_.sched().spawn(flush_memstore(to_flush));
+                        host_.sched().spawn(flush_memstore(to_flush, hctx));
                       }
                       rpc::BooleanWritable(true).write(out);
                       co_return;
@@ -112,6 +125,7 @@ void RegionServer::register_handlers() {
 
   d.register_method(
       kRegionProtocol, "get", [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        const trace::TraceContext hctx = in.trace_context;
         GetParam p;
         p.read_fields(in);
         ++gets_;
@@ -126,9 +140,17 @@ void RegionServer::register_handlers() {
             // HFile read: local disk + occasional NameNode block lookup.
             r.found = true;
             r.value.assign(sit->second, net::Byte{0x42});
+            trace::TraceCollector* tr = trace::active(host_.tracer());
+            const sim::Time t_disk = host_.sched().now();
             co_await host_.disk_io(sit->second + 4096);  // record + index block
+            if (tr != nullptr && hctx.valid()) {
+              tr->add_complete("hfile.read", trace::Kind::kInternal,
+                               trace::Category::kDisk, hctx, host_.id(), t_disk,
+                               host_.sched().now());
+            }
             ++get_misses_;
             if (get_misses_ % static_cast<std::uint64_t>(cfg_.get_nn_interval) == 0) {
+              trace::activate(tr, hctx);
               hdfs::LocatedBlocksResult lb = co_await dfs_->get_block_locations(
                   "/hbase/region-" + std::to_string(index_) + "/hfile-0", 0,
                   cfg_.record_bytes);
@@ -175,20 +197,32 @@ net::Address HTable::region_for(const std::string& key) const {
 }
 
 sim::Co<void> HTable::put(const std::string& key, net::ByteSpan value) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope op(tr, "hbase.put", trace::Kind::kInternal, trace::Category::kOther,
+                      tr != nullptr ? tr->take_ambient() : trace::TraceContext{},
+                      host_.id());
   co_await ensure_regions();
   PutParam p;
   p.key = key;
   p.value.assign(value.begin(), value.end());
   rpc::BooleanWritable ok;
+  op.activate();
   co_await rpc_->call(region_for(key), kPut, p, &ok);
+  op.end();
 }
 
 sim::Co<GetResult> HTable::get(const std::string& key) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope op(tr, "hbase.get", trace::Kind::kInternal, trace::Category::kOther,
+                      tr != nullptr ? tr->take_ambient() : trace::TraceContext{},
+                      host_.id());
   co_await ensure_regions();
   GetParam p;
   p.key = key;
   GetResult r;
+  op.activate();
   co_await rpc_->call(region_for(key), kGet, p, &r);
+  op.end();
   co_return r;
 }
 

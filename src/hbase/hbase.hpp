@@ -23,6 +23,7 @@
 #include "hbase/hmaster.hpp"
 #include "hdfs/hdfs_cluster.hpp"
 #include "sim/sync.hpp"
+#include "trace/context.hpp"
 
 namespace rpcoib::hbase {
 
@@ -115,8 +116,8 @@ class RegionServer {
 
  private:
   void register_handlers();
-  sim::Co<void> append_wal(std::size_t bytes);
-  sim::Task flush_memstore(std::uint64_t bytes);
+  sim::Co<void> append_wal(std::size_t bytes, trace::TraceContext ctx = {});
+  sim::Task flush_memstore(std::uint64_t bytes, trace::TraceContext ctx = {});
   sim::Task report_to_master(net::Address master_addr);
 
   std::unique_ptr<sim::SimEvent> flush_done_;

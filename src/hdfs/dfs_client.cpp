@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::hdfs {
 
 using sim::Co;
@@ -93,11 +95,17 @@ sim::Co<LocatedBlocksResult> DFSClient::get_block_locations(const std::string& p
 }
 
 sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbytes) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope blk(tr, "hdfs.block", trace::Kind::kInternal, trace::Category::kWire,
+                       tr != nullptr ? tr->take_ambient() : trace::TraceContext{},
+                       host_.id());
+  const trace::TraceContext ctx = blk.context();
   // addBlock -> targets.
   AddBlockParam ab;
   ab.path = path;
   ab.client = name_;
   LocatedBlockResult lb;
+  trace::activate(tr, ctx);
   co_await rpc_->call(nn_addr_, kAddBlock, ab, &lb);
   lb.located.block.num_bytes = nbytes;
 
@@ -117,7 +125,12 @@ sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbyt
   const sim::Dur send_cpu =
       data_packet_send_cost(host_.cost(), data_mode_, cfg_.packet_size) *
       packets;
+  const sim::Time t_cpu = host_.sched().now();
   co_await host_.compute(send_cpu);
+  if (ctx.valid()) {
+    tr->add_complete("block.send_cpu", trace::Kind::kInternal, trace::Category::kSend,
+                     ctx, host_.id(), t_cpu, host_.sched().now());
+  }
   co_await fabric_.transfer(host_.id(), lb.located.locations.front(), t, nbytes);
 
   // Forwarding: reserve intermediate egress (contends with other
@@ -153,22 +166,32 @@ sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbyt
   for (int i = 0; i < syncs; ++i) {
     PathParam p(path, name_);
     rpc::BooleanWritable ok;
+    trace::activate(tr, ctx);
     co_await rpc_->call(nn_addr_, kRenewLease, p, &ok);
   }
+  blk.end();
 }
 
 sim::Co<void> DFSClient::write_file(const std::string& path, std::uint64_t nbytes) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope file(tr, "hdfs.write", trace::Kind::kInternal, trace::Category::kOther,
+                        tr != nullptr ? tr->take_ambient() : trace::TraceContext{},
+                        host_.id());
+  const trace::TraceContext ctx = file.context();
+  if (file) file.annotate("bytes", std::to_string(nbytes));
   CreateParam cp;
   cp.path = path;
   cp.client = name_;
   cp.replication = static_cast<std::uint16_t>(cfg_.replication);
   cp.block_size = cfg_.block_size;
   rpc::BooleanWritable ok;
+  trace::activate(tr, ctx);
   co_await rpc_->call(nn_addr_, kCreate, cp, &ok);
 
   std::uint64_t remaining = nbytes;
   while (remaining > 0) {
     const std::uint64_t n = std::min(remaining, cfg_.block_size);
+    trace::activate(tr, ctx);
     co_await write_block(path, n);
     remaining -= n;
   }
@@ -177,10 +200,12 @@ sim::Co<void> DFSClient::write_file(const std::string& path, std::uint64_t nbyte
   PathParam p(path, name_);
   for (;;) {
     rpc::BooleanWritable done;
+    trace::activate(tr, ctx);
     co_await rpc_->call(nn_addr_, kComplete, p, &done);
     if (done.value) break;
     co_await sim::delay(host_.sched(), sim::millis(400));  // Hadoop's retry backoff
   }
+  file.end();
 }
 
 sim::Co<std::uint64_t> DFSClient::read_file(const std::string& path) {

@@ -1,5 +1,7 @@
 #include "mapred/jobclient.hpp"
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::mapred {
 
 namespace {
@@ -11,19 +13,26 @@ JobClient::JobClient(cluster::Host& host, oib::RpcEngine& engine, net::Address j
     : host_(host), jt_addr_(jt_addr), rpc_(engine.make_client(host)) {}
 
 sim::Co<JobId> JobClient::submit(const JobSpec& spec) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  const trace::TraceContext ctx =
+      tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
   JobSubmission sub;
   sub.id = next_id_++;
   sub.spec = spec;
+  sub.set_ctx(ctx);  // the job span rides in the submission payload too
   rpc::BooleanWritable ok;
+  trace::activate(tr, ctx);
   co_await rpc_->call(jt_addr_, kSubmitJob, sub, &ok);
   co_return sub.id;
 }
 
-sim::Co<double> JobClient::wait_for_completion(JobId id) {
+sim::Co<double> JobClient::wait_for_completion(JobId id, trace::TraceContext ctx) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
   const sim::Time start = host_.sched().now();
   rpc::IntWritable param(id);
   for (;;) {
     JobStatusResult st;
+    trace::activate(tr, ctx);
     co_await rpc_->call(jt_addr_, kGetJobStatus, param, &st);
     if (st.exists && st.complete) break;
     co_await sim::delay(host_.sched(), sim::millis(250));
@@ -32,8 +41,15 @@ sim::Co<double> JobClient::wait_for_completion(JobId id) {
 }
 
 sim::Co<double> JobClient::run(const JobSpec& spec) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope job(tr, "job:" + spec.name, trace::Kind::kInternal,
+                       trace::Category::kOther,
+                       tr != nullptr ? tr->take_ambient() : trace::TraceContext{},
+                       host_.id());
+  job.activate();
   const JobId id = co_await submit(spec);
-  const double secs = co_await wait_for_completion(id);
+  const double secs = co_await wait_for_completion(id, job.context());
+  job.end();
   co_return secs;
 }
 

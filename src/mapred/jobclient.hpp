@@ -7,6 +7,7 @@
 #include "mapred/types.hpp"
 #include "rpc/rpc.hpp"
 #include "rpcoib/engine.hpp"
+#include "trace/context.hpp"
 
 namespace rpcoib::mapred {
 
@@ -17,8 +18,9 @@ class JobClient {
   sim::Co<JobId> submit(const JobSpec& spec);
 
   /// Poll getJobStatus once a second until the job completes; returns the
-  /// job execution time in virtual seconds.
-  sim::Co<double> wait_for_completion(JobId id);
+  /// job execution time in virtual seconds. `ctx` (optional) parents the
+  /// poll RPCs to the caller's job span.
+  sim::Co<double> wait_for_completion(JobId id, trace::TraceContext ctx = {});
 
   /// submit + wait.
   sim::Co<double> run(const JobSpec& spec);

@@ -1,5 +1,7 @@
 #include "mapred/jobtracker.hpp"
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::mapred {
 
 using sim::Co;
@@ -61,6 +63,7 @@ void JobTracker::register_handlers() {
                       Job job;
                       job.id = sub.id;
                       job.spec = sub.spec;
+                      job.trace_ctx = sub.ctx();
                       job.submit_time = host_.sched().now();
                       for (TaskId t = 0; t < sub.spec.num_maps; ++t) {
                         job.pending_maps.push_back(t);
@@ -118,16 +121,30 @@ void JobTracker::register_handlers() {
         for (auto& [id, job] : jobs_) {
           if (job.complete) continue;
           while (free_maps > 0 && !job.pending_maps.empty()) {
-            resp.new_tasks.push_back(
-                TaskAssignment{job.id, job.pending_maps.front(), TaskType::kMap});
+            TaskAssignment a{job.id, job.pending_maps.front(), TaskType::kMap};
+            a.set_ctx(job.trace_ctx);
+            if (!job.first_assign_traced) {
+              // Attribute the submit -> first-heartbeat scheduling gap
+              // (up to one heartbeat interval) as queueing, not job-other.
+              job.first_assign_traced = true;
+              trace::TraceCollector* tr = trace::active(host_.tracer());
+              if (tr != nullptr && job.trace_ctx.valid()) {
+                tr->add_complete("assign.wait", trace::Kind::kInternal,
+                                 trace::Category::kQueue, job.trace_ctx,
+                                 host_.id(), job.submit_time,
+                                 host_.sched().now());
+              }
+            }
+            resp.new_tasks.push_back(a);
             job.pending_maps.pop_front();
             --free_maps;
           }
           const bool slowstart_met =
               job.maps_done * 20 >= job.spec.num_maps || job.pending_maps.empty();
           while (free_reduces > 0 && slowstart_met && !job.pending_reduces.empty()) {
-            resp.new_tasks.push_back(
-                TaskAssignment{job.id, job.pending_reduces.front(), TaskType::kReduce});
+            TaskAssignment a{job.id, job.pending_reduces.front(), TaskType::kReduce};
+            a.set_ctx(job.trace_ctx);
+            resp.new_tasks.push_back(a);
             job.pending_reduces.pop_front();
             --free_reduces;
           }

@@ -52,6 +52,8 @@ class JobTracker {
     sim::Time submit_time = 0;
     sim::Time finish_time = 0;
     std::vector<std::int32_t> completed_map_hosts;  // shuffle sources
+    trace::TraceContext trace_ctx;  // submitting client's job span
+    bool first_assign_traced = false;
   };
 
   void register_handlers();

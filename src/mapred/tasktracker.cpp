@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::mapred {
 
 using sim::Co;
@@ -216,14 +218,44 @@ sim::Co<MapCompletionEventsResult> TaskTracker::umbilical_completion_events(JobI
   co_return r;
 }
 
+sim::Co<void> TaskTracker::traced_disk(trace::TraceContext ctx, const char* name,
+                                       std::uint64_t bytes) {
+  const sim::Time t0 = host_.sched().now();
+  co_await host_.disk_io(bytes);
+  if (ctx.valid()) {
+    if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
+      tr->add_complete(name, trace::Kind::kInternal, trace::Category::kDisk, ctx,
+                       host_.id(), t0, host_.sched().now());
+    }
+  }
+}
+
+sim::Co<void> TaskTracker::traced_compute(trace::TraceContext ctx, const char* name,
+                                          sim::Dur d) {
+  const sim::Time t0 = host_.sched().now();
+  co_await host_.compute(d);
+  if (ctx.valid()) {
+    if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
+      tr->add_complete(name, trace::Kind::kInternal, trace::Category::kCompute, ctx,
+                       host_.id(), t0, host_.sched().now());
+    }
+  }
+}
+
 sim::Co<void> TaskTracker::run_map(const TaskAssignment& t, const JobSpec& spec) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope task(tr, "task:map:" + std::to_string(t.task), trace::Kind::kInternal,
+                        trace::Category::kCompute, t.ctx(), host_.id());
+  const trace::TraceContext ctx = task.context();
   // Child JVM launch + localization (job.xml / job.jar / split metadata).
   co_await sim::delay(host_.sched(), spec.task_startup);
   for (int i = 0; i < spec.localization_nn_calls; ++i) {
+    trace::activate(tr, ctx);
     hdfs::FileStatusResult r = co_await dfs_->get_file_info("/jobs/job_" +
                                                             std::to_string(t.job) + ".xml");
     (void)r;
   }
+  trace::activate(tr, ctx);
   co_await umbilical_get_task(t);
 
   const std::uint64_t split =
@@ -235,9 +267,11 @@ sim::Co<void> TaskTracker::run_map(const TaskAssignment& t, const JobSpec& spec)
   // Benchmark inputs are synthetic, so a missing file is tolerated: the
   // RPC round trips still happen and the split is read locally.
   if (split > 0) {
+    trace::activate(tr, ctx);
     hdfs::FileStatusResult fs = co_await dfs_->get_file_info(spec.output_path + "/input");
     (void)fs;
     try {
+      trace::activate(tr, ctx);
       hdfs::LocatedBlocksResult lb =
           co_await dfs_->get_block_locations(spec.output_path + "/input", 0, split);
       (void)lb;
@@ -248,32 +282,44 @@ sim::Co<void> TaskTracker::run_map(const TaskAssignment& t, const JobSpec& spec)
 
   // Process the split in thirds: read, compute, report progress.
   for (int phase = 1; phase <= 3; ++phase) {
-    co_await host_.disk_io(split / 3);
-    co_await host_.compute(sim::from_us(split_mb / 3.0 * spec.map_cpu_us_per_mb));
+    co_await traced_disk(ctx, "map.read", split / 3);
+    co_await traced_compute(ctx, "map.func",
+                            sim::from_us(split_mb / 3.0 * spec.map_cpu_us_per_mb));
+    trace::activate(tr, ctx);
     co_await umbilical_status(t, static_cast<float>(phase) / 3.0f);
   }
+  trace::activate(tr, ctx);
   co_await umbilical_simple("ping", t);
 
   // Spill + sort the map output to local disk.
   const auto map_out =
       static_cast<std::uint64_t>(static_cast<double>(split) * spec.map_output_ratio);
-  if (map_out > 0) co_await host_.disk_io(map_out);
+  if (map_out > 0) co_await traced_disk(ctx, "map.spill", map_out);
 
   // RandomWriter-style direct HDFS output for map-only jobs.
   if (spec.map_direct_output_bytes > 0) {
+    trace::activate(tr, ctx);
     co_await dfs_->write_file(spec.output_path + "/part-m-" + std::to_string(t.task),
                               spec.map_direct_output_bytes);
   }
+  trace::activate(tr, ctx);
   co_await umbilical_simple("done", t);
 }
 
 sim::Co<void> TaskTracker::run_reduce(const TaskAssignment& t, const JobSpec& spec) {
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  trace::SpanScope task(tr, "task:reduce:" + std::to_string(t.task),
+                        trace::Kind::kInternal, trace::Category::kCompute, t.ctx(),
+                        host_.id());
+  const trace::TraceContext ctx = task.context();
   co_await sim::delay(host_.sched(), spec.task_startup);
   for (int i = 0; i < spec.localization_nn_calls; ++i) {
+    trace::activate(tr, ctx);
     hdfs::FileStatusResult r = co_await dfs_->get_file_info("/jobs/job_" +
                                                             std::to_string(t.job) + ".xml");
     (void)r;
   }
+  trace::activate(tr, ctx);
   co_await umbilical_get_task(t);
 
   const std::uint64_t shuffle_total = static_cast<std::uint64_t>(
@@ -290,16 +336,24 @@ sim::Co<void> TaskTracker::run_reduce(const TaskAssignment& t, const JobSpec& sp
   const net::Transport shuffle_t = hdfs::data_transport(hdfs_.data_mode());
   int polls_without_progress = 0;
   for (;;) {
+    trace::activate(tr, ctx);
     MapCompletionEventsResult ev = co_await umbilical_completion_events(t.job);
     while (fetched < ev.completed_map_hosts.size()) {
       const auto src = static_cast<cluster::HostId>(ev.completed_map_hosts[fetched]);
       if (per_map_seg > 0) {
+        const sim::Time t_fetch = host_.sched().now();
         co_await engine_.testbed().fabric().transfer(src, host_.id(), shuffle_t,
                                                      per_map_seg);
-        co_await host_.disk_io(per_map_seg);  // shuffle spill to local disk
+        if (ctx.valid()) {
+          tr->add_complete("shuffle.fetch", trace::Kind::kInternal,
+                           trace::Category::kWire, ctx, host_.id(), t_fetch,
+                           host_.sched().now());
+        }
+        co_await traced_disk(ctx, "shuffle.spill", per_map_seg);
       }
       ++fetched;
       if (fetched % 16 == 0) {
+        trace::activate(tr, ctx);
         co_await umbilical_status(
             t, 0.33f * static_cast<float>(fetched) /
                    static_cast<float>(std::max(ev.total_maps, 1)));
@@ -316,9 +370,12 @@ sim::Co<void> TaskTracker::run_reduce(const TaskAssignment& t, const JobSpec& sp
       spec.num_reduces > 0 ? shuffle_total / static_cast<std::uint64_t>(spec.num_reduces)
                            : 0;
   const double in_mb = static_cast<double>(reduce_in) / 1e6;
-  co_await host_.disk_io(reduce_in);  // merge pass
+  co_await traced_disk(ctx, "reduce.merge", reduce_in);
+  trace::activate(tr, ctx);
   co_await umbilical_status(t, 0.66f);
-  co_await host_.compute(sim::from_us(in_mb * spec.reduce_cpu_us_per_mb));
+  co_await traced_compute(ctx, "reduce.func",
+                          sim::from_us(in_mb * spec.reduce_cpu_us_per_mb));
+  trace::activate(tr, ctx);
   co_await umbilical_status(t, 0.9f);
 
   // Output commit: the RPC-heavy tail of Table I's Reduce column —
@@ -326,13 +383,18 @@ sim::Co<void> TaskTracker::run_reduce(const TaskAssignment& t, const JobSpec& sp
   // commitPending/canCommit/done umbilical handshake.
   const auto out_bytes = static_cast<std::uint64_t>(static_cast<double>(reduce_in) *
                                                     spec.reduce_output_ratio);
+  trace::activate(tr, ctx);
   co_await umbilical_simple("commitPending", t);
+  trace::activate(tr, ctx);
   co_await umbilical_simple("canCommit", t);
   if (out_bytes > 0) {
+    trace::activate(tr, ctx);
     co_await dfs_->write_file(spec.output_path + "/part-r-" + std::to_string(t.task),
                               out_bytes);
   }
+  trace::activate(tr, ctx);
   co_await umbilical_status(t, 1.0f);
+  trace::activate(tr, ctx);
   co_await umbilical_simple("done", t);
 }
 

@@ -69,6 +69,12 @@ class TaskTracker {
   sim::Co<MapCompletionEventsResult> umbilical_completion_events(JobId job);
   void register_umbilical_handlers();
 
+  // Traced wrappers around modeled disk/compute charges: record a span
+  // under `ctx` (the task span) when tracing is live, no-ops otherwise.
+  sim::Co<void> traced_disk(trace::TraceContext ctx, const char* name,
+                            std::uint64_t bytes);
+  sim::Co<void> traced_compute(trace::TraceContext ctx, const char* name, sim::Dur d);
+
   cluster::Host& host_;
   oib::RpcEngine& engine_;
   net::Address jt_addr_;

@@ -11,6 +11,7 @@
 
 #include "rpc/writable.hpp"
 #include "sim/time.hpp"
+#include "trace/context.hpp"
 
 namespace rpcoib::mapred {
 
@@ -64,8 +65,21 @@ struct JobStatus {
 struct JobSubmission final : rpc::Writable {
   JobId id = -1;
   JobSpec spec;
+  // Job-scoped trace context (vi64-encoded: one byte each when untraced),
+  // so every task the job spawns parents to the submitter's job span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  trace::TraceContext ctx() const { return trace::TraceContext{trace_id, span_id}; }
+  void set_ctx(trace::TraceContext c) {
+    trace_id = c.trace_id;
+    span_id = c.span_id;
+  }
+
   void write(rpc::DataOutput& out) const override {
     out.write_vi32(id);
+    out.write_vi64(static_cast<std::int64_t>(trace_id));
+    out.write_vi64(static_cast<std::int64_t>(span_id));
     out.write_text(spec.name);
     out.write_vi32(spec.num_maps);
     out.write_vi32(spec.num_reduces);
@@ -83,6 +97,8 @@ struct JobSubmission final : rpc::Writable {
   }
   void read_fields(rpc::DataInput& in) override {
     id = in.read_vi32();
+    trace_id = static_cast<std::uint64_t>(in.read_vi64());
+    span_id = static_cast<std::uint64_t>(in.read_vi64());
     spec.name = in.read_text();
     spec.num_maps = in.read_vi32();
     spec.num_reduces = in.read_vi32();
@@ -105,16 +121,30 @@ struct TaskAssignment {
   JobId job = -1;
   TaskId task = -1;
   TaskType type = TaskType::kMap;
+  // Job span context, stamped by the JobTracker on new assignments so the
+  // tracker's task span parents to the submitting client's job span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  trace::TraceContext ctx() const { return trace::TraceContext{trace_id, span_id}; }
+  void set_ctx(trace::TraceContext c) {
+    trace_id = c.trace_id;
+    span_id = c.span_id;
+  }
 
   void write(rpc::DataOutput& out) const {
     out.write_vi32(job);
     out.write_vi32(task);
     out.write_u8(static_cast<std::uint8_t>(type));
+    out.write_vi64(static_cast<std::int64_t>(trace_id));
+    out.write_vi64(static_cast<std::int64_t>(span_id));
   }
   void read_fields(rpc::DataInput& in) {
     job = in.read_vi32();
     task = in.read_vi32();
     type = static_cast<TaskType>(in.read_u8());
+    trace_id = static_cast<std::uint64_t>(in.read_vi64());
+    span_id = static_cast<std::uint64_t>(in.read_vi64());
   }
 };
 

@@ -1,5 +1,7 @@
 #include "net/testbed.hpp"
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::net {
 
 namespace {
@@ -32,6 +34,14 @@ Testbed::Testbed(sim::Scheduler& sched, const TestbedConfig& cfg)
       hosts_(make_hosts(sched, cfg)),
       fabric_(sched, hosts_.size()),
       sockets_(fabric_, raw_hosts(hosts_)) {}
+
+void Testbed::set_tracer(trace::TraceCollector* t) {
+  if (t != nullptr) {
+    t->bind(&sched_);
+    for (const auto& h : hosts_) t->set_host_name(h->id(), h->name());
+  }
+  for (const auto& h : hosts_) h->set_tracer(t);
+}
 
 TestbedConfig Testbed::cluster_a(int nodes) {
   TestbedConfig cfg;

@@ -40,6 +40,11 @@ class Testbed {
   int size() const { return static_cast<int>(hosts_.size()); }
   const TestbedConfig& config() const { return cfg_; }
 
+  /// Attach a trace collector to every host (null detaches). Binds the
+  /// collector to this testbed's scheduler and registers host names for
+  /// the exporter's process labels.
+  void set_tracer(trace::TraceCollector* t);
+
   /// The paper's Cluster A at the requested scale (default full 65 nodes).
   static TestbedConfig cluster_a(int nodes = 65);
   /// The paper's Cluster B (9 nodes, adds 10GigE).

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "rpc/buffers.hpp"
+#include "trace/trace.hpp"
 
 namespace rpcoib::rpc {
 
@@ -102,21 +103,43 @@ sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
 
 sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
                                     const Writable& param, Writable* response) {
+  // Consume the ambient trace parent before the first suspension point
+  // (see trace.hpp's propagation discipline).
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  const trace::TraceContext t_parent =
+      tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
   const cluster::CostModel& cm = host_.cost();
   const sim::Time t_start = host_.sched().now();
+  trace::SpanScope rpc(tr, "rpc:" + key.method, trace::Kind::kClient,
+                       trace::Category::kWire, t_parent, host_.id());
+  const trace::TraceContext ctx = rpc.context();
   ConnectionPtr conn = co_await get_connection(addr);
   // Shared Hadoop RPC framework cost (call table, synchronization).
   co_await host_.compute(cm.rpc_framework());
 
   // --- Serialization (Listing 1, lines 2-7) ---------------------------
+  const sim::Time t_ser_start = host_.sched().now();
   DataOutputBuffer d(cm, kClientInitialBuffer);
   const std::uint64_t id = next_call_id_++;
-  d.write_u64(id);
+  if (ctx.valid()) {
+    // Flagged id announces two extra context words; untraced calls keep
+    // the seed wire format byte-for-byte.
+    d.write_u64(id | trace::kWireTraceFlag);
+    d.write_u64(ctx.trace_id);
+    d.write_u64(ctx.span_id);
+  } else {
+    d.write_u64(id);
+  }
   d.write_text(key.protocol);
   d.write_text(key.method);
   param.write(d);
   co_await host_.compute(d.take_accrued());
   const sim::Time t_serialized = host_.sched().now();
+  if (ctx.valid()) {
+    tr->add_complete("serialize", trace::Kind::kInternal,
+                     trace::Category::kSerialization, ctx, host_.id(), t_ser_start,
+                     t_serialized);
+  }
 
   // --- Sending (Listing 1, lines 9-13) --------------------------------
   BufferedOutputStream out(cm);
@@ -135,6 +158,10 @@ sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
     co_await conn->sock->write(wire);
   }
   const sim::Time t_sent = host_.sched().now();
+  if (ctx.valid()) {
+    tr->add_complete("send", trace::Kind::kInternal, trace::Category::kSend, ctx,
+                     host_.id(), t_serialized, t_sent);
+  }
 
   // --- Profiling (Table I / Fig. 3 feeds) ------------------------------
   MethodProfile& prof = stats_.method(key);
@@ -142,9 +169,7 @@ sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
   prof.serialize_us.add(sim::to_us(t_serialized - t_start));
   prof.send_us.add(sim::to_us(t_sent - t_serialized));
   prof.msg_bytes.add(static_cast<double>(d.length()));
-  if (stats_.record_sequences) {
-    prof.size_sequence.push_back(static_cast<std::uint32_t>(d.length()));
-  }
+  stats_.record_size(prof, static_cast<std::uint32_t>(d.length()));
   ++stats_.calls_sent;
 
   co_await pc.done.wait();
@@ -154,11 +179,18 @@ sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
     throw RemoteException(pc.error_msg);
   }
   if (response != nullptr) {
+    const sim::Time t_deser = host_.sched().now();
     DataInputBuffer in(cm, pc.value);
     response->read_fields(in);
     co_await host_.compute(in.take_accrued());
+    if (ctx.valid()) {
+      tr->add_complete("deserialize", trace::Kind::kInternal,
+                       trace::Category::kSerialization, ctx, host_.id(), t_deser,
+                       host_.sched().now());
+    }
   }
   prof.total_us.add(sim::to_us(host_.sched().now() - t_start));
+  rpc.end();
 }
 
 }  // namespace rpcoib::rpc

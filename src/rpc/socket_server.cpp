@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "rpc/buffers.hpp"
+#include "trace/trace.hpp"
 
 namespace rpcoib::rpc {
 
@@ -107,12 +108,25 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn) {
       call.recv_start = t_recv_start;
       call.recv_alloc = alloc_cost;
       call.id = in.read_u64();
+      if ((call.id & trace::kWireTraceFlag) != 0) {
+        call.id &= ~trace::kWireTraceFlag;
+        call.ctx.trace_id = in.read_u64();
+        call.ctx.span_id = in.read_u64();
+      }
       call.key.protocol = in.read_text();
       call.key.method = in.read_text();
       call.param_off = in.position();
       co_await host_.compute(in.take_accrued());
+      if (call.ctx.valid()) {
+        if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
+          tr->add_complete("recv:" + call.key.method, trace::Kind::kServer,
+                           trace::Category::kRecv, call.ctx, host_.id(), t_recv_start,
+                           host_.sched().now());
+        }
+      }
       call.conn = conn;
       call.frame = std::move(frame);
+      call.enqueued = host_.sched().now();
       call_queue_->push(std::move(call));
     }
   } catch (const net::SocketError&) {
@@ -126,11 +140,20 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
   try {
     for (;;) {
       ServerCall call = co_await call_queue_->recv();
+      trace::TraceCollector* tr =
+          call.ctx.valid() ? trace::active(host_.tracer()) : nullptr;
+      if (tr != nullptr) {
+        tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue,
+                         call.ctx, host_.id(), call.enqueued, host_.sched().now());
+      }
+      trace::SpanScope handle(tr, "handle:" + call.key.method, trace::Kind::kServer,
+                              trace::Category::kHandler, call.ctx, host_.id());
       co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
 
       // Deserialize the param and invoke the method; the server-side
       // output buffer starts at 10 KB (Section II-A).
       DataInputBuffer in(cm, net::ByteSpan(call.frame).subspan(call.param_off));
+      in.trace_context = handle.context();
       DataOutputBuffer out(cm, kServerInitialBuffer);
       bool error = false;
       std::string error_msg;
@@ -167,6 +190,7 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
       frame.flush();
       co_await host_.compute(hdr.take_accrued() + frame.take_accrued() + cm.rpc_framework());
 
+      handle.end();
       response_queue_->push(Response{call.conn, frame.take_pending()});
       ++stats_.calls_handled;
     }

@@ -17,6 +17,7 @@
 #include "rpc/rpc.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
+#include "trace/context.hpp"
 
 namespace rpcoib::rpc {
 
@@ -44,6 +45,8 @@ class SocketRpcServer final : public RpcServer {
     std::size_t param_off = 0;  // offset of the param bytes within frame
     sim::Time recv_start = 0;   // when the frame began arriving (Fig. 1)
     sim::Dur recv_alloc = 0;    // buffer-allocation share of the receive path
+    trace::TraceContext ctx;    // caller's trace context (from the wire)
+    sim::Time enqueued = 0;     // when the call entered the call queue
   };
   struct Response {
     net::SocketPtr conn;

@@ -23,13 +23,29 @@ struct MethodProfile {
   metrics::Summary send_us;          // Listing 1 "Sending" section
   metrics::Summary total_us;         // full round-trip at the caller
   metrics::Summary msg_bytes;        // serialized request size
-  std::vector<std::uint32_t> size_sequence;  // per-call sizes (Fig. 3)
+  std::vector<std::uint32_t> size_sequence;   // per-call sizes (Fig. 3)
+  std::uint64_t sequence_dropped = 0;         // sizes not stored due to the cap
 };
 
 struct RpcStats {
   /// When true, every call appends its size to the per-method sequence
   /// (Fig. 3 traces; off by default to bound memory).
   bool record_sequences = false;
+
+  /// Upper bound on stored sizes per method: the first `sequence_cap`
+  /// entries are kept verbatim (Fig. 3 plots the head of the trace anyway)
+  /// and the rest only counted in `sequence_dropped`. 0 = unlimited.
+  std::size_t sequence_cap = 1 << 20;
+
+  /// The one gate for appending to a per-method size sequence.
+  void record_size(MethodProfile& p, std::uint32_t bytes) {
+    if (!record_sequences) return;
+    if (sequence_cap != 0 && p.size_sequence.size() >= sequence_cap) {
+      ++p.sequence_dropped;
+      return;
+    }
+    p.size_sequence.push_back(bytes);
+  }
 
   std::map<MethodKey, MethodProfile> methods;
 

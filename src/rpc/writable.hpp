@@ -20,6 +20,7 @@
 #include "cluster/cost_model.hpp"
 #include "net/bytes.hpp"
 #include "sim/time.hpp"
+#include "trace/context.hpp"
 
 namespace rpcoib::rpc {
 
@@ -131,6 +132,11 @@ class DataInput {
     return d;
   }
   const cluster::CostModel& cost_model() const { return cm_; }
+
+  /// Trace context of the RPC this input belongs to. Set by the server
+  /// transport on the DataInput it hands the handler, so application
+  /// handlers can parent their spans (and downstream RPCs) correctly.
+  trace::TraceContext trace_context;
 
  private:
   const cluster::CostModel& cm_;

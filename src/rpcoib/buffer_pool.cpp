@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::oib {
 
 NativeBufferPool::NativeBufferPool(cluster::Host& host, verbs::VerbsStack& stack,
@@ -42,6 +44,13 @@ std::unique_ptr<NativeBuffer> NativeBufferPool::make_buffer(std::size_t cls_inde
 sim::Co<void> NativeBufferPool::initialize() {
   if (initialized_) co_return;
   initialized_ = true;
+  // Registration happens once at library load; its span is a root of its
+  // own trace (no RPC is in flight yet) so the cost stays visible even
+  // though it is off every call's critical path.
+  trace::SpanScope reg(trace::active(host_.tracer()), "pool.register",
+                       trace::Kind::kInternal, trace::Category::kBuffer,
+                       trace::TraceContext{}, host_.id());
+  std::size_t registered = 0;
   for (std::size_t c = 0; c < class_sizes_.size(); ++c) {
     if (class_sizes_[c] > cfg_.prealloc_max_class) break;
     for (std::size_t i = 0; i < cfg_.buffers_per_class; ++i) {
@@ -49,8 +58,10 @@ sim::Co<void> NativeBufferPool::initialize() {
       buf->mr = co_await pd_.register_mr(buf->span);
       free_[c].push_back(buf.get());
       owned_.push_back(std::move(buf));
+      ++registered;
     }
   }
+  if (reg) reg.annotate("buffers", std::to_string(registered));
 }
 
 NativeBuffer* NativeBufferPool::acquire(std::size_t size) {

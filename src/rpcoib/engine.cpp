@@ -30,6 +30,7 @@ void merge_profiles(std::map<rpc::MethodKey, rpc::MethodProfile>& agg,
     dst.msg_bytes.merge(prof.msg_bytes);
     dst.size_sequence.insert(dst.size_sequence.end(), prof.size_sequence.begin(),
                              prof.size_sequence.end());
+    dst.sequence_dropped += prof.sequence_dropped;
   }
 }
 }  // namespace

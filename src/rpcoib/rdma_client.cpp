@@ -1,7 +1,10 @@
 #include "rpcoib/rdma_client.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
+
+#include "trace/trace.hpp"
 
 namespace rpcoib::oib {
 
@@ -220,8 +223,16 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
 
 sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
                                   const rpc::Writable& param, rpc::Writable* response) {
+  // Consume the ambient trace parent before the first suspension point
+  // (see trace.hpp's propagation discipline).
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  const trace::TraceContext t_parent =
+      tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
   const cluster::CostModel& cm = host_.cost();
   const sim::Time t_start = host_.sched().now();
+  trace::SpanScope rpc(tr, "rpc:" + key.method, trace::Kind::kClient,
+                       trace::Category::kWire, t_parent, host_.id());
+  const trace::TraceContext ctx = rpc.context();
   ConnectionPtr conn = co_await get_connection(addr);
   // Shared Hadoop RPC framework cost (call table, synchronization) — the
   // same charge the socket path pays; RPCoIB only removes buffer and
@@ -229,15 +240,36 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
   co_await host_.compute(cm.rpc_framework());
 
   // --- Serialization: directly into a pooled, registered buffer ---------
+  const sim::Time t_ser_start = host_.sched().now();
   RDMAOutputStream out(cm, shadow_, key);
   const std::uint64_t id = next_call_id_++;
   out.write_u8(static_cast<std::uint8_t>(FrameType::kCall));
-  out.write_u64(id);
+  if (ctx.valid()) {
+    // Flagged id announces two extra context words; untraced calls keep
+    // the seed wire format byte-for-byte.
+    out.write_u64(id | trace::kWireTraceFlag);
+    out.write_u64(ctx.trace_id);
+    out.write_u64(ctx.span_id);
+  } else {
+    out.write_u64(id);
+  }
   out.write_text(key.protocol);
   out.write_text(key.method);
   param.write(out);
   co_await host_.compute(out.take_accrued());
   const sim::Time t_serialized = host_.sched().now();
+  if (ctx.valid()) {
+    const trace::SpanId ser = tr->add_complete(
+        "serialize", trace::Kind::kInternal, trace::Category::kSerialization, ctx,
+        host_.id(), t_ser_start, t_serialized);
+    // Pool acquire (initial lease + one re-get per size-history miss) is
+    // the RPCoIB replacement for heap allocation; carve it out of the
+    // serialization window so the report shows it separately.
+    sim::Dur acq = sim::from_us(RDMAOutputStream::kAcquireUs) * (1 + out.regets());
+    acq = std::min<sim::Dur>(acq, t_serialized - t_ser_start);
+    tr->add_complete("pool.acquire", trace::Kind::kInternal, trace::Category::kBuffer,
+                     tr->context_of(ser), host_.id(), t_ser_start, t_ser_start + acq);
+  }
 
   const std::uint64_t regets = out.regets();
   const std::size_t msg_len = out.length();
@@ -268,15 +300,19 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
     throw rpc::RpcTransportError(e.what());
   }
   const sim::Time t_sent = host_.sched().now();
+  if (ctx.valid()) {
+    const trace::SpanId send = tr->add_complete(
+        "send", trace::Kind::kInternal, trace::Category::kSend, ctx, host_.id(),
+        t_serialized, t_sent);
+    tr->annotate(send, "path", msg_len <= cfg_.eager_threshold ? "eager" : "rendezvous");
+  }
 
   rpc::MethodProfile& prof = stats_.method(key);
   prof.mem_adjustments.add(static_cast<double>(regets));
   prof.serialize_us.add(sim::to_us(t_serialized - t_start));
   prof.send_us.add(sim::to_us(t_sent - t_serialized));
   prof.msg_bytes.add(static_cast<double>(msg_len));
-  if (stats_.record_sequences) {
-    prof.size_sequence.push_back(static_cast<std::uint32_t>(msg_len));
-  }
+  stats_.record_size(prof, static_cast<std::uint32_t>(msg_len));
   ++stats_.calls_sent;
 
   co_await pc.done.wait();
@@ -287,6 +323,7 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
   if (pc.transport_error) throw rpc::RpcTransportError(pc.error_msg);
 
   // --- Deserialize in place from the registered buffer ------------------
+  const sim::Time t_deser = host_.sched().now();
   RDMAInputStream in(cm, pc.resp.subspan(9));  // skip [type][id]
   const bool is_error = in.read_u8() != 0;
   std::string error_msg;
@@ -296,6 +333,11 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
     response->read_fields(in);
   }
   co_await host_.compute(in.take_accrued());
+  if (ctx.valid()) {
+    tr->add_complete("deserialize", trace::Kind::kInternal,
+                     trace::Category::kSerialization, ctx, host_.id(), t_deser,
+                     host_.sched().now());
+  }
   if (pc.resp_is_recv_slot) {
     repost_recv(conn, pc.resp_buf);
   } else {
@@ -303,6 +345,7 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
   }
   if (is_error) throw rpc::RemoteException(error_msg);
   prof.total_us.add(sim::to_us(host_.sched().now() - t_start));
+  rpc.end();
 }
 
 }  // namespace rpcoib::oib

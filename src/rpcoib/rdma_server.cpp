@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace rpcoib::oib {
 
 namespace {
@@ -133,6 +135,7 @@ sim::Task RdmaRpcServer::fetch_call(ConnState* conn, std::uint32_t rkey, std::ui
     call.buf = dst;
     call.frame_len = len;
     call.recv_start = recv_start;
+    call.enqueued = host_.sched().now();
     call_queue_->push(std::move(call));
   } catch (const std::exception&) {
     read_waiters_.erase(token);
@@ -173,6 +176,7 @@ sim::Task RdmaRpcServer::reader_loop() {
             call.buf = rb;
             call.frame_len = wc.byte_len;
             call.recv_start = host_.sched().now();
+            call.enqueued = call.recv_start;
             call_queue_->push(std::move(call));
             post_slot(conn, native_.acquire(cfg_.recv_buf_size));
           } else if (type == FrameType::kCtrlCall) {
@@ -207,16 +211,36 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
   try {
     for (;;) {
       ServerCall call = co_await call_queue_->recv();
+      const sim::Time t_dequeue = host_.sched().now();
       co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
 
       // Deserialize in place from the registered buffer: no per-call heap
       // buffer, no native->heap copy (Section III-B).
       RDMAInputStream in(cm, net::ByteSpan(call.buf->span.data(), call.frame_len));
       (void)in.read_u8();  // frame type
-      const std::uint64_t id = in.read_u64();
+      std::uint64_t id = in.read_u64();
+      trace::TraceContext ctx;
+      if ((id & trace::kWireTraceFlag) != 0) {
+        id &= ~trace::kWireTraceFlag;
+        ctx.trace_id = in.read_u64();
+        ctx.span_id = in.read_u64();
+      }
       rpc::MethodKey key;
       key.protocol = in.read_text();
       key.method = in.read_text();
+      trace::TraceCollector* tr = ctx.valid() ? trace::active(host_.tracer()) : nullptr;
+      if (tr != nullptr) {
+        // The id was only parsed here, so the receive and queue intervals
+        // are recorded retroactively now that the context is known.
+        tr->add_complete("recv:" + key.method, trace::Kind::kServer,
+                         trace::Category::kRecv, ctx, host_.id(), call.recv_start,
+                         call.enqueued);
+        tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue, ctx,
+                         host_.id(), call.enqueued, t_dequeue);
+      }
+      trace::SpanScope handle(tr, "handle:" + key.method, trace::Kind::kServer,
+                              trace::Category::kHandler, ctx, host_.id());
+      in.trace_context = handle.context();
 
       bool error = false;
       std::string error_msg;
@@ -258,6 +282,7 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
         // Client disconnected between handling and responding; drop it.
       }
       co_await host_.compute(in.take_accrued());
+      handle.end();
       native_.release(call.buf);  // the kCall frame's buffer
       ++stats_.calls_handled;
     }

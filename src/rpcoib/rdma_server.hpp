@@ -57,6 +57,7 @@ class RdmaRpcServer final : public rpc::RpcServer {
     NativeBuffer* buf = nullptr;  // holds the kCall frame (recv slot or fetched)
     std::uint32_t frame_len = 0;
     sim::Time recv_start = 0;
+    sim::Time enqueued = 0;  // when the call entered the call queue
   };
 
   sim::Task listener_loop();

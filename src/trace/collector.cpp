@@ -1,0 +1,92 @@
+#include "trace/trace.hpp"
+
+namespace rpcoib::trace {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kOther: return "other/uninstrumented";
+    case Category::kSerialization: return "serialization";
+    case Category::kSend: return "send (copy+post)";
+    case Category::kRecv: return "receive (alloc+copy)";
+    case Category::kQueue: return "handler queue";
+    case Category::kHandler: return "handler execute";
+    case Category::kWire: return "wire + rpc wait";
+    case Category::kBuffer: return "buffer pool/registration";
+    case Category::kCompute: return "compute";
+    case Category::kDisk: return "disk I/O";
+  }
+  return "?";
+}
+
+void TraceCollector::clear() {
+  spans_.clear();
+  next_trace_id_ = 1;
+  open_ = 0;
+  ambient_ = TraceContext{};
+  host_names_.clear();
+}
+
+SpanId TraceCollector::begin_span(std::string name, Kind kind, Category cat,
+                                  TraceContext parent, int host) {
+  Span s;
+  s.id = spans_.size() + 1;
+  if (parent.valid()) {
+    s.trace_id = parent.trace_id;
+    s.parent_id = parent.span_id;
+  } else {
+    s.trace_id = next_trace_id_++;
+  }
+  s.name = std::move(name);
+  s.kind = kind;
+  s.category = cat;
+  s.start = sched_ != nullptr ? sched_->now() : 0;
+  s.end = s.start;
+  s.host = host;
+  spans_.push_back(std::move(s));
+  ++open_;
+  return spans_.back().id;
+}
+
+SpanId TraceCollector::add_complete(std::string name, Kind kind, Category cat,
+                                    TraceContext parent, int host, sim::Time start,
+                                    sim::Time end) {
+  SpanId id = begin_span(std::move(name), kind, cat, parent, host);
+  Span& s = spans_[id - 1];
+  s.start = start;
+  s.end = end >= start ? end : start;
+  s.open = false;
+  --open_;
+  return id;
+}
+
+void TraceCollector::end_span(SpanId id) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& s = spans_[id - 1];
+  if (!s.open) return;
+  s.open = false;
+  --open_;
+  const sim::Time now = sched_ != nullptr ? sched_->now() : s.start;
+  s.end = now >= s.start ? now : s.start;
+}
+
+void TraceCollector::annotate(SpanId id, std::string key, std::string value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+TraceContext TraceCollector::context_of(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return TraceContext{};
+  const Span& s = spans_[id - 1];
+  return TraceContext{s.trace_id, s.id};
+}
+
+const Span* TraceCollector::longest_root() const {
+  const Span* best = nullptr;
+  for (const Span& s : spans_) {
+    if (s.parent_id != 0) continue;
+    if (best == nullptr || s.duration() > best->duration()) best = &s;
+  }
+  return best;
+}
+
+}  // namespace rpcoib::trace

@@ -1,0 +1,30 @@
+// TraceContext: the in-band trace propagation token.
+//
+// A (trace id, span id) pair small enough to ride every RPC wire header.
+// This header is dependency-free so the RPC layer can carry contexts
+// without linking the tracing subsystem; the collector lives in trace.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace rpcoib::trace {
+
+/// Identifies the trace a span belongs to and the span itself. A default
+/// context (trace_id == 0) means "not traced" — calls carrying it create
+/// no server-side spans and add no wire bytes.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  explicit operator bool() const { return valid(); }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// High bit of the on-wire call id. When set, the call header continues
+/// with [u64 trace_id][u64 parent_span_id] before the protocol/method
+/// strings. Untraced calls never set it, so with tracing off the wire
+/// format is byte-identical to the untraced build (zero overhead).
+inline constexpr std::uint64_t kWireTraceFlag = 1ULL << 63;
+
+}  // namespace rpcoib::trace

@@ -1,0 +1,139 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "metrics/table.hpp"
+
+namespace rpcoib::trace {
+
+namespace {
+
+struct TreeIndex {
+  const std::vector<Span>* spans = nullptr;
+  // Children of each span, sorted by (start, id): the winner order for
+  // overlap resolution.
+  std::map<SpanId, std::vector<SpanId>> children;
+
+  const Span& at(SpanId id) const { return (*spans)[id - 1]; }
+};
+
+TreeIndex build_index(const TraceCollector& collector) {
+  TreeIndex idx;
+  idx.spans = &collector.spans();
+  for (const Span& s : collector.spans()) {
+    if (s.parent_id != 0) idx.children[s.parent_id].push_back(s.id);
+  }
+  for (auto& [parent, kids] : idx.children) {
+    std::sort(kids.begin(), kids.end(), [&](SpanId a, SpanId b) {
+      const Span& sa = idx.at(a);
+      const Span& sb = idx.at(b);
+      return sa.start != sb.start ? sa.start < sb.start : a < b;
+    });
+  }
+  return idx;
+}
+
+/// Attribute the window [ws, we) of span `id`: segments covered by a
+/// child recurse into that child; uncovered segments accrue to the span's
+/// own category. Children clipped to the window; overlapping children are
+/// resolved in (start, id) order.
+void attribute(const TreeIndex& idx, SpanId id, sim::Time ws, sim::Time we,
+               Attribution& out) {
+  if (we <= ws) return;
+  const Span& s = idx.at(id);
+  auto cit = idx.children.find(id);
+  if (cit == idx.children.end()) {
+    out.by_category[static_cast<std::size_t>(s.category)] += we - ws;
+    return;
+  }
+
+  // Elementary segments: cut at every (clipped) child boundary.
+  std::vector<sim::Time> cuts;
+  cuts.push_back(ws);
+  cuts.push_back(we);
+  for (SpanId cid : cit->second) {
+    const Span& c = idx.at(cid);
+    const sim::Time cs = std::max(c.start, ws);
+    const sim::Time ce = std::min(c.end, we);
+    if (ce <= cs) continue;
+    cuts.push_back(cs);
+    cuts.push_back(ce);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const sim::Time a = cuts[i];
+    const sim::Time b = cuts[i + 1];
+    SpanId winner = 0;
+    for (SpanId cid : cit->second) {  // already in (start, id) order
+      const Span& c = idx.at(cid);
+      if (c.start <= a && c.end >= b && c.end > c.start) {
+        winner = cid;
+        break;
+      }
+      if (c.start >= b) break;
+    }
+    if (winner != 0) {
+      attribute(idx, winner, a, b, out);
+    } else {
+      out.by_category[static_cast<std::size_t>(s.category)] += b - a;
+    }
+  }
+}
+
+}  // namespace
+
+Attribution attribute_time(const TraceCollector& collector, SpanId root_id) {
+  Attribution a;
+  const Span* root = nullptr;
+  if (root_id != 0) {
+    if (root_id <= collector.spans().size()) root = &collector.spans()[root_id - 1];
+  } else {
+    root = collector.longest_root();
+  }
+  if (root == nullptr) return a;
+  a.root = root;
+  const TreeIndex idx = build_index(collector);
+  attribute(idx, root->id, root->start, root->end, a);
+  return a;
+}
+
+void print_critical_path(std::ostream& os, const Attribution& a) {
+  if (a.root == nullptr) {
+    os << "(no spans recorded)\n";
+    return;
+  }
+  const double total_us = sim::to_us(a.total());
+  os << "Critical path for span '" << a.root->name << "' ("
+     << metrics::Table::num(total_us, 1) << " us total):\n";
+  metrics::Table t({"Category", "Time (us)", "Share"});
+  // Most-expensive first; stable tie-break on category order.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < a.by_category.size(); ++i) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a.by_category[x] != a.by_category[y] ? a.by_category[x] > a.by_category[y]
+                                                : x < y;
+  });
+  for (std::size_t i : order) {
+    if (a.by_category[i] == 0) continue;
+    const double us = sim::to_us(a.by_category[i]);
+    t.row({category_name(static_cast<Category>(i)), metrics::Table::num(us, 1),
+           metrics::Table::pct(total_us > 0 ? us / total_us * 100.0 : 0.0)});
+  }
+  t.row({"total attributed", metrics::Table::num(sim::to_us(a.attributed()), 1),
+         metrics::Table::pct(total_us > 0 ? sim::to_us(a.attributed()) / total_us * 100.0
+                                          : 0.0)});
+  t.print(os);
+}
+
+void print_critical_path(std::ostream& os, const TraceCollector& collector,
+                         SpanId root_id) {
+  const Attribution a = attribute_time(collector, root_id);
+  print_critical_path(os, a);
+}
+
+}  // namespace rpcoib::trace

@@ -1,0 +1,41 @@
+// Critical-path / time-attribution analysis over a completed span tree.
+//
+// Walks a root span (job, task, or single RPC) and attributes every
+// virtual nanosecond of its wall time to exactly one Category, by a
+// flattened-timeline sweep: at each instant the deepest active descendant
+// span "owns" the time (ties: the earliest-starting, then lowest-id child
+// wins); time no child covers belongs to the span's own category. By
+// construction the per-category durations sum to the root span's duration,
+// so the report always attributes 100% of end-to-end time.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace rpcoib::trace {
+
+struct Attribution {
+  std::array<sim::Dur, kCategoryCount> by_category{};
+  const Span* root = nullptr;
+
+  sim::Dur total() const { return root != nullptr ? root->duration() : 0; }
+  sim::Dur attributed() const {
+    sim::Dur sum = 0;
+    for (sim::Dur d : by_category) sum += d;
+    return sum;
+  }
+};
+
+/// Attribute the tree under `root_id` (0 = the collector's longest root).
+Attribution attribute_time(const TraceCollector& collector, SpanId root_id = 0);
+
+/// Print the attribution as a table (categories, us, % of root).
+void print_critical_path(std::ostream& os, const Attribution& a);
+
+/// Convenience: analyze + print in one go.
+void print_critical_path(std::ostream& os, const TraceCollector& collector,
+                         SpanId root_id = 0);
+
+}  // namespace rpcoib::trace

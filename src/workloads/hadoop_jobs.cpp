@@ -99,9 +99,10 @@ Task drive_jobs(MrStack& stack, std::vector<mapred::JobSpec> specs,
 }  // namespace
 
 SortResult run_randomwriter_sort(RpcMode rpc_mode, int slaves, std::uint64_t data_bytes,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, trace::TraceCollector* collector) {
   Scheduler s;
   MrStack stack(s, rpc_mode, slaves, seed, /*dn_disk_writes=*/true);
+  stack.tb.set_tracer(collector);
 
   mapred::JobSpec sort = sort_spec(data_bytes);
   sort.num_reduces = 4 * slaves;  // 4 reduce slots per host, as in the paper
@@ -164,12 +165,13 @@ CloudBurstResult run_cloudburst(RpcMode rpc_mode, std::uint64_t seed) {
 }
 
 double run_hdfs_write(hdfs::DataMode data_mode, RpcMode rpc_mode, std::uint64_t file_bytes,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, trace::TraceCollector* collector) {
   Scheduler s;
   // 32 DataNodes + NameNode + client on separate nodes (Fig. 7 setup).
   net::TestbedConfig cfg = Testbed::cluster_a(34);
   cfg.seed = seed;
   Testbed tb(s, cfg);
+  tb.set_tracer(collector);
   RpcEngine engine(tb, EngineConfig{.mode = rpc_mode});
   std::vector<cluster::HostId> dns;
   for (int i = 2; i < 34; ++i) dns.push_back(i);

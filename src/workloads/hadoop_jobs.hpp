@@ -13,6 +13,7 @@
 #include "hbase/hbase.hpp"
 #include "hdfs/data_transfer.hpp"
 #include "rpcoib/engine.hpp"
+#include "trace/trace.hpp"
 #include "ycsb/ycsb.hpp"
 
 namespace rpcoib::workloads {
@@ -26,7 +27,8 @@ struct SortResult {
 /// map-only tasks, then Sort runs over the generated data. 1 master +
 /// `slaves` slaves, 8 map / 4 reduce slots per node (the paper's config).
 SortResult run_randomwriter_sort(oib::RpcMode rpc_mode, int slaves,
-                                 std::uint64_t data_bytes, std::uint64_t seed = 7);
+                                 std::uint64_t data_bytes, std::uint64_t seed = 7,
+                                 trace::TraceCollector* collector = nullptr);
 
 struct CloudBurstResult {
   double alignment_secs = 0;
@@ -42,7 +44,8 @@ CloudBurstResult run_cloudburst(oib::RpcMode rpc_mode, std::uint64_t seed = 7);
 /// Fig. 7: single-client HDFS Write of `file_bytes` with 32 DataNodes,
 /// replication 3; independent data-path and RPC transports.
 double run_hdfs_write(hdfs::DataMode data_mode, oib::RpcMode rpc_mode,
-                      std::uint64_t file_bytes, std::uint64_t seed = 7);
+                      std::uint64_t file_bytes, std::uint64_t seed = 7,
+                      trace::TraceCollector* collector = nullptr);
 
 struct HBaseRunResult {
   double throughput_kops = 0;

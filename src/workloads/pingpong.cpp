@@ -63,13 +63,15 @@ void register_pingpong(rpc::RpcServer& server) {
 }
 
 std::vector<LatencyResult> run_latency(RpcMode mode, const std::vector<std::size_t>& payloads,
-                                       int warmup, int iters, std::uint64_t seed) {
+                                       int warmup, int iters, std::uint64_t seed,
+                                       trace::TraceCollector* collector) {
   std::vector<LatencyResult> results;
   for (std::size_t payload : payloads) {
     Scheduler s;
     net::TestbedConfig cfg = Testbed::cluster_b();
     cfg.seed = seed;
     Testbed tb(s, cfg);
+    tb.set_tracer(collector);
     RpcEngine engine(tb, EngineConfig{.mode = mode});
     std::unique_ptr<rpc::RpcServer> server = engine.make_server(tb.host(0), kBenchAddr);
     register_pingpong(*server);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rpcoib/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace rpcoib::workloads {
 
@@ -30,9 +31,12 @@ void register_pingpong(rpc::RpcServer& server);
 
 /// Ping-pong latency for each payload size: client on host 0, server on
 /// host 1, `warmup` unmeasured iterations then `iters` measured ones.
+/// A non-null `collector` is attached to each per-payload testbed and
+/// accumulates spans across all payload sizes (caller clears it).
 std::vector<LatencyResult> run_latency(oib::RpcMode mode, const std::vector<std::size_t>& payloads,
                                        int warmup = 4, int iters = 16,
-                                       std::uint64_t seed = 1);
+                                       std::uint64_t seed = 1,
+                                       trace::TraceCollector* collector = nullptr);
 
 /// Throughput at each client count: server on host 0 with `handlers`
 /// handler threads; clients distributed round-robin over hosts 1..8, each
