@@ -5,13 +5,25 @@
 // RPC-10GigE and 46-50% below RPC-IPoIB across the sweep; 1.42-2.48x
 // speedup over RPC-1GigE (1GigE shown here for completeness although the
 // paper omits it from the figure).
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "metrics/table.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/critical_path.hpp"
 #include "workloads/pingpong.hpp"
+
+namespace {
+std::string json_out_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) return argv[i] + 11;
+  }
+  return "";
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rpcoib;
@@ -47,6 +59,26 @@ int main(int argc, char** argv) {
 
   std::cout << "\nPaper: RPCoIB 39us @1B, ~52us @4KB; 42-49% vs 10GigE; 46-50% vs IPoIB;\n"
                "       1.42-2.48x speedup vs 1GigE.\n";
+
+  // --json-out=FILE: machine-readable copy of the table for the CI
+  // benchmark-regression gate (ci/check_bench.py).
+  if (const std::string json_path = json_out_arg(argc, argv); !json_path.empty()) {
+    std::ofstream js(json_path);
+    if (!js) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    js << "{\n  \"bench\": \"fig5_latency\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      js << "    {\"bytes\": " << payloads[i] << ", \"gige_us\": " << gige[i].avg_us
+         << ", \"tengige_us\": " << tengige[i].avg_us
+         << ", \"ipoib_us\": " << ipoib[i].avg_us
+         << ", \"rpcoib_us\": " << rpcoib[i].avg_us << "}"
+         << (i + 1 < payloads.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
 
   // --trace-out=FILE: re-run the IPoIB and RPCoIB sweeps with tracing on,
   // export chrome://tracing JSON per transport, and print where each

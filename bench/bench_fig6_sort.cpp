@@ -11,7 +11,9 @@
 // a critical-path breakdown of the Sort job span is printed.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "metrics/table.hpp"
@@ -23,11 +25,17 @@ int main(int argc, char** argv) {
   using namespace rpcoib;
   // Reject unknown --flags (a typo like `--trace-out sort.json` must not
   // silently fall through to the full 64-slave sweep).
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
+      continue;
+    }
     if (std::strncmp(argv[i], "--", 2) == 0 &&
         std::strncmp(argv[i], "--trace-out=", 12) != 0) {
       std::cerr << "error: unknown option " << argv[i]
-                << " (usage: bench_fig6_sort [scale] [--trace-out=FILE])\n";
+                << " (usage: bench_fig6_sort [scale] [--trace-out=FILE]"
+                " [--json-out=FILE])\n";
       return 2;
     }
   }
@@ -66,12 +74,18 @@ int main(int argc, char** argv) {
 
   metrics::Table t({"Data Size (GB)", "RandomWriter IPoIB (s)", "RandomWriter RPCoIB (s)",
                     "RW gain", "Sort IPoIB (s)", "Sort RPCoIB (s)", "Sort gain"});
+  struct JsonRow {
+    std::uint64_t gb;
+    workloads::SortResult ipoib, rpcoib;
+  };
+  std::vector<JsonRow> json_rows;
   for (std::uint64_t size : sizes) {
     const std::uint64_t scaled = size / static_cast<std::uint64_t>(scale);
     workloads::SortResult ipoib =
         workloads::run_randomwriter_sort(oib::RpcMode::kSocketIPoIB, slaves, scaled);
     workloads::SortResult rdma =
         workloads::run_randomwriter_sort(oib::RpcMode::kRpcoIB, slaves, scaled);
+    json_rows.push_back({size >> 30, ipoib, rdma});
     t.row({std::to_string(size >> 30), metrics::Table::num(ipoib.randomwriter_secs, 1),
            metrics::Table::num(rdma.randomwriter_secs, 1),
            metrics::Table::pct(
@@ -84,5 +98,27 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper: RandomWriter +9.1% (64GB) / +12% (128GB); Sort +12.3% / +15.2%.\n"
                "NOTE: this reproduction accounts RPC latency mechanistically; see\n"
                "EXPERIMENTS.md for the expected magnitude difference.\n";
+
+  // --json-out=FILE: machine-readable copy of the table for the CI
+  // benchmark-regression gate (ci/check_bench.py).
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    if (!js) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    js << "{\n  \"bench\": \"fig6_sort\",\n  \"scale\": " << scale
+       << ",\n  \"slaves\": " << slaves << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      js << "    {\"gb\": " << r.gb << ", \"rw_ipoib_s\": " << r.ipoib.randomwriter_secs
+         << ", \"rw_rpcoib_s\": " << r.rpcoib.randomwriter_secs
+         << ", \"sort_ipoib_s\": " << r.ipoib.sort_secs
+         << ", \"sort_rpcoib_s\": " << r.rpcoib.sort_secs << "}"
+         << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

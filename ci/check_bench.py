@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the RPCoIB reproduction.
+
+Reads the --json-out files produced by bench_fig5_latency and
+bench_fig6_sort, computes the RPCoIB-vs-IPoIB ratios the paper's results
+hinge on, and fails (exit 1) when any ratio or absolute endpoint exceeds
+its limit in ci/bench_thresholds.json.
+
+Usage: check_bench.py THRESHOLDS FIG5_JSON FIG6_JSON
+
+Stdlib only -- runs on a bare CI python3.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) != 4:
+        print("usage: check_bench.py THRESHOLDS FIG5_JSON FIG6_JSON", file=sys.stderr)
+        return 2
+    thresholds = load(argv[1])
+    fig5 = load(argv[2])
+    fig6 = load(argv[3])
+    failures = []
+
+    t5 = thresholds["fig5_latency"]
+    limit = t5["max_rpcoib_over_ipoib"]
+    for row in fig5["rows"]:
+        ratio = row["rpcoib_us"] / row["ipoib_us"]
+        print(f"fig5 {row['bytes']:>5} B: rpcoib/ipoib = {ratio:.3f} (limit {limit})")
+        if ratio > limit:
+            failures.append(
+                f"fig5 @{row['bytes']} B: rpcoib/ipoib ratio {ratio:.3f} > {limit}"
+            )
+    by_bytes = {row["bytes"]: row for row in fig5["rows"]}
+    for nbytes, key in ((1, "max_rpcoib_us_at_1b"), (4096, "max_rpcoib_us_at_4kb")):
+        if nbytes not in by_bytes:
+            failures.append(f"fig5: missing {nbytes} B row")
+            continue
+        us = by_bytes[nbytes]["rpcoib_us"]
+        print(f"fig5 {nbytes:>5} B: rpcoib = {us:.1f} us (limit {t5[key]})")
+        if us > t5[key]:
+            failures.append(f"fig5 @{nbytes} B: rpcoib {us:.1f} us > {t5[key]} us")
+
+    t6 = thresholds["fig6_sort"]
+    checks = (
+        ("rw", "rw_rpcoib_s", "rw_ipoib_s", t6["max_rpcoib_over_ipoib_rw"]),
+        ("sort", "sort_rpcoib_s", "sort_ipoib_s", t6["max_rpcoib_over_ipoib_sort"]),
+    )
+    for row in fig6["rows"]:
+        for name, rpcoib_key, ipoib_key, lim in checks:
+            ratio = row[rpcoib_key] / row[ipoib_key]
+            print(
+                f"fig6 {row['gb']:>4} GB {name:>4}: rpcoib/ipoib = {ratio:.4f}"
+                f" (limit {lim})"
+            )
+            if ratio > lim:
+                failures.append(
+                    f"fig6 @{row['gb']} GB {name}: ratio {ratio:.4f} > {lim}"
+                )
+
+    if failures:
+        print("\nbench gate: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

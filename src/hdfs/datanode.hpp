@@ -36,6 +36,7 @@ class DataNode {
   /// Register with the NameNode and start heartbeat/block-report loops.
   void start();
   void stop();
+  bool running() const { return running_; }
 
   /// Pipeline delivery: account receive costs, store the block, notify the
   /// NameNode (blockReceived). Called by the data-transfer pipeline once

@@ -13,6 +13,7 @@ const rpc::MethodKey kGetFileInfo{kClientProtocol, "getFileInfo"};
 const rpc::MethodKey kMkdirs{kClientProtocol, "mkdirs"};
 const rpc::MethodKey kCreate{kClientProtocol, "create"};
 const rpc::MethodKey kAddBlock{kClientProtocol, "addBlock"};
+const rpc::MethodKey kAbandonBlock{kClientProtocol, "abandonBlock"};
 const rpc::MethodKey kComplete{kClientProtocol, "complete"};
 const rpc::MethodKey kRenewLease{kClientProtocol, "renewLease"};
 const rpc::MethodKey kGetBlockLocations{kClientProtocol, "getBlockLocations"};
@@ -95,6 +96,45 @@ sim::Co<LocatedBlocksResult> DFSClient::get_block_locations(const std::string& p
 }
 
 sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbytes) {
+  trace::TraceCollector* tr0 = trace::active(host_.tracer());
+  const trace::TraceContext parent =
+      tr0 != nullptr ? tr0->take_ambient() : trace::TraceContext{};
+  for (int attempt = 0;; ++attempt) {
+    trace::activate(tr0, parent);
+    bool lost_pipeline = false;  // co_await is not allowed inside a handler
+    try {
+      co_await write_block_attempt(path, nbytes);
+      co_return;
+    } catch (const rpc::RpcTransportError& e) {
+      if (attempt >= cfg_.pipeline_retries) throw;
+      lost_pipeline = true;
+    }
+    if (lost_pipeline) {
+      ++pipeline_retries_;
+      if (attempt_block_ != 0) {
+        // Drop the half-written block from the NameNode so complete() can
+        // eventually succeed on the replacement block's replicas.
+        AbandonBlockParam ap;
+        ap.path = path;
+        ap.client = name_;
+        ap.block = attempt_block_;
+        attempt_block_ = 0;
+        trace::activate(tr0, parent);
+        co_await rpc_->call(nn_addr_, kAbandonBlock, ap, nullptr);
+      }
+      const sim::Time t0 = host_.sched().now();
+      co_await sim::delay(host_.sched(), cfg_.pipeline_retry_backoff);
+      if (tr0 != nullptr && parent.valid()) {
+        tr0->add_complete("retry.pipeline", trace::Kind::kInternal,
+                          trace::Category::kRetry, parent, host_.id(), t0,
+                          host_.sched().now());
+      }
+    }
+  }
+}
+
+sim::Co<void> DFSClient::write_block_attempt(const std::string& path,
+                                             std::uint64_t nbytes) {
   trace::TraceCollector* tr = trace::active(host_.tracer());
   trace::SpanScope blk(tr, "hdfs.block", trace::Kind::kInternal, trace::Category::kWire,
                        tr != nullptr ? tr->take_ambient() : trace::TraceContext{},
@@ -105,8 +145,10 @@ sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbyt
   ab.path = path;
   ab.client = name_;
   LocatedBlockResult lb;
+  attempt_block_ = 0;
   trace::activate(tr, ctx);
   co_await rpc_->call(nn_addr_, kAddBlock, ab, &lb);
+  attempt_block_ = lb.located.block.id;
   lb.located.block.num_bytes = nbytes;
 
   const net::Transport t = data_transport(data_mode_);
@@ -145,7 +187,15 @@ sim::Co<void> DFSClient::write_block(const std::string& path, std::uint64_t nbyt
   sim::WaitGroup wg(host_.sched());
   for (DatanodeId dn_id : lb.located.locations) {
     DataNode* dn = resolver_.datanode(dn_id);
-    if (dn == nullptr) continue;
+    if (dn == nullptr) {
+      if (cfg_.pipeline_retries > 0) {
+        blk.end();
+        throw rpc::RpcTransportError("pipeline datanode " + std::to_string(dn_id) +
+                                     " lost for block " +
+                                     std::to_string(lb.located.block.id));
+      }
+      continue;  // legacy: skip dead nodes, under-replicate silently
+    }
     wg.add(1);
     host_.sched().spawn([](DataNode* node, Block blk, DataMode mode,
                            sim::WaitGroup& done) -> sim::Task {

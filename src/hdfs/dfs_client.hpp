@@ -55,9 +55,16 @@ class DFSClient {
   rpc::RpcClient& rpc() { return *rpc_; }
   const std::string& name() const { return name_; }
 
+  /// Pipeline re-establishments performed after a DataNode was lost
+  /// mid-write (cfg.pipeline_retries > 0 only).
+  std::uint64_t pipeline_retries_count() const { return pipeline_retries_; }
+
  private:
-  /// One block through the replication pipeline.
+  /// One block through the replication pipeline, with recovery: on a lost
+  /// pipeline DataNode the block is abandoned and re-requested (fresh
+  /// addBlock targets) up to cfg.pipeline_retries times.
   sim::Co<void> write_block(const std::string& path, std::uint64_t nbytes);
+  sim::Co<void> write_block_attempt(const std::string& path, std::uint64_t nbytes);
 
   cluster::Host& host_;
   net::Fabric& fabric_;
@@ -67,6 +74,10 @@ class DFSClient {
   HdfsConfig cfg_;
   std::unique_ptr<rpc::RpcClient> rpc_;
   std::string name_;
+  std::uint64_t pipeline_retries_ = 0;
+  /// Block id of the attempt in flight, so a failed pipeline can
+  /// abandonBlock it before re-requesting targets (0 = none allocated).
+  BlockId attempt_block_ = 0;
 };
 
 }  // namespace rpcoib::hdfs

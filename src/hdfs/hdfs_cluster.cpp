@@ -35,6 +35,11 @@ void HdfsCluster::stop() {
 }
 
 DataNode* HdfsCluster::datanode(DatanodeId id) {
+  DataNode* dn = datanode_object(id);
+  return dn != nullptr && dn->running() ? dn : nullptr;
+}
+
+DataNode* HdfsCluster::datanode_object(DatanodeId id) {
   for (auto& dn : dns_) {
     if (dn->id() == id) return dn.get();
   }

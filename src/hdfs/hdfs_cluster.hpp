@@ -21,7 +21,13 @@ class HdfsCluster : public DatanodeResolver {
   void start();
   void stop();
 
+  /// Resolves to the daemon only while it is running: a stopped DataNode
+  /// is invisible, exactly like a crashed node — the write pipeline sees
+  /// nullptr and (with pipeline_retries > 0) re-requests the block.
   DataNode* datanode(DatanodeId id) override;
+
+  /// Any DataNode object by id, running or not (tests restart/stop nodes).
+  DataNode* datanode_object(DatanodeId id);
 
   std::unique_ptr<DFSClient> make_client(cluster::Host& host, std::string name);
 

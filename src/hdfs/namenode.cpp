@@ -172,6 +172,19 @@ void NameNode::register_handlers() {
                       co_return;
                     });
 
+  d.register_method(kClientProtocol, "abandonBlock",
+                    [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+                      AbandonBlockParam p;
+                      p.read_fields(in);
+                      auto it = files_.find(p.path);
+                      if (it != files_.end()) {
+                        std::erase(it->second.blocks, p.block);
+                      }
+                      block_map_.erase(p.block);
+                      rpc::BooleanWritable(true).write(out);
+                      co_return;
+                    });
+
   d.register_method(kClientProtocol, "complete",
                     [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
                       PathParam p;

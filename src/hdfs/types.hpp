@@ -44,6 +44,13 @@ struct HdfsConfig {
   sim::Dur dn_dead_after = sim::seconds(30);
   /// How often the NameNode scans for dead DataNodes / under-replication.
   sim::Dur replication_check_interval = sim::seconds(10);
+  /// Write-pipeline recovery: when a pipeline DataNode disappears
+  /// mid-block, abandon the block and retry addBlock up to this many
+  /// times (0 = legacy behavior, dead nodes silently skipped).
+  int pipeline_retries = 0;
+  /// Wait between pipeline retries (fresh targets need the NameNode to
+  /// notice the dead node or pick around it).
+  sim::Dur pipeline_retry_backoff = sim::millis(400);
 };
 
 /// Block with generation stamp (simplified).
@@ -305,6 +312,24 @@ struct AddBlockParam final : rpc::Writable {
   void read_fields(rpc::DataInput& in) override {
     path = in.read_text();
     client = in.read_text();
+  }
+};
+
+/// abandonBlock: drop a block whose pipeline failed so the file can
+/// complete once its remaining blocks are reported.
+struct AbandonBlockParam final : rpc::Writable {
+  std::string path;
+  std::string client;
+  BlockId block = 0;
+  void write(rpc::DataOutput& out) const override {
+    out.write_text(path);
+    out.write_text(client);
+    out.write_u64(block);
+  }
+  void read_fields(rpc::DataInput& in) override {
+    path = in.read_text();
+    client = in.read_text();
+    block = in.read_u64();
   }
 };
 

@@ -6,17 +6,66 @@ namespace rpcoib::mapred {
 
 using sim::Co;
 
-JobTracker::JobTracker(cluster::Host& host, oib::RpcEngine& engine, net::Address addr)
-    : host_(host), engine_(engine), addr_(addr) {
+JobTracker::JobTracker(cluster::Host& host, oib::RpcEngine& engine, net::Address addr,
+                       JobTrackerConfig cfg)
+    : host_(host), engine_(engine), addr_(addr), cfg_(cfg) {
   server_ = engine_.make_server(host_, addr_);
   register_handlers();
 }
 
 JobTracker::~JobTracker() { stop(); }
 
-void JobTracker::start() { server_->start(); }
+void JobTracker::start() {
+  running_ = true;
+  server_->start();
+  if (cfg_.tracker_expiry > 0) host_.sched().spawn(expiry_monitor());
+}
 void JobTracker::stop() {
+  running_ = false;
   if (server_) server_->stop();
+}
+
+void JobTracker::forget_assignment(std::int32_t tracker, const TaskAssignment& t) {
+  auto it = trackers_.find(tracker);
+  if (it == trackers_.end()) return;
+  std::erase_if(it->second.assigned, [&t](const TaskAssignment& a) {
+    return a.job == t.job && a.task == t.task && a.type == t.type;
+  });
+}
+
+sim::Task JobTracker::expiry_monitor() {
+  while (running_) {
+    co_await sim::delay(host_.sched(), cfg_.expiry_check_interval);
+    if (!running_) break;
+    const sim::Time now = host_.sched().now();
+    for (auto it = trackers_.begin(); it != trackers_.end();) {
+      TrackerState& ts = it->second;
+      if (now - ts.last_heartbeat <= cfg_.tracker_expiry) {
+        ++it;
+        continue;
+      }
+      // Tracker lost: hand its un-finished tasks back to their jobs.
+      for (const TaskAssignment& t : ts.assigned) {
+        auto jit = jobs_.find(t.job);
+        if (jit == jobs_.end()) continue;
+        Job& job = jit->second;
+        if (job.done_tasks.count({static_cast<int>(t.type), t.task}) != 0) continue;
+        if (t.type == TaskType::kMap) {
+          job.pending_maps.push_front(t.task);
+        } else {
+          job.pending_reduces.push_front(t.task);
+        }
+        ++tasks_reexecuted_;
+        trace::TraceCollector* tr = trace::active(host_.tracer());
+        if (tr != nullptr && job.trace_ctx.valid()) {
+          tr->add_complete("fault.tracker_lost", trace::Kind::kInternal,
+                           trace::Category::kFault, job.trace_ctx, host_.id(),
+                           ts.last_heartbeat, now);
+        }
+      }
+      it = trackers_.erase(it);
+    }
+  }
 }
 
 const JobSpec* JobTracker::spec_of(JobId id) const {
@@ -39,6 +88,9 @@ JobStatus JobTracker::status_of(JobId id) const {
 
 void JobTracker::on_task_complete(Job& job, const TaskAssignment& t,
                                   std::int32_t tracker_host) {
+  // A task can finish twice when its first tracker was declared lost but
+  // kept running; only the first completion counts.
+  if (!job.done_tasks.insert({static_cast<int>(t.type), t.task}).second) return;
   if (t.type == TaskType::kMap) {
     ++job.maps_done;
     job.completed_map_hosts.push_back(tracker_host);
@@ -98,14 +150,17 @@ void JobTracker::register_handlers() {
         HeartbeatRequest req;
         req.read_fields(in);
 
+        trackers_[req.tracker].last_heartbeat = host_.sched().now();
         HeartbeatResponse resp;
         // Process completions first so freed slots can be refilled.
         for (const TaskAssignment& t : req.completed) {
+          forget_assignment(req.tracker, t);
           auto it = jobs_.find(t.job);
           if (it != jobs_.end()) on_task_complete(it->second, t, req.tracker);
         }
         // Failed attempts go back on the pending queue (front: retry soon).
         for (const TaskAssignment& t : req.failed) {
+          forget_assignment(req.tracker, t);
           auto it = jobs_.find(t.job);
           if (it == jobs_.end()) continue;
           if (t.type == TaskType::kMap) {
@@ -149,6 +204,9 @@ void JobTracker::register_handlers() {
             --free_reduces;
           }
         }
+        TrackerState& ts = trackers_[req.tracker];
+        ts.assigned.insert(ts.assigned.end(), resp.new_tasks.begin(),
+                           resp.new_tasks.end());
         resp.write(out);
         co_return;
       });

@@ -8,9 +8,10 @@ constexpr std::uint16_t kJobTrackerPort = 8021;
 
 MrCluster::MrCluster(oib::RpcEngine& engine, hdfs::HdfsCluster& hdfs,
                      cluster::HostId jt_host, std::vector<cluster::HostId> tt_hosts,
-                     TaskTrackerConfig tt_cfg)
+                     TaskTrackerConfig tt_cfg, JobTrackerConfig jt_cfg)
     : engine_(engine), jt_addr_{jt_host, kJobTrackerPort} {
-  jt_ = std::make_unique<JobTracker>(engine.testbed().host(jt_host), engine, jt_addr_);
+  jt_ = std::make_unique<JobTracker>(engine.testbed().host(jt_host), engine, jt_addr_,
+                                     jt_cfg);
   for (cluster::HostId h : tt_hosts) {
     auto tt = std::make_unique<TaskTracker>(engine.testbed().host(h), engine, jt_addr_,
                                             hdfs, tt_cfg);
@@ -25,8 +26,15 @@ void MrCluster::start() {
 }
 
 void MrCluster::stop() {
-  for (auto& tt : tts_) tt->stop();
+  for (auto& tt : tts_) {
+    if (tt) tt->stop();
+  }
   jt_->stop();
+}
+
+void MrCluster::stop_tasktracker(std::size_t index) {
+  if (index >= tts_.size() || !tts_[index]) return;
+  tts_[index]->stop();
 }
 
 std::unique_ptr<JobClient> MrCluster::make_client(cluster::Host& host) {

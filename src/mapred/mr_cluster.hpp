@@ -15,10 +15,15 @@ namespace rpcoib::mapred {
 class MrCluster {
  public:
   MrCluster(oib::RpcEngine& engine, hdfs::HdfsCluster& hdfs, cluster::HostId jt_host,
-            std::vector<cluster::HostId> tt_hosts, TaskTrackerConfig tt_cfg = {});
+            std::vector<cluster::HostId> tt_hosts, TaskTrackerConfig tt_cfg = {},
+            JobTrackerConfig jt_cfg = {});
 
   void start();
   void stop();
+
+  /// Stop one TaskTracker mid-run (fault injection: a lost slave whose
+  /// tasks the JobTracker must eventually re-execute).
+  void stop_tasktracker(std::size_t index);
 
   JobTracker& jobtracker() { return *jt_; }
   const net::Address& jt_addr() const { return jt_addr_; }

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/fault.hpp"
+
 namespace rpcoib::net {
+
+namespace {
+/// One decision per delivery; a null or empty plan draws no randomness.
+FaultDecision fault_decision(FaultPlan* plan, cluster::HostId src, cluster::HostId dst,
+                             sim::Time now, bool reliable) {
+  if (plan == nullptr || !plan->enabled()) return FaultDecision{};
+  return plan->decide(src, dst, now, reliable);
+}
+}  // namespace
 
 Fabric::Fabric(sim::Scheduler& sched, std::size_t num_hosts)
     : sched_(sched), num_hosts_(num_hosts) {
@@ -46,8 +57,11 @@ sim::Time Fabric::deliver(cluster::HostId src, cluster::HostId dst, Transport t,
   (void)dst;  // ingress contention is not modeled; see header comment
   const NetParams& p = params(t);
   const sim::Time egress_done = reserve_egress(src, t, bytes);
-  const sim::Time arrival = egress_done + p.one_way_latency;
-  sched_.call_at(arrival, std::move(on_arrival));
+  const FaultDecision fd = fault_decision(fault_, src, dst, sched_.now(), /*reliable=*/false);
+  const sim::Time arrival = egress_done + p.one_way_latency + fd.extra;
+  // A lost one-shot delivery: the callback never fires; the layer above
+  // must detect the silence (timeout) and recover.
+  if (!fd.lost) sched_.call_at(arrival, std::move(on_arrival));
   return arrival;
 }
 
@@ -57,7 +71,10 @@ sim::Time Fabric::deliver_flow(cluster::HostId src, cluster::HostId dst, Transpo
   (void)dst;
   const NetParams& p = params(t);
   const sim::Time egress_done = reserve_egress(src, t, bytes);
-  sim::Time arrival = egress_done + p.one_way_latency;
+  const FaultDecision fd = fault_decision(fault_, src, dst, sched_.now(), /*reliable=*/true);
+  // Fault delay lands before the in-flow clamp: a retransmitted chunk
+  // stalls everything behind it in the stream (TCP head-of-line blocking).
+  sim::Time arrival = egress_done + p.one_way_latency + fd.extra;
   // In-flow pacing: a stream's chunks arrive in order AND no faster than
   // the wire carries them — even when small-message preemption lets them
   // jump the shared egress queue. This is what makes a 2 MB socket
@@ -74,7 +91,8 @@ sim::Co<void> Fabric::transfer(cluster::HostId src, cluster::HostId dst, Transpo
   (void)dst;
   const NetParams& p = params(t);
   const sim::Time egress_done = reserve_egress(src, t, bytes);
-  const sim::Time arrival = egress_done + p.one_way_latency;
+  const FaultDecision fd = fault_decision(fault_, src, dst, sched_.now(), /*reliable=*/true);
+  const sim::Time arrival = egress_done + p.one_way_latency + fd.extra;
   co_await sim::delay(sched_, arrival - sched_.now());
 }
 

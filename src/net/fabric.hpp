@@ -18,12 +18,21 @@
 
 namespace rpcoib::net {
 
+class FaultPlan;
+
 class Fabric {
  public:
   Fabric(sim::Scheduler& sched, std::size_t num_hosts);
 
   void set_params(Transport t, NetParams p);
   const NetParams& params(Transport t) const;
+
+  /// Attach a deterministic fault-injection plan (null detaches). The plan
+  /// is consulted on every delivery; reliable paths (deliver_flow,
+  /// transfer) pay faults as retransmission delay while one-shot
+  /// deliveries (deliver) can be truly lost. See net/fault.hpp.
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+  FaultPlan* fault_plan() const { return fault_; }
 
   /// Reserve the src egress link for `bytes`; returns the virtual time the
   /// last byte leaves the NIC.
@@ -57,6 +66,7 @@ class Fabric {
   // egress_free_[transport_index][host] = time the NIC next becomes idle.
   std::map<Transport, std::vector<sim::Time>> egress_free_;
   std::size_t num_hosts_;
+  FaultPlan* fault_ = nullptr;
 };
 
 }  // namespace rpcoib::net

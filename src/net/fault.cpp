@@ -1,0 +1,72 @@
+#include "net/fault.hpp"
+
+namespace rpcoib::net {
+
+const LinkFaults& FaultPlan::faults_for(cluster::HostId src, cluster::HostId dst) const {
+  for (const LinkOverride& o : overrides_) {
+    if ((o.src < 0 || o.src == src) && (o.dst < 0 || o.dst == dst)) return o.faults;
+  }
+  return default_;
+}
+
+sim::Time FaultPlan::window_clear_time(cluster::HostId src, cluster::HostId dst,
+                                       sim::Time now) const {
+  // Windows may chain or overlap; iterate to the fixpoint. Each pass either
+  // terminates or advances past at least one window's end, so this is
+  // bounded by the window count.
+  sim::Time t = now;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const FaultWindow& w : windows_) {
+      if (w.matches(src, dst, t)) {
+        t = w.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+FaultDecision FaultPlan::decide(cluster::HostId src, cluster::HostId dst, sim::Time now,
+                                bool reliable) {
+  FaultDecision d;
+  if (!enabled() || src == dst) return d;
+
+  // Outage windows first: they dominate per-chunk probabilities.
+  const sim::Time clear = window_clear_time(src, dst, now);
+  if (clear > now) {
+    ++counters_.outage_hits;
+    if (!reliable) {
+      ++counters_.true_losses;
+      d.lost = true;
+      return d;
+    }
+    // A reliable stream stalls through the outage and resumes one
+    // retransmit timeout after the link comes back.
+    d.extra = (clear - now) + rto_;
+  }
+
+  const LinkFaults& f = faults_for(src, dst);
+  if (f.drop_prob > 0.0) {
+    // Each retransmission is itself subject to loss; cap the chain so a
+    // drop_prob of 1.0 cannot hang the simulation.
+    static constexpr int kMaxRetransmits = 8;
+    for (int i = 0; i < kMaxRetransmits && rng_.next_double() < f.drop_prob; ++i) {
+      ++counters_.drops;
+      if (!reliable) {
+        ++counters_.true_losses;
+        d.lost = true;
+        return d;
+      }
+      d.extra += rto_;
+    }
+  }
+  if (f.spike_prob > 0.0 && rng_.next_double() < f.spike_prob) {
+    ++counters_.spikes;
+    d.extra += f.spike_extra;
+  }
+  return d;
+}
+
+}  // namespace rpcoib::net

@@ -1,0 +1,136 @@
+// Deterministic network fault injection.
+//
+// A FaultPlan attached to the Fabric perturbs message delivery: per-link
+// packet/message drop probability, transient link flaps (outage windows),
+// one-way partitions, and latency spikes. All randomness comes from one
+// RNG seeded at construction, so a given (seed, plan) pair reproduces the
+// exact same failure schedule on every run — chaos tests stay bitwise
+// deterministic.
+//
+// Loss semantics mirror the layering above the fabric:
+//   - Reliable byte streams and bulk transfers (deliver_flow / transfer)
+//     model TCP or IB RC: a "dropped" chunk is retransmitted, surfacing as
+//     added delay (the retransmit timeout), never as data loss. Delivery
+//     inside an outage window is pushed past the window's end.
+//   - One-shot datagram-style deliveries (deliver) can be truly lost: the
+//     arrival callback simply never fires and the layer above must time
+//     out and recover.
+//
+// A default-constructed or empty plan draws zero random numbers and adds
+// zero delay, so compiling the fault layer in costs nothing when disabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rpcoib::net {
+
+/// Per-link fault probabilities (applied per message/chunk).
+struct LinkFaults {
+  double drop_prob = 0.0;        // chance a chunk is dropped (retransmitted
+                                 // on reliable paths, lost on one-shot)
+  double spike_prob = 0.0;       // chance of an added latency spike
+  sim::Dur spike_extra = 0;      // size of the spike
+
+  bool any() const { return drop_prob > 0.0 || spike_prob > 0.0; }
+};
+
+/// A time window during which a (src, dst) direction delivers nothing.
+/// src/dst of -1 match any host, so {-1, d} partitions d's ingress and
+/// {s, -1} partitions s's egress; a pair of windows makes a full flap.
+struct FaultWindow {
+  cluster::HostId src = -1;
+  cluster::HostId dst = -1;
+  sim::Time start = 0;
+  sim::Time end = 0;  // exclusive
+
+  bool matches(cluster::HostId s, cluster::HostId d, sim::Time now) const {
+    return (src < 0 || src == s) && (dst < 0 || dst == d) && now >= start && now < end;
+  }
+};
+
+/// What the plan decided for one delivery.
+struct FaultDecision {
+  bool lost = false;     // one-shot delivery never arrives
+  sim::Dur extra = 0;    // added latency (retransmits, spikes, outage wait)
+};
+
+/// Totals for assertions and the resilience metrics table.
+struct FaultCounters {
+  std::uint64_t drops = 0;        // chunks hit by drop_prob
+  std::uint64_t spikes = 0;       // latency spikes injected
+  std::uint64_t outage_hits = 0;  // deliveries delayed/lost by a window
+  std::uint64_t true_losses = 0;  // one-shot deliveries actually lost
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 20130701) : rng_(seed) {}
+
+  /// Re-seed (restarts the failure schedule; call before a run).
+  void set_seed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+
+  /// Faults applied to every link without a per-link override.
+  void set_default_faults(LinkFaults f) { default_ = f; }
+
+  /// Per-directed-link override.
+  void set_link_faults(cluster::HostId src, cluster::HostId dst, LinkFaults f) {
+    overrides_.push_back(LinkOverride{src, dst, f});
+  }
+
+  /// One-way partition: nothing from src reaches dst in [start, end).
+  void add_outage(FaultWindow w) { windows_.push_back(w); }
+
+  /// Transient link flap: both directions between a and b are down for
+  /// `length` starting at `start`.
+  void add_flap(cluster::HostId a, cluster::HostId b, sim::Time start, sim::Dur length) {
+    windows_.push_back(FaultWindow{a, b, start, start + length});
+    windows_.push_back(FaultWindow{b, a, start, start + length});
+  }
+
+  /// Delay a reliable path pays per dropped chunk (a TCP RTO / IB RC
+  /// retransmit timeout).
+  void set_retransmit_delay(sim::Dur d) { rto_ = d; }
+  sim::Dur retransmit_delay() const { return rto_; }
+
+  /// True when any fault source is configured. The fabric skips the plan
+  /// entirely (no RNG draws) when this is false, keeping disabled-plan
+  /// runs bit-identical to runs with no plan at all.
+  bool enabled() const {
+    return default_.any() || !overrides_.empty() || !windows_.empty();
+  }
+
+  /// Decide the fate of one delivery on src -> dst at `now`.
+  /// `reliable` selects retransmit-delay semantics over true loss.
+  FaultDecision decide(cluster::HostId src, cluster::HostId dst, sim::Time now,
+                       bool reliable);
+
+  const FaultCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = FaultCounters{}; }
+
+ private:
+  struct LinkOverride {
+    cluster::HostId src;
+    cluster::HostId dst;
+    LinkFaults faults;
+  };
+
+  const LinkFaults& faults_for(cluster::HostId src, cluster::HostId dst) const;
+  /// Earliest time >= now at which no window covers src -> dst (follows
+  /// chained/overlapping windows); returns now when the link is up.
+  sim::Time window_clear_time(cluster::HostId src, cluster::HostId dst,
+                              sim::Time now) const;
+
+  sim::Rng rng_;
+  LinkFaults default_{};
+  std::vector<LinkOverride> overrides_;
+  std::vector<FaultWindow> windows_;
+  sim::Dur rto_ = sim::millis(200);
+  FaultCounters counters_;
+};
+
+}  // namespace rpcoib::net

@@ -33,7 +33,9 @@ Testbed::Testbed(sim::Scheduler& sched, const TestbedConfig& cfg)
       cfg_(cfg),
       hosts_(make_hosts(sched, cfg)),
       fabric_(sched, hosts_.size()),
-      sockets_(fabric_, raw_hosts(hosts_)) {}
+      sockets_(fabric_, raw_hosts(hosts_)) {
+  if (cfg_.fault) fabric_.set_fault_plan(cfg_.fault.get());
+}
 
 void Testbed::set_tracer(trace::TraceCollector* t) {
   if (t != nullptr) {

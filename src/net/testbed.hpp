@@ -15,6 +15,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/host.hpp"
 #include "net/fabric.hpp"
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -27,6 +28,9 @@ struct TestbedConfig {
   cluster::CostModel cost{};
   std::uint64_t seed = 20130701;  // ICPP'13-flavored default seed
   bool has_ten_gige = false;
+  /// Optional deterministic fault-injection plan, installed on the fabric
+  /// at construction. Null (the default) means a fault-free fabric.
+  std::shared_ptr<FaultPlan> fault;
 };
 
 class Testbed {

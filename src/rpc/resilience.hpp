@@ -1,0 +1,36 @@
+// Resilience metrics table: retry/timeout/fault counters rendered with the
+// same fixed-width Table the bench binaries use. Returned as a string so
+// the chaos suite can assert byte-identical reports across seeded runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "metrics/table.hpp"
+#include "net/fault.hpp"
+#include "rpc/stats.hpp"
+
+namespace rpcoib::rpc {
+
+inline std::string resilience_report(const RpcStats& stats,
+                                     const net::FaultCounters* faults = nullptr) {
+  metrics::Table t({"Counter", "Value"});
+  t.row({"calls sent", std::to_string(stats.calls_sent)});
+  t.row({"timeouts", std::to_string(stats.timeouts)});
+  t.row({"transport errors", std::to_string(stats.transport_errors)});
+  t.row({"retries", std::to_string(stats.retries)});
+  t.row({"socket fallbacks", std::to_string(stats.socket_fallbacks)});
+  t.row({"backoff waits", std::to_string(stats.backoff_us.count())});
+  t.row({"backoff total (us)", metrics::Table::num(stats.backoff_us.sum(), 1)});
+  if (faults != nullptr) {
+    t.row({"fault drops", std::to_string(faults->drops)});
+    t.row({"fault spikes", std::to_string(faults->spikes)});
+    t.row({"fault outage hits", std::to_string(faults->outage_hits)});
+    t.row({"fault true losses", std::to_string(faults->true_losses)});
+  }
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+}  // namespace rpcoib::rpc

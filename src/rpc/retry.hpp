@@ -1,0 +1,55 @@
+// Client-side resilience policy: call timeouts, bounded retries with
+// exponential backoff and deterministic jitter, and per-method idempotency.
+//
+// Hadoop's RPC client retries at the protocol layer (RetryPolicies /
+// RetryProxy); here the policy lives on the abstract RpcClient so the
+// socket and RPCoIB transports honor identical semantics — the property
+// the chaos suite asserts. Jitter draws from the calling host's seeded
+// RNG, so a retry schedule is as reproducible as everything else in the
+// simulation.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "rpc/protocol.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rpcoib::rpc {
+
+/// Raised when a call's reply did not arrive within `call_timeout`.
+/// A subtype of RpcTransportError so existing catch sites keep working.
+class RpcTimeoutError : public RpcTransportError {
+ public:
+  explicit RpcTimeoutError(const std::string& what) : RpcTransportError(what) {}
+};
+
+struct RpcRetryPolicy {
+  /// Per-attempt reply deadline; 0 = wait forever (the seed behavior).
+  sim::Dur call_timeout = 0;
+  /// Extra attempts after the first; 0 disables retries.
+  int max_retries = 0;
+  /// Backoff before retry k is base * 2^k, capped, plus jitter in
+  /// [0, backoff/2] drawn from the caller's seeded RNG.
+  sim::Dur backoff_base = sim::millis(20);
+  sim::Dur backoff_cap = sim::seconds(5);
+  /// Methods that must NOT be retried (a lost reply does not prove the
+  /// server never executed the call), keyed by MethodKey::to_string().
+  std::set<std::string> non_idempotent;
+
+  bool enabled() const { return call_timeout > 0 || max_retries > 0; }
+
+  bool idempotent(const MethodKey& key) const {
+    return non_idempotent.find(key.to_string()) == non_idempotent.end();
+  }
+
+  sim::Dur backoff(int attempt, sim::Rng& rng) const {
+    sim::Dur d = backoff_base;
+    for (int i = 0; i < attempt && d < backoff_cap; ++i) d *= 2;
+    if (d > backoff_cap) d = backoff_cap;
+    return d + static_cast<sim::Dur>(rng.next_below(d / 2 + 1));
+  }
+};
+
+}  // namespace rpcoib::rpc

@@ -1,0 +1,76 @@
+#include "rpc/rpc.hpp"
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace rpcoib::rpc {
+
+sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Writable& param,
+                              Writable* response) {
+  if (!retry_.enabled()) {
+    co_await call_attempt(addr, key, param, response);
+    co_return;
+  }
+
+  cluster::Host& h = host();
+  trace::TraceCollector* tr = trace::active(h.tracer());
+  // The ambient parent is single-shot; take it once and re-arm it for
+  // every attempt so retried calls all parent to the same span.
+  const trace::TraceContext parent = tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
+  // A lost reply does not prove a non-idempotent call never executed, so
+  // such methods get exactly one attempt (Hadoop's TRY_ONCE_THEN_FAIL).
+  const int attempts_allowed = retry_.idempotent(key) ? retry_.max_retries + 1 : 1;
+
+  for (int attempt = 0;; ++attempt) {
+    const sim::Time t0 = h.sched().now();
+    bool failed = false;
+    bool timed_out = false;
+    std::string err;
+    try {
+      trace::activate(tr, parent);
+      co_await call_attempt(addr, key, param, response);
+    } catch (const RpcTimeoutError& e) {
+      failed = true;
+      timed_out = true;
+      err = e.what();
+    } catch (const RpcTransportError& e) {
+      // RemoteException is not caught: the server executed the handler,
+      // so retrying cannot help and would be wrong for mutations.
+      failed = true;
+      err = e.what();
+    }
+    if (!failed) co_return;
+
+    if (timed_out) {
+      ++stats_.timeouts;
+    } else {
+      ++stats_.transport_errors;
+    }
+    if (tr != nullptr) {
+      tr->add_complete(std::string(timed_out ? "fault.timeout:" : "fault.transport:") +
+                           key.method,
+                       trace::Kind::kClient, trace::Category::kFault, parent, h.id(), t0,
+                       h.sched().now());
+    }
+    if (attempt + 1 >= attempts_allowed) {
+      const std::string what =
+          key.to_string() + ": " + err + " (after " + std::to_string(attempt + 1) +
+          (attempt == 0 ? " attempt)" : " attempts)");
+      if (timed_out) throw RpcTimeoutError(what);
+      throw RpcTransportError(what);
+    }
+
+    ++stats_.retries;
+    const sim::Dur wait = retry_.backoff(attempt, h.rng());
+    stats_.backoff_us.add(sim::to_us(wait));
+    const sim::Time b0 = h.sched().now();
+    co_await sim::delay(h.sched(), wait);
+    if (tr != nullptr) {
+      tr->add_complete("retry.backoff:" + key.method, trace::Kind::kInternal,
+                       trace::Category::kRetry, parent, h.id(), b0, h.sched().now());
+    }
+  }
+}
+
+}  // namespace rpcoib::rpc

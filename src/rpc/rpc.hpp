@@ -12,6 +12,7 @@
 #include "cluster/host.hpp"
 #include "net/socket.hpp"
 #include "rpc/protocol.hpp"
+#include "rpc/retry.hpp"
 #include "rpc/stats.hpp"
 #include "rpc/writable.hpp"
 #include "sim/task.hpp"
@@ -34,17 +35,30 @@ class RpcClient {
   /// Invoke `key` on the server at `addr` with `param`; on success the
   /// reply is deserialized into `*response` (pass nullptr to discard).
   /// Throws RemoteException for handler errors, RpcTransportError for
-  /// connection failures.
-  virtual sim::Co<void> call(net::Address addr, const MethodKey& key, const Writable& param,
-                             Writable* response) = 0;
+  /// connection failures, RpcTimeoutError when the retry policy's call
+  /// timeout expires. With a retry policy set, failed attempts on
+  /// idempotent methods are re-issued after an exponential backoff; both
+  /// transports run the same loop, implemented over call_attempt().
+  sim::Co<void> call(net::Address addr, const MethodKey& key, const Writable& param,
+                     Writable* response);
 
   virtual cluster::Host& host() const = 0;
+
+  void set_retry_policy(RpcRetryPolicy p) { retry_ = std::move(p); }
+  const RpcRetryPolicy& retry_policy() const { return retry_; }
 
   RpcStats& stats() { return stats_; }
   const RpcStats& stats() const { return stats_; }
 
  protected:
+  /// One transport-level attempt (no retries). The transport honors
+  /// retry_policy().call_timeout by failing the attempt with
+  /// RpcTimeoutError once the deadline passes.
+  virtual sim::Co<void> call_attempt(net::Address addr, const MethodKey& key,
+                                     const Writable& param, Writable* response) = 0;
+
   RpcStats stats_;
+  RpcRetryPolicy retry_;
 
  private:
   std::function<void(const RpcStats&)> on_destroy_;

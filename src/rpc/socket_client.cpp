@@ -101,8 +101,8 @@ sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
   }
 }
 
-sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
-                                    const Writable& param, Writable* response) {
+sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& key,
+                                            const Writable& param, Writable* response) {
   // Consume the ambient trace parent before the first suspension point
   // (see trace.hpp's propagation discipline).
   trace::TraceCollector* tr = trace::active(host_.tracer());
@@ -172,7 +172,18 @@ sim::Co<void> SocketRpcClient::call(net::Address addr, const MethodKey& key,
   stats_.record_size(prof, static_cast<std::uint32_t>(d.length()));
   ++stats_.calls_sent;
 
-  co_await pc.done.wait();
+  if (const sim::Dur deadline = retry_.call_timeout; deadline > 0) {
+    const bool completed = co_await pc.done.wait_for(deadline);
+    if (!completed) {
+      // Unregister so a late reply is dropped by the receive loop instead
+      // of touching this (about to be destroyed) PendingCall.
+      conn->pending.erase(id);
+      throw RpcTimeoutError("call timed out after " +
+                            std::to_string(sim::to_ms(deadline)) + " ms");
+    }
+  } else {
+    co_await pc.done.wait();
+  }
   if (pc.error) {
     conn->pending.erase(id);
     if (conn->broken) throw RpcTransportError(pc.error_msg);

@@ -24,14 +24,15 @@ class SocketRpcClient final : public RpcClient {
   SocketRpcClient(cluster::Host& host, net::SocketTable& sockets, net::Transport transport);
   ~SocketRpcClient() override;
 
-  sim::Co<void> call(net::Address addr, const MethodKey& key, const Writable& param,
-                     Writable* response) override;
-
   cluster::Host& host() const override { return host_; }
   net::Transport transport() const { return transport_; }
 
   /// Drop all cached connections (peers observe EOF).
   void close_connections();
+
+ protected:
+  sim::Co<void> call_attempt(net::Address addr, const MethodKey& key, const Writable& param,
+                             Writable* response) override;
 
  private:
   struct PendingCall {

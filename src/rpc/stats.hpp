@@ -56,7 +56,22 @@ struct RpcStats {
   std::uint64_t calls_sent = 0;
   std::uint64_t calls_handled = 0;
 
+  // Resilience counters (fault injection / retry policy).
+  std::uint64_t timeouts = 0;          // attempts that hit call_timeout
+  std::uint64_t transport_errors = 0;  // attempts that died on the transport
+  std::uint64_t retries = 0;           // re-issued attempts
+  std::uint64_t socket_fallbacks = 0;  // RPCoIB calls rerouted to socket mode
+  metrics::Summary backoff_us;         // backoff waits between attempts
+
   MethodProfile& method(const MethodKey& key) { return methods[key]; }
+
+  void merge_resilience(const RpcStats& o) {
+    timeouts += o.timeouts;
+    transport_errors += o.transport_errors;
+    retries += o.retries;
+    socket_fallbacks += o.socket_fallbacks;
+    backoff_us.merge(o.backoff_us);
+  }
 };
 
 }  // namespace rpcoib::rpc

@@ -37,6 +37,7 @@ void merge_profiles(std::map<rpc::MethodKey, rpc::MethodProfile>& agg,
 
 std::unique_ptr<rpc::RpcClient> RpcEngine::make_client(cluster::Host& host) {
   std::unique_ptr<rpc::RpcClient> client = make_client_impl(host);
+  client->set_retry_policy(cfg_.retry);
   client->stats().record_sequences = record_sequences_;
   rpc::RpcClient* raw = client.get();
   clients_.push_back(raw);
@@ -70,6 +71,7 @@ std::unique_ptr<rpc::RpcClient> RpcEngine::make_client_impl(cluster::Host& host)
       RdmaClientConfig rc;
       rc.eager_threshold = cfg_.eager_threshold;
       rc.pool = cfg_.pool;
+      rc.fallback_to_socket = cfg_.socket_fallback;
       return std::make_unique<RdmaRpcClient>(host, tb_.sockets(), verbs_, rc);
     }
   }
@@ -89,6 +91,7 @@ std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
       sc.num_handlers = cfg_.server_handlers;
       sc.eager_threshold = cfg_.eager_threshold;
       sc.pool = cfg_.pool;
+      sc.socket_fallback = cfg_.socket_fallback;
       return std::make_unique<RdmaRpcServer>(host, tb_.sockets(), verbs_, addr, sc);
     }
   }

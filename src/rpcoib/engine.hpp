@@ -34,6 +34,12 @@ struct EngineConfig {
   int server_handlers = 8;
   std::size_t eager_threshold = WireDefaults::kEagerThreshold;
   PoolConfig pool{};
+  /// Timeout/retry/backoff applied to every client this engine creates.
+  /// Default-disabled: zero timeout, zero retries — legacy behavior.
+  rpc::RpcRetryPolicy retry{};
+  /// RPCoIB only: reroute to the companion socket listener when the QP
+  /// bootstrap exchange fails (and run that listener server-side).
+  bool socket_fallback = true;
 };
 
 /// Owns the verbs stack for a testbed and stamps out clients/servers.

@@ -75,16 +75,36 @@ RdmaRpcClient::~RdmaRpcClient() { close_connections(); }
 
 void RdmaRpcClient::close_connections() {
   for (auto& [addr, conn] : connections_) {
-    if (conn->qp) conn->qp->disconnect();
+    if (conn->qp) {
+      // Pre-posted receive slots still hold pooled buffers; reclaim them
+      // before the QP goes away or the pool leaks a slot per recv.
+      for (std::uint64_t wr : conn->qp->drain_posted_recvs()) {
+        if (NativeBuffer* b = buf_of(wr); b != nullptr) native_.release(b);
+      }
+      conn->qp->disconnect();
+    }
     conn->cq.close();
     fail_all(*conn, "client shutdown");
   }
   connections_.clear();
+  fallback_addrs_.clear();
+  if (fallback_) fallback_->close_connections();
+}
+
+void RdmaRpcClient::release_rendezvous(PendingCall& pc) {
+  if (pc.rendezvous_buf != nullptr) {
+    native_.release(pc.rendezvous_buf);
+    pc.rendezvous_buf = nullptr;
+  }
 }
 
 void RdmaRpcClient::fail_all(Connection& conn, const std::string& why) {
   conn.broken = true;
   for (auto& [id, pc] : conn.pending) {
+    // Return in-flight rendezvous sources to the pool before waking the
+    // caller: a drained scheduler may never resume the call coroutine, so
+    // the release cannot be left to it.
+    release_rendezvous(*pc);
     pc->transport_error = true;
     pc->error_msg = why;
     pc->done.set();
@@ -113,6 +133,14 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
       NativeBuffer* rb = native_.acquire(cfg_.recv_buf_size);
       raw->qp->post_recv(wr_of(rb), rb->span);
     }
+  } catch (const verbs::VerbsError& e) {
+    // A verbs-level bootstrap failure (exchange went wrong, not a dead
+    // server): surface it unchanged so call_attempt can fall back to
+    // socket mode.
+    raw->ready.set();
+    fail_all(*raw, e.what());
+    connections_.erase(addr);
+    throw;
   } catch (const std::exception& e) {
     raw->ready.set();
     fail_all(*raw, e.what());
@@ -221,19 +249,65 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
   }
 }
 
-sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
-                                  const rpc::Writable& param, rpc::Writable* response) {
+sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::MethodKey& key,
+                                               const rpc::Writable& param,
+                                               rpc::Writable* response) {
+  if (!fallback_) {
+    fallback_ = std::make_unique<rpc::SocketRpcClient>(host_, sockets_,
+                                                       net::Transport::kIPoIB);
+    // The fallback client enforces only the per-attempt deadline; retries
+    // and backoff stay with this client's outer retry loop.
+    rpc::RpcRetryPolicy attempt_only;
+    attempt_only.call_timeout = retry_.call_timeout;
+    fallback_->set_retry_policy(attempt_only);
+  }
+  const net::Address companion{addr.host,
+                               static_cast<std::uint16_t>(addr.port + kSocketFallbackPortOffset)};
+  co_await fallback_->call(companion, key, param, response);
+}
+
+sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKey& key,
+                                          const rpc::Writable& param,
+                                          rpc::Writable* response) {
   // Consume the ambient trace parent before the first suspension point
   // (see trace.hpp's propagation discipline).
   trace::TraceCollector* tr = trace::active(host_.tracer());
   const trace::TraceContext t_parent =
       tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
+  if (fallback_addrs_.count(addr) != 0) {
+    trace::activate(tr, t_parent);
+    co_await call_via_fallback(addr, key, param, response);
+    co_return;
+  }
   const cluster::CostModel& cm = host_.cost();
   const sim::Time t_start = host_.sched().now();
   trace::SpanScope rpc(tr, "rpc:" + key.method, trace::Kind::kClient,
                        trace::Category::kWire, t_parent, host_.id());
   const trace::TraceContext ctx = rpc.context();
-  ConnectionPtr conn = co_await get_connection(addr);
+  ConnectionPtr conn;
+  bool bootstrap_failed = false;  // co_await is not allowed inside a handler
+  try {
+    conn = co_await get_connection(addr);
+  } catch (const verbs::VerbsError& e) {
+    if (!cfg_.fallback_to_socket) throw rpc::RpcTransportError(e.what());
+    // Bootstrap exchange failed at the verbs layer: this address drops to
+    // socket mode for the rest of the session (Section III-D's escape
+    // hatch), starting with this very call.
+    fallback_addrs_.insert(addr);
+    ++stats_.socket_fallbacks;
+    if (tr != nullptr) {
+      tr->add_complete("fault.bootstrap:" + key.method, trace::Kind::kClient,
+                       trace::Category::kFault, ctx, host_.id(), t_start,
+                       host_.sched().now());
+    }
+    bootstrap_failed = true;
+  }
+  if (bootstrap_failed) {
+    rpc.end();
+    trace::activate(tr, t_parent);
+    co_await call_via_fallback(addr, key, param, response);
+    co_return;
+  }
   // Shared Hadoop RPC framework cost (call table, synchronization) — the
   // same charge the socket path pays; RPCoIB only removes buffer and
   // transport overheads, not the framework around them.
@@ -287,16 +361,22 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
       co_await conn->qp->post_send(wr_of(buf), msg);
       buf = nullptr;  // released by receive_loop at the kSend completion
     } else {
+      // Track the leased source on the pending call (not just this frame)
+      // so fail_all() can return it to the pool if the connection dies
+      // while the rendezvous is in flight.
+      pc.rendezvous_buf = buf;
+      buf = nullptr;
       const ControlFrame ctrl = ControlFrame::make(
-          FrameType::kCtrlCall, buf->mr.rkey,
-          static_cast<std::uint64_t>(msg.data() - buf->mr.addr),
+          FrameType::kCtrlCall, pc.rendezvous_buf->mr.rkey,
+          static_cast<std::uint64_t>(msg.data() - pc.rendezvous_buf->mr.addr),
           static_cast<std::uint32_t>(msg_len));
       co_await conn->qp->post_send(wr_of(nullptr), ctrl.span());
-      // `buf` stays leased until the response arrives (implicit ack).
+      // The lease holds until the response arrives (implicit ack).
     }
   } catch (const std::exception& e) {
     conn->pending.erase(id);
     if (buf != nullptr) native_.release(buf);
+    release_rendezvous(pc);
     throw rpc::RpcTransportError(e.what());
   }
   const sim::Time t_sent = host_.sched().now();
@@ -315,11 +395,20 @@ sim::Co<void> RdmaRpcClient::call(net::Address addr, const rpc::MethodKey& key,
   stats_.record_size(prof, static_cast<std::uint32_t>(msg_len));
   ++stats_.calls_sent;
 
-  co_await pc.done.wait();
-  if (buf != nullptr) {  // rendezvous source: response doubles as the ack
-    native_.release(buf);
-    buf = nullptr;
+  if (const sim::Dur deadline = retry_.call_timeout; deadline > 0) {
+    const bool completed = co_await pc.done.wait_for(deadline);
+    if (!completed) {
+      // Unregister so a late response is recycled by the receive loop, and
+      // reclaim the rendezvous source: the peer's READ window is gone.
+      conn->pending.erase(id);
+      release_rendezvous(pc);
+      throw rpc::RpcTimeoutError("call timed out after " +
+                                 std::to_string(sim::to_ms(deadline)) + " ms");
+    }
+  } else {
+    co_await pc.done.wait();
   }
+  release_rendezvous(pc);  // rendezvous source: response doubles as the ack
   if (pc.transport_error) throw rpc::RpcTransportError(pc.error_msg);
 
   // --- Deserialize in place from the registered buffer ------------------

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "rpc/rpc.hpp"
+#include "rpc/socket_client.hpp"
 #include "rpcoib/buffer_pool.hpp"
 #include "rpcoib/rdma_streams.hpp"
 #include "rpcoib/wire.hpp"
@@ -27,6 +29,11 @@ struct RdmaClientConfig {
   std::size_t recv_buf_size = WireDefaults::kRecvBufSize;
   int recv_depth = WireDefaults::kRecvDepth;
   PoolConfig pool{};
+  /// When the QP bootstrap exchange fails (a verbs-level error, not a dead
+  /// server), permanently reroute that address to plain socket RPC on the
+  /// server's companion listener — the paper's `rpc.ib.enabled` escape
+  /// hatch, preserving Java-socket error semantics.
+  bool fallback_to_socket = true;
 };
 
 class RdmaRpcClient final : public rpc::RpcClient {
@@ -35,14 +42,18 @@ class RdmaRpcClient final : public rpc::RpcClient {
                 RdmaClientConfig cfg = {});
   ~RdmaRpcClient() override;
 
-  sim::Co<void> call(net::Address addr, const rpc::MethodKey& key, const rpc::Writable& param,
-                     rpc::Writable* response) override;
-
   cluster::Host& host() const override { return host_; }
   ShadowPool& pool() { return shadow_; }
   const RdmaClientConfig& config() const { return cfg_; }
 
   void close_connections();
+
+  /// Addresses currently rerouted to socket mode after a bootstrap failure.
+  std::size_t fallback_address_count() const { return fallback_addrs_.size(); }
+
+ protected:
+  sim::Co<void> call_attempt(net::Address addr, const rpc::MethodKey& key,
+                             const rpc::Writable& param, rpc::Writable* response) override;
 
  private:
   struct PendingCall {
@@ -51,6 +62,9 @@ class RdmaRpcClient final : public rpc::RpcClient {
     net::ByteSpan resp;          // full kResp frame
     NativeBuffer* resp_buf = nullptr;
     bool resp_is_recv_slot = false;  // repost vs release-to-pool
+    /// Leased rendezvous source, tracked here (not in a call-frame local)
+    /// so fail_all() can return it to the pool on connection teardown.
+    NativeBuffer* rendezvous_buf = nullptr;
     bool transport_error = false;
     std::string error_msg;
   };
@@ -82,6 +96,9 @@ class RdmaRpcClient final : public rpc::RpcClient {
                         bool is_recv_slot);
   void repost_recv(const ConnectionPtr& conn, NativeBuffer* buf);
   void fail_all(Connection& conn, const std::string& why);
+  void release_rendezvous(PendingCall& pc);
+  sim::Co<void> call_via_fallback(net::Address addr, const rpc::MethodKey& key,
+                                  const rpc::Writable& param, rpc::Writable* response);
 
   sim::Task init_pool_task();
 
@@ -95,6 +112,10 @@ class RdmaRpcClient final : public rpc::RpcClient {
   sim::SimEvent pool_ready_;
   std::uint64_t next_call_id_ = 1;
   std::map<net::Address, std::shared_ptr<Connection>> connections_;
+  // Socket-mode fallback after a failed bootstrap exchange (sticky per
+  // address until close_connections()).
+  std::set<net::Address> fallback_addrs_;
+  std::unique_ptr<rpc::SocketRpcClient> fallback_;
 };
 
 }  // namespace rpcoib::oib

@@ -67,6 +67,17 @@ void RdmaRpcServer::start() {
   host_.sched().spawn(listener_loop());
   host_.sched().spawn(reader_loop());
   for (int i = 0; i < cfg_.num_handlers; ++i) host_.sched().spawn(handler_loop(i));
+  if (cfg_.socket_fallback) {
+    fallback_ = std::make_unique<rpc::SocketRpcServer>(
+        host_, sockets_,
+        net::Address{addr_.host,
+                     static_cast<std::uint16_t>(addr_.port + kSocketFallbackPortOffset)},
+        cfg_.num_handlers);
+    for (const auto& [key, handler] : dispatcher_.all()) {
+      fallback_->dispatcher().register_method(key.protocol, key.method, handler);
+    }
+    fallback_->start();
+  }
 }
 
 void RdmaRpcServer::stop() {
@@ -79,6 +90,10 @@ void RdmaRpcServer::stop() {
   }
   if (cq_) cq_->close();
   if (call_queue_) call_queue_->close();
+  if (fallback_) {
+    fallback_->stop();
+    fallback_.reset();
+  }
 }
 
 void RdmaRpcServer::post_slot(ConnState* conn, NativeBuffer* buf) {
@@ -217,17 +232,26 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       // Deserialize in place from the registered buffer: no per-call heap
       // buffer, no native->heap copy (Section III-B).
       RDMAInputStream in(cm, net::ByteSpan(call.buf->span.data(), call.frame_len));
-      (void)in.read_u8();  // frame type
-      std::uint64_t id = in.read_u64();
+      std::uint64_t id = 0;
       trace::TraceContext ctx;
-      if ((id & trace::kWireTraceFlag) != 0) {
-        id &= ~trace::kWireTraceFlag;
-        ctx.trace_id = in.read_u64();
-        ctx.span_id = in.read_u64();
-      }
       rpc::MethodKey key;
-      key.protocol = in.read_text();
-      key.method = in.read_text();
+      try {
+        (void)in.read_u8();  // frame type
+        id = in.read_u64();
+        if ((id & trace::kWireTraceFlag) != 0) {
+          id &= ~trace::kWireTraceFlag;
+          ctx.trace_id = in.read_u64();
+          ctx.span_id = in.read_u64();
+        }
+        key.protocol = in.read_text();
+        key.method = in.read_text();
+      } catch (const std::exception&) {
+        // Garbage header: a timed-out client may have released (and reused)
+        // the rendezvous source before our RDMA-READ fetched it. Drop the
+        // frame — the client already gave up on this call.
+        native_.release(call.buf);
+        continue;
+      }
       trace::TraceCollector* tr = ctx.valid() ? trace::active(host_.tracer()) : nullptr;
       if (tr != nullptr) {
         // The id was only parsed here, so the receive and queue intervals

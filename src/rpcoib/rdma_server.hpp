@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "rpc/rpc.hpp"
+#include "rpc/socket_server.hpp"
 #include "rpcoib/buffer_pool.hpp"
 #include "rpcoib/rdma_streams.hpp"
 #include "rpcoib/wire.hpp"
@@ -28,6 +29,10 @@ struct RdmaServerConfig {
   std::size_t recv_buf_size = WireDefaults::kRecvBufSize;
   int recv_depth = WireDefaults::kRecvDepth;
   PoolConfig pool{};
+  /// Also run a plain socket RPC listener at `addr.port +
+  /// kSocketFallbackPortOffset` mirroring this server's dispatcher, so
+  /// clients whose QP bootstrap fails can reroute (socket-mode fallback).
+  bool socket_fallback = true;
 };
 
 class RdmaRpcServer final : public rpc::RpcServer {
@@ -87,6 +92,8 @@ class RdmaRpcServer final : public rpc::RpcServer {
   // RDMA-READ fetches in flight, keyed by odd wr_id token.
   std::map<std::uint64_t, sim::SimEvent*> read_waiters_;
   std::uint64_t next_read_token_ = 1;
+  // Companion socket listener for bootstrap-failure fallback clients.
+  std::unique_ptr<rpc::SocketRpcServer> fallback_;
   bool running_ = false;
 };
 

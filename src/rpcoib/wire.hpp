@@ -34,4 +34,11 @@ struct WireDefaults {
   static constexpr int kRecvDepth = 16;
 };
 
+/// Every RdmaRpcServer also listens for plain socket RPC at
+/// `addr.port + kSocketFallbackPortOffset`; clients whose QP bootstrap
+/// exchange fails reroute there (socket-mode fallback). The offset keeps
+/// companion listeners clear of all well-known base ports in the tree
+/// (8020/8021/50060/60000/60020).
+inline constexpr std::uint16_t kSocketFallbackPortOffset = 1000;
+
 }  // namespace rpcoib::oib

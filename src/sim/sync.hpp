@@ -9,9 +9,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace rpcoib::sim {
 
@@ -104,11 +107,40 @@ class SimEvent {
 
   WaitAwaiter wait() { return WaitAwaiter{*this}; }
 
+  /// Wait with a deadline: resumes with `true` as soon as the event is
+  /// set, or with `false` once `timeout` elapses first. The per-waiter
+  /// `woken` flag makes set() and the timer callback mutually exclusive,
+  /// so a coroutine is never resumed twice.
+  struct TimedWaitAwaiter {
+    SimEvent& ev;
+    Dur timeout;
+    std::shared_ptr<bool> woken = std::make_shared<bool>(false);
+
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ev.timed_waiters_.emplace_back(h, woken);
+      ev.sched_.call_after(timeout, [h, flag = woken] {
+        if (*flag) return;  // set() beat the timer
+        *flag = true;
+        h.resume();
+      });
+    }
+    bool await_resume() const noexcept { return ev.set_; }
+  };
+
+  TimedWaitAwaiter wait_for(Dur timeout) { return TimedWaitAwaiter{*this, timeout}; }
+
   void set() {
     if (set_) return;
     set_ = true;
     for (std::coroutine_handle<> w : waiters_) sched_.post(w);
     waiters_.clear();
+    for (auto& [w, flag] : timed_waiters_) {
+      if (*flag) continue;  // already resumed by its timer
+      *flag = true;
+      sched_.post(w);
+    }
+    timed_waiters_.clear();
   }
 
   bool is_set() const { return set_; }
@@ -117,6 +149,7 @@ class SimEvent {
   Scheduler& sched_;
   bool set_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::pair<std::coroutine_handle<>, std::shared_ptr<bool>>> timed_waiters_;
 };
 
 /// Barrier counting completions, e.g. "all reduce tasks finished".

@@ -14,6 +14,8 @@ const char* category_name(Category c) {
     case Category::kBuffer: return "buffer pool/registration";
     case Category::kCompute: return "compute";
     case Category::kDisk: return "disk I/O";
+    case Category::kFault: return "fault/recovery";
+    case Category::kRetry: return "retry backoff";
   }
   return "?";
 }

@@ -44,8 +44,10 @@ enum class Category : std::uint8_t {
   kBuffer,         // RPCoIB pool acquire / memory registration
   kCompute,        // application compute
   kDisk,           // modeled disk I/O
+  kFault,          // attempts lost to injected faults (timeout/transport)
+  kRetry,          // backoff waits between retry attempts
 };
-inline constexpr int kCategoryCount = 10;
+inline constexpr int kCategoryCount = 12;
 
 const char* category_name(Category c);
 

@@ -79,6 +79,14 @@ void QueuePair::connect_to(const QueuePairPtr& peer) {
 
 void QueuePair::disconnect() { peer_.reset(); }
 
+std::vector<std::uint64_t> QueuePair::drain_posted_recvs() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(posted_recvs_.size());
+  for (const PostedRecv& pr : posted_recvs_) ids.push_back(pr.wr_id);
+  posted_recvs_.clear();
+  return ids;
+}
+
 void QueuePair::post_recv(std::uint64_t wr_id, net::MutByteSpan buf) {
   posted_recvs_.push_back(PostedRecv{wr_id, buf});
   match_inbound();
@@ -202,6 +210,13 @@ sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Addres
                                                  CompletionQueue& recv_cq,
                                                  net::Transport mgmt_transport) {
   net::SocketPtr sock = co_await sockets_.connect(src, addr, mgmt_transport);
+  // Injected fault hook: the management socket worked, but the verbs-level
+  // exchange (SM path resolution, GID lookup) fails. Distinct from a dead
+  // server — that surfaces as a SocketError above.
+  if (stack_.take_bootstrap_failure()) {
+    sock->close();
+    throw VerbsError("connection manager: bootstrap exchange failed (injected)");
+  }
   auto qp = std::make_shared<QueuePair>(stack_, src, send_cq, recv_cq);
 
   // Exchange endpoint info: send ours, wait for the peer's. The server

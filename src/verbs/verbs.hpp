@@ -156,6 +156,11 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// Tear down; peer sees flushed state on next use.
   void disconnect();
 
+  /// Remove and return the wr_ids of all still-posted receive buffers.
+  /// Called at teardown so pooled recv buffers can go back to their pool
+  /// instead of leaking with the QP.
+  std::vector<std::uint64_t> drain_posted_recvs();
+
  private:
   friend class ConnectionManager;
   friend class VerbsStack;
@@ -215,11 +220,23 @@ class VerbsStack {
   }
   void cm_erase(std::uintptr_t cookie) { cm_pending_.erase(cookie); }
 
+  // Deterministic fault hook: make the next `n` bootstrap (QP-info)
+  // exchanges fail with a VerbsError, modeling subnet-manager / GID
+  // resolution trouble that leaves plain sockets working. RPCoIB clients
+  // respond by falling back to socket mode.
+  void inject_bootstrap_failures(int n) { bootstrap_failures_ += n; }
+  bool take_bootstrap_failure() {
+    if (bootstrap_failures_ <= 0) return false;
+    --bootstrap_failures_;
+    return true;
+  }
+
  private:
   net::Fabric& fab_;
   std::uint32_t next_key_ = 1;
   std::map<std::uint32_t, MemoryRegion> regions_;
   std::map<std::uintptr_t, QueuePairPtr> cm_pending_;
+  int bootstrap_failures_ = 0;
 };
 
 /// Establishes RC connections by exchanging endpoint info over a plain

@@ -58,23 +58,37 @@ mapred::JobSpec sort_spec(std::uint64_t data_bytes) {
 
 struct MrStack {
   MrStack(Scheduler& s, RpcMode rpc_mode, int slaves, std::uint64_t seed,
-          bool dn_disk_writes)
-      : tb(s, make_cfg(slaves, seed)),
-        engine(tb, EngineConfig{.mode = rpc_mode}),
+          bool dn_disk_writes, const ChaosConfig* chaos = nullptr)
+      : tb(s, make_cfg(slaves, seed, chaos)),
+        engine(tb, make_engine_cfg(rpc_mode, chaos)),
         hdfs_cluster(engine, 0, slave_ids(slaves), mr_data_mode(),
-                     make_hdfs_cfg(dn_disk_writes)),
-        mr(engine, hdfs_cluster, 0, slave_ids(slaves)) {
+                     make_hdfs_cfg(dn_disk_writes, chaos)),
+        mr(engine, hdfs_cluster, 0, slave_ids(slaves), {}, make_jt_cfg(chaos)) {
     hdfs_cluster.start();
     mr.start();
   }
-  static net::TestbedConfig make_cfg(int slaves, std::uint64_t seed) {
+  static net::TestbedConfig make_cfg(int slaves, std::uint64_t seed,
+                                     const ChaosConfig* chaos) {
     net::TestbedConfig cfg = Testbed::cluster_a(1 + slaves);
     cfg.seed = seed;
+    if (chaos != nullptr) cfg.fault = chaos->fault;
     return cfg;
   }
-  static hdfs::HdfsConfig make_hdfs_cfg(bool dn_disk_writes) {
+  static EngineConfig make_engine_cfg(RpcMode rpc_mode, const ChaosConfig* chaos) {
+    EngineConfig cfg;
+    cfg.mode = rpc_mode;
+    if (chaos != nullptr) cfg.retry = chaos->retry;
+    return cfg;
+  }
+  static hdfs::HdfsConfig make_hdfs_cfg(bool dn_disk_writes, const ChaosConfig* chaos) {
     hdfs::HdfsConfig cfg;
     cfg.datanode_disk_writes = dn_disk_writes;
+    if (chaos != nullptr) cfg.pipeline_retries = chaos->pipeline_retries;
+    return cfg;
+  }
+  static mapred::JobTrackerConfig make_jt_cfg(const ChaosConfig* chaos) {
+    mapred::JobTrackerConfig cfg;
+    if (chaos != nullptr) cfg.tracker_expiry = chaos->tracker_expiry;
     return cfg;
   }
   ~MrStack() {
@@ -99,9 +113,10 @@ Task drive_jobs(MrStack& stack, std::vector<mapred::JobSpec> specs,
 }  // namespace
 
 SortResult run_randomwriter_sort(RpcMode rpc_mode, int slaves, std::uint64_t data_bytes,
-                                 std::uint64_t seed, trace::TraceCollector* collector) {
+                                 std::uint64_t seed, trace::TraceCollector* collector,
+                                 const ChaosConfig* chaos) {
   Scheduler s;
-  MrStack stack(s, rpc_mode, slaves, seed, /*dn_disk_writes=*/true);
+  MrStack stack(s, rpc_mode, slaves, seed, /*dn_disk_writes=*/true, chaos);
   stack.tb.set_tracer(collector);
 
   mapred::JobSpec sort = sort_spec(data_bytes);

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hbase/hbase.hpp"
 #include "hdfs/data_transfer.hpp"
+#include "net/fault.hpp"
 #include "rpcoib/engine.hpp"
 #include "trace/trace.hpp"
 #include "ycsb/ycsb.hpp"
@@ -23,12 +25,23 @@ struct SortResult {
   double sort_secs = 0;
 };
 
+/// Fault-injection knobs for the MapReduce drivers: a seeded FaultPlan on
+/// the fabric plus the recovery mechanisms that make jobs survive it.
+/// Default-constructed = no faults, no retries (legacy behavior).
+struct ChaosConfig {
+  std::shared_ptr<net::FaultPlan> fault;  // installed on the testbed fabric
+  rpc::RpcRetryPolicy retry;              // applied to every RPC client
+  sim::Dur tracker_expiry = 0;            // JobTracker task re-execution
+  int pipeline_retries = 0;               // DFSClient write-pipeline recovery
+};
+
 /// Fig. 6(a): RandomWriter writes `data_bytes` of random records via
 /// map-only tasks, then Sort runs over the generated data. 1 master +
 /// `slaves` slaves, 8 map / 4 reduce slots per node (the paper's config).
 SortResult run_randomwriter_sort(oib::RpcMode rpc_mode, int slaves,
                                  std::uint64_t data_bytes, std::uint64_t seed = 7,
-                                 trace::TraceCollector* collector = nullptr);
+                                 trace::TraceCollector* collector = nullptr,
+                                 const ChaosConfig* chaos = nullptr);
 
 struct CloudBurstResult {
   double alignment_secs = 0;

@@ -3,13 +3,19 @@
 // end-to-end determinism of whole-cluster runs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "hdfs/hdfs_cluster.hpp"
+#include "mapred/mr_cluster.hpp"
+#include "net/fault.hpp"
 #include "net/testbed.hpp"
+#include "rpc/resilience.hpp"
 #include "rpc/socket_client.hpp"
 #include "rpc/socket_server.hpp"
 #include "rpcoib/engine.hpp"
+#include "workloads/hadoop_jobs.hpp"
 #include "workloads/pingpong.hpp"
 
 namespace rpcoib {
@@ -190,6 +196,345 @@ TEST(Determinism, HdfsWriteTimesAreSeedStable) {
   const double b = run_once();
   EXPECT_EQ(a, b);
   EXPECT_GT(a, 0.0);
+}
+
+// --- Chaos suite ------------------------------------------------------------
+//
+// Deterministic fault injection + the retry/timeout/backoff policy. Every
+// test below is seedable through RPCOIB_CHAOS_SEED so CI can sweep seeds
+// (same seed => byte-identical behavior; different seeds => different but
+// still deterministic failure schedules).
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("RPCOIB_CHAOS_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+Task delayed_echo(Scheduler& s, rpc::RpcClient& client, sim::Dur wait, int v, int& out,
+                  bool& err) {
+  co_await sim::delay(s, wait);
+  rpc::IntWritable param(v), resp;
+  try {
+    co_await client.call(kAddr, kEcho, param, &resp);
+    out = resp.value;
+  } catch (const rpc::RpcTransportError&) {
+    err = true;
+  }
+}
+
+TEST(Chaos, RetryCarriesCallThroughLinkFlap) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+    plan->add_flap(0, 1, sim::seconds(1), sim::seconds(3));
+    net::TestbedConfig cfg = Testbed::cluster_b();
+    cfg.fault = plan;
+    Scheduler s;
+    Testbed tb(s, cfg);
+    rpc::RpcRetryPolicy retry;
+    retry.call_timeout = sim::millis(500);
+    retry.max_retries = 10;
+    retry.backoff_base = sim::millis(100);
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_slow(*server, tb.host(1));
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    // Warm call before the flap establishes the connection; the second
+    // call is issued mid-outage and must survive on retries alone.
+    int warm = 0, out = 0;
+    bool warm_err = false, err = false;
+    s.spawn(echo_round(*client, 1, warm, warm_err));
+    s.spawn(delayed_echo(s, *client, sim::millis(1500), 77, out, err));
+    s.run_until(sim::seconds(60));
+    EXPECT_EQ(warm, 1);
+    EXPECT_EQ(out, 77);
+    EXPECT_FALSE(err);
+    EXPECT_GT(client->stats().timeouts, 0u);
+    EXPECT_GT(client->stats().retries, 0u);
+    EXPECT_GT(plan->counters().outage_hits, 0u);
+    server->stop();
+    s.drain_tasks();
+  }
+}
+
+Task call_slow_expect_timeout(rpc::RpcClient& client, bool& timed_out) {
+  rpc::NullWritable arg;
+  try {
+    co_await client.call(kAddr, kSlow, arg, nullptr);
+  } catch (const rpc::RpcTimeoutError&) {
+    timed_out = true;
+  }
+}
+
+TEST(Chaos, CallTimeoutFailsSlowCall) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    Scheduler s;
+    Testbed tb(s, Testbed::cluster_b());
+    rpc::RpcRetryPolicy retry;
+    retry.call_timeout = sim::seconds(1);  // handler sleeps 5 s
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_slow(*server, tb.host(1));
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    bool timed_out = false;
+    s.spawn(call_slow_expect_timeout(*client, timed_out));
+    // Run far past the handler's 5 s so the stale (post-timeout) response
+    // also arrives and must be dropped without corrupting the transport.
+    s.run_until(sim::seconds(30));
+    EXPECT_TRUE(timed_out);
+    EXPECT_EQ(client->stats().timeouts, 1u);
+    EXPECT_EQ(client->stats().retries, 0u);
+
+    // The connection stays usable after the drop.
+    int out = 0;
+    bool err = false;
+    s.spawn(echo_round(*client, 5, out, err));
+    s.run_until(sim::seconds(60));
+    EXPECT_EQ(out, 5);
+    EXPECT_FALSE(err);
+    server->stop();
+    s.drain_tasks();
+  }
+}
+
+TEST(Chaos, NonIdempotentMethodIsNeverRetried) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    Scheduler s;
+    Testbed tb(s, Testbed::cluster_b());
+    rpc::RpcRetryPolicy retry;
+    retry.call_timeout = sim::seconds(1);
+    retry.max_retries = 5;
+    retry.non_idempotent.insert(kSlow.to_string());
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_slow(*server, tb.host(1));
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    bool timed_out = false;
+    s.spawn(call_slow_expect_timeout(*client, timed_out));
+    s.run_until(sim::seconds(30));
+    // A lost reply does not prove the server never executed the call:
+    // exactly one attempt, no retries.
+    EXPECT_TRUE(timed_out);
+    EXPECT_EQ(client->stats().calls_sent, 1u);
+    EXPECT_EQ(client->stats().retries, 0u);
+    server->stop();
+    s.drain_tasks();
+  }
+}
+
+TEST(Chaos, BootstrapFailureFallsBackToSocketMode) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  RpcEngine engine(tb, EngineConfig{.mode = RpcMode::kRpcoIB});
+  auto server = engine.make_server(tb.host(1), kAddr);  // + companion listener
+  register_slow(*server, tb.host(1));
+  server->start();
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+  engine.verbs().inject_bootstrap_failures(1);
+
+  int out = 0;
+  bool err = false;
+  s.spawn(echo_round(*client, 42, out, err));
+  s.run_until(sim::seconds(30));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(err);
+  EXPECT_EQ(client->stats().socket_fallbacks, 1u);
+  auto* rdma = dynamic_cast<oib::RdmaRpcClient*>(client.get());
+  ASSERT_NE(rdma, nullptr);
+  EXPECT_EQ(rdma->fallback_address_count(), 1u);
+
+  // The reroute is sticky: later calls keep working without fresh QP
+  // bootstrap attempts.
+  int out2 = 0;
+  bool err2 = false;
+  s.spawn(echo_round(*client, 43, out2, err2));
+  s.run_until(sim::seconds(60));
+  EXPECT_EQ(out2, 43);
+  EXPECT_FALSE(err2);
+  server->stop();
+  s.drain_tasks();
+}
+
+Task echo_burst(rpc::RpcClient& client, int n, int& completed) {
+  for (int i = 0; i < n; ++i) {
+    rpc::IntWritable param(i), resp;
+    try {
+      co_await client.call(kAddr, kEcho, param, &resp);
+      if (resp.value == i) ++completed;
+    } catch (const rpc::RpcTransportError&) {
+    }
+  }
+}
+
+TEST(Chaos, SeededFaultRunsYieldByteIdenticalResilienceReports) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    auto run_once = [mode] {
+      auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+      plan->set_default_faults(
+          {.drop_prob = 0.05, .spike_prob = 0.1, .spike_extra = sim::millis(2)});
+      net::TestbedConfig cfg = Testbed::cluster_b();
+      cfg.fault = plan;
+      Scheduler s;
+      Testbed tb(s, cfg);
+      rpc::RpcRetryPolicy retry;
+      retry.call_timeout = sim::millis(500);
+      retry.max_retries = 6;
+      RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+      auto server = engine.make_server(tb.host(1), kAddr);
+      register_slow(*server, tb.host(1));
+      server->start();
+      std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+      int completed = 0;
+      s.spawn(echo_burst(*client, 40, completed));
+      s.run_until(sim::seconds(120));
+      EXPECT_EQ(completed, 40);
+      std::string report = rpc::resilience_report(client->stats(), &plan->counters());
+      report += "\nfinished at " + std::to_string(s.now());
+      server->stop();
+      s.drain_tasks();
+      return report;
+    };
+    const std::string a = run_once();
+    const std::string b = run_once();
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Chaos, DisabledFaultPlanIsByteIdenticalToNoPlan) {
+  auto run_once = [](bool attach_empty_plan) {
+    Scheduler s;
+    net::TestbedConfig cfg = Testbed::cluster_b();
+    if (attach_empty_plan) cfg.fault = std::make_shared<net::FaultPlan>(chaos_seed());
+    Testbed tb(s, cfg);
+    RpcEngine engine(tb, EngineConfig{.mode = RpcMode::kRpcoIB});
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_slow(*server, tb.host(1));
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+    int completed = 0;
+    s.spawn(echo_burst(*client, 20, completed));
+    s.run_until(sim::seconds(60));
+    EXPECT_EQ(completed, 20);
+    const sim::Time done_at = s.now();
+    server->stop();
+    s.drain_tasks();
+    return done_at;
+  };
+  // An attached-but-empty plan draws zero random numbers and adds zero
+  // delay: virtual timings match a fault-free fabric exactly.
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(Chaos, HdfsPipelineRetriesThroughDatanodeLoss) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_a(6));
+  RpcEngine engine(tb, EngineConfig{.mode = RpcMode::kSocketIPoIB});
+  hdfs::HdfsConfig cfg;
+  cfg.block_size = 4ULL << 20;
+  cfg.pipeline_retries = 50;
+  cfg.heartbeat_interval = sim::seconds(2);
+  cfg.dn_dead_after = sim::seconds(6);
+  cfg.replication_check_interval = sim::seconds(2);
+  hdfs::HdfsCluster cluster(engine, 0, {2, 3, 4, 5}, hdfs::DataMode::kSocketIPoIB, cfg);
+  cluster.start();
+  s.run_until(sim::seconds(1));  // registrations land
+
+  bool done = false;
+  std::uint64_t retried = 0;
+  s.spawn([](Testbed& t, hdfs::HdfsCluster& hc, bool& ok, std::uint64_t& n) -> Task {
+    std::unique_ptr<hdfs::DFSClient> c = hc.make_client(t.host(1), "chaos-writer");
+    co_await c->write_file("/chaos/f", 128u << 20);
+    n = c->pipeline_retries_count();
+    ok = true;
+  }(tb, cluster, done, retried));
+  s.run_until(s.now() + sim::millis(80));  // a few of the 32 blocks written
+  // One pipeline DataNode dies mid-write. The client must abandon the
+  // affected block, re-request targets, and still finish the file.
+  cluster.datanode_object(2)->stop();
+  s.run_until(sim::seconds(900));
+  EXPECT_TRUE(done);
+  EXPECT_GE(retried, 1u);
+  cluster.stop();
+  s.drain_tasks();
+}
+
+TEST(Chaos, JobTrackerReexecutesTasksOfLostTaskTracker) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_a(4));
+  RpcEngine engine(tb, EngineConfig{.mode = RpcMode::kSocketIPoIB});
+  const std::vector<cluster::HostId> slaves = {1, 2, 3};
+  hdfs::HdfsConfig hdfs_cfg;
+  hdfs_cfg.block_size = 8 << 20;
+  hdfs::HdfsCluster hdfs_cluster(engine, 0, slaves, hdfs::DataMode::kSocketIPoIB, hdfs_cfg);
+  mapred::JobTrackerConfig jt_cfg;
+  jt_cfg.tracker_expiry = sim::seconds(6);
+  jt_cfg.expiry_check_interval = sim::seconds(2);
+  mapred::MrCluster mr(engine, hdfs_cluster, 0, slaves, {}, jt_cfg);
+  hdfs_cluster.start();
+  mr.start();
+
+  mapred::JobSpec spec;
+  spec.name = "chaos-maps";
+  spec.num_maps = 6;
+  spec.num_reduces = 0;
+  spec.map_only = true;
+  spec.input_bytes = 6ULL << 20;
+  spec.map_cpu_us_per_mb = 15'000'000.0;  // ~15 s of user CPU per map
+  spec.output_path = "/chaos-out";
+
+  double secs = 0;
+  s.spawn([](Testbed& t, mapred::MrCluster& c, mapred::JobSpec sp, double& out) -> Task {
+    std::unique_ptr<mapred::JobClient> client = c.make_client(t.host(0));
+    out = co_await client->run(sp);
+  }(tb, mr, spec, secs));
+  s.run_until(sim::seconds(5));  // maps assigned and running on all trackers
+  mr.stop_tasktracker(0);        // slave dies with tasks in flight
+  s.run_until(sim::seconds(600));
+
+  EXPECT_GT(secs, 0.0);
+  const mapred::JobStatus st = mr.jobtracker().status_of(1);
+  EXPECT_TRUE(st.complete);
+  EXPECT_EQ(st.maps_done, 6);
+  EXPECT_GT(mr.jobtracker().tasks_reexecuted(), 0u);
+  mr.stop();
+  hdfs_cluster.stop();
+  s.drain_tasks();
+}
+
+TEST(Chaos, MiniSortOverFlappingLinkIsIdenticalAcrossRuns) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    auto run_once = [mode] {
+      workloads::ChaosConfig chaos;
+      auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+      plan->set_default_faults({.drop_prob = 0.02});
+      plan->add_flap(0, 1, sim::seconds(2), sim::seconds(3));
+      chaos.fault = plan;
+      chaos.retry.call_timeout = sim::seconds(3);
+      chaos.retry.max_retries = 4;
+      chaos.tracker_expiry = sim::seconds(30);
+      chaos.pipeline_retries = 5;
+      return workloads::run_randomwriter_sort(mode, /*slaves=*/2, 128ULL << 20,
+                                              /*seed=*/7, nullptr, &chaos);
+    };
+    const workloads::SortResult first = run_once();
+    EXPECT_GT(first.randomwriter_secs, 0.0);
+    EXPECT_GT(first.sort_secs, 0.0);
+    for (int i = 0; i < 4; ++i) {
+      const workloads::SortResult again = run_once();
+      EXPECT_EQ(again.randomwriter_secs, first.randomwriter_secs);
+      EXPECT_EQ(again.sort_secs, first.sort_secs);
+    }
+  }
 }
 
 }  // namespace

@@ -3,11 +3,13 @@
 // size locality), stream re-gets, zero-copy reads.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "net/testbed.hpp"
 #include "rpc/buffers.hpp"
 #include "rpcoib/buffer_pool.hpp"
+#include "rpcoib/engine.hpp"
 #include "rpcoib/rdma_streams.hpp"
 
 namespace rpcoib::oib {
@@ -215,6 +217,54 @@ TEST(RdmaStream, AccruedCostFarBelowAlgorithmOne) {
   EXPECT_GE(alg1.stats().mem_adjustments, 6u);
   NativeBuffer* b = out.take_buffer();
   out.finish(b);
+}
+
+Task rendezvous_call(rpc::RpcClient& client, net::Address addr, const rpc::MethodKey& key,
+                     bool& failed) {
+  // 64 KB is far above the eager threshold: the request goes out as a
+  // rendezvous descriptor and the pooled source buffer stays leased until
+  // the response (or a teardown) releases it.
+  rpc::BytesWritable param(net::Bytes(64 * 1024, net::Byte{7}));
+  try {
+    co_await client.call(addr, key, param, nullptr);
+  } catch (const rpc::RpcTransportError&) {
+    failed = true;
+  }
+}
+
+// Regression: fail_all() used to drop PendingCall entries without
+// returning their leased rendezvous sources, leaking a pool buffer per
+// in-flight large call on connection teardown.
+TEST(NativePool, ConnectionTeardownReleasesLeasedRendezvousBuffers) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  RpcEngine engine(tb, oib::EngineConfig{.mode = RpcMode::kRpcoIB});
+  const net::Address addr{1, 9400};
+  const rpc::MethodKey sink{"test.PoolProtocol", "sink"};
+  std::unique_ptr<rpc::RpcServer> server = engine.make_server(tb.host(1), addr);
+  server->dispatcher().register_method(
+      sink.protocol, sink.method,
+      [&tb](rpc::DataInput& in, rpc::DataOutput& out) -> sim::Co<void> {
+        rpc::BytesWritable v;
+        v.read_fields(in);
+        co_await sim::delay(tb.sched(), sim::seconds(5));
+        rpc::BooleanWritable(true).write(out);
+      });
+  server->start();
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+  auto* rdma = dynamic_cast<RdmaRpcClient*>(client.get());
+  ASSERT_NE(rdma, nullptr);
+
+  bool failed = false;
+  s.spawn(rendezvous_call(*client, addr, sink, failed));
+  s.run_until(sim::seconds(1));  // handler sleeping, source still leased
+  rdma->close_connections();
+  s.run_until(sim::seconds(10));
+  EXPECT_TRUE(failed);
+  const auto& st = rdma->pool().native().stats();
+  EXPECT_EQ(st.acquires, st.releases);
+  server->stop();
+  s.drain_tasks();
 }
 
 TEST(RdmaStream, AbandonedStreamReturnsBufferToPool) {
