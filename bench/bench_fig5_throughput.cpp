@@ -4,13 +4,25 @@
 // Paper endpoints: RPCoIB peak ~135.22 Kops/sec, +82% over RPC-10GigE and
 // +64% over RPC-IPoIB at the peak.
 #include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "metrics/table.hpp"
 #include "workloads/pingpong.hpp"
 
-int main() {
+namespace {
+std::string json_out_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) return argv[i] + 11;
+  }
+  return "";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace rpcoib;
   using oib::RpcMode;
 
@@ -42,5 +54,23 @@ int main() {
             << metrics::Table::pct((peak_rdma / peak_10ge - 1.0) * 100.0, 0) << " vs 10GigE, "
             << metrics::Table::pct((peak_rdma / peak_ipoib - 1.0) * 100.0, 0) << " vs IPoIB)\n"
             << "Paper: RPCoIB peak 135.22 Kops/s; +82% vs 10GigE; +64% vs IPoIB.\n";
+
+  // --json-out=FILE: machine-readable copy of the table for the CI
+  // benchmark-regression gate (ci/check_bench.py).
+  if (const std::string json_path = json_out_arg(argc, argv); !json_path.empty()) {
+    std::ofstream js(json_path);
+    if (!js) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    js << "{\n  \"bench\": \"fig5_throughput\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      js << "    {\"clients\": " << clients[i] << ", \"tengige_kops\": " << tengige[i].kops
+         << ", \"ipoib_kops\": " << ipoib[i].kops << ", \"rpcoib_kops\": " << rpcoib[i].kops
+         << "}" << (i + 1 < clients.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

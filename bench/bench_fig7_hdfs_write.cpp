@@ -6,13 +6,25 @@
 //
 // Paper: HDFSoIB-RPCoIB ~10% below HDFSoIB-RPC(IPoIB); socket data paths
 // ordered 1GigE >> IPoIB > HDFSoIB.
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "metrics/table.hpp"
 #include "workloads/hadoop_jobs.hpp"
 
-int main() {
+namespace {
+std::string json_out_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) return argv[i] + 11;
+  }
+  return "";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace rpcoib;
   using hdfs::DataMode;
   using oib::RpcMode;
@@ -39,6 +51,13 @@ int main() {
   for (int gb = 1; gb <= 5; ++gb) header.push_back(std::to_string(gb) + " GB");
   metrics::Table t(header);
 
+  struct JsonRow {
+    const char* config;
+    int gb;
+    double secs;
+  };
+  std::vector<JsonRow> json_rows;
+
   double oib_ipoib_5g = 0, oib_rdma_5g = 0;
   for (const Config& c : configs) {
     std::vector<std::string> row = {c.label};
@@ -46,6 +65,7 @@ int main() {
       const double secs = workloads::run_hdfs_write(
           c.data, c.rpc, static_cast<std::uint64_t>(gb) << 30);
       row.push_back(metrics::Table::num(secs, 2));
+      json_rows.push_back({c.label, gb, secs});
       if (gb == 5 && c.data == DataMode::kRdma) {
         if (c.rpc == RpcMode::kSocketIPoIB) oib_ipoib_5g = secs;
         if (c.rpc == RpcMode::kRpcoIB) oib_rdma_5g = secs;
@@ -59,6 +79,25 @@ int main() {
     std::cout << "\nHDFSoIB-RPCoIB vs HDFSoIB-RPC(IPoIB) at 5GB: "
               << metrics::Table::pct((1.0 - oib_rdma_5g / oib_ipoib_5g) * 100.0)
               << " (paper: ~10%)\n";
+  }
+
+  // --json-out=FILE: machine-readable copy of the table for the CI
+  // benchmark-regression gate (ci/check_bench.py).
+  if (const std::string json_path = json_out_arg(argc, argv); !json_path.empty()) {
+    std::ofstream js(json_path);
+    if (!js) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    js << "{\n  \"bench\": \"fig7_hdfs_write\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      js << "    {\"config\": \"" << r.config << "\", \"gb\": " << r.gb
+         << ", \"secs\": " << r.secs << "}" << (i + 1 < json_rows.size() ? "," : "")
+         << "\n";
+    }
+    js << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
   }
   return 0;
 }

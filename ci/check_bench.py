@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Benchmark-regression gate for the RPCoIB reproduction.
 
-Reads the --json-out files produced by bench_fig5_latency and
-bench_fig6_sort, computes the RPCoIB-vs-IPoIB ratios the paper's results
-hinge on, and fails (exit 1) when any ratio or absolute endpoint exceeds
-its limit in ci/bench_thresholds.json.
+Reads the --json-out files produced by the bench binaries, computes the
+RPCoIB-vs-IPoIB ratios the paper's results hinge on, and fails (exit 1)
+when any ratio or absolute endpoint exceeds its limit in
+ci/bench_thresholds.json.
 
-Usage: check_bench.py THRESHOLDS FIG5_JSON FIG6_JSON
+Each JSON file self-identifies through its "bench" key; any mix of the
+known benches may be passed in any order.
+
+Usage: check_bench.py THRESHOLDS BENCH_JSON [BENCH_JSON...]
 
 Stdlib only -- runs on a bare CI python3.
 """
@@ -20,40 +23,46 @@ def load(path):
         return json.load(f)
 
 
-def main(argv):
-    if len(argv) != 4:
-        print("usage: check_bench.py THRESHOLDS FIG5_JSON FIG6_JSON", file=sys.stderr)
-        return 2
-    thresholds = load(argv[1])
-    fig5 = load(argv[2])
-    fig6 = load(argv[3])
-    failures = []
-
-    t5 = thresholds["fig5_latency"]
-    limit = t5["max_rpcoib_over_ipoib"]
-    for row in fig5["rows"]:
+def check_fig5_latency(t, data, failures):
+    limit = t["max_rpcoib_over_ipoib"]
+    for row in data["rows"]:
         ratio = row["rpcoib_us"] / row["ipoib_us"]
         print(f"fig5 {row['bytes']:>5} B: rpcoib/ipoib = {ratio:.3f} (limit {limit})")
         if ratio > limit:
             failures.append(
                 f"fig5 @{row['bytes']} B: rpcoib/ipoib ratio {ratio:.3f} > {limit}"
             )
-    by_bytes = {row["bytes"]: row for row in fig5["rows"]}
+    by_bytes = {row["bytes"]: row for row in data["rows"]}
     for nbytes, key in ((1, "max_rpcoib_us_at_1b"), (4096, "max_rpcoib_us_at_4kb")):
         if nbytes not in by_bytes:
             failures.append(f"fig5: missing {nbytes} B row")
             continue
         us = by_bytes[nbytes]["rpcoib_us"]
-        print(f"fig5 {nbytes:>5} B: rpcoib = {us:.1f} us (limit {t5[key]})")
-        if us > t5[key]:
-            failures.append(f"fig5 @{nbytes} B: rpcoib {us:.1f} us > {t5[key]} us")
+        print(f"fig5 {nbytes:>5} B: rpcoib = {us:.1f} us (limit {t[key]})")
+        if us > t[key]:
+            failures.append(f"fig5 @{nbytes} B: rpcoib {us:.1f} us > {t[key]} us")
 
-    t6 = thresholds["fig6_sort"]
+
+def check_fig5_throughput(t, data, failures):
+    peak_rpcoib = max(row["rpcoib_kops"] for row in data["rows"])
+    peak_ipoib = max(row["ipoib_kops"] for row in data["rows"])
+    ratio = peak_rpcoib / peak_ipoib
+    lim = t["min_rpcoib_over_ipoib_peak"]
+    print(f"fig5b peak: rpcoib/ipoib = {ratio:.3f} (min {lim})")
+    if ratio < lim:
+        failures.append(f"fig5b peak: rpcoib/ipoib ratio {ratio:.3f} < {lim}")
+    kops_lim = t["min_rpcoib_peak_kops"]
+    print(f"fig5b peak: rpcoib = {peak_rpcoib:.1f} Kops/s (min {kops_lim})")
+    if peak_rpcoib < kops_lim:
+        failures.append(f"fig5b peak: rpcoib {peak_rpcoib:.1f} Kops/s < {kops_lim}")
+
+
+def check_fig6_sort(t, data, failures):
     checks = (
-        ("rw", "rw_rpcoib_s", "rw_ipoib_s", t6["max_rpcoib_over_ipoib_rw"]),
-        ("sort", "sort_rpcoib_s", "sort_ipoib_s", t6["max_rpcoib_over_ipoib_sort"]),
+        ("rw", "rw_rpcoib_s", "rw_ipoib_s", t["max_rpcoib_over_ipoib_rw"]),
+        ("sort", "sort_rpcoib_s", "sort_ipoib_s", t["max_rpcoib_over_ipoib_sort"]),
     )
-    for row in fig6["rows"]:
+    for row in data["rows"]:
         for name, rpcoib_key, ipoib_key, lim in checks:
             ratio = row[rpcoib_key] / row[ipoib_key]
             print(
@@ -64,6 +73,78 @@ def main(argv):
                 failures.append(
                     f"fig6 @{row['gb']} GB {name}: ratio {ratio:.4f} > {lim}"
                 )
+
+
+def check_fig7_hdfs_write(t, data, failures):
+    # The paper's headline: the RDMA data path with RPCoIB beats the same
+    # data path with socket RPC at the largest write.
+    gb = max(row["gb"] for row in data["rows"])
+    by_config = {
+        row["config"]: row["secs"] for row in data["rows"] if row["gb"] == gb
+    }
+    ipoib_key, rpcoib_key = "HDFSoIB-RPC(IPoIB)", "HDFSoIB-RPCoIB"
+    if ipoib_key not in by_config or rpcoib_key not in by_config:
+        failures.append(f"fig7: missing {ipoib_key} or {rpcoib_key} row at {gb} GB")
+        return
+    ratio = by_config[rpcoib_key] / by_config[ipoib_key]
+    lim = t["max_rpcoib_over_ipoib"]
+    print(f"fig7 {gb:>4} GB: rpcoib/ipoib write time = {ratio:.4f} (limit {lim})")
+    if ratio > lim:
+        failures.append(f"fig7 @{gb} GB: write-time ratio {ratio:.4f} > {lim}")
+
+
+def check_fig8_hbase(t, data, failures):
+    # Per-mix gate at the largest record count: RPCoIB must keep beating
+    # socket RPC on the RDMA HBase transport.
+    records = max(row["records"] for row in data["rows"])
+    ipoib_key, rpcoib_key = "HBaseoIB-RPC(IPoIB)", "HBaseoIB-RPCoIB"
+    for mix, key in (("get", "min_rpcoib_over_ipoib_get"),
+                     ("put", "min_rpcoib_over_ipoib_put"),
+                     ("mixed", "min_rpcoib_over_ipoib_mixed")):
+        by_config = {
+            row["config"]: row["kops"]
+            for row in data["rows"]
+            if row["mix"] == mix and row["records"] == records
+        }
+        if ipoib_key not in by_config or rpcoib_key not in by_config:
+            failures.append(f"fig8 {mix}: missing {ipoib_key} or {rpcoib_key} row")
+            continue
+        ratio = by_config[rpcoib_key] / by_config[ipoib_key]
+        lim = t[key]
+        print(f"fig8 {mix:>5}: rpcoib/ipoib = {ratio:.3f} (min {lim})")
+        if ratio < lim:
+            failures.append(f"fig8 {mix}: rpcoib/ipoib ratio {ratio:.3f} < {lim}")
+
+
+CHECKS = {
+    "fig5_latency": check_fig5_latency,
+    "fig5_throughput": check_fig5_throughput,
+    "fig6_sort": check_fig6_sort,
+    "fig7_hdfs_write": check_fig7_hdfs_write,
+    "fig8_hbase": check_fig8_hbase,
+}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(
+            "usage: check_bench.py THRESHOLDS BENCH_JSON [BENCH_JSON...]",
+            file=sys.stderr,
+        )
+        return 2
+    thresholds = load(argv[1])
+    failures = []
+
+    for path in argv[2:]:
+        data = load(path)
+        bench = data.get("bench")
+        if bench not in CHECKS:
+            failures.append(f"{path}: unknown bench {bench!r}")
+            continue
+        if bench not in thresholds:
+            failures.append(f"{path}: no thresholds for {bench!r}")
+            continue
+        CHECKS[bench](thresholds[bench], data, failures)
 
     if failures:
         print("\nbench gate: FAILED", file=sys.stderr)

@@ -107,6 +107,7 @@ SocketTable::SocketTable(Fabric& fab, std::vector<cluster::Host*> hosts)
     : fab_(fab), hosts_(std::move(hosts)) {}
 
 Listener& SocketTable::listen(Address addr) {
+  reap_retired();
   auto [it, inserted] =
       listeners_.emplace(addr, std::make_unique<Listener>(fab_.sched(), addr));
   if (!inserted) throw SocketError("address already in use");
@@ -114,11 +115,21 @@ Listener& SocketTable::listen(Address addr) {
 }
 
 void SocketTable::unlisten(Address addr) {
+  reap_retired();
   auto it = listeners_.find(addr);
   if (it != listeners_.end()) {
     it->second->shutdown();
+    // shutdown() posts the suspended acceptor to the scheduler; it still
+    // reads the accept channel when it resumes (to observe the close), so
+    // the Listener must outlive that resumption. Park it instead of
+    // destroying it here.
+    if (!it->second->idle()) retired_.push_back(std::move(it->second));
     listeners_.erase(it);
   }
+}
+
+void SocketTable::reap_retired() {
+  std::erase_if(retired_, [](const std::unique_ptr<Listener>& l) { return l->idle(); });
 }
 
 sim::Co<SocketPtr> SocketTable::connect(cluster::Host& src, Address dst, Transport t) {

@@ -132,6 +132,10 @@ class Listener {
   void shutdown() { accepted_.close(); }
   const Address& addr() const { return addr_; }
 
+  /// True once no acceptor coroutine can still touch the accept channel —
+  /// the point at which this Listener is safe to destroy.
+  bool idle() const { return !accepted_.has_waiters(); }
+
  private:
   friend class SocketTable;
   Address addr_;
@@ -155,9 +159,16 @@ class SocketTable {
   Fabric& fabric() { return fab_; }
 
  private:
+  void reap_retired();
+
   Fabric& fab_;
   std::vector<cluster::Host*> hosts_;
   std::map<Address, std::unique_ptr<Listener>> listeners_;
+  // Unlistened but not-yet-idle listeners: closing the accept channel only
+  // *schedules* the suspended acceptor, which still dereferences the
+  // channel when it resumes. Parked here until idle (reaped on the next
+  // listen/unlisten) instead of being destroyed under the acceptor.
+  std::vector<std::unique_ptr<Listener>> retired_;
 };
 
 }  // namespace rpcoib::net

@@ -1,0 +1,187 @@
+// Server-side overload protection (both transports).
+//
+// Production Hadoop treats overload as a first-class failure mode
+// (ipc.server.max.callqueue lineage): a server drowning in calls must shed
+// load early and cheaply, not queue without bound. Three cooperating
+// pieces live here:
+//
+//   OverloadConfig / AdmissionPolicy — a bound on the server call queue
+//   with a pluggable shedding policy. Shed calls are answered with a
+//   "busy" status the client maps to ServerBusyException, which is always
+//   retryable (the handler never ran).
+//
+//   AdmissionController — the per-server book-keeping both transports
+//   share: queue-depth checks plus queued-calls-per-protocol counts for
+//   the quota policy.
+//
+//   RetryCache — a bounded LRU keyed by <connection id, call id>. Clients
+//   keep one call id across attempts of the same logical call, so the
+//   server can tell a retry from a new call: if the first attempt already
+//   executed, the cached response frame is re-sent instead of running the
+//   handler again. This is what makes retrying *non-idempotent* methods
+//   after a timeout safe (see RpcRetryPolicy::retry_non_idempotent_on_timeout).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "net/bytes.hpp"
+
+namespace rpcoib::rpc {
+
+/// What to do when a call arrives at a full queue.
+enum class AdmissionPolicy : std::uint8_t {
+  kRejectNewest = 0,  // shed the arriving call (Hadoop's default)
+  kRejectOldest,      // admit the arrival, shed the longest-queued call
+  kProtocolQuota,     // additionally cap queued calls per protocol
+};
+
+struct OverloadConfig {
+  /// Upper bound on queued (accepted, not yet executing) calls;
+  /// 0 = unbounded (the seed behavior).
+  std::size_t max_call_queue = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kRejectNewest;
+  /// kProtocolQuota only: max queued calls per protocol name; 0 = off.
+  std::size_t protocol_quota = 0;
+  /// Retry-cache capacity in entries; 0 disables the cache.
+  std::size_t retry_cache_entries = 0;
+
+  bool admission_enabled() const {
+    return max_call_queue > 0 ||
+           (policy == AdmissionPolicy::kProtocolQuota && protocol_quota > 0);
+  }
+  bool cache_enabled() const { return retry_cache_entries > 0; }
+};
+
+/// Admission book-keeping shared by the socket and RPCoIB servers.
+class AdmissionController {
+ public:
+  enum class Decision {
+    kAdmit,
+    kShedNewest,  // reject the arriving call with "busy"
+    kShedOldest,  // admit the arrival, evict the queue head with "busy"
+  };
+
+  explicit AdmissionController(const OverloadConfig& cfg) : cfg_(cfg) {}
+
+  /// Fate of a call arriving while `queue_depth` calls are queued.
+  Decision decide(std::size_t queue_depth, const std::string& protocol) const {
+    if (cfg_.policy == AdmissionPolicy::kProtocolQuota && cfg_.protocol_quota > 0) {
+      auto it = queued_.find(protocol);
+      if (it != queued_.end() && it->second >= cfg_.protocol_quota) {
+        return Decision::kShedNewest;
+      }
+    }
+    if (cfg_.max_call_queue > 0 && queue_depth >= cfg_.max_call_queue) {
+      return cfg_.policy == AdmissionPolicy::kRejectOldest ? Decision::kShedOldest
+                                                           : Decision::kShedNewest;
+    }
+    return Decision::kAdmit;
+  }
+
+  // Per-protocol counts back the quota policy; a server must pair every
+  // admitted enqueue with exactly one on_dequeue (execute, expire, evict,
+  // or drain-on-stop).
+  void on_enqueue(const std::string& protocol) {
+    if (cfg_.policy == AdmissionPolicy::kProtocolQuota) ++queued_[protocol];
+  }
+  void on_dequeue(const std::string& protocol) {
+    if (cfg_.policy != AdmissionPolicy::kProtocolQuota) return;
+    auto it = queued_.find(protocol);
+    if (it != queued_.end() && it->second > 0) --it->second;
+  }
+
+  const OverloadConfig& config() const { return cfg_; }
+
+ private:
+  OverloadConfig cfg_;
+  std::map<std::string, std::size_t> queued_;
+};
+
+/// Bounded LRU of executed calls, keyed by <connection id, call id>.
+///
+/// Connection ids are dense per-server sequence numbers (not pointers), so
+/// cache behavior — including evictions — is deterministic per seed.
+class RetryCache {
+ public:
+  enum class State {
+    kFresh,       // never seen: execute, then complete()
+    kInProgress,  // first attempt still executing: drop the duplicate
+    kCompleted,   // already executed: re-send completed_frame()
+  };
+
+  explicit RetryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look the call up, registering it as in-progress when unseen.
+  State begin(std::uint64_t conn_id, std::uint64_t call_id) {
+    const Key k{conn_id, call_id};
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      touch(it);
+      return it->second.done ? State::kCompleted : State::kInProgress;
+    }
+    insert(k, Entry{});
+    return State::kFresh;
+  }
+
+  /// Response frame of a completed entry; valid until the next mutation.
+  const net::Bytes* completed_frame(std::uint64_t conn_id, std::uint64_t call_id) const {
+    auto it = entries_.find(Key{conn_id, call_id});
+    if (it == entries_.end() || !it->second.done) return nullptr;
+    return &it->second.frame;
+  }
+
+  /// Record the response of an executed call — also when the response was
+  /// dropped for a passed deadline: the executed outcome must answer the
+  /// retry that is already on its way.
+  void complete(std::uint64_t conn_id, std::uint64_t call_id, net::Bytes frame) {
+    const Key k{conn_id, call_id};
+    auto it = entries_.find(k);
+    if (it == entries_.end()) {
+      // The in-progress entry was evicted while the handler ran.
+      insert(k, Entry{true, std::move(frame), {}});
+      return;
+    }
+    it->second.done = true;
+    it->second.frame = std::move(frame);
+    touch(it);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t conn_id = 0;
+    std::uint64_t call_id = 0;
+    friend bool operator<(const Key& a, const Key& b) {
+      return a.conn_id != b.conn_id ? a.conn_id < b.conn_id : a.call_id < b.call_id;
+    }
+  };
+  struct Entry {
+    bool done = false;
+    net::Bytes frame;               // full response frame, re-sent verbatim
+    std::list<Key>::iterator lru{};  // position in lru_ (front = hottest)
+  };
+  using Map = std::map<Key, Entry>;
+
+  void touch(Map::iterator it) { lru_.splice(lru_.begin(), lru_, it->second.lru); }
+
+  void insert(const Key& k, Entry e) {
+    lru_.push_front(k);
+    e.lru = lru_.begin();
+    entries_.emplace(k, std::move(e));
+    while (capacity_ > 0 && entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  std::size_t capacity_;
+  std::list<Key> lru_;
+  Map entries_;
+};
+
+}  // namespace rpcoib::rpc

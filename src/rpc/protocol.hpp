@@ -44,6 +44,24 @@ class RpcTransportError : public std::runtime_error {
   explicit RpcTransportError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Raised at the caller when the server shed the call before executing it
+/// (bounded call queue / admission policy, or a NACKed rendezvous under a
+/// dry buffer pool). Always safe to retry — even for non-idempotent
+/// methods — because the handler never ran. A subtype of RpcTransportError
+/// so legacy catch sites keep treating it as a transient failure.
+class ServerBusyException : public RpcTransportError {
+ public:
+  explicit ServerBusyException(const std::string& what) : RpcTransportError(what) {}
+};
+
+/// Response status byte, shared by both wire formats:
+///   kResp [.. id ..][u8 status][value | error text].
+enum class RpcStatus : std::uint8_t {
+  kSuccess = 0,
+  kError = 1,  // handler threw; body is the error text -> RemoteException
+  kBusy = 2,   // call shed before execution; body text -> ServerBusyException
+};
+
 /// A server-side method implementation: deserialize from `in`, do the work
 /// (may suspend in virtual time), serialize the result into `out`.
 using MethodHandler = std::function<sim::Co<void>(DataInput& in, DataOutput& out)>;

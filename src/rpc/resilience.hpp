@@ -13,13 +13,16 @@
 namespace rpcoib::rpc {
 
 inline std::string resilience_report(const RpcStats& stats,
-                                     const net::FaultCounters* faults = nullptr) {
+                                     const net::FaultCounters* faults = nullptr,
+                                     const RpcStats* server = nullptr) {
   metrics::Table t({"Counter", "Value"});
   t.row({"calls sent", std::to_string(stats.calls_sent)});
   t.row({"timeouts", std::to_string(stats.timeouts)});
   t.row({"transport errors", std::to_string(stats.transport_errors)});
   t.row({"retries", std::to_string(stats.retries)});
   t.row({"socket fallbacks", std::to_string(stats.socket_fallbacks)});
+  t.row({"busy rejections", std::to_string(stats.busy_rejections)});
+  t.row({"nack fallbacks", std::to_string(stats.nack_fallbacks)});
   t.row({"backoff waits", std::to_string(stats.backoff_us.count())});
   t.row({"backoff total (us)", metrics::Table::num(stats.backoff_us.sum(), 1)});
   if (faults != nullptr) {
@@ -27,6 +30,17 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"fault spikes", std::to_string(faults->spikes)});
     t.row({"fault outage hits", std::to_string(faults->outage_hits)});
     t.row({"fault true losses", std::to_string(faults->true_losses)});
+  }
+  if (server != nullptr) {
+    // Server-side overload section (admission / deadlines / retry cache).
+    t.row({"server calls shed", std::to_string(server->calls_shed)});
+    t.row({"server calls expired", std::to_string(server->calls_expired)});
+    t.row({"server responses expired", std::to_string(server->responses_expired)});
+    t.row({"server dedup hits", std::to_string(server->dedup_hits)});
+    t.row({"server dedup in-flight", std::to_string(server->dedup_in_flight)});
+    t.row({"server dropped on stop", std::to_string(server->dropped_on_stop)});
+    t.row({"server pool nacks", std::to_string(server->pool_nacks)});
+    t.row({"server queue depth peak", std::to_string(server->queue_depth_peak)});
   }
   std::ostringstream os;
   t.print(os);

@@ -8,8 +8,11 @@ namespace rpcoib::rpc {
 
 sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Writable& param,
                               Writable* response) {
+  // One id per *logical* call: retried attempts re-send it, which is what
+  // lets the server-side retry cache recognize duplicates.
+  const std::uint64_t call_id = next_call_id_++;
   if (!retry_.enabled()) {
-    co_await call_attempt(addr, key, param, response);
+    co_await call_attempt(addr, key, param, response, call_id);
     co_return;
   }
 
@@ -18,18 +21,22 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
   // The ambient parent is single-shot; take it once and re-arm it for
   // every attempt so retried calls all parent to the same span.
   const trace::TraceContext parent = tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
-  // A lost reply does not prove a non-idempotent call never executed, so
-  // such methods get exactly one attempt (Hadoop's TRY_ONCE_THEN_FAIL).
-  const int attempts_allowed = retry_.idempotent(key) ? retry_.max_retries + 1 : 1;
+  const int max_attempts = retry_.max_retries + 1;
+  const bool idempotent = retry_.idempotent(key);
 
   for (int attempt = 0;; ++attempt) {
     const sim::Time t0 = h.sched().now();
     bool failed = false;
     bool timed_out = false;
+    bool busy = false;
     std::string err;
     try {
       trace::activate(tr, parent);
-      co_await call_attempt(addr, key, param, response);
+      co_await call_attempt(addr, key, param, response, call_id);
+    } catch (const ServerBusyException& e) {
+      failed = true;
+      busy = true;
+      err = e.what();
     } catch (const RpcTimeoutError& e) {
       failed = true;
       timed_out = true;
@@ -42,21 +49,34 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
     }
     if (!failed) co_return;
 
-    if (timed_out) {
+    if (busy) {
+      ++stats_.busy_rejections;
+    } else if (timed_out) {
       ++stats_.timeouts;
     } else {
       ++stats_.transport_errors;
     }
     if (tr != nullptr) {
-      tr->add_complete(std::string(timed_out ? "fault.timeout:" : "fault.transport:") +
+      tr->add_complete(std::string(busy        ? "overload.busy:"
+                                   : timed_out ? "fault.timeout:"
+                                               : "fault.transport:") +
                            key.method,
-                       trace::Kind::kClient, trace::Category::kFault, parent, h.id(), t0,
-                       h.sched().now());
+                       trace::Kind::kClient,
+                       busy ? trace::Category::kOverload : trace::Category::kFault, parent,
+                       h.id(), t0, h.sched().now());
     }
-    if (attempt + 1 >= attempts_allowed) {
+    // Shed calls were never executed, so "busy" is retryable regardless of
+    // idempotency. A timeout on a non-idempotent method is retryable only
+    // when the server dedups retries (retry_non_idempotent_on_timeout);
+    // other transport errors keep Hadoop's TRY_ONCE_THEN_FAIL for the
+    // non-idempotent set — a reconnect would lose the dedup key anyway.
+    const bool retryable =
+        busy || idempotent || (timed_out && retry_.retry_non_idempotent_on_timeout);
+    if (!retryable || attempt + 1 >= max_attempts) {
       const std::string what =
           key.to_string() + ": " + err + " (after " + std::to_string(attempt + 1) +
           (attempt == 0 ? " attempt)" : " attempts)");
+      if (busy) throw ServerBusyException(what);
       if (timed_out) throw RpcTimeoutError(what);
       throw RpcTransportError(what);
     }

@@ -11,6 +11,7 @@
 
 #include "cluster/host.hpp"
 #include "net/socket.hpp"
+#include "rpc/overload.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/retry.hpp"
 #include "rpc/stats.hpp"
@@ -53,12 +54,16 @@ class RpcClient {
  protected:
   /// One transport-level attempt (no retries). The transport honors
   /// retry_policy().call_timeout by failing the attempt with
-  /// RpcTimeoutError once the deadline passes.
+  /// RpcTimeoutError once the deadline passes. `call_id` is allocated by
+  /// call() once per *logical* call, so every attempt of a retried call
+  /// carries the same id — the key the server's retry cache dedups on.
   virtual sim::Co<void> call_attempt(net::Address addr, const MethodKey& key,
-                                     const Writable& param, Writable* response) = 0;
+                                     const Writable& param, Writable* response,
+                                     std::uint64_t call_id) = 0;
 
   RpcStats stats_;
   RpcRetryPolicy retry_;
+  std::uint64_t next_call_id_ = 1;
 
  private:
   std::function<void(const RpcStats&)> on_destroy_;
@@ -81,9 +86,16 @@ class RpcServer {
   RpcStats& stats() { return stats_; }
   const RpcStats& stats() const { return stats_; }
 
+  /// Overload-protection knobs (bounded queue, admission policy, retry
+  /// cache). Set before start(); the default keeps the seed's unbounded
+  /// behavior.
+  void set_overload(OverloadConfig cfg) { overload_ = cfg; }
+  const OverloadConfig& overload() const { return overload_; }
+
  protected:
   Dispatcher dispatcher_;
   RpcStats stats_;
+  OverloadConfig overload_;
 };
 
 }  // namespace rpcoib::rpc

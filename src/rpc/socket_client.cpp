@@ -81,13 +81,14 @@ sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
 
       DataInputBuffer in(cm, data);
       const std::uint64_t id = in.read_u64();
-      const bool is_error = in.read_u8() != 0;
+      const std::uint8_t status = in.read_u8();
       auto it = conn->pending.find(id);
       if (it == conn->pending.end()) continue;  // call raced a timeout; drop
       PendingCall* pc = it->second;
       conn->pending.erase(it);
-      if (is_error) {
+      if (status != static_cast<std::uint8_t>(RpcStatus::kSuccess)) {
         pc->error = true;
+        pc->busy = status == static_cast<std::uint8_t>(RpcStatus::kBusy);
         pc->error_msg = in.read_text();
       } else {
         pc->value.assign(data.begin() + static_cast<std::ptrdiff_t>(in.position()),
@@ -102,7 +103,8 @@ sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
 }
 
 sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& key,
-                                            const Writable& param, Writable* response) {
+                                            const Writable& param, Writable* response,
+                                            std::uint64_t call_id) {
   // Consume the ambient trace parent before the first suspension point
   // (see trace.hpp's propagation discipline).
   trace::TraceCollector* tr = trace::active(host_.tracer());
@@ -120,16 +122,24 @@ sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& 
   // --- Serialization (Listing 1, lines 2-7) ---------------------------
   const sim::Time t_ser_start = host_.sched().now();
   DataOutputBuffer d(cm, kClientInitialBuffer);
-  const std::uint64_t id = next_call_id_++;
+  const std::uint64_t id = call_id;
+  // Absolute deadline on the shared virtual clock: a conservative lower
+  // bound on when this attempt gives up (the timeout wait starts after
+  // the send completes). Only stamped when a call timeout is configured,
+  // so the default wire format is byte-identical to the seed.
+  const sim::Time deadline =
+      retry_.call_timeout > 0 ? host_.sched().now() + retry_.call_timeout : 0;
+  std::uint64_t wire_id = id;
+  if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
+  if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
+  d.write_u64(wire_id);
   if (ctx.valid()) {
     // Flagged id announces two extra context words; untraced calls keep
     // the seed wire format byte-for-byte.
-    d.write_u64(id | trace::kWireTraceFlag);
     d.write_u64(ctx.trace_id);
     d.write_u64(ctx.span_id);
-  } else {
-    d.write_u64(id);
   }
+  if (deadline != 0) d.write_u64(deadline);
   d.write_text(key.protocol);
   d.write_text(key.method);
   param.write(d);
@@ -187,6 +197,7 @@ sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& 
   if (pc.error) {
     conn->pending.erase(id);
     if (conn->broken) throw RpcTransportError(pc.error_msg);
+    if (pc.busy) throw ServerBusyException(pc.error_msg);
     throw RemoteException(pc.error_msg);
   }
   if (response != nullptr) {

@@ -32,7 +32,7 @@ class SocketRpcClient final : public RpcClient {
 
  protected:
   sim::Co<void> call_attempt(net::Address addr, const MethodKey& key, const Writable& param,
-                             Writable* response) override;
+                             Writable* response, std::uint64_t call_id) override;
 
  private:
   struct PendingCall {
@@ -40,6 +40,7 @@ class SocketRpcClient final : public RpcClient {
     sim::SimEvent done;
     net::Bytes value;
     bool error = false;
+    bool busy = false;  // error with RpcStatus::kBusy -> ServerBusyException
     std::string error_msg;
   };
 
@@ -64,7 +65,6 @@ class SocketRpcClient final : public RpcClient {
   cluster::Host& host_;
   net::SocketTable& sockets_;
   net::Transport transport_;
-  std::uint64_t next_call_id_ = 1;
   std::map<net::Address, std::shared_ptr<Connection>> connections_;
 };
 

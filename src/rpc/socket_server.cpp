@@ -37,6 +37,12 @@ void SocketRpcServer::start() {
   call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
   response_queue_ = std::make_unique<sim::Channel<Response>>(host_.sched());
   reader_slots_ = std::make_unique<sim::Semaphore>(host_.sched(), num_readers_);
+  admission_ = overload_.admission_enabled()
+                   ? std::make_unique<AdmissionController>(overload_)
+                   : nullptr;
+  retry_cache_ = overload_.cache_enabled()
+                     ? std::make_unique<RetryCache>(overload_.retry_cache_entries)
+                     : nullptr;
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
   for (int i = 0; i < num_handlers_; ++i) host_.sched().spawn(handler_loop(i));
@@ -48,9 +54,19 @@ void SocketRpcServer::stop() {
   running_ = false;
   sockets_.unlisten(addr_);
   listener_ = nullptr;
+  // Queued-but-unexecuted calls must not vanish silently: drain them with
+  // accounting. Their callers observe a transport error when the
+  // connections close below, so every dropped call is surfaced.
+  if (call_queue_) {
+    ServerCall call;
+    while (call_queue_->try_recv(call)) {
+      if (admission_) admission_->on_dequeue(call.key.protocol);
+      ++stats_.dropped_on_stop;
+    }
+    call_queue_->close();
+  }
   for (net::SocketPtr& c : conns_) c->close();
   conns_.clear();
-  if (call_queue_) call_queue_->close();
   if (response_queue_) response_queue_->close();
 }
 
@@ -60,14 +76,54 @@ sim::Task SocketRpcServer::listener_loop() {
     for (;;) {
       net::SocketPtr conn = co_await l->accept();
       conns_.push_back(conn);
-      host_.sched().spawn(reader_loop(std::move(conn)));
+      host_.sched().spawn(reader_loop(std::move(conn), ++conn_seq_));
     }
   } catch (const sim::ChannelClosed&) {
     // stop() shut the listener down.
   }
 }
 
-sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn) {
+net::Bytes SocketRpcServer::status_frame(std::uint64_t id, RpcStatus status,
+                                         const std::string& msg) {
+  const cluster::CostModel& cm = host_.cost();
+  BufferedOutputStream frame(cm);
+  DataOutputBuffer hdr(cm, kClientInitialBuffer);
+  hdr.write_u64(id);
+  hdr.write_u8(static_cast<std::uint8_t>(status));
+  hdr.write_text(msg);
+  frame.write_u32(static_cast<std::uint32_t>(hdr.length()));
+  frame.write_payload(hdr.data());
+  frame.flush();
+  // Shedding is meant to be cheap: no CPU is modeled for the tiny frame.
+  (void)hdr.take_accrued();
+  (void)frame.take_accrued();
+  return frame.take_pending();
+}
+
+void SocketRpcServer::enqueue(ServerCall call) {
+  call.enqueued = host_.sched().now();
+  if (admission_) admission_->on_enqueue(call.key.protocol);
+  call_queue_->push(std::move(call));
+  if (call_queue_->size() > stats_.queue_depth_peak) {
+    stats_.queue_depth_peak = call_queue_->size();
+  }
+}
+
+void SocketRpcServer::shed(const ServerCall& call) {
+  ++stats_.calls_shed;
+  if (call.ctx.valid()) {
+    if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
+      tr->add_complete("overload.shed:" + call.key.method, trace::Kind::kServer,
+                       trace::Category::kOverload, call.ctx, host_.id(),
+                       call.enqueued != 0 ? call.enqueued : call.recv_start,
+                       host_.sched().now());
+    }
+  }
+  response_queue_->push(Response{
+      call.conn, status_frame(call.id, RpcStatus::kBusy, "server busy: call queue full")});
+}
+
+sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_id) {
   const cluster::CostModel& cm = host_.cost();
   try {
     // The connection's receive CPU is paid inside the Reader critical
@@ -109,10 +165,11 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn) {
       call.recv_alloc = alloc_cost;
       call.id = in.read_u64();
       if ((call.id & trace::kWireTraceFlag) != 0) {
-        call.id &= ~trace::kWireTraceFlag;
         call.ctx.trace_id = in.read_u64();
         call.ctx.span_id = in.read_u64();
       }
+      if ((call.id & trace::kWireDeadlineFlag) != 0) call.deadline = in.read_u64();
+      call.id &= trace::kWireIdMask;
       call.key.protocol = in.read_text();
       call.key.method = in.read_text();
       call.param_off = in.position();
@@ -125,9 +182,33 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn) {
         }
       }
       call.conn = conn;
+      call.conn_id = conn_id;
       call.frame = std::move(frame);
-      call.enqueued = host_.sched().now();
-      call_queue_->push(std::move(call));
+
+      // Admission control: shed beyond the configured bound while the
+      // call is still cheap — before it costs a handler.
+      if (admission_) {
+        const AdmissionController::Decision d =
+            admission_->decide(call_queue_->size(), call.key.protocol);
+        if (d == AdmissionController::Decision::kShedNewest) {
+          shed(call);
+          continue;
+        }
+        if (d == AdmissionController::Decision::kShedOldest) {
+          // Evict before enqueueing so the bound holds at every instant.
+          // try_recv can only miss when every queued call is already
+          // claimed by a waking handler; then the arrival is shed instead.
+          ServerCall victim;
+          if (call_queue_->try_recv(victim)) {
+            admission_->on_dequeue(victim.key.protocol);
+            shed(victim);
+          } else {
+            shed(call);
+            continue;
+          }
+        }
+      }
+      enqueue(std::move(call));
     }
   } catch (const net::SocketError&) {
     // Peer went away; connection reader exits.
@@ -140,12 +221,51 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
   try {
     for (;;) {
       ServerCall call = co_await call_queue_->recv();
+      const sim::Time t_dequeue = host_.sched().now();
+      if (admission_) admission_->on_dequeue(call.key.protocol);
       trace::TraceCollector* tr =
           call.ctx.valid() ? trace::active(host_.tracer()) : nullptr;
+
+      // Deadline check at dequeue: the caller already gave up, so don't
+      // burn a handler on it (and nobody is waiting for a response).
+      if (call.deadline != 0 && t_dequeue >= call.deadline) {
+        ++stats_.calls_expired;
+        if (tr != nullptr) {
+          tr->add_complete("deadline.expired:" + call.key.method, trace::Kind::kServer,
+                           trace::Category::kOverload, call.ctx, host_.id(),
+                           call.enqueued, t_dequeue);
+        }
+        continue;
+      }
       if (tr != nullptr) {
         tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue,
-                         call.ctx, host_.id(), call.enqueued, host_.sched().now());
+                         call.ctx, host_.id(), call.enqueued, t_dequeue);
       }
+
+      // Retry cache: a repeated <connection, call id> is a client retry.
+      // Re-send the stored response rather than re-executing the handler
+      // (the non-idempotent-safety contract of RpcRetryPolicy).
+      if (retry_cache_) {
+        const RetryCache::State st = retry_cache_->begin(call.conn_id, call.id);
+        if (st == RetryCache::State::kCompleted) {
+          ++stats_.dedup_hits;
+          if (tr != nullptr) {
+            tr->add_complete("overload.dedup:" + call.key.method, trace::Kind::kServer,
+                             trace::Category::kOverload, call.ctx, host_.id(), t_dequeue,
+                             host_.sched().now());
+          }
+          response_queue_->push(
+              Response{call.conn, *retry_cache_->completed_frame(call.conn_id, call.id)});
+          continue;
+        }
+        if (st == RetryCache::State::kInProgress) {
+          // First attempt still executing; it (or the cache on the next
+          // retry) will answer. Running twice is the one forbidden outcome.
+          ++stats_.dedup_in_flight;
+          continue;
+        }
+      }
+
       trace::SpanScope handle(tr, "handle:" + call.key.method, trace::Kind::kServer,
                               trace::Category::kHandler, call.ctx, host_.id());
       co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
@@ -191,7 +311,22 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
       co_await host_.compute(hdr.take_accrued() + frame.take_accrued() + cm.rpc_framework());
 
       handle.end();
-      response_queue_->push(Response{call.conn, frame.take_pending()});
+      net::Bytes wire = frame.take_pending();
+      // The executed outcome must survive even when the response is
+      // dropped below: the caller's retry is answered from the cache.
+      if (retry_cache_) retry_cache_->complete(call.conn_id, call.id, wire);
+      if (call.deadline != 0 && host_.sched().now() >= call.deadline) {
+        // Executed past the caller's deadline: the response would be
+        // ignored, so don't spend the Responder + wire on it.
+        ++stats_.responses_expired;
+        if (tr != nullptr) {
+          tr->add_complete("deadline.response:" + call.key.method, trace::Kind::kServer,
+                           trace::Category::kOverload, call.ctx, host_.id(),
+                           host_.sched().now(), host_.sched().now());
+        }
+      } else {
+        response_queue_->push(Response{call.conn, std::move(wire)});
+      }
       ++stats_.calls_handled;
     }
   } catch (const sim::ChannelClosed&) {

@@ -39,6 +39,7 @@ class SocketRpcServer final : public RpcServer {
  private:
   struct ServerCall {
     net::SocketPtr conn;
+    std::uint64_t conn_id = 0;  // dense per-server connection sequence number
     std::uint64_t id = 0;
     MethodKey key;
     net::Bytes frame;        // full received frame
@@ -46,6 +47,7 @@ class SocketRpcServer final : public RpcServer {
     sim::Time recv_start = 0;   // when the frame began arriving (Fig. 1)
     sim::Dur recv_alloc = 0;    // buffer-allocation share of the receive path
     trace::TraceContext ctx;    // caller's trace context (from the wire)
+    sim::Time deadline = 0;     // caller's absolute deadline (0 = none)
     sim::Time enqueued = 0;     // when the call entered the call queue
   };
   struct Response {
@@ -54,9 +56,13 @@ class SocketRpcServer final : public RpcServer {
   };
 
   sim::Task listener_loop();
-  sim::Task reader_loop(net::SocketPtr conn);
+  sim::Task reader_loop(net::SocketPtr conn, std::uint64_t conn_id);
   sim::Task handler_loop(int handler_id);
   sim::Task responder_loop();
+
+  net::Bytes status_frame(std::uint64_t id, RpcStatus status, const std::string& msg);
+  void enqueue(ServerCall call);
+  void shed(const ServerCall& call);
 
   cluster::Host& host_;
   net::SocketTable& sockets_;
@@ -67,6 +73,9 @@ class SocketRpcServer final : public RpcServer {
   net::Listener* listener_ = nullptr;
   std::unique_ptr<sim::Channel<ServerCall>> call_queue_;
   std::unique_ptr<sim::Channel<Response>> response_queue_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<RetryCache> retry_cache_;
+  std::uint64_t conn_seq_ = 0;
   std::vector<net::SocketPtr> conns_;
   bool running_ = false;
 };

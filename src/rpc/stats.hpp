@@ -63,6 +63,19 @@ struct RpcStats {
   std::uint64_t socket_fallbacks = 0;  // RPCoIB calls rerouted to socket mode
   metrics::Summary backoff_us;         // backoff waits between attempts
 
+  // Overload-protection counters. Client side:
+  std::uint64_t busy_rejections = 0;  // attempts shed by the server (busy status)
+  std::uint64_t nack_fallbacks = 0;   // rendezvous NACKed -> retried on socket path
+  // Server side:
+  std::uint64_t calls_shed = 0;         // admission control rejected the call
+  std::uint64_t calls_expired = 0;      // dropped at dequeue: deadline already passed
+  std::uint64_t responses_expired = 0;  // executed, but the deadline passed before send
+  std::uint64_t dedup_hits = 0;         // retry cache answered with a stored response
+  std::uint64_t dedup_in_flight = 0;    // duplicate dropped; first attempt still running
+  std::uint64_t dropped_on_stop = 0;    // queued calls failed at stop()
+  std::uint64_t pool_nacks = 0;         // rendezvous NACKed: demand-allocation cap hit
+  std::uint64_t queue_depth_peak = 0;   // call-queue high-water mark
+
   MethodProfile& method(const MethodKey& key) { return methods[key]; }
 
   void merge_resilience(const RpcStats& o) {
@@ -71,6 +84,16 @@ struct RpcStats {
     retries += o.retries;
     socket_fallbacks += o.socket_fallbacks;
     backoff_us.merge(o.backoff_us);
+    busy_rejections += o.busy_rejections;
+    nack_fallbacks += o.nack_fallbacks;
+    calls_shed += o.calls_shed;
+    calls_expired += o.calls_expired;
+    responses_expired += o.responses_expired;
+    dedup_hits += o.dedup_hits;
+    dedup_in_flight += o.dedup_in_flight;
+    dropped_on_stop += o.dropped_on_stop;
+    pool_nacks += o.pool_nacks;
+    if (o.queue_depth_peak > queue_depth_peak) queue_depth_peak = o.queue_depth_peak;
   }
 };
 

@@ -86,6 +86,16 @@ NativeBuffer* NativeBufferPool::acquire(std::size_t size) {
   return raw;
 }
 
+NativeBuffer* NativeBufferPool::try_acquire(std::size_t size) {
+  const std::size_t c = class_index_for(size);
+  if (free_[c].empty() && cfg_.demand_alloc_cap != 0 &&
+      stats_.demand_allocations >= cfg_.demand_alloc_cap) {
+    ++stats_.demand_denied;
+    return nullptr;
+  }
+  return acquire(size);
+}
+
 void NativeBufferPool::release(NativeBuffer* buf) {
   if (buf == nullptr) return;
   if (!buf->leased) throw std::logic_error("double release of pooled buffer");

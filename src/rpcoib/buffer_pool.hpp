@@ -41,6 +41,11 @@ struct PoolConfig {
   /// used); bounds the pool's resident footprint per endpoint.
   std::size_t prealloc_max_class = 64u << 10;
   std::size_t buffers_per_class = 8;  // pre-allocated at load time
+  /// Cap on lifetime demand allocations honored by try_acquire (the RPCoIB
+  /// server's rendezvous fetch path): once reached, a dry freelist yields
+  /// nullptr — the server NACKs instead of growing native memory without
+  /// bound. 0 = uncapped (the seed behavior; plain acquire() always is).
+  std::size_t demand_alloc_cap = 0;
 };
 
 struct PoolStats {
@@ -48,6 +53,7 @@ struct PoolStats {
   std::uint64_t releases = 0;
   std::uint64_t freelist_hits = 0;
   std::uint64_t demand_allocations = 0;  // pool exhausted: allocate+register on the fly
+  std::uint64_t demand_denied = 0;       // try_acquire refused: demand_alloc_cap hit
   std::uint64_t history_hits = 0;        // shadow: history size was sufficient
   std::uint64_t history_misses = 0;      // shadow: stream had to re-get a bigger buffer
   std::uint64_t history_shrinks = 0;
@@ -70,6 +76,11 @@ class NativeBufferPool {
   /// dry. `acquire` itself costs a freelist operation, charged by the
   /// stream layer via the returned accrual.
   NativeBuffer* acquire(std::size_t size);
+
+  /// Like acquire(), but honors `demand_alloc_cap`: returns nullptr when
+  /// the freelist is dry and the cap on demand allocations is reached.
+  /// Graceful-degradation entry point (the server NACKs the rendezvous).
+  NativeBuffer* try_acquire(std::size_t size);
 
   void release(NativeBuffer* buf);
 
@@ -114,6 +125,9 @@ class ShadowPool {
   /// Buffer sized for a known length (receive side: the length arrived in
   /// the control message, so no history is needed).
   NativeBuffer* acquire_sized(std::size_t size) { return native_.acquire(size); }
+
+  /// Capped variant of acquire_sized (see NativeBufferPool::try_acquire).
+  NativeBuffer* try_acquire_sized(std::size_t size) { return native_.try_acquire(size); }
 
   /// Return a buffer, updating the history for `key` given the bytes the
   /// call actually used (Section III-C's grow/shrink rule).

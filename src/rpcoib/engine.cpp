@@ -80,22 +80,26 @@ std::unique_ptr<rpc::RpcClient> RpcEngine::make_client_impl(cluster::Host& host)
 
 std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
                                                        net::Address addr) {
+  std::unique_ptr<rpc::RpcServer> server;
   switch (cfg_.mode) {
     case RpcMode::kSocket1GigE:
     case RpcMode::kSocket10GigE:
     case RpcMode::kSocketIPoIB:
-      return std::make_unique<rpc::SocketRpcServer>(host, tb_.sockets(), addr,
-                                                    cfg_.server_handlers);
+      server = std::make_unique<rpc::SocketRpcServer>(host, tb_.sockets(), addr,
+                                                      cfg_.server_handlers);
+      break;
     case RpcMode::kRpcoIB: {
       RdmaServerConfig sc;
       sc.num_handlers = cfg_.server_handlers;
       sc.eager_threshold = cfg_.eager_threshold;
       sc.pool = cfg_.pool;
       sc.socket_fallback = cfg_.socket_fallback;
-      return std::make_unique<RdmaRpcServer>(host, tb_.sockets(), verbs_, addr, sc);
+      server = std::make_unique<RdmaRpcServer>(host, tb_.sockets(), verbs_, addr, sc);
+      break;
     }
   }
-  return nullptr;
+  if (server) server->set_overload(cfg_.overload);
+  return server;
 }
 
 }  // namespace rpcoib::oib

@@ -37,6 +37,9 @@ struct EngineConfig {
   /// Timeout/retry/backoff applied to every client this engine creates.
   /// Default-disabled: zero timeout, zero retries — legacy behavior.
   rpc::RpcRetryPolicy retry{};
+  /// Admission control / retry cache applied to every server this engine
+  /// creates. Default-disabled: unbounded queue, no cache — legacy behavior.
+  rpc::OverloadConfig overload{};
   /// RPCoIB only: reroute to the companion socket listener when the QP
   /// bootstrap exchange fails (and run that listener server-side).
   bool socket_fallback = true;

@@ -233,6 +233,22 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
             parse_control(frame, rkey, off, len);
             host_.sched().spawn(fetch_response(conn, rkey, off, len));
             repost_recv(conn, rb);
+          } else if (type == FrameType::kNack) {
+            // The server refused to RDMA-READ our rendezvous source (its
+            // pool hit the demand-allocation cap). Wake the call, which
+            // retries over the socket path.
+            std::uint32_t rkey = 0;
+            std::memcpy(&rkey, frame.data() + 1, 4);
+            for (auto it = conn->pending.begin(); it != conn->pending.end(); ++it) {
+              PendingCall* pc = it->second;
+              if (pc->rendezvous_buf != nullptr && pc->rendezvous_buf->mr.rkey == rkey) {
+                conn->pending.erase(it);
+                pc->nacked = true;
+                pc->done.set();
+                break;
+              }
+            }
+            repost_recv(conn, rb);
           } else {
             repost_recv(conn, rb);  // unknown frame; drop
           }
@@ -268,7 +284,7 @@ sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::Met
 
 sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKey& key,
                                           const rpc::Writable& param,
-                                          rpc::Writable* response) {
+                                          rpc::Writable* response, std::uint64_t call_id) {
   // Consume the ambient trace parent before the first suspension point
   // (see trace.hpp's propagation discipline).
   trace::TraceCollector* tr = trace::active(host_.tracer());
@@ -316,17 +332,23 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
   // --- Serialization: directly into a pooled, registered buffer ---------
   const sim::Time t_ser_start = host_.sched().now();
   RDMAOutputStream out(cm, shadow_, key);
-  const std::uint64_t id = next_call_id_++;
+  const std::uint64_t id = call_id;
+  // Same deadline stamping as the socket client: only with a configured
+  // call timeout, so the default wire format stays byte-identical.
+  const sim::Time deadline =
+      retry_.call_timeout > 0 ? host_.sched().now() + retry_.call_timeout : 0;
   out.write_u8(static_cast<std::uint8_t>(FrameType::kCall));
+  std::uint64_t wire_id = id;
+  if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
+  if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
+  out.write_u64(wire_id);
   if (ctx.valid()) {
     // Flagged id announces two extra context words; untraced calls keep
     // the seed wire format byte-for-byte.
-    out.write_u64(id | trace::kWireTraceFlag);
     out.write_u64(ctx.trace_id);
     out.write_u64(ctx.span_id);
-  } else {
-    out.write_u64(id);
   }
+  if (deadline != 0) out.write_u64(deadline);
   out.write_text(key.protocol);
   out.write_text(key.method);
   param.write(out);
@@ -409,12 +431,31 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     co_await pc.done.wait();
   }
   release_rendezvous(pc);  // rendezvous source: response doubles as the ack
+  if (pc.nacked) {
+    // Graceful degradation: the server's registered-buffer pool is capped
+    // out, so this call transparently reroutes to the companion socket
+    // listener (non-sticky — the next call tries RDMA again).
+    ++stats_.nack_fallbacks;
+    if (tr != nullptr) {
+      tr->add_complete("overload.nack:" + key.method, trace::Kind::kClient,
+                       trace::Category::kOverload, ctx, host_.id(), t_sent,
+                       host_.sched().now());
+    }
+    rpc.end();
+    if (!cfg_.fallback_to_socket) {
+      throw rpc::ServerBusyException("rendezvous NACK: server buffer pool exhausted");
+    }
+    trace::activate(tr, t_parent);
+    co_await call_via_fallback(addr, key, param, response);
+    co_return;
+  }
   if (pc.transport_error) throw rpc::RpcTransportError(pc.error_msg);
 
   // --- Deserialize in place from the registered buffer ------------------
   const sim::Time t_deser = host_.sched().now();
   RDMAInputStream in(cm, pc.resp.subspan(9));  // skip [type][id]
-  const bool is_error = in.read_u8() != 0;
+  const std::uint8_t status = in.read_u8();
+  const bool is_error = status != static_cast<std::uint8_t>(rpc::RpcStatus::kSuccess);
   std::string error_msg;
   if (is_error) {
     error_msg = in.read_text();
@@ -431,6 +472,9 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     repost_recv(conn, pc.resp_buf);
   } else {
     native_.release(pc.resp_buf);
+  }
+  if (status == static_cast<std::uint8_t>(rpc::RpcStatus::kBusy)) {
+    throw rpc::ServerBusyException(error_msg);
   }
   if (is_error) throw rpc::RemoteException(error_msg);
   prof.total_us.add(sim::to_us(host_.sched().now() - t_start));

@@ -53,7 +53,8 @@ class RdmaRpcClient final : public rpc::RpcClient {
 
  protected:
   sim::Co<void> call_attempt(net::Address addr, const rpc::MethodKey& key,
-                             const rpc::Writable& param, rpc::Writable* response) override;
+                             const rpc::Writable& param, rpc::Writable* response,
+                             std::uint64_t call_id) override;
 
  private:
   struct PendingCall {
@@ -65,6 +66,7 @@ class RdmaRpcClient final : public rpc::RpcClient {
     /// Leased rendezvous source, tracked here (not in a call-frame local)
     /// so fail_all() can return it to the pool on connection teardown.
     NativeBuffer* rendezvous_buf = nullptr;
+    bool nacked = false;  // server refused the rendezvous (pool exhausted)
     bool transport_error = false;
     std::string error_msg;
   };
@@ -110,7 +112,6 @@ class RdmaRpcClient final : public rpc::RpcClient {
   NativeBufferPool native_;
   ShadowPool shadow_;
   sim::SimEvent pool_ready_;
-  std::uint64_t next_call_id_ = 1;
   std::map<net::Address, std::shared_ptr<Connection>> connections_;
   // Socket-mode fallback after a failed bootstrap exchange (sticky per
   // address until close_connections()).

@@ -39,6 +39,47 @@ std::uint32_t parse_ack(net::ByteSpan frame) {
   return rkey;
 }
 
+/// 5-byte rendezvous refusal: [u8 kNack][u32 rkey of the refused source].
+ControlFrame make_nack(std::uint32_t rkey) {
+  ControlFrame f;
+  f.bytes[0] = static_cast<net::Byte>(FrameType::kNack);
+  std::memcpy(f.bytes + 1, &rkey, 4);
+  f.len = 5;
+  return f;
+}
+
+/// Header fields of a kCall frame, pre-parsed at admission time so the
+/// gate can shed with a well-formed busy response before a handler ever
+/// sees the call. Bookkeeping only — no cost is charged for this pass.
+struct CallHeader {
+  bool ok = false;
+  std::uint64_t id = 0;
+  sim::Time deadline = 0;
+  trace::TraceContext ctx;
+  rpc::MethodKey key;
+};
+
+CallHeader parse_call_header(const cluster::CostModel& cm, net::ByteSpan frame) {
+  CallHeader h;
+  RDMAInputStream in(cm, frame);
+  try {
+    (void)in.read_u8();  // frame type
+    h.id = in.read_u64();
+    if ((h.id & trace::kWireTraceFlag) != 0) {
+      h.ctx.trace_id = in.read_u64();
+      h.ctx.span_id = in.read_u64();
+    }
+    if ((h.id & trace::kWireDeadlineFlag) != 0) h.deadline = in.read_u64();
+    h.id &= trace::kWireIdMask;
+    h.key.protocol = in.read_text();
+    h.key.method = in.read_text();
+    h.ok = true;
+  } catch (const std::exception&) {
+    // Garbage header (client reused a rendezvous source after timing out).
+  }
+  return h;
+}
+
 }  // namespace
 
 RdmaRpcServer::RdmaRpcServer(cluster::Host& host, net::SocketTable& sockets,
@@ -63,6 +104,12 @@ void RdmaRpcServer::start() {
   running_ = true;
   cq_ = std::make_unique<verbs::CompletionQueue>(host_.sched());
   call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
+  if (overload_.admission_enabled()) {
+    admission_ = std::make_unique<rpc::AdmissionController>(overload_);
+  }
+  if (overload_.cache_enabled()) {
+    retry_cache_ = std::make_unique<rpc::RetryCache>(overload_.retry_cache_entries);
+  }
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
   host_.sched().spawn(reader_loop());
@@ -76,6 +123,9 @@ void RdmaRpcServer::start() {
     for (const auto& [key, handler] : dispatcher_.all()) {
       fallback_->dispatcher().register_method(key.protocol, key.method, handler);
     }
+    // The fallback path must shed under the same policy as the RDMA path,
+    // or overload would simply migrate to the companion listener.
+    fallback_->set_overload(overload_);
     fallback_->start();
   }
 }
@@ -85,15 +135,38 @@ void RdmaRpcServer::stop() {
   running_ = false;
   sockets_.unlisten(addr_);
   listener_ = nullptr;
+  // Return every pooled buffer the data path still holds — queued call
+  // frames, unacked rendezvous response sources, and pre-posted receive
+  // slots — so acquires and releases balance across a stop. The dropped
+  // calls' clients observe a transport error when the QPs disconnect.
+  if (call_queue_) {
+    ServerCall call;
+    while (call_queue_->try_recv(call)) {
+      if (admission_) admission_->on_dequeue(call.admit_protocol);
+      native_.release(call.buf);
+      ++stats_.dropped_on_stop;
+    }
+  }
+  for (auto& [rkey, buf] : pending_resp_) native_.release(buf);
+  pending_resp_.clear();
   for (auto& c : conns_) {
-    if (c->qp) c->qp->disconnect();
+    if (c->qp) {
+      for (std::uint64_t wr : c->qp->drain_posted_recvs()) {
+        auto* slot = reinterpret_cast<Slot*>(wr);
+        if (slot != nullptr && slot->buf != nullptr) {
+          native_.release(slot->buf);
+          slot->buf = nullptr;
+        }
+      }
+      c->qp->disconnect();
+    }
   }
   if (cq_) cq_->close();
   if (call_queue_) call_queue_->close();
-  if (fallback_) {
-    fallback_->stop();
-    fallback_.reset();
-  }
+  // Stop but do not destroy the fallback listener: closing its queues only
+  // *schedules* the suspended handler loops, which still read the queues
+  // when they resume. The object lives until this server is destroyed.
+  if (fallback_) fallback_->stop();
 }
 
 void RdmaRpcServer::post_slot(ConnState* conn, NativeBuffer* buf) {
@@ -122,6 +195,7 @@ sim::Task RdmaRpcServer::listener_loop() {
       }
       auto conn = std::make_unique<ConnState>();
       conn->qp = std::move(qp);
+      conn->id = ++conn_seq_;
       ConnState* raw = conn.get();
       conns_.push_back(std::move(conn));
       for (int i = 0; i < cfg_.recv_depth; ++i) {
@@ -136,7 +210,22 @@ sim::Task RdmaRpcServer::listener_loop() {
 sim::Task RdmaRpcServer::fetch_call(ConnState* conn, std::uint32_t rkey, std::uint64_t off,
                                     std::uint32_t len) {
   const sim::Time recv_start = host_.sched().now();
-  NativeBuffer* dst = shadow_.acquire_sized(len);
+  // Graceful degradation: when the registered pool is dry and the demand-
+  // allocation cap is reached, refuse the rendezvous instead of growing
+  // native memory without bound. The NACK names the client's rkey; the
+  // client resubmits the call over the socket fallback path.
+  NativeBuffer* dst = shadow_.try_acquire_sized(len);
+  if (dst == nullptr) {
+    // The call's trace context is inside the frame we refused to fetch;
+    // the client records the overload.nack span with full context.
+    ++stats_.pool_nacks;
+    const ControlFrame nack = make_nack(rkey);
+    try {
+      co_await conn->qp->post_send(0, nack.span());
+    } catch (const verbs::VerbsError&) {
+    }
+    co_return;
+  }
   const std::uint64_t token = (next_read_token_++ << 1) | 1;
   sim::SimEvent read_done(host_.sched());
   read_waiters_[token] = &read_done;
@@ -150,8 +239,7 @@ sim::Task RdmaRpcServer::fetch_call(ConnState* conn, std::uint32_t rkey, std::ui
     call.buf = dst;
     call.frame_len = len;
     call.recv_start = recv_start;
-    call.enqueued = host_.sched().now();
-    call_queue_->push(std::move(call));
+    co_await enqueue_call(std::move(call));
   } catch (const std::exception&) {
     read_waiters_.erase(token);
     native_.release(dst);
@@ -191,8 +279,7 @@ sim::Task RdmaRpcServer::reader_loop() {
             call.buf = rb;
             call.frame_len = wc.byte_len;
             call.recv_start = host_.sched().now();
-            call.enqueued = call.recv_start;
-            call_queue_->push(std::move(call));
+            co_await enqueue_call(std::move(call));
             post_slot(conn, native_.acquire(cfg_.recv_buf_size));
           } else if (type == FrameType::kCtrlCall) {
             std::uint32_t rkey = 0, len = 0;
@@ -221,11 +308,76 @@ sim::Task RdmaRpcServer::reader_loop() {
   }
 }
 
+sim::Co<void> RdmaRpcServer::enqueue_call(ServerCall call) {
+  if (admission_ != nullptr) {
+    const CallHeader hdr = parse_call_header(
+        host_.cost(), net::ByteSpan(call.buf->span.data(), call.frame_len));
+    if (!hdr.ok) {
+      // Garbage header: the client reused the source after timing out.
+      native_.release(call.buf);
+      co_return;
+    }
+    call.admit_protocol = hdr.key.protocol;
+    const auto decision = admission_->decide(call_queue_->size(), call.admit_protocol);
+    if (decision == rpc::AdmissionController::Decision::kShedNewest) {
+      const sim::Time start = call.recv_start;
+      co_await shed_call(std::move(call), hdr.id, hdr.ctx, hdr.key.method, start);
+      co_return;
+    }
+    if (decision == rpc::AdmissionController::Decision::kShedOldest) {
+      ServerCall victim;
+      if (call_queue_->try_recv(victim)) {
+        admission_->on_dequeue(victim.admit_protocol);
+        const CallHeader vh = parse_call_header(
+            host_.cost(), net::ByteSpan(victim.buf->span.data(), victim.frame_len));
+        const sim::Time vstart = victim.enqueued != 0 ? victim.enqueued : victim.recv_start;
+        co_await shed_call(std::move(victim), vh.id, vh.ctx, vh.key.method, vstart);
+      } else {
+        // Every queued call is already claimed by a waking handler; shed
+        // the arrival instead so the bound holds at every instant.
+        const sim::Time start = call.recv_start;
+        co_await shed_call(std::move(call), hdr.id, hdr.ctx, hdr.key.method, start);
+        co_return;
+      }
+    }
+    admission_->on_enqueue(call.admit_protocol);
+  }
+  call.enqueued = host_.sched().now();
+  call_queue_->push(std::move(call));
+  if (call_queue_->size() > stats_.queue_depth_peak) {
+    stats_.queue_depth_peak = call_queue_->size();
+  }
+}
+
+sim::Co<void> RdmaRpcServer::shed_call(ServerCall call, std::uint64_t id,
+                                       trace::TraceContext ctx, const std::string& method,
+                                       sim::Time start) {
+  ++stats_.calls_shed;
+  trace::TraceCollector* tr = ctx.valid() ? trace::active(host_.tracer()) : nullptr;
+  if (tr != nullptr) {
+    tr->add_complete("overload.shed:" + method, trace::Kind::kServer,
+                     trace::Category::kOverload, ctx, host_.id(), start,
+                     host_.sched().now());
+  }
+  try {
+    RDMAOutputStream busy(host_.cost(), shadow_, rpc::MethodKey{"__overload", "busy"});
+    busy.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+    busy.write_u64(id);
+    busy.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kBusy));
+    busy.write_text("server busy: call queue full");
+    co_await respond(call, busy);
+  } catch (const verbs::VerbsError&) {
+    // Client already gone; nothing to tell it.
+  }
+  native_.release(call.buf);
+}
+
 sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
   const cluster::CostModel& cm = host_.cost();
   try {
     for (;;) {
       ServerCall call = co_await call_queue_->recv();
+      if (admission_ != nullptr) admission_->on_dequeue(call.admit_protocol);
       const sim::Time t_dequeue = host_.sched().now();
       co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
 
@@ -233,16 +385,18 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       // buffer, no native->heap copy (Section III-B).
       RDMAInputStream in(cm, net::ByteSpan(call.buf->span.data(), call.frame_len));
       std::uint64_t id = 0;
+      sim::Time deadline = 0;
       trace::TraceContext ctx;
       rpc::MethodKey key;
       try {
         (void)in.read_u8();  // frame type
         id = in.read_u64();
         if ((id & trace::kWireTraceFlag) != 0) {
-          id &= ~trace::kWireTraceFlag;
           ctx.trace_id = in.read_u64();
           ctx.span_id = in.read_u64();
         }
+        if ((id & trace::kWireDeadlineFlag) != 0) deadline = in.read_u64();
+        id &= trace::kWireIdMask;
         key.protocol = in.read_text();
         key.method = in.read_text();
       } catch (const std::exception&) {
@@ -254,13 +408,57 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       }
       trace::TraceCollector* tr = ctx.valid() ? trace::active(host_.tracer()) : nullptr;
       if (tr != nullptr) {
-        // The id was only parsed here, so the receive and queue intervals
-        // are recorded retroactively now that the context is known.
+        // The id was only parsed here, so the receive interval is recorded
+        // retroactively now that the context is known.
         tr->add_complete("recv:" + key.method, trace::Kind::kServer,
                          trace::Category::kRecv, ctx, host_.id(), call.recv_start,
                          call.enqueued);
+      }
+      // The caller's deadline already passed while this call sat in the
+      // queue: executing it would waste a handler on a response nobody
+      // will read (the client has timed out and may be retrying).
+      if (deadline != 0 && host_.sched().now() >= deadline) {
+        ++stats_.calls_expired;
+        if (tr != nullptr) {
+          tr->add_complete("deadline.expired:" + key.method, trace::Kind::kServer,
+                           trace::Category::kOverload, ctx, host_.id(), call.enqueued,
+                           host_.sched().now());
+        }
+        native_.release(call.buf);
+        continue;
+      }
+      if (tr != nullptr) {
         tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue, ctx,
                          host_.id(), call.enqueued, t_dequeue);
+      }
+      if (retry_cache_ != nullptr) {
+        const rpc::RetryCache::State seen = retry_cache_->begin(call.conn->id, id);
+        if (seen == rpc::RetryCache::State::kCompleted) {
+          // A retry of a call that already executed: replay the recorded
+          // response instead of running the handler a second time.
+          ++stats_.dedup_hits;
+          if (tr != nullptr) {
+            tr->add_complete("overload.dedup:" + key.method, trace::Kind::kServer,
+                             trace::Category::kOverload, ctx, host_.id(), t_dequeue,
+                             host_.sched().now());
+          }
+          const net::Bytes* cached = retry_cache_->completed_frame(call.conn->id, id);
+          if (cached != nullptr) {
+            try {
+              co_await respond_frame(call, net::ByteSpan(cached->data(), cached->size()));
+            } catch (const verbs::VerbsError&) {
+            }
+          }
+          native_.release(call.buf);
+          continue;
+        }
+        if (seen == rpc::RetryCache::State::kInProgress) {
+          // First attempt still running on another handler; that execution
+          // will answer (or the client's next retry hits kCompleted).
+          ++stats_.dedup_in_flight;
+          native_.release(call.buf);
+          continue;
+        }
       }
       trace::SpanScope handle(tr, "handle:" + key.method, trace::Kind::kServer,
                               trace::Category::kHandler, ctx, host_.id());
@@ -290,17 +488,38 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
                                RDMAOutputStream::kAcquireUs);
       stats_.recv_total_us.add(sim::to_us(host_.sched().now() - call.recv_start));
 
+      // The deadline may also pass *during* execution; then the response
+      // is dropped unsent — but still recorded in the retry cache, because
+      // the executed outcome must answer the retry already on its way.
+      const bool resp_expired = deadline != 0 && host_.sched().now() >= deadline;
+      if (resp_expired) {
+        ++stats_.responses_expired;
+        if (tr != nullptr) {
+          tr->add_complete("deadline.response:" + key.method, trace::Kind::kServer,
+                           trace::Category::kOverload, ctx, host_.id(),
+                           host_.sched().now(), host_.sched().now());
+        }
+      }
       try {
         if (error) {
           // Rebuild the frame with the error payload.
           RDMAOutputStream err(cm, shadow_, key);
           err.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
           err.write_u64(id);
-          err.write_u8(1);
+          err.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kError));
           err.write_text(error_msg);
-          co_await respond(call, err);
+          if (retry_cache_ != nullptr) {
+            retry_cache_->complete(call.conn->id, id,
+                                   net::Bytes(err.data().begin(), err.data().end()));
+          }
+          if (!resp_expired) co_await respond(call, err);
+          // On expiry the stream destructor returns the pooled buffer.
         } else {
-          co_await respond(call, out);
+          if (retry_cache_ != nullptr) {
+            retry_cache_->complete(call.conn->id, id,
+                                   net::Bytes(out.data().begin(), out.data().end()));
+          }
+          if (!resp_expired) co_await respond(call, out);
         }
       } catch (const verbs::VerbsError&) {
         // Client disconnected between handling and responding; drop it.
@@ -331,6 +550,31 @@ sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
           FrameType::kCtrlResp, buf->mr.rkey,
           static_cast<std::uint64_t>(msg.data() - buf->mr.addr),
           static_cast<std::uint32_t>(len));
+      co_await call.conn->qp->post_send(0, ctrl.span());
+    }
+  } catch (const verbs::VerbsError&) {
+    pending_resp_.erase(buf->mr.rkey);
+    native_.release(buf);
+    throw;
+  }
+}
+
+sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame) {
+  const cluster::CostModel& cm = host_.cost();
+  NativeBuffer* buf = shadow_.acquire_sized(frame.size());
+  std::memcpy(buf->span.data(), frame.data(), frame.size());
+  co_await host_.compute(cm.direct_copy(frame.size()) + cm.jni_call() + cm.rpc_framework());
+  try {
+    if (frame.size() <= cfg_.eager_threshold) {
+      co_await call.conn->qp->post_send(reinterpret_cast<std::uint64_t>(buf),
+                                        net::ByteSpan(buf->span.data(), frame.size()));
+      // Released by reader_loop at the kSend completion.
+    } else {
+      pending_resp_[buf->mr.rkey] = buf;
+      const ControlFrame ctrl = ControlFrame::make(
+          FrameType::kCtrlResp, buf->mr.rkey,
+          static_cast<std::uint64_t>(buf->span.data() - buf->mr.addr),
+          static_cast<std::uint32_t>(frame.size()));
       co_await call.conn->qp->post_send(0, ctrl.span());
     }
   } catch (const verbs::VerbsError&) {

@@ -51,6 +51,7 @@ class RdmaRpcServer final : public rpc::RpcServer {
  private:
   struct ConnState {
     verbs::QueuePairPtr qp;
+    std::uint64_t id = 0;  // dense per-server sequence number (retry-cache key)
   };
   /// One posted receive slot; wr_id is this object's address.
   struct Slot {
@@ -63,6 +64,9 @@ class RdmaRpcServer final : public rpc::RpcServer {
     std::uint32_t frame_len = 0;
     sim::Time recv_start = 0;
     sim::Time enqueued = 0;  // when the call entered the call queue
+    // Protocol as pre-parsed at admission (per-protocol quota accounting);
+    // only filled while admission control is on.
+    std::string admit_protocol;
   };
 
   sim::Task listener_loop();
@@ -71,6 +75,12 @@ class RdmaRpcServer final : public rpc::RpcServer {
   sim::Task fetch_call(ConnState* conn, std::uint32_t rkey, std::uint64_t off,
                        std::uint32_t len);
   sim::Co<void> respond(ServerCall& call, RDMAOutputStream& out);
+  /// Send an already-framed response verbatim (retry-cache dedup hits).
+  sim::Co<void> respond_frame(ServerCall& call, net::ByteSpan frame);
+  /// Admission gate in front of call_queue_; sheds with a busy response.
+  sim::Co<void> enqueue_call(ServerCall call);
+  sim::Co<void> shed_call(ServerCall call, std::uint64_t id, trace::TraceContext ctx,
+                          const std::string& method, sim::Time start);
   void post_slot(ConnState* conn, NativeBuffer* buf);
 
   cluster::Host& host_;
@@ -85,6 +95,9 @@ class RdmaRpcServer final : public rpc::RpcServer {
   net::Listener* listener_ = nullptr;
   std::unique_ptr<verbs::CompletionQueue> cq_;  // shared by all QPs
   std::unique_ptr<sim::Channel<ServerCall>> call_queue_;
+  std::unique_ptr<rpc::AdmissionController> admission_;
+  std::unique_ptr<rpc::RetryCache> retry_cache_;
+  std::uint64_t conn_seq_ = 0;
   std::vector<std::unique_ptr<ConnState>> conns_;
   std::vector<std::unique_ptr<Slot>> slots_;
   // Rendezvous response sources awaiting the client's ack, keyed by rkey.

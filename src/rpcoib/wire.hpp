@@ -11,6 +11,9 @@
 //   kCtrlCall [u8][u32 rkey][u64 offset][u32 len]   - fetch a kCall
 //   kCtrlResp [u8][u32 rkey][u64 offset][u32 len]   - fetch a kResp
 //   kAck      [u8][u32 rkey]                        - rendezvous source may be released
+//   kNack     [u8][u32 rkey]                        - rendezvous refused: server pool
+//                                                     exhausted (demand-alloc cap); the
+//                                                     client retries via the socket path
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,7 @@ enum class FrameType : std::uint8_t {
   kCtrlCall = 2,
   kCtrlResp = 3,
   kAck = 4,
+  kNack = 5,
 };
 
 struct WireDefaults {

@@ -16,6 +16,7 @@ const char* category_name(Category c) {
     case Category::kDisk: return "disk I/O";
     case Category::kFault: return "fault/recovery";
     case Category::kRetry: return "retry backoff";
+    case Category::kOverload: return "overload/deadline";
   }
   return "?";
 }

@@ -27,4 +27,14 @@ struct TraceContext {
 /// format is byte-identical to the untraced build (zero overhead).
 inline constexpr std::uint64_t kWireTraceFlag = 1ULL << 63;
 
+/// Second-highest bit of the on-wire call id. When set, the call header
+/// carries [u64 absolute_deadline_ns] after the optional trace words: the
+/// caller's per-attempt deadline on the shared virtual clock. Clients only
+/// stamp it when a call timeout is configured, so the default wire format
+/// is unchanged.
+inline constexpr std::uint64_t kWireDeadlineFlag = 1ULL << 62;
+
+/// Mask stripping all wire flag bits off a call id.
+inline constexpr std::uint64_t kWireIdMask = ~(kWireTraceFlag | kWireDeadlineFlag);
+
 }  // namespace rpcoib::trace

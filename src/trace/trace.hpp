@@ -46,8 +46,9 @@ enum class Category : std::uint8_t {
   kDisk,           // modeled disk I/O
   kFault,          // attempts lost to injected faults (timeout/transport)
   kRetry,          // backoff waits between retry attempts
+  kOverload,       // admission shedding, deadline drops, retry-cache dedup
 };
-inline constexpr int kCategoryCount = 12;
+inline constexpr int kCategoryCount = 13;
 
 const char* category_name(Category c);
 
