@@ -57,6 +57,24 @@ def check_fig5_throughput(t, data, failures):
         failures.append(f"fig5b peak: rpcoib {peak_rpcoib:.1f} Kops/s < {kops_lim}")
 
 
+def check_fig5_batched(t, data, failures):
+    # Small-message coalescing must keep paying in the shared-connection
+    # regime: batched/plain calls-per-second ratio per transport.
+    by_transport = {row["transport"]: row for row in data["rows"]}
+    for transport, key in (("RPC-IPoIB", "min_batched_over_plain_socket"),
+                           ("RPCoIB", "min_batched_over_plain_rpcoib")):
+        if transport not in by_transport:
+            failures.append(f"fig5_batched: missing {transport} row")
+            continue
+        ratio = by_transport[transport]["ratio"]
+        lim = t[key]
+        print(f"fig5_batched {transport:>9}: batched/plain = {ratio:.3f} (min {lim})")
+        if ratio < lim:
+            failures.append(
+                f"fig5_batched {transport}: batched/plain ratio {ratio:.3f} < {lim}"
+            )
+
+
 def check_fig6_sort(t, data, failures):
     checks = (
         ("rw", "rw_rpcoib_s", "rw_ipoib_s", t["max_rpcoib_over_ipoib_rw"]),
@@ -119,6 +137,7 @@ def check_fig8_hbase(t, data, failures):
 CHECKS = {
     "fig5_latency": check_fig5_latency,
     "fig5_throughput": check_fig5_throughput,
+    "fig5_batched": check_fig5_batched,
     "fig6_sort": check_fig6_sort,
     "fig7_hdfs_write": check_fig7_hdfs_write,
     "fig8_hbase": check_fig8_hbase,

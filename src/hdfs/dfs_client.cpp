@@ -183,8 +183,11 @@ sim::Co<void> DFSClient::write_block_attempt(const std::string& path,
                         np.one_way_latency + np.wire_time(cfg_.packet_size));
   }
 
-  // Deliver to each datanode (receive costs + blockReceived RPC).
-  sim::WaitGroup wg(host_.sched());
+  // Resolve the whole pipeline before spawning any deliver task: the
+  // deliver tasks capture this frame's WaitGroup by reference, so a
+  // lost-node throw after the first spawn would destroy the frame while
+  // detached tasks still point into it (use-after-free on done()).
+  std::vector<DataNode*> pipeline;
   for (DatanodeId dn_id : lb.located.locations) {
     DataNode* dn = resolver_.datanode(dn_id);
     if (dn == nullptr) {
@@ -196,6 +199,12 @@ sim::Co<void> DFSClient::write_block_attempt(const std::string& path,
       }
       continue;  // legacy: skip dead nodes, under-replicate silently
     }
+    pipeline.push_back(dn);
+  }
+
+  // Deliver to each datanode (receive costs + blockReceived RPC).
+  sim::WaitGroup wg(host_.sched());
+  for (DataNode* dn : pipeline) {
     wg.add(1);
     host_.sched().spawn([](DataNode* node, Block blk, DataMode mode,
                            sim::WaitGroup& done) -> sim::Task {

@@ -1,0 +1,145 @@
+// Adaptive small-message coalescing (client call batching, server
+// response batching).
+//
+// At high call rates the per-message framework cost — framing, syscall or
+// doorbell, receive wakeup — dominates small RPCs, exactly the regime the
+// paper's Reader-thread analysis (Section III-D) identifies as the socket
+// path's throughput cap. The standard InfiniBand cure is coalescing:
+// MPICH2-over-IB aggregates small eager messages, and Ibdxnet's send
+// thread batches queued small messages into one work request. Both
+// transports here do the same: sub-threshold calls accumulate per
+// connection and flush as one multi-call frame when a size/count limit is
+// reached or a short linger expires.
+//
+// The linger is adaptive: each connection tracks an EWMA of the
+// inter-append gap, and when arrivals are sparse (gap >= linger) the flush
+// happens on the next scheduler tick instead of waiting the full linger —
+// a lone caller keeps fig5-latency behavior, while concurrent callers pay
+// the linger once and amortize the per-message cost across the batch.
+//
+// Batching is OFF by default; with it disabled every wire byte is
+// identical to the unbatched build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/bytes.hpp"
+#include "sim/time.hpp"
+
+namespace rpcoib::rpc {
+
+/// Knobs for small-message coalescing. Applied per client (requests) and
+/// per server (responses); the engine sets both from one config.
+struct BatchConfig {
+  /// Master switch. Off keeps the seed's one-frame-per-call wire format
+  /// byte for byte.
+  bool enabled = false;
+  /// Flush once the buffered payload reaches this many bytes. The RDMA
+  /// path additionally clamps to the connection's eager threshold so a
+  /// batch frame always fits a pre-posted receive buffer.
+  std::size_t max_bytes = 8 * 1024;
+  /// Flush once this many calls are buffered.
+  std::size_t max_calls = 16;
+  /// Longest a buffered call waits for company before the batch flushes.
+  /// Sized to cover the phase spread of callers pipelined around a shared
+  /// connection (a fraction of the small-call RTT); the adaptive estimator
+  /// collapses it to zero when arrivals are sparse. Servers cap their
+  /// response-side linger at a quarter of this: responses only need to
+  /// cover handler-completion stagger, not caller phase alignment.
+  sim::Dur linger = sim::micros(30);
+  /// Only messages at or below this size are coalesced; larger ones keep
+  /// their own frame (they amortize their framework cost already).
+  std::size_t small_threshold = 1024;
+
+  bool batchable(std::size_t msg_bytes) const {
+    return enabled && msg_bytes <= small_threshold;
+  }
+};
+
+/// EWMA estimator of inter-arrival gaps, deciding whether a linger is
+/// worth paying: under sparse arrivals (gap >= linger) no company is
+/// coming and the answer is zero; under dense arrivals the configured
+/// linger buys a multi-message frame. Shared by the client call batcher
+/// and the servers' response coalescing.
+class LingerEstimator {
+ public:
+  /// Record one arrival at `now`.
+  void note(sim::Time now) {
+    if (last_ != 0 && now >= last_) {
+      const double gap = static_cast<double>(now - last_);
+      // EWMA with alpha 1/4: a few back-to-back arrivals are enough to
+      // re-enter lingering mode after an idle spell.
+      ewma_gap_ns_ = ewma_gap_ns_ == 0 ? gap : ewma_gap_ns_ * 0.75 + gap * 0.25;
+    }
+    last_ = now;
+  }
+
+  /// The linger the arrival pattern justifies: zero when sparse, the
+  /// configured linger when arrivals have been landing closer than it.
+  sim::Dur linger(sim::Dur cfg_linger) const {
+    if (ewma_gap_ns_ == 0 || ewma_gap_ns_ >= static_cast<double>(cfg_linger)) return 0;
+    return cfg_linger;
+  }
+
+ private:
+  sim::Time last_ = 0;
+  double ewma_gap_ns_ = 0;  // EWMA of inter-arrival gaps, nanoseconds
+};
+
+/// Per-connection accumulator for sub-threshold messages, shared by both
+/// transports. Holds the buffered payloads, decides when the limits force
+/// a flush, and runs the adaptive-linger estimator. The owner is
+/// responsible for the actual wire format and for arming flush timers;
+/// `epoch` invalidates timers armed for batches that already flushed.
+class CallBatcher {
+ public:
+  explicit CallBatcher(const BatchConfig& cfg) : cfg_(cfg) {}
+
+  /// Buffer one serialized message. `now` feeds the inter-arrival EWMA.
+  void append(net::Bytes payload, sim::Time now) {
+    gaps_.note(now);
+    bytes_ += payload.size();
+    items_.push_back(std::move(payload));
+  }
+
+  /// True once a size/count limit forces an immediate flush.
+  bool full() const {
+    return items_.size() >= cfg_.max_calls || bytes_ >= cfg_.max_bytes;
+  }
+
+  /// Would appending `msg_bytes` more blow `limit_bytes`? (RDMA eager
+  /// frames must fit the peer's pre-posted receive buffer.)
+  bool would_overflow(std::size_t msg_bytes, std::size_t limit_bytes) const {
+    return !items_.empty() && bytes_ + msg_bytes > limit_bytes;
+  }
+
+  /// Linger for the batch just opened: zero under sparse arrivals (the
+  /// EWMA gap says no company is coming), the configured linger otherwise.
+  sim::Dur adaptive_linger() const { return gaps_.linger(cfg_.linger); }
+
+  /// Take the buffered messages for flushing and open a new epoch (stale
+  /// flush timers compare their saved epoch and stand down).
+  std::vector<net::Bytes> take() {
+    ++epoch_;
+    bytes_ = 0;
+    return std::exchange(items_, {});
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t count() const { return items_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const BatchConfig& config() const { return cfg_; }
+
+ private:
+  BatchConfig cfg_;
+  std::vector<net::Bytes> items_;
+  std::size_t bytes_ = 0;
+  std::uint64_t epoch_ = 0;
+  LingerEstimator gaps_;
+};
+
+}  // namespace rpcoib::rpc

@@ -54,6 +54,12 @@ class ServerBusyException : public RpcTransportError {
   explicit ServerBusyException(const std::string& what) : RpcTransportError(what) {}
 };
 
+/// Low bits of a batch frame's leading u64 (flagged with
+/// trace::kWireBatchFlag) holding the sub-message count. 32 bits bounds a
+/// batch far beyond any BatchConfig::max_calls while keeping the flag bits
+/// clear of the count.
+inline constexpr std::uint64_t kWireBatchCountMask = 0xFFFFFFFFULL;
+
 /// Response status byte, shared by both wire formats:
 ///   kResp [.. id ..][u8 status][value | error text].
 enum class RpcStatus : std::uint8_t {

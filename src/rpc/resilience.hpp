@@ -25,6 +25,13 @@ inline std::string resilience_report(const RpcStats& stats,
   t.row({"nack fallbacks", std::to_string(stats.nack_fallbacks)});
   t.row({"backoff waits", std::to_string(stats.backoff_us.count())});
   t.row({"backoff total (us)", metrics::Table::num(stats.backoff_us.sum(), 1)});
+  t.row({"batches sent", std::to_string(stats.batches_sent)});
+  t.row({"batched calls", std::to_string(stats.batched_calls)});
+  t.row({"batch flushes (full)", std::to_string(stats.batch_flush_full)});
+  t.row({"batch flushes (linger)", std::to_string(stats.batch_flush_linger)});
+  t.row({"batch flushes (immediate)", std::to_string(stats.batch_flush_immediate)});
+  t.row({"connections opened", std::to_string(stats.connections_opened)});
+  t.row({"threshold mismatches", std::to_string(stats.threshold_mismatches)});
   if (faults != nullptr) {
     t.row({"fault drops", std::to_string(faults->drops)});
     t.row({"fault spikes", std::to_string(faults->spikes)});
@@ -41,6 +48,10 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"server dropped on stop", std::to_string(server->dropped_on_stop)});
     t.row({"server pool nacks", std::to_string(server->pool_nacks)});
     t.row({"server queue depth peak", std::to_string(server->queue_depth_peak)});
+    t.row({"server batches received", std::to_string(server->batches_received)});
+    t.row({"server batched calls", std::to_string(server->batched_calls_received)});
+    t.row({"server response batches", std::to_string(server->response_batches)});
+    t.row({"server batched responses", std::to_string(server->batched_responses)});
   }
   std::ostringstream os;
   t.print(os);

@@ -11,6 +11,7 @@
 
 #include "cluster/host.hpp"
 #include "net/socket.hpp"
+#include "rpc/batch.hpp"
 #include "rpc/overload.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/retry.hpp"
@@ -48,6 +49,11 @@ class RpcClient {
   void set_retry_policy(RpcRetryPolicy p) { retry_ = std::move(p); }
   const RpcRetryPolicy& retry_policy() const { return retry_; }
 
+  /// Small-message coalescing knobs. Set before the first call; the
+  /// default keeps the seed's one-frame-per-call wire format.
+  void set_batch(BatchConfig cfg) { batch_ = cfg; }
+  const BatchConfig& batch() const { return batch_; }
+
   RpcStats& stats() { return stats_; }
   const RpcStats& stats() const { return stats_; }
 
@@ -63,6 +69,7 @@ class RpcClient {
 
   RpcStats stats_;
   RpcRetryPolicy retry_;
+  BatchConfig batch_;
   std::uint64_t next_call_id_ = 1;
 
  private:
@@ -92,10 +99,16 @@ class RpcServer {
   void set_overload(OverloadConfig cfg) { overload_ = cfg; }
   const OverloadConfig& overload() const { return overload_; }
 
+  /// Response-coalescing knobs (mirrors the client's call coalescing).
+  /// Set before start(); the default keeps one frame per response.
+  void set_batch(BatchConfig cfg) { batch_ = cfg; }
+  const BatchConfig& batch() const { return batch_; }
+
  protected:
   Dispatcher dispatcher_;
   RpcStats stats_;
   OverloadConfig overload_;
+  BatchConfig batch_;
 };
 
 }  // namespace rpcoib::rpc

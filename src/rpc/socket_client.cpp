@@ -1,6 +1,7 @@
 #include "rpc/socket_client.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "rpc/buffers.hpp"
 #include "trace/trace.hpp"
@@ -21,6 +22,11 @@ SocketRpcClient::~SocketRpcClient() { close_connections(); }
 
 void SocketRpcClient::close_connections() {
   for (auto& [addr, conn] : connections_) {
+    // Cancel before closing: the receiver may be suspended mid-read and
+    // resume after this client is gone — it must observe `cancelled` and
+    // bail instead of touching half-destroyed state. Pending batch flush
+    // timers stand down the same way.
+    conn->cancelled = true;
     if (conn->sock) conn->sock->close();
     fail_all(*conn, "client shutdown");
   }
@@ -38,16 +44,27 @@ void SocketRpcClient::fail_all(Connection& conn, const std::string& why) {
 }
 
 sim::Co<SocketRpcClient::ConnectionPtr> SocketRpcClient::get_connection(net::Address addr) {
-  auto it = connections_.find(addr);
-  if (it != connections_.end() && !it->second->broken) {
+  for (;;) {
+    auto it = connections_.find(addr);
+    if (it == connections_.end()) break;
     ConnectionPtr conn = it->second;
+    if (conn->broken) {
+      connections_.erase(it);
+      break;
+    }
     co_await conn->ready.wait();  // another caller may still be handshaking
     if (!conn->broken) co_return conn;
-    it = connections_.find(addr);  // fall through and reconnect
+    // Woke up on a broken connection. While we were suspended another
+    // waiter may already have replaced the map entry with a fresh
+    // connection; blindly erasing and reconnecting here would orphan that
+    // replacement's receiver and strand its pending calls. Erase only if
+    // the map still points at *our* broken connection, then loop: the
+    // retry adopts any replacement instead of clobbering it.
+    auto it2 = connections_.find(addr);
+    if (it2 != connections_.end() && it2->second == conn) connections_.erase(it2);
   }
-  if (it != connections_.end()) connections_.erase(it);
 
-  auto raw = std::make_shared<Connection>(host_.sched());
+  auto raw = std::make_shared<Connection>(host_.sched(), batch_);
   connections_[addr] = raw;
   try {
     raw->sock = co_await sockets_.connect(host_, addr, transport_);
@@ -55,50 +72,163 @@ sim::Co<SocketRpcClient::ConnectionPtr> SocketRpcClient::get_connection(net::Add
   } catch (const net::SocketError& e) {
     raw->ready.set();
     fail_all(*raw, e.what());
+    // Drop our corpse unless a concurrent caller already replaced it.
+    auto it = connections_.find(addr);
+    if (it != connections_.end() && it->second == raw) connections_.erase(it);
     throw RpcTransportError(e.what());
   }
   raw->receiver = host_.sched().spawn(receive_loop(raw));
   raw->ready.set();
+  ++stats_.connections_opened;
   co_return raw;
 }
 
+sim::Co<void> SocketRpcClient::deliver_one(cluster::Host& host, Connection& conn,
+                                           net::ByteSpan payload) {
+  const cluster::CostModel& cm = host.cost();
+  DataInputBuffer in(cm, payload);
+  const std::uint64_t id = in.read_u64();
+  const std::uint8_t status = in.read_u8();
+  auto it = conn.pending.find(id);
+  if (it == conn.pending.end()) co_return;  // call raced a timeout; drop
+  PendingCall* pc = it->second;
+  conn.pending.erase(it);
+  if (status != static_cast<std::uint8_t>(RpcStatus::kSuccess)) {
+    pc->error = true;
+    pc->busy = status == static_cast<std::uint8_t>(RpcStatus::kBusy);
+    pc->error_msg = in.read_text();
+  } else {
+    pc->value.assign(payload.begin() + static_cast<std::ptrdiff_t>(in.position()),
+                     payload.end());
+  }
+  co_await host.compute(in.take_accrued() + cm.thread_wakeup() + cm.rpc_framework());
+  pc->done.set();
+}
+
 sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
-  const cluster::CostModel& cm = host_.cost();
+  // Hoisted: this loop may outlive the client object; after the first
+  // suspension it only touches the host and the shared connection.
+  cluster::Host& host = host_;
+  const cluster::CostModel& cm = host.cost();
   try {
     for (;;) {
       // Listing 2's client twin: 4-byte length buffer, then a fresh heap
       // buffer per response, with the native->heap copy.
       net::Bytes len_buf(4);
       co_await conn->sock->read_full(len_buf);
-      co_await host_.compute(2 * cm.syscall() + cm.heap_alloc(4));
+      if (conn->cancelled) co_return;
+      co_await host.compute(2 * cm.syscall() + cm.heap_alloc(4));
       DataInputBuffer len_in(cm, len_buf);
       const std::uint32_t len = len_in.read_u32();
 
       net::Bytes data(len);
-      co_await host_.compute(cm.heap_alloc(len));
+      co_await host.compute(cm.heap_alloc(len));
       co_await conn->sock->read_full(data);
-      co_await host_.compute(cm.native_copy(len));
+      if (conn->cancelled) co_return;
+      co_await host.compute(cm.native_copy(len));
+      if (conn->cancelled) co_return;
 
-      DataInputBuffer in(cm, data);
-      const std::uint64_t id = in.read_u64();
-      const std::uint8_t status = in.read_u8();
-      auto it = conn->pending.find(id);
-      if (it == conn->pending.end()) continue;  // call raced a timeout; drop
-      PendingCall* pc = it->second;
-      conn->pending.erase(it);
-      if (status != static_cast<std::uint8_t>(RpcStatus::kSuccess)) {
-        pc->error = true;
-        pc->busy = status == static_cast<std::uint8_t>(RpcStatus::kBusy);
-        pc->error_msg = in.read_text();
+      // A response frame whose first word carries kWireBatchFlag is a
+      // server-coalesced batch; each sub-message is laid out exactly like
+      // a standalone response payload. Batches are always understood —
+      // the local config only gates what *we* emit.
+      DataInputBuffer peek(cm, data);
+      const std::uint64_t first = peek.read_u64();
+      if ((first & trace::kWireBatchFlag) != 0) {
+        const std::size_t count = first & kWireBatchCountMask;
+        std::vector<std::uint32_t> lens(count);
+        for (std::size_t i = 0; i < count; ++i) lens[i] = peek.read_u32();
+        std::size_t off = peek.position();
+        co_await host.compute(peek.take_accrued());
+        for (std::size_t i = 0; i < count; ++i) {
+          if (conn->cancelled) co_return;
+          co_await deliver_one(host, *conn, net::ByteSpan(data).subspan(off, lens[i]));
+          off += lens[i];
+        }
       } else {
-        pc->value.assign(data.begin() + static_cast<std::ptrdiff_t>(in.position()),
-                         data.end());
+        co_await deliver_one(host, *conn, net::ByteSpan(data));
       }
-      co_await host_.compute(in.take_accrued() + cm.thread_wakeup() + cm.rpc_framework());
-      pc->done.set();
     }
   } catch (const net::SocketError& e) {
-    fail_all(*conn, e.what());
+    if (!conn->cancelled) fail_all(*conn, e.what());
+  }
+}
+
+sim::Co<void> SocketRpcClient::append_to_batch(ConnectionPtr conn, net::Bytes payload,
+                                               const trace::TraceContext& ctx) {
+  CallBatcher& b = conn->batcher;
+  const bool was_empty = b.empty();
+  if (was_empty && ctx.valid()) conn->batch_ctx = ctx;
+  b.append(std::move(payload), host_.sched().now());
+  ++stats_.batched_calls;
+  if (b.full()) {
+    ++stats_.batch_flush_full;
+    co_await flush_batch(conn);
+  } else if (was_empty) {
+    host_.sched().spawn(batch_timer(conn, b.epoch(), b.adaptive_linger()));
+  }
+}
+
+sim::Task SocketRpcClient::batch_timer(ConnectionPtr conn, std::uint64_t epoch,
+                                       sim::Dur linger) {
+  // A zero linger still suspends one scheduler tick, so same-timestamp
+  // arrivals coalesce while a lone caller's flush happens "now".
+  sim::Scheduler& sched = host_.sched();
+  co_await sim::delay(sched, linger);
+  if (conn->cancelled || conn->broken) co_return;
+  const CallBatcher& b = conn->batcher;
+  if (b.empty() || b.epoch() != epoch) co_return;  // a full() flush beat us
+  if (linger > 0) {
+    ++stats_.batch_flush_linger;
+  } else {
+    ++stats_.batch_flush_immediate;
+  }
+  co_await flush_batch(conn);
+}
+
+sim::Co<void> SocketRpcClient::flush_batch(ConnectionPtr conn) {
+  CallBatcher& b = conn->batcher;
+  if (b.empty()) co_return;
+  // Hoisted for the same reason as receive_loop: the send mutex wait
+  // below may outlive the client.
+  cluster::Host& host = host_;
+  const cluster::CostModel& cm = host.cost();
+  trace::TraceCollector* tr = trace::active(host.tracer());
+  const trace::TraceContext ctx = std::exchange(conn->batch_ctx, {});
+  const sim::Time t0 = host.sched().now();
+
+  std::vector<net::Bytes> items = b.take();
+  std::size_t payload_bytes = 0;
+  for (const net::Bytes& m : items) payload_bytes += m.size();
+  // [u32 total][u64 kWireBatchFlag|count][u32 len_i x count][payload_i...]
+  BufferedOutputStream out(cm);
+  const std::size_t total = 8 + 4 * items.size() + payload_bytes;
+  out.write_u32(static_cast<std::uint32_t>(total));
+  out.write_u64(trace::kWireBatchFlag | static_cast<std::uint64_t>(items.size()));
+  for (const net::Bytes& m : items) out.write_u32(static_cast<std::uint32_t>(m.size()));
+  for (const net::Bytes& m : items) out.write_payload(net::ByteSpan(m));
+  out.flush();
+  const sim::Dur encode_cost = out.take_accrued();
+  net::Bytes wire = out.take_pending();
+
+  co_await conn->send_mu.lock();
+  sim::SimLockGuard guard(conn->send_mu);
+  // Client gone or connection failed while we waited: the batched calls'
+  // pending entries were already completed with errors by fail_all.
+  if (conn->cancelled || conn->broken) co_return;
+  co_await host.compute(encode_cost);
+  if (conn->cancelled || conn->broken) co_return;
+  try {
+    co_await conn->sock->write(wire);
+  } catch (const net::SocketError& e) {
+    if (!conn->cancelled) fail_all(*conn, e.what());
+    co_return;
+  }
+  if (conn->cancelled) co_return;
+  ++stats_.batches_sent;
+  if (tr != nullptr && ctx.valid()) {
+    tr->add_complete("batch.flush", trace::Kind::kClient, trace::Category::kSend, ctx,
+                     host.id(), t0, host.sched().now());
   }
 }
 
@@ -151,21 +281,31 @@ sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& 
                      t_serialized);
   }
 
-  // --- Sending (Listing 1, lines 9-13) --------------------------------
-  BufferedOutputStream out(cm);
-  out.write_u32(static_cast<std::uint32_t>(d.length()));
-  out.write_payload(d.data());
-  out.flush();
-  co_await host_.compute(out.take_accrued());
-
   PendingCall pc(host_.sched());
-  conn->pending[id] = &pc;
-  {
-    co_await conn->send_mu.lock();
-    sim::SimLockGuard guard(conn->send_mu);
+  if (!batch_.batchable(d.length())) {
+    // --- Sending (Listing 1, lines 9-13) ------------------------------
+    BufferedOutputStream out(cm);
+    out.write_u32(static_cast<std::uint32_t>(d.length()));
+    out.write_payload(d.data());
+    out.flush();
+    co_await host_.compute(out.take_accrued());
+
+    conn->pending[id] = &pc;
+    {
+      co_await conn->send_mu.lock();
+      sim::SimLockGuard guard(conn->send_mu);
+      if (conn->broken) throw RpcTransportError("connection broken");
+      const net::Bytes wire = out.take_pending();
+      co_await conn->sock->write(wire);
+    }
+  } else {
+    // Coalescing path: buffer the payload (one heap copy) and let the
+    // batcher decide when the connection's next multi-call frame goes out.
     if (conn->broken) throw RpcTransportError("connection broken");
-    const net::Bytes wire = out.take_pending();
-    co_await conn->sock->write(wire);
+    conn->pending[id] = &pc;
+    net::Bytes payload(d.data().begin(), d.data().end());
+    co_await host_.compute(cm.heap_copy(d.length()));
+    co_await append_to_batch(conn, std::move(payload), ctx);
   }
   const sim::Time t_sent = host_.sched().now();
   if (ctx.valid()) {

@@ -7,12 +7,19 @@
 // a fresh DataOutputStream/BufferedOutputStream pair per send (Listing 1);
 // per-response heap buffer allocation + native->heap copy on receive
 // (Listing 2's client-side twin).
+//
+// With coalescing enabled (BatchConfig) sub-threshold calls accumulate in
+// a per-connection CallBatcher and go out as one multi-call frame
+// ([u32 total][u64 kWireBatchFlag|count][u32 len_i x count][payload_i...])
+// when a limit fills or the adaptive linger expires. Batched *responses*
+// from the server are always understood, independent of the local knob.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 
+#include "rpc/batch.hpp"
 #include "rpc/rpc.hpp"
 #include "sim/sync.hpp"
 
@@ -45,12 +52,20 @@ class SocketRpcClient final : public RpcClient {
   };
 
   struct Connection {
-    explicit Connection(sim::Scheduler& s) : send_mu(s), ready(s) {}
+    Connection(sim::Scheduler& s, const BatchConfig& batch)
+        : send_mu(s), ready(s), batcher(batch) {}
     net::SocketPtr sock;
     sim::SimMutex send_mu;
     sim::SimEvent ready;  // set once the socket handshake completed
     bool broken = false;
+    // Set by close_connections() before the sockets close: the receive
+    // loop and flush timers check it after every resumption instead of
+    // touching the (possibly destroyed) client.
+    bool cancelled = false;
     std::map<std::uint64_t, PendingCall*> pending;
+    CallBatcher batcher;
+    // First traced call of the open batch; parents the batch.flush span.
+    trace::TraceContext batch_ctx;
     sim::JoinHandle receiver;
   };
 
@@ -60,6 +75,19 @@ class SocketRpcClient final : public RpcClient {
 
   sim::Co<ConnectionPtr> get_connection(net::Address addr);
   sim::Task receive_loop(ConnectionPtr conn);
+  /// Complete one response payload ([u64 id][u8 status][rest]) — the unit
+  /// shared by the single-frame path and each sub-response of a batch.
+  /// Static: runs off `host`/`conn` only, never the (possibly dead) client.
+  static sim::Co<void> deliver_one(cluster::Host& host, Connection& conn,
+                                   net::ByteSpan payload);
+  /// Buffer one serialized call payload; flushes inline when a limit
+  /// fills, otherwise arms the adaptive-linger timer on first append.
+  sim::Co<void> append_to_batch(ConnectionPtr conn, net::Bytes payload,
+                                const trace::TraceContext& ctx);
+  /// Encode and send everything currently buffered as one batch frame.
+  sim::Co<void> flush_batch(ConnectionPtr conn);
+  /// Delayed flush armed per batch; stands down if `epoch` already flushed.
+  sim::Task batch_timer(ConnectionPtr conn, std::uint64_t epoch, sim::Dur linger);
   static void fail_all(Connection& conn, const std::string& why);
 
   cluster::Host& host_;

@@ -158,62 +158,108 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
       co_await conn->read_full(frame);
       co_await host_.compute(conn->take_rx_charge() + cm.native_copy(len));
 
-      // Parse the call header; param bytes stay in place in `frame`.
-      DataInputBuffer in(cm, frame);
-      ServerCall call;
-      call.recv_start = t_recv_start;
-      call.recv_alloc = alloc_cost;
-      call.id = in.read_u64();
-      if ((call.id & trace::kWireTraceFlag) != 0) {
-        call.ctx.trace_id = in.read_u64();
-        call.ctx.span_id = in.read_u64();
-      }
-      if ((call.id & trace::kWireDeadlineFlag) != 0) call.deadline = in.read_u64();
-      call.id &= trace::kWireIdMask;
-      call.key.protocol = in.read_text();
-      call.key.method = in.read_text();
-      call.param_off = in.position();
-      co_await host_.compute(in.take_accrued());
-      if (call.ctx.valid()) {
-        if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
-          tr->add_complete("recv:" + call.key.method, trace::Kind::kServer,
-                           trace::Category::kRecv, call.ctx, host_.id(), t_recv_start,
-                           host_.sched().now());
+      // A first word carrying kWireBatchFlag marks a client-coalesced
+      // multi-call frame; split it and run every sub-call through the
+      // same admission/enqueue path as a standalone frame. The whole
+      // batch paid the selector + syscall cost once above — the win the
+      // coalescing exists for. Batch frames are always understood; the
+      // local config only gates what this server *emits*.
+      DataInputBuffer peek(cm, frame);
+      const std::uint64_t first = peek.read_u64();
+      if ((first & trace::kWireBatchFlag) != 0) {
+        ++stats_.batches_received;
+        const std::size_t count = first & kWireBatchCountMask;
+        std::vector<std::uint32_t> lens(count);
+        for (std::size_t i = 0; i < count; ++i) lens[i] = peek.read_u32();
+        std::size_t off = peek.position();
+        co_await host_.compute(peek.take_accrued());
+        trace::TraceContext first_ctx{};
+        for (std::size_t i = 0; i < count; ++i) {
+          net::Bytes sub(frame.begin() + static_cast<std::ptrdiff_t>(off),
+                         frame.begin() + static_cast<std::ptrdiff_t>(off + lens[i]));
+          off += lens[i];
+          ++stats_.batched_calls_received;
+          const sim::Dur sub_alloc = cm.heap_alloc(lens[i]);
+          co_await host_.compute(sub_alloc);
+          const trace::TraceContext ctx = co_await process_frame(
+              conn, conn_id, std::move(sub), t_recv_start, alloc_cost + sub_alloc);
+          if (!first_ctx.valid()) first_ctx = ctx;
         }
-      }
-      call.conn = conn;
-      call.conn_id = conn_id;
-      call.frame = std::move(frame);
-
-      // Admission control: shed beyond the configured bound while the
-      // call is still cheap — before it costs a handler.
-      if (admission_) {
-        const AdmissionController::Decision d =
-            admission_->decide(call_queue_->size(), call.key.protocol);
-        if (d == AdmissionController::Decision::kShedNewest) {
-          shed(call);
-          continue;
-        }
-        if (d == AdmissionController::Decision::kShedOldest) {
-          // Evict before enqueueing so the bound holds at every instant.
-          // try_recv can only miss when every queued call is already
-          // claimed by a waking handler; then the arrival is shed instead.
-          ServerCall victim;
-          if (call_queue_->try_recv(victim)) {
-            admission_->on_dequeue(victim.key.protocol);
-            shed(victim);
-          } else {
-            shed(call);
-            continue;
+        if (first_ctx.valid()) {
+          if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
+            tr->add_complete("batch.parse", trace::Kind::kServer, trace::Category::kRecv,
+                             first_ctx, host_.id(), t_recv_start, host_.sched().now());
           }
         }
+      } else {
+        co_await process_frame(conn, conn_id, std::move(frame), t_recv_start, alloc_cost);
       }
-      enqueue(std::move(call));
     }
   } catch (const net::SocketError&) {
     // Peer went away; connection reader exits.
   } catch (const sim::ChannelClosed&) {
   }
+}
+
+sim::Co<trace::TraceContext> SocketRpcServer::process_frame(net::SocketPtr conn,
+                                                            std::uint64_t conn_id,
+                                                            net::Bytes frame,
+                                                            sim::Time t_recv_start,
+                                                            sim::Dur alloc_cost) {
+  const cluster::CostModel& cm = host_.cost();
+  // Parse the call header; param bytes stay in place in `frame`.
+  DataInputBuffer in(cm, frame);
+  ServerCall call;
+  call.recv_start = t_recv_start;
+  call.recv_alloc = alloc_cost;
+  call.id = in.read_u64();
+  if ((call.id & trace::kWireTraceFlag) != 0) {
+    call.ctx.trace_id = in.read_u64();
+    call.ctx.span_id = in.read_u64();
+  }
+  if ((call.id & trace::kWireDeadlineFlag) != 0) call.deadline = in.read_u64();
+  call.id &= trace::kWireIdMask;
+  call.key.protocol = in.read_text();
+  call.key.method = in.read_text();
+  call.param_off = in.position();
+  co_await host_.compute(in.take_accrued());
+  if (call.ctx.valid()) {
+    if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
+      tr->add_complete("recv:" + call.key.method, trace::Kind::kServer,
+                       trace::Category::kRecv, call.ctx, host_.id(), t_recv_start,
+                       host_.sched().now());
+    }
+  }
+  const trace::TraceContext ctx = call.ctx;
+  call.conn = std::move(conn);
+  call.conn_id = conn_id;
+  call.frame = std::move(frame);
+
+  // Admission control: shed beyond the configured bound while the
+  // call is still cheap — before it costs a handler.
+  if (admission_) {
+    const AdmissionController::Decision d =
+        admission_->decide(call_queue_->size(), call.key.protocol);
+    if (d == AdmissionController::Decision::kShedNewest) {
+      shed(call);
+      co_return ctx;
+    }
+    if (d == AdmissionController::Decision::kShedOldest) {
+      // Evict before enqueueing so the bound holds at every instant.
+      // try_recv can only miss when every queued call is already
+      // claimed by a waking handler; then the arrival is shed instead.
+      ServerCall victim;
+      if (call_queue_->try_recv(victim)) {
+        admission_->on_dequeue(victim.key.protocol);
+        shed(victim);
+      } else {
+        shed(call);
+        co_return ctx;
+      }
+    }
+  }
+  enqueue(std::move(call));
+  co_return ctx;
 }
 
 sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
@@ -333,14 +379,110 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
   }
 }
 
+sim::Co<void> SocketRpcServer::write_response_batch(net::SocketPtr conn,
+                                                    const std::vector<Response*>& group,
+                                                    std::size_t begin, std::size_t end) {
+  const cluster::CostModel& cm = host_.cost();
+  const std::size_t n = end - begin;
+  // Each queued frame is [u32 len][payload]; the batch strips the per-frame
+  // length prefix and re-frames as one wire write.
+  std::size_t payload_bytes = 0;
+  for (std::size_t k = begin; k < end; ++k) payload_bytes += group[k]->data.size() - 4;
+  BufferedOutputStream out(cm);
+  out.write_u32(static_cast<std::uint32_t>(8 + 4 * n + payload_bytes));
+  out.write_u64(trace::kWireBatchFlag | static_cast<std::uint64_t>(n));
+  for (std::size_t k = begin; k < end; ++k) {
+    out.write_u32(static_cast<std::uint32_t>(group[k]->data.size() - 4));
+  }
+  for (std::size_t k = begin; k < end; ++k) {
+    out.write_payload(net::ByteSpan(group[k]->data).subspan(4));
+  }
+  out.flush();
+  co_await host_.compute(out.take_accrued());
+  net::Bytes wire = out.take_pending();
+  ++stats_.response_batches;
+  stats_.batched_responses += n;
+  try {
+    co_await conn->write(wire);
+  } catch (const net::SocketError&) {
+    // Client vanished between handling and responding; drop it.
+  }
+}
+
 sim::Task SocketRpcServer::responder_loop() {
   try {
     for (;;) {
       Response r = co_await response_queue_->recv();
-      try {
-        co_await r.conn->write(r.data);
-      } catch (const net::SocketError&) {
-        // Client vanished between handling and responding; drop it.
+      if (!batch_.enabled) {
+        try {
+          co_await r.conn->write(r.data);
+        } catch (const net::SocketError&) {
+          // Client vanished between handling and responding; drop it.
+        }
+        continue;
+      }
+      // Coalescing: every response already queued behind `r` joins this
+      // round, grouped per connection in first-seen order (deterministic —
+      // never keyed on pointer order). Handler completions land a few
+      // microseconds apart (core-semaphore stagger), so under a dense
+      // completion pattern the Responder lingers briefly before draining —
+      // that is what turns a burst of handler finishes into one wire write
+      // per connection, and what keeps the callers on a shared connection
+      // waking in sync (sustaining client-side call coalescing). Sparse
+      // completions skip the wait entirely.
+      resp_gaps_.note(host_.sched().now());
+      const sim::Dur resp_linger = resp_gaps_.linger(batch_.linger / 4);
+      if (resp_linger > 0) co_await sim::delay(host_.sched(), resp_linger);
+      std::vector<Response> round;
+      round.push_back(std::move(r));
+      {
+        Response more;
+        while (response_queue_->try_recv(more)) round.push_back(std::move(more));
+      }
+      std::vector<net::SocketPtr> order;
+      for (const Response& resp : round) {
+        bool seen = false;
+        for (const net::SocketPtr& c : order) {
+          if (c == resp.conn) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) order.push_back(resp.conn);
+      }
+      for (const net::SocketPtr& conn : order) {
+        std::vector<Response*> mine;
+        for (Response& resp : round) {
+          if (resp.conn == conn) mine.push_back(&resp);
+        }
+        // Consecutive runs of >=2 small responses become one batch frame
+        // (bounded by the config limits); everything else keeps its own
+        // byte-identical frame.
+        const auto is_small = [this](const Response& resp) {
+          return resp.data.size() >= 4 &&
+                 resp.data.size() - 4 <= batch_.small_threshold;
+        };
+        std::size_t i = 0;
+        while (i < mine.size()) {
+          std::size_t j = i;
+          std::size_t run_bytes = 0;
+          while (j < mine.size() && is_small(*mine[j]) && (j - i) < batch_.max_calls &&
+                 run_bytes + mine[j]->data.size() - 4 <= batch_.max_bytes) {
+            run_bytes += mine[j]->data.size() - 4;
+            ++j;
+          }
+          if (j - i >= 2) {
+            co_await write_response_batch(conn, mine, i, j);
+            i = j;
+          } else {
+            try {
+              co_await conn->write(mine[i]->data);
+            } catch (const net::SocketError&) {
+              // Client vanished between handling and responding; drop it.
+            }
+            ++i;
+          }
+        }
       }
     }
   } catch (const sim::ChannelClosed&) {

@@ -8,6 +8,12 @@
 //   Handler xN — pop the call queue, deserialize, invoke, serialize the
 //                response into a 10 KB-initial DataOutputBuffer,
 //   Responder  — writes responses back on the right connection.
+//
+// With coalescing enabled (BatchConfig) the Reader splits client batch
+// frames into individual calls (admission, deadlines and tracing all stay
+// per call) and the Responder merges queued small responses per
+// connection into one wire write. Batch frames are always *parsed*;
+// the knob only gates emission.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +66,20 @@ class SocketRpcServer final : public RpcServer {
   sim::Task handler_loop(int handler_id);
   sim::Task responder_loop();
 
+  /// One call's receive-side processing (header parse, admission,
+  /// enqueue) — the unit shared by the single-frame path and each
+  /// sub-call of a batch frame. Returns the call's trace context so the
+  /// batch path can parent its batch.parse span.
+  sim::Co<trace::TraceContext> process_frame(net::SocketPtr conn, std::uint64_t conn_id,
+                                             net::Bytes frame, sim::Time t_recv_start,
+                                             sim::Dur alloc_cost);
+  /// Coalesce group[begin..end) (small responses for one connection) into
+  /// a single [u32 total][u64 kWireBatchFlag|n][u32 len_i][payload_i...]
+  /// frame and write it.
+  sim::Co<void> write_response_batch(net::SocketPtr conn,
+                                     const std::vector<Response*>& group,
+                                     std::size_t begin, std::size_t end);
+
   net::Bytes status_frame(std::uint64_t id, RpcStatus status, const std::string& msg);
   void enqueue(ServerCall call);
   void shed(const ServerCall& call);
@@ -77,6 +97,7 @@ class SocketRpcServer final : public RpcServer {
   std::unique_ptr<RetryCache> retry_cache_;
   std::uint64_t conn_seq_ = 0;
   std::vector<net::SocketPtr> conns_;
+  LingerEstimator resp_gaps_;  // responder-side adaptive-linger estimator
   bool running_ = false;
 };
 

@@ -76,6 +76,22 @@ struct RpcStats {
   std::uint64_t pool_nacks = 0;         // rendezvous NACKed: demand-allocation cap hit
   std::uint64_t queue_depth_peak = 0;   // call-queue high-water mark
 
+  // Small-message coalescing counters (rpc::BatchConfig). Client side:
+  std::uint64_t batches_sent = 0;         // multi-call frames put on the wire
+  std::uint64_t batched_calls = 0;        // calls that rode a batch frame
+  std::uint64_t batch_flush_full = 0;     // flushes forced by max_calls/max_bytes
+  std::uint64_t batch_flush_linger = 0;   // flushes when the linger expired
+  std::uint64_t batch_flush_immediate = 0;  // zero-linger flushes (sparse arrivals)
+  // Server side:
+  std::uint64_t batches_received = 0;       // multi-call frames parsed
+  std::uint64_t batched_calls_received = 0; // calls unpacked from batch frames
+  std::uint64_t response_batches = 0;       // multi-response frames sent back
+  std::uint64_t batched_responses = 0;      // responses that rode a batch frame
+
+  // Transport bookkeeping (reconnects and the eager-threshold handshake).
+  std::uint64_t connections_opened = 0;     // transport connections established
+  std::uint64_t threshold_mismatches = 0;   // bootstrap saw local != peer eager threshold
+
   MethodProfile& method(const MethodKey& key) { return methods[key]; }
 
   void merge_resilience(const RpcStats& o) {
@@ -94,6 +110,17 @@ struct RpcStats {
     dropped_on_stop += o.dropped_on_stop;
     pool_nacks += o.pool_nacks;
     if (o.queue_depth_peak > queue_depth_peak) queue_depth_peak = o.queue_depth_peak;
+    batches_sent += o.batches_sent;
+    batched_calls += o.batched_calls;
+    batch_flush_full += o.batch_flush_full;
+    batch_flush_linger += o.batch_flush_linger;
+    batch_flush_immediate += o.batch_flush_immediate;
+    batches_received += o.batches_received;
+    batched_calls_received += o.batched_calls_received;
+    response_batches += o.response_batches;
+    batched_responses += o.batched_responses;
+    connections_opened += o.connections_opened;
+    threshold_mismatches += o.threshold_mismatches;
   }
 };
 

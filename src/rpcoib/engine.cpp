@@ -38,6 +38,7 @@ void merge_profiles(std::map<rpc::MethodKey, rpc::MethodProfile>& agg,
 std::unique_ptr<rpc::RpcClient> RpcEngine::make_client(cluster::Host& host) {
   std::unique_ptr<rpc::RpcClient> client = make_client_impl(host);
   client->set_retry_policy(cfg_.retry);
+  client->set_batch(cfg_.batch);
   client->stats().record_sequences = record_sequences_;
   rpc::RpcClient* raw = client.get();
   clients_.push_back(raw);
@@ -98,7 +99,10 @@ std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
       break;
     }
   }
-  if (server) server->set_overload(cfg_.overload);
+  if (server) {
+    server->set_overload(cfg_.overload);
+    server->set_batch(cfg_.batch);
+  }
   return server;
 }
 

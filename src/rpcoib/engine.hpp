@@ -40,6 +40,10 @@ struct EngineConfig {
   /// Admission control / retry cache applied to every server this engine
   /// creates. Default-disabled: unbounded queue, no cache — legacy behavior.
   rpc::OverloadConfig overload{};
+  /// Small-message coalescing applied to every client (call batching) and
+  /// server (response batching) this engine creates. Default-disabled:
+  /// one frame per message, byte-identical to the seed wire format.
+  rpc::BatchConfig batch{};
   /// RPCoIB only: reroute to the companion socket listener when the QP
   /// bootstrap exchange fails (and run that listener server-side).
   bool socket_fallback = true;

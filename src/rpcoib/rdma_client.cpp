@@ -75,6 +75,9 @@ RdmaRpcClient::~RdmaRpcClient() { close_connections(); }
 
 void RdmaRpcClient::close_connections() {
   for (auto& [addr, conn] : connections_) {
+    // Cancel before tearing anything down: loops suspended mid-completion
+    // resume later and must bail instead of touching the dead client/pool.
+    conn->cancelled = true;
     if (conn->qp) {
       // Pre-posted receive slots still hold pooled buffers; reclaim them
       // before the QP goes away or the pool leaks a slot per recv.
@@ -114,21 +117,45 @@ void RdmaRpcClient::fail_all(Connection& conn, const std::string& why) {
 
 sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address addr) {
   co_await pool_ready_.wait();
-  auto it = connections_.find(addr);
-  if (it != connections_.end() && !it->second->broken) {
+  for (;;) {
+    auto it = connections_.find(addr);
+    if (it == connections_.end()) break;
     ConnectionPtr conn = it->second;
+    if (conn->broken) {
+      connections_.erase(it);
+      break;
+    }
     co_await conn->ready.wait();
     if (!conn->broken) co_return conn;
-    it = connections_.find(addr);
+    // Woke up on a broken connection. Another waiter may already have
+    // installed a replacement while we were suspended; clobbering it
+    // would orphan its receive loop and strand its pending calls. Erase
+    // only if the map still points at *our* broken connection, then loop:
+    // the retry adopts any replacement instead.
+    auto it2 = connections_.find(addr);
+    if (it2 != connections_.end() && it2->second == conn) connections_.erase(it2);
   }
-  if (it != connections_.end()) connections_.erase(it);
 
-  auto raw = std::make_shared<Connection>(host_.sched());
+  auto raw = std::make_shared<Connection>(host_.sched(), batch_);
   connections_[addr] = raw;
   try {
-    // Bootstrap over the server's socket address (Section III-D), then
+    // Bootstrap over the server's socket address (Section III-D),
+    // exchanging eager thresholds in the endpoint-info blob, then
     // pre-post pooled receive buffers for eager traffic.
-    raw->qp = co_await cm_.connect(host_, addr, raw->cq, raw->cq);
+    std::uint64_t peer_threshold = 0;
+    raw->qp = co_await cm_.connect(host_, addr, raw->cq, raw->cq,
+                                   net::Transport::kIPoIB,
+                                   static_cast<std::uint64_t>(cfg_.eager_threshold),
+                                   &peer_threshold);
+    // min(local, peer): an eager SEND must fit buffers sized by *either*
+    // end's knob. Peer 0 means "not advertised" (legacy bootstrap).
+    raw->eager_threshold =
+        peer_threshold == 0
+            ? cfg_.eager_threshold
+            : std::min(cfg_.eager_threshold, static_cast<std::size_t>(peer_threshold));
+    if (peer_threshold != 0 && peer_threshold != cfg_.eager_threshold) {
+      ++stats_.threshold_mismatches;
+    }
     for (int i = 0; i < cfg_.recv_depth; ++i) {
       NativeBuffer* rb = native_.acquire(cfg_.recv_buf_size);
       raw->qp->post_recv(wr_of(rb), rb->span);
@@ -139,15 +166,19 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
     // socket mode.
     raw->ready.set();
     fail_all(*raw, e.what());
-    connections_.erase(addr);
+    auto it = connections_.find(addr);
+    if (it != connections_.end() && it->second == raw) connections_.erase(it);
     throw;
   } catch (const std::exception& e) {
     raw->ready.set();
     fail_all(*raw, e.what());
+    auto it = connections_.find(addr);
+    if (it != connections_.end() && it->second == raw) connections_.erase(it);
     throw rpc::RpcTransportError(e.what());
   }
   host_.sched().spawn(receive_loop(raw));
   raw->ready.set();
+  ++stats_.connections_opened;
   co_return raw;
 }
 
@@ -193,21 +224,30 @@ sim::Task RdmaRpcClient::fetch_response(ConnectionPtr conn, std::uint32_t rkey,
     co_await conn->qp->post_rdma_read(token, into, verbs::RemoteBuffer{rkey, off, len});
     co_await read_done.wait();  // receive_loop routes the completion here
     conn->read_waiters.erase(token);
+    // Client torn down while the READ was in flight: the pool died with
+    // it, so the lease cannot be returned — just stop.
+    if (conn->cancelled) co_return;
     const ControlFrame ack = ControlFrame::ack(rkey);
     co_await conn->qp->post_send(wr_of(nullptr), ack.span());
+    if (conn->cancelled) co_return;
     deliver_response(conn, net::ByteSpan(dst->span.data(), len), dst, /*is_recv_slot=*/false);
   } catch (const std::exception& e) {
     conn->read_waiters.erase(token);
+    if (conn->cancelled) co_return;
     native_.release(dst);
     fail_all(*conn, e.what());
   }
 }
 
 sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
-  const cluster::CostModel& cm = host_.cost();
+  // Hoisted: this loop may outlive the client object; after a suspension
+  // it re-checks conn->cancelled before touching client members.
+  cluster::Host& host = host_;
+  const cluster::CostModel& cm = host.cost();
   try {
     for (;;) {
       verbs::WorkCompletion wc = co_await conn->cq.wait();
+      if (conn->cancelled) co_return;
       switch (wc.opcode) {
         case verbs::Opcode::kSend: {
           // Eager frame is on the wire; pooled source (if any) is reusable.
@@ -222,11 +262,32 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
         case verbs::Opcode::kRecv: {
           NativeBuffer* rb = buf_of(wc.wr_id);
           net::ByteSpan frame(rb->span.data(), wc.byte_len);
-          co_await host_.compute(cm.cq_poll() + cm.thread_wakeup() + cm.rpc_framework());
+          co_await host.compute(cm.cq_poll() + cm.thread_wakeup() + cm.rpc_framework());
+          if (conn->cancelled) co_return;
           const auto type = static_cast<FrameType>(frame[0]);
           if (type == FrameType::kResp) {
             deliver_response(conn, frame, rb, /*is_recv_slot=*/true);
             // NOTE: reposted by the caller after deserialization.
+          } else if (type == FrameType::kBatch) {
+            // Server-coalesced eager responses: split into pooled copies
+            // (each sub-response owns its buffer like a fetched response),
+            // then recycle the receive slot. One copy charge covers the
+            // whole frame.
+            std::uint32_t count = 0;
+            std::memcpy(&count, frame.data() + 1, 4);
+            co_await host.compute(cm.direct_copy(wc.byte_len));
+            if (conn->cancelled) co_return;
+            std::size_t off = 5 + 4 * static_cast<std::size_t>(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+              std::uint32_t sub_len = 0;
+              std::memcpy(&sub_len, frame.data() + 5 + 4 * static_cast<std::size_t>(i), 4);
+              NativeBuffer* sub = shadow_.acquire_sized(sub_len);
+              std::memcpy(sub->span.data(), frame.data() + off, sub_len);
+              off += sub_len;
+              deliver_response(conn, net::ByteSpan(sub->span.data(), sub_len), sub,
+                               /*is_recv_slot=*/false);
+            }
+            repost_recv(conn, rb);
           } else if (type == FrameType::kCtrlResp) {
             std::uint32_t rkey = 0, len = 0;
             std::uint64_t off = 0;
@@ -265,6 +326,104 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
   }
 }
 
+sim::Co<void> RdmaRpcClient::append_to_batch(ConnectionPtr conn, net::Bytes payload,
+                                             const trace::TraceContext& ctx) {
+  rpc::CallBatcher& b = conn->batcher;
+  // Batch frames ride the eager path, so the whole frame must fit the
+  // peer's pre-posted receive buffers: clamp the byte limit to the
+  // negotiated threshold.
+  const std::size_t limit = std::min(batch_.max_bytes, conn->eager_threshold);
+  if (b.would_overflow(payload.size(), limit)) {
+    ++stats_.batch_flush_full;
+    co_await flush_batch(conn);
+    if (conn->cancelled || conn->broken) co_return;
+  }
+  const bool was_empty = b.empty();
+  if (was_empty && ctx.valid()) conn->batch_ctx = ctx;
+  b.append(std::move(payload), host_.sched().now());
+  ++stats_.batched_calls;
+  if (b.full() || b.bytes() >= limit) {
+    ++stats_.batch_flush_full;
+    co_await flush_batch(conn);
+  } else if (was_empty) {
+    host_.sched().spawn(batch_timer(conn, b.epoch(), b.adaptive_linger()));
+  }
+}
+
+sim::Task RdmaRpcClient::batch_timer(ConnectionPtr conn, std::uint64_t epoch,
+                                     sim::Dur linger) {
+  // A zero linger still suspends one scheduler tick, so same-timestamp
+  // arrivals coalesce while a lone caller's flush happens "now".
+  sim::Scheduler& sched = host_.sched();
+  co_await sim::delay(sched, linger);
+  if (conn->cancelled || conn->broken) co_return;
+  const rpc::CallBatcher& b = conn->batcher;
+  if (b.empty() || b.epoch() != epoch) co_return;  // a full() flush beat us
+  if (linger > 0) {
+    ++stats_.batch_flush_linger;
+  } else {
+    ++stats_.batch_flush_immediate;
+  }
+  co_await flush_batch(conn);
+}
+
+sim::Co<void> RdmaRpcClient::flush_batch(ConnectionPtr conn) {
+  rpc::CallBatcher& b = conn->batcher;
+  if (b.empty()) co_return;
+  // Hoisted like receive_loop: the computes below may outlive the client.
+  cluster::Host& host = host_;
+  const cluster::CostModel& cm = host.cost();
+  trace::TraceCollector* tr = trace::active(host.tracer());
+  const trace::TraceContext ctx = std::exchange(conn->batch_ctx, {});
+  const sim::Time t0 = host.sched().now();
+
+  // Take the items before any suspension so a concurrent limit-flush
+  // can't double-send them.
+  std::vector<net::Bytes> items = b.take();
+  std::size_t payload_bytes = 0;
+  for (const net::Bytes& m : items) payload_bytes += m.size();
+  // [u8 kBatch][u32 count][u32 len_i x count][kCall sub-frames...] encoded
+  // straight into a pooled registered buffer — one doorbell for the lot.
+  const std::size_t total = 5 + 4 * items.size() + payload_bytes;
+  NativeBuffer* fb = shadow_.acquire_sized(total);
+  net::Byte* p = fb->span.data();
+  p[0] = static_cast<net::Byte>(FrameType::kBatch);
+  const std::uint32_t count = static_cast<std::uint32_t>(items.size());
+  std::memcpy(p + 1, &count, 4);
+  std::size_t off = 5 + 4 * items.size();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::uint32_t len = static_cast<std::uint32_t>(items[i].size());
+    std::memcpy(p + 5 + 4 * i, &len, 4);
+    std::memcpy(p + off, items[i].data(), items[i].size());
+    off += items[i].size();
+  }
+  const sim::Dur encode_cost = cm.direct_copy(total) + cm.jni_call();
+  co_await host.compute(encode_cost);
+  // Client torn down while we computed: the pool died with it, so the
+  // lease cannot be returned — just stop.
+  if (conn->cancelled) co_return;
+  if (conn->broken) {
+    native_.release(fb);
+    co_return;
+  }
+  try {
+    const net::ByteSpan wire(fb->span.data(), total);
+    co_await conn->qp->post_send(wr_of(fb), wire);
+    // fb is released by receive_loop at the kSend completion.
+  } catch (const std::exception& e) {
+    if (conn->cancelled) co_return;
+    native_.release(fb);
+    fail_all(*conn, e.what());
+    co_return;
+  }
+  if (conn->cancelled) co_return;
+  ++stats_.batches_sent;
+  if (tr != nullptr && ctx.valid()) {
+    tr->add_complete("batch.flush", trace::Kind::kClient, trace::Category::kSend, ctx,
+                     host.id(), t0, host.sched().now());
+  }
+}
+
 sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::MethodKey& key,
                                                const rpc::Writable& param,
                                                rpc::Writable* response) {
@@ -276,6 +435,7 @@ sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::Met
     rpc::RpcRetryPolicy attempt_only;
     attempt_only.call_timeout = retry_.call_timeout;
     fallback_->set_retry_policy(attempt_only);
+    fallback_->set_batch(batch_);
   }
   const net::Address companion{addr.host,
                                static_cast<std::uint16_t>(addr.port + kSocketFallbackPortOffset)};
@@ -376,13 +536,27 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
   PendingCall pc(host_.sched());
   conn->pending[id] = &pc;
 
-  // --- Hybrid send: eager below the threshold, rendezvous above ---------
+  // --- Hybrid send: coalesced when small, eager below the negotiated
+  // threshold, rendezvous above ------------------------------------------
+  const std::size_t batch_limit = std::min(batch_.max_bytes, conn->eager_threshold);
+  const bool batchable = batch_.batchable(msg_len) && msg_len <= batch_limit;
   try {
-    co_await host_.compute(cm.jni_call());  // one JNI crossing per post
-    if (msg_len <= cfg_.eager_threshold) {
+    if (batchable) {
+      if (conn->broken) throw rpc::RpcTransportError("connection broken");
+      // Coalescing copies the serialized frame out of the pooled buffer so
+      // the lease returns immediately; the batch amortizes the per-call
+      // doorbell + JNI crossing that the copy replaces.
+      net::Bytes payload(msg.begin(), msg.end());
+      native_.release(buf);
+      buf = nullptr;
+      co_await host_.compute(cm.direct_copy(msg_len));
+      co_await append_to_batch(conn, std::move(payload), ctx);
+    } else if (msg_len <= conn->eager_threshold) {
+      co_await host_.compute(cm.jni_call());  // one JNI crossing per post
       co_await conn->qp->post_send(wr_of(buf), msg);
       buf = nullptr;  // released by receive_loop at the kSend completion
     } else {
+      co_await host_.compute(cm.jni_call());  // one JNI crossing per post
       // Track the leased source on the pending call (not just this frame)
       // so fail_all() can return it to the pool if the connection dies
       // while the rendezvous is in flight.
@@ -406,7 +580,9 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     const trace::SpanId send = tr->add_complete(
         "send", trace::Kind::kInternal, trace::Category::kSend, ctx, host_.id(),
         t_serialized, t_sent);
-    tr->annotate(send, "path", msg_len <= cfg_.eager_threshold ? "eager" : "rendezvous");
+    tr->annotate(send, "path",
+                 batchable ? "batched"
+                           : (msg_len <= conn->eager_threshold ? "eager" : "rendezvous"));
   }
 
   rpc::MethodProfile& prof = stats_.method(key);

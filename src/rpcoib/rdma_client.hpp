@@ -72,11 +72,23 @@ class RdmaRpcClient final : public rpc::RpcClient {
   };
 
   struct Connection {
-    explicit Connection(sim::Scheduler& s) : cq(s), ready(s) {}
+    Connection(sim::Scheduler& s, const rpc::BatchConfig& batch)
+        : cq(s), ready(s), batcher(batch) {}
     verbs::QueuePairPtr qp;
     verbs::CompletionQueue cq;  // shared send+recv CQ for this connection
     sim::SimEvent ready;
     bool broken = false;
+    // Set by close_connections() before the CQ closes: the receive loop,
+    // fetch tasks and flush timers check it after every resumption instead
+    // of touching the (possibly destroyed) client or its pool.
+    bool cancelled = false;
+    // Negotiated per-connection eager/rendezvous switch point:
+    // min(local, peer-advertised) from the bootstrap handshake, so an
+    // eager SEND always fits the peer's pre-posted receive buffers.
+    std::size_t eager_threshold = 0;
+    rpc::CallBatcher batcher;  // small-call coalescing (BatchConfig)
+    // First traced call of the open batch; parents the batch.flush span.
+    trace::TraceContext batch_ctx;
     std::map<std::uint64_t, PendingCall*> pending;
     // RDMA-READ completions are routed from receive_loop to the fetch
     // task that posted them, keyed by an odd wr_id token (buffer-pointer
@@ -94,6 +106,15 @@ class RdmaRpcClient final : public rpc::RpcClient {
   sim::Task receive_loop(ConnectionPtr conn);
   sim::Task fetch_response(ConnectionPtr conn, std::uint32_t rkey, std::uint64_t off,
                            std::uint32_t len);
+  /// Buffer one serialized eager kCall frame; flushes inline when a limit
+  /// fills, otherwise arms the adaptive-linger timer on first append.
+  sim::Co<void> append_to_batch(ConnectionPtr conn, net::Bytes payload,
+                                const trace::TraceContext& ctx);
+  /// Post everything buffered as one kBatch SEND (pooled source buffer,
+  /// released at the kSend completion like any eager frame).
+  sim::Co<void> flush_batch(ConnectionPtr conn);
+  /// Delayed flush armed per batch; stands down if `epoch` already flushed.
+  sim::Task batch_timer(ConnectionPtr conn, std::uint64_t epoch, sim::Dur linger);
   void deliver_response(const ConnectionPtr& conn, net::ByteSpan frame, NativeBuffer* buf,
                         bool is_recv_slot);
   void repost_recv(const ConnectionPtr& conn, NativeBuffer* buf);

@@ -1,5 +1,6 @@
 #include "rpcoib/rdma_server.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -102,6 +103,7 @@ RdmaRpcServer::~RdmaRpcServer() { stop(); }
 void RdmaRpcServer::start() {
   if (running_) return;
   running_ = true;
+  alive_ = std::make_shared<bool>(true);
   cq_ = std::make_unique<verbs::CompletionQueue>(host_.sched());
   call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
   if (overload_.admission_enabled()) {
@@ -126,6 +128,7 @@ void RdmaRpcServer::start() {
     // The fallback path must shed under the same policy as the RDMA path,
     // or overload would simply migrate to the companion listener.
     fallback_->set_overload(overload_);
+    fallback_->set_batch(batch_);
     fallback_->start();
   }
 }
@@ -133,6 +136,7 @@ void RdmaRpcServer::start() {
 void RdmaRpcServer::stop() {
   if (!running_) return;
   running_ = false;
+  if (alive_) *alive_ = false;  // detached flush timers stand down
   sockets_.unlisten(addr_);
   listener_ = nullptr;
   // Return every pooled buffer the data path still holds — queued call
@@ -186,8 +190,11 @@ sim::Task RdmaRpcServer::listener_loop() {
     for (;;) {
       net::SocketPtr boot = co_await l->accept();
       verbs::QueuePairPtr qp;
+      std::uint64_t peer_threshold = 0;
       try {
-        qp = co_await cm_.accept(boot, *cq_, *cq_);
+        qp = co_await cm_.accept(boot, *cq_, *cq_,
+                                 static_cast<std::uint64_t>(cfg_.eager_threshold),
+                                 &peer_threshold);
       } catch (const verbs::VerbsError&) {
         continue;  // malformed bootstrap (e.g. a socket client); drop it
       } catch (const net::SocketError&) {
@@ -196,6 +203,16 @@ sim::Task RdmaRpcServer::listener_loop() {
       auto conn = std::make_unique<ConnState>();
       conn->qp = std::move(qp);
       conn->id = ++conn_seq_;
+      // min(local, peer): an eager SEND must fit buffers sized by *either*
+      // end's knob. Peer 0 means "not advertised" (legacy bootstrap).
+      conn->eager_threshold =
+          peer_threshold == 0
+              ? cfg_.eager_threshold
+              : std::min(cfg_.eager_threshold, static_cast<std::size_t>(peer_threshold));
+      if (peer_threshold != 0 && peer_threshold != cfg_.eager_threshold) {
+        ++stats_.threshold_mismatches;
+      }
+      if (batch_.enabled) conn->batcher = std::make_unique<rpc::CallBatcher>(batch_);
       ConnState* raw = conn.get();
       conns_.push_back(std::move(conn));
       for (int i = 0; i < cfg_.recv_depth; ++i) {
@@ -281,6 +298,47 @@ sim::Task RdmaRpcServer::reader_loop() {
             call.recv_start = host_.sched().now();
             co_await enqueue_call(std::move(call));
             post_slot(conn, native_.acquire(cfg_.recv_buf_size));
+          } else if (type == FrameType::kBatch) {
+            // Client-coalesced eager calls: split into pooled copies (each
+            // sub-call owns its buffer like a fetched call) so admission,
+            // deadlines and tracing all stay per call. One copy charge
+            // covers the whole frame; the slot recycles after the split
+            // (its contents are stable until reposted).
+            ++stats_.batches_received;
+            std::uint32_t count = 0;
+            std::memcpy(&count, frame.data() + 1, 4);
+            co_await host_.compute(cm.direct_copy(wc.byte_len));
+            const sim::Time recv_start = host_.sched().now();
+            trace::TraceContext bctx;
+            std::size_t off = 5 + 4 * static_cast<std::size_t>(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+              std::uint32_t sub_len = 0;
+              std::memcpy(&sub_len, frame.data() + 5 + 4 * static_cast<std::size_t>(i), 4);
+              NativeBuffer* sub = shadow_.acquire_sized(sub_len);
+              std::memcpy(sub->span.data(), frame.data() + off, sub_len);
+              off += sub_len;
+              ++stats_.batched_calls_received;
+              if (!bctx.valid()) {
+                const CallHeader h =
+                    parse_call_header(cm, net::ByteSpan(sub->span.data(), sub_len));
+                if (h.ok) bctx = h.ctx;
+              }
+              ServerCall call;
+              call.conn = conn;
+              call.buf = sub;
+              call.frame_len = sub_len;
+              call.recv_start = recv_start;
+              co_await enqueue_call(std::move(call));
+            }
+            if (bctx.valid()) {
+              trace::TraceCollector* tr = trace::active(host_.tracer());
+              if (tr != nullptr) {
+                tr->add_complete("batch.parse", trace::Kind::kServer,
+                                 trace::Category::kRecv, bctx, host_.id(), recv_start,
+                                 host_.sched().now());
+              }
+            }
+            conn->qp->post_recv(wc.wr_id, rb->span);  // reuse slot in place
           } else if (type == FrameType::kCtrlCall) {
             std::uint32_t rkey = 0, len = 0;
             std::uint64_t off = 0;
@@ -535,13 +593,28 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
 
 sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
   const cluster::CostModel& cm = host_.cost();
+  ConnState* conn = call.conn;
+  const std::size_t batch_limit = std::min(batch_.max_bytes, conn->eager_threshold);
+  if (conn->batcher != nullptr && batch_.batchable(out.length()) &&
+      out.length() <= batch_limit) {
+    // Coalesced path: copy the frame out so the stream's pooled buffer
+    // returns immediately (via its destructor) and skip the per-response
+    // doorbell — the flush pays one JNI crossing for the whole batch.
+    const sim::Dur cost =
+        out.take_accrued() + cm.rpc_framework() + cm.direct_copy(out.length());
+    co_await host_.compute(cost);
+    shadow_.update_history(out.key(), out.length());
+    net::Bytes payload(out.data().begin(), out.data().end());
+    co_await append_response(conn, std::move(payload));
+    co_return;
+  }
   co_await host_.compute(out.take_accrued() + cm.jni_call() + cm.rpc_framework());
   const std::size_t len = out.length();
   const net::ByteSpan msg = out.data();
   NativeBuffer* buf = out.take_buffer();
   shadow_.update_history(out.key(), len);
   try {
-    if (len <= cfg_.eager_threshold) {
+    if (len <= conn->eager_threshold) {
       co_await call.conn->qp->post_send(reinterpret_cast<std::uint64_t>(buf), msg);
       // Released by reader_loop at the kSend completion.
     } else {
@@ -565,7 +638,7 @@ sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame
   std::memcpy(buf->span.data(), frame.data(), frame.size());
   co_await host_.compute(cm.direct_copy(frame.size()) + cm.jni_call() + cm.rpc_framework());
   try {
-    if (frame.size() <= cfg_.eager_threshold) {
+    if (frame.size() <= call.conn->eager_threshold) {
       co_await call.conn->qp->post_send(reinterpret_cast<std::uint64_t>(buf),
                                         net::ByteSpan(buf->span.data(), frame.size()));
       // Released by reader_loop at the kSend completion.
@@ -582,6 +655,84 @@ sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame
     native_.release(buf);
     throw;
   }
+}
+
+sim::Co<void> RdmaRpcServer::append_response(ConnState* conn, net::Bytes payload) {
+  rpc::CallBatcher& b = *conn->batcher;
+  // Batch frames ride the eager path, so the whole frame must fit the
+  // client's pre-posted receive buffers: clamp to the negotiated threshold.
+  const std::size_t limit = std::min(batch_.max_bytes, conn->eager_threshold);
+  if (b.would_overflow(payload.size(), limit)) co_await flush_response_batch(conn);
+  const bool was_empty = b.empty();
+  b.append(std::move(payload), host_.sched().now());
+  if (b.full() || b.bytes() >= limit) {
+    co_await flush_response_batch(conn);
+  } else if (was_empty) {
+    // Responses only need to cover handler-completion stagger, not caller
+    // phase alignment: cap the wait at a quarter of the configured linger
+    // (mirrors the socket Responder).
+    const sim::Dur linger = std::min(b.adaptive_linger(), batch_.linger / 4);
+    host_.sched().spawn(response_batch_timer(conn, b.epoch(), linger));
+  }
+}
+
+sim::Task RdmaRpcServer::response_batch_timer(ConnState* conn, std::uint64_t epoch,
+                                              sim::Dur linger) {
+  // A zero linger still suspends one scheduler tick, so same-timestamp
+  // responses coalesce while a lone response flushes "now".
+  sim::Scheduler& sched = host_.sched();
+  const std::shared_ptr<bool> alive = alive_;
+  co_await sim::delay(sched, linger);
+  if (!*alive) co_return;  // server stopped while we lingered
+  const rpc::CallBatcher& b = *conn->batcher;
+  if (b.empty() || b.epoch() != epoch) co_return;  // a full() flush beat us
+  co_await flush_response_batch(conn);
+}
+
+sim::Co<void> RdmaRpcServer::flush_response_batch(ConnState* conn) {
+  rpc::CallBatcher& b = *conn->batcher;
+  if (b.empty()) co_return;
+  const cluster::CostModel& cm = host_.cost();
+  const std::shared_ptr<bool> alive = alive_;
+  // Take the items before any suspension so a concurrent limit-flush
+  // can't double-send them.
+  std::vector<net::Bytes> items = b.take();
+  std::size_t payload_bytes = 0;
+  for (const net::Bytes& m : items) payload_bytes += m.size();
+  // [u8 kBatch][u32 count][u32 len_i x count][kResp sub-frames...] encoded
+  // straight into a pooled registered buffer — one doorbell for the lot.
+  const std::size_t total = 5 + 4 * items.size() + payload_bytes;
+  NativeBuffer* fb = shadow_.acquire_sized(total);
+  net::Byte* p = fb->span.data();
+  p[0] = static_cast<net::Byte>(FrameType::kBatch);
+  const std::uint32_t count = static_cast<std::uint32_t>(items.size());
+  std::memcpy(p + 1, &count, 4);
+  std::size_t off = 5 + 4 * items.size();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::uint32_t len = static_cast<std::uint32_t>(items[i].size());
+    std::memcpy(p + 5 + 4 * i, &len, 4);
+    std::memcpy(p + off, items[i].data(), items[i].size());
+    off += items[i].size();
+  }
+  const sim::Dur encode_cost = cm.direct_copy(total) + cm.jni_call();
+  co_await host_.compute(encode_cost);
+  if (!*alive) {
+    // Server stopped while we computed; the pool outlives stop(), so the
+    // lease can still go back.
+    native_.release(fb);
+    co_return;
+  }
+  try {
+    const net::ByteSpan wire(fb->span.data(), total);
+    co_await conn->qp->post_send(reinterpret_cast<std::uint64_t>(fb), wire);
+    // fb is released by reader_loop at the kSend completion (even wr_id).
+  } catch (const verbs::VerbsError&) {
+    native_.release(fb);
+    co_return;
+  }
+  if (!*alive) co_return;
+  ++stats_.response_batches;
+  stats_.batched_responses += count;
 }
 
 }  // namespace rpcoib::oib

@@ -52,6 +52,11 @@ class RdmaRpcServer final : public rpc::RpcServer {
   struct ConnState {
     verbs::QueuePairPtr qp;
     std::uint64_t id = 0;  // dense per-server sequence number (retry-cache key)
+    // Negotiated per-connection eager/rendezvous switch point:
+    // min(local, client-advertised) from the bootstrap handshake.
+    std::size_t eager_threshold = 0;
+    // Small-response coalescer, allocated only when batching is enabled.
+    std::unique_ptr<rpc::CallBatcher> batcher;
   };
   /// One posted receive slot; wr_id is this object's address.
   struct Slot {
@@ -82,6 +87,14 @@ class RdmaRpcServer final : public rpc::RpcServer {
   sim::Co<void> shed_call(ServerCall call, std::uint64_t id, trace::TraceContext ctx,
                           const std::string& method, sim::Time start);
   void post_slot(ConnState* conn, NativeBuffer* buf);
+  /// Buffer one serialized small kResp frame for `conn`; flushes inline
+  /// when a limit fills, otherwise arms the adaptive-linger timer.
+  sim::Co<void> append_response(ConnState* conn, net::Bytes payload);
+  /// Post everything buffered for `conn` as one kBatch SEND.
+  sim::Co<void> flush_response_batch(ConnState* conn);
+  /// Delayed flush armed per batch; stands down if `epoch` already flushed
+  /// or the server stopped (checked through the `alive_` token).
+  sim::Task response_batch_timer(ConnState* conn, std::uint64_t epoch, sim::Dur linger);
 
   cluster::Host& host_;
   net::SocketTable& sockets_;
@@ -107,6 +120,10 @@ class RdmaRpcServer final : public rpc::RpcServer {
   std::uint64_t next_read_token_ = 1;
   // Companion socket listener for bootstrap-failure fallback clients.
   std::unique_ptr<rpc::SocketRpcServer> fallback_;
+  // Liveness token for detached flush timers: ConnState objects survive
+  // stop() but the pool and stats must not be touched after it. Timers
+  // hold a copy and stand down once *alive_ flips to false.
+  std::shared_ptr<bool> alive_;
   bool running_ = false;
 };
 

@@ -14,6 +14,11 @@
 //   kNack     [u8][u32 rkey]                        - rendezvous refused: server pool
 //                                                     exhausted (demand-alloc cap); the
 //                                                     client retries via the socket path
+//   kBatch    [u8][u32 count][u32 len_i x count][sub-frame_i ...]
+//                                                   - coalesced eager frames; each
+//                                                     sub-frame is a complete kCall or
+//                                                     kResp frame (rpc::BatchConfig;
+//                                                     never emitted with batching off)
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,7 @@ enum class FrameType : std::uint8_t {
   kCtrlResp = 3,
   kAck = 4,
   kNack = 5,
+  kBatch = 6,
 };
 
 struct WireDefaults {

@@ -34,7 +34,16 @@ inline constexpr std::uint64_t kWireTraceFlag = 1ULL << 63;
 /// is unchanged.
 inline constexpr std::uint64_t kWireDeadlineFlag = 1ULL << 62;
 
+/// Third-highest bit, set only in the *first* u64 of a socket frame. When
+/// set, the frame is a multi-call batch, not a single call: the low 32
+/// bits carry the sub-message count, then [u32 len_i] x count, then the
+/// sub-messages — each laid out exactly like a standalone frame's payload.
+/// Emitted only with coalescing enabled (rpc::BatchConfig), so the default
+/// wire format stays byte-identical to the seed.
+inline constexpr std::uint64_t kWireBatchFlag = 1ULL << 61;
+
 /// Mask stripping all wire flag bits off a call id.
-inline constexpr std::uint64_t kWireIdMask = ~(kWireTraceFlag | kWireDeadlineFlag);
+inline constexpr std::uint64_t kWireIdMask =
+    ~(kWireTraceFlag | kWireDeadlineFlag | kWireBatchFlag);
 
 }  // namespace rpcoib::trace

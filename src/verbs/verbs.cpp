@@ -208,7 +208,9 @@ constexpr std::size_t kEndpointInfoBytes = 72;
 sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Address addr,
                                                  CompletionQueue& send_cq,
                                                  CompletionQueue& recv_cq,
-                                                 net::Transport mgmt_transport) {
+                                                 net::Transport mgmt_transport,
+                                                 std::uint64_t local_eager_threshold,
+                                                 std::uint64_t* peer_eager_threshold) {
   net::SocketPtr sock = co_await sockets_.connect(src, addr, mgmt_transport);
   // Injected fault hook: the management socket worked, but the verbs-level
   // exchange (SM path resolution, GID lookup) fails. Distinct from a dead
@@ -227,6 +229,9 @@ sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Addres
   net::Bytes info(kEndpointInfoBytes, 0);
   const std::uintptr_t cookie = reinterpret_cast<std::uintptr_t>(qp.get());
   std::memcpy(info.data(), &cookie, sizeof(cookie));
+  // Bytes 8..15: our eager threshold (0 = not advertised). The blob was
+  // all-zero here before, so unadvertised stays wire-identical.
+  std::memcpy(info.data() + 8, &local_eager_threshold, sizeof(local_eager_threshold));
   stack_.cm_register(cookie, qp);
   co_await sock->write(info);
 
@@ -234,25 +239,34 @@ sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Addres
   co_await sock->read_full(reply);
   stack_.cm_erase(cookie);
   if (!qp->connected()) throw VerbsError("connection manager: pairing failed");
+  if (peer_eager_threshold != nullptr) {
+    std::memcpy(peer_eager_threshold, reply.data() + 8, sizeof(*peer_eager_threshold));
+  }
   sock->close();
   co_return qp;
 }
 
 sim::Co<QueuePairPtr> ConnectionManager::accept(net::SocketPtr bootstrap,
                                                 CompletionQueue& send_cq,
-                                                CompletionQueue& recv_cq) {
+                                                CompletionQueue& recv_cq,
+                                                std::uint64_t local_eager_threshold,
+                                                std::uint64_t* peer_eager_threshold) {
   net::Bytes info(kEndpointInfoBytes);
   co_await bootstrap->read_full(info);
   std::uintptr_t cookie = 0;
   std::memcpy(&cookie, info.data(), sizeof(cookie));
   QueuePairPtr client_qp = stack_.cm_lookup(cookie);
   if (!client_qp) throw VerbsError("connection manager: unknown endpoint cookie");
+  if (peer_eager_threshold != nullptr) {
+    std::memcpy(peer_eager_threshold, info.data() + 8, sizeof(*peer_eager_threshold));
+  }
 
   auto qp = std::make_shared<QueuePair>(stack_, bootstrap->local(), send_cq, recv_cq);
   qp->connect_to(client_qp);
   client_qp->connect_to(qp);
 
   net::Bytes reply(kEndpointInfoBytes, 0);
+  std::memcpy(reply.data() + 8, &local_eager_threshold, sizeof(local_eager_threshold));
   co_await bootstrap->write(reply);
   co_return qp;
 }

@@ -248,14 +248,24 @@ class ConnectionManager {
 
   /// Client side: connect to `addr` (where a Listener must be accepting),
   /// exchanging QP info over `mgmt_transport`.
+  ///
+  /// `local_eager_threshold` rides bytes 8..15 of the endpoint-info blob
+  /// (0 = not advertised, the pre-handshake wire format); the peer's
+  /// advertised value is returned through `peer_eager_threshold` when
+  /// non-null. RPCoIB endpoints use min(local, peer) so an eager SEND can
+  /// never exceed what the receiver's pre-posted buffers were sized for.
   sim::Co<QueuePairPtr> connect(cluster::Host& src, net::Address addr,
                                 CompletionQueue& send_cq, CompletionQueue& recv_cq,
-                                net::Transport mgmt_transport = net::Transport::kIPoIB);
+                                net::Transport mgmt_transport = net::Transport::kIPoIB,
+                                std::uint64_t local_eager_threshold = 0,
+                                std::uint64_t* peer_eager_threshold = nullptr);
 
   /// Server side: accept one connection from an already-accepted bootstrap
-  /// socket.
+  /// socket. Threshold exchange mirrors connect().
   sim::Co<QueuePairPtr> accept(net::SocketPtr bootstrap, CompletionQueue& send_cq,
-                               CompletionQueue& recv_cq);
+                               CompletionQueue& recv_cq,
+                               std::uint64_t local_eager_threshold = 0,
+                               std::uint64_t* peer_eager_threshold = nullptr);
 
  private:
   VerbsStack& stack_;

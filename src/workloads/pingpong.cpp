@@ -136,6 +136,44 @@ std::vector<ThroughputResult> run_throughput(RpcMode mode, const std::vector<int
   return results;
 }
 
+double run_shared_throughput(RpcMode mode, const rpc::BatchConfig& batch, int callers,
+                             int shared_clients, std::size_t payload, int duration_ms,
+                             std::uint64_t seed) {
+  Scheduler s;
+  net::TestbedConfig cfg = Testbed::cluster_b();
+  cfg.seed = seed;
+  Testbed tb(s, cfg);
+  EngineConfig ecfg;
+  ecfg.mode = mode;
+  ecfg.batch = batch;
+  RpcEngine engine(tb, ecfg);
+  std::unique_ptr<rpc::RpcServer> server = engine.make_server(tb.host(0), kBenchAddr);
+  register_pingpong(*server);
+  server->start();
+
+  // Callers multiplex round-robin over the shared client objects (and so
+  // over their per-server connections), spread across distinct hosts.
+  std::vector<std::unique_ptr<rpc::RpcClient>> clients;
+  for (int i = 0; i < shared_clients; ++i) {
+    clients.push_back(engine.make_client(tb.host(1 + i % 8)));
+  }
+  std::vector<std::unique_ptr<ThroughputCounter>> counters;
+  const sim::Time t_end = sim::millis(50) + sim::millis(static_cast<std::uint64_t>(duration_ms));
+  for (int i = 0; i < callers; ++i) {
+    counters.push_back(std::make_unique<ThroughputCounter>());
+    counters.back()->deadline = t_end;
+    rpc::RpcClient& client = *clients[static_cast<std::size_t>(i % shared_clients)];
+    s.spawn(throughput_client(client, kBenchAddr, payload, *counters.back()));
+  }
+  s.run_until(t_end + sim::seconds(2));
+
+  std::uint64_t total_ops = 0;
+  for (const auto& c : counters) total_ops += c->ops;
+  server->stop();
+  s.drain_tasks();
+  return static_cast<double>(total_ops) / sim::to_sec(t_end) / 1000.0;
+}
+
 double run_alloc_ratio(RpcMode mode, std::size_t payload, int iters) {
   Scheduler s;
   Testbed tb(s, Testbed::cluster_b());

@@ -50,4 +50,14 @@ std::vector<ThroughputResult> run_throughput(oib::RpcMode mode,
 /// buffer-allocation time to total receive time at the given payload.
 double run_alloc_ratio(oib::RpcMode mode, std::size_t payload, int iters = 12);
 
+/// Throughput (Kops/sec) with `callers` concurrent tasks multiplexed over
+/// `shared_clients` client objects — callers sharing a client share its
+/// one connection per server, which is the regime where small-message
+/// coalescing (BatchConfig) pays. Used by bench_fig5_batched to compare
+/// batching on vs off at identical offered load.
+double run_shared_throughput(oib::RpcMode mode, const rpc::BatchConfig& batch,
+                             int callers = 16, int shared_clients = 2,
+                             std::size_t payload = 64, int duration_ms = 200,
+                             std::uint64_t seed = 1);
+
 }  // namespace rpcoib::workloads

@@ -1,0 +1,199 @@
+// Small-message coalescing (BatchConfig): dense concurrent callers on a
+// shared connection ride multi-call frames on both transports, sparse
+// callers flush immediately (adaptive linger collapses to zero), the
+// default-off knob leaves the seed's one-frame-per-call path untouched,
+// and batched runs stay seed-deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/testbed.hpp"
+#include "rpcoib/engine.hpp"
+#include "workloads/pingpong.hpp"
+
+namespace rpcoib {
+namespace {
+
+using net::Address;
+using net::Testbed;
+using oib::EngineConfig;
+using oib::RpcEngine;
+using oib::RpcMode;
+using sim::Co;
+using sim::Scheduler;
+using sim::Task;
+
+constexpr Address kAddr{1, 9500};
+const rpc::MethodKey kEcho{"test.BatchProtocol", "echo"};
+
+void register_echo(rpc::RpcServer& server) {
+  server.dispatcher().register_method(
+      kEcho.protocol, kEcho.method, [](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        rpc::BytesWritable payload;
+        payload.read_fields(in);
+        rpc::BytesWritable(std::move(payload.value)).write(out);
+        co_return;
+      });
+}
+
+struct Fixture {
+  Fixture(Scheduler& s, RpcMode mode, rpc::BatchConfig batch)
+      : tb(s, Testbed::cluster_b()),
+        engine(tb, EngineConfig{.mode = mode, .batch = batch}),
+        server(engine.make_server(tb.host(1), kAddr)),
+        client(engine.make_client(tb.host(0))) {
+    register_echo(*server);
+    server->start();
+  }
+  ~Fixture() { server->stop(); }
+  Testbed tb;
+  RpcEngine engine;
+  std::unique_ptr<rpc::RpcServer> server;
+  std::unique_ptr<rpc::RpcClient> client;
+};
+
+Task call_echo(rpc::RpcClient& client, std::size_t n, bool& ok) {
+  net::Bytes payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<net::Byte>(i * 7 + 3);
+  rpc::BytesWritable req(payload);
+  rpc::BytesWritable resp;
+  co_await client.call(kAddr, kEcho, req, &resp);
+  ok = (resp.value == payload);
+}
+
+rpc::BatchConfig batching_on() {
+  rpc::BatchConfig b;
+  b.enabled = true;
+  return b;
+}
+
+class BatchingDense : public ::testing::TestWithParam<RpcMode> {};
+
+// Twelve same-tick 64-byte calls on one shared client: the transport must
+// put strictly fewer frames than calls on the wire, and every call still
+// round-trips with the right payload.
+TEST_P(BatchingDense, ConcurrentSmallCallsCoalesceAndRoundTrip) {
+  Scheduler s;
+  rpc::BatchConfig on = batching_on();
+  Fixture f(s, GetParam(), on);
+  constexpr int kN = 12;
+  std::vector<char> oks(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    bool* ok = reinterpret_cast<bool*>(&oks[static_cast<std::size_t>(i)]);
+    s.spawn(call_echo(*f.client, 64, *ok));
+  }
+  s.run_until(sim::seconds(10));
+  for (int i = 0; i < kN; ++i) EXPECT_TRUE(oks[static_cast<std::size_t>(i)]) << i;
+
+  const rpc::RpcStats& cs = f.client->stats();
+  EXPECT_EQ(cs.batched_calls, static_cast<std::uint64_t>(kN));
+  EXPECT_GT(cs.batches_sent, 0u);
+  EXPECT_LT(cs.batches_sent, static_cast<std::uint64_t>(kN));  // actually coalesced
+
+  const rpc::RpcStats& ss = f.server->stats();
+  EXPECT_GT(ss.batches_received, 0u);
+  EXPECT_EQ(ss.batched_calls_received, static_cast<std::uint64_t>(kN));
+  f.server->stop();
+  s.drain_tasks();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, BatchingDense,
+                         ::testing::Values(RpcMode::kSocketIPoIB, RpcMode::kRpcoIB));
+
+class BatchingDisabled : public ::testing::TestWithParam<RpcMode> {};
+
+// The knob is off by default: no batch frames in either direction, even
+// under the densest load — the seed wire format is preserved.
+TEST_P(BatchingDisabled, DefaultKnobSendsOneFramePerCall) {
+  Scheduler s;
+  Fixture f(s, GetParam(), rpc::BatchConfig{});
+  constexpr int kN = 12;
+  std::vector<char> oks(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    bool* ok = reinterpret_cast<bool*>(&oks[static_cast<std::size_t>(i)]);
+    s.spawn(call_echo(*f.client, 64, *ok));
+  }
+  s.run_until(sim::seconds(10));
+  for (int i = 0; i < kN; ++i) EXPECT_TRUE(oks[static_cast<std::size_t>(i)]) << i;
+
+  EXPECT_EQ(f.client->stats().batches_sent, 0u);
+  EXPECT_EQ(f.client->stats().batched_calls, 0u);
+  EXPECT_EQ(f.server->stats().batches_received, 0u);
+  EXPECT_EQ(f.server->stats().response_batches, 0u);
+  f.server->stop();
+  s.drain_tasks();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, BatchingDisabled,
+                         ::testing::Values(RpcMode::kSocketIPoIB, RpcMode::kRpcoIB));
+
+Task sparse_caller(Scheduler& s, rpc::RpcClient& client, int rounds, int& ok_count) {
+  net::Bytes payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<net::Byte>(i * 7 + 3);
+  }
+  rpc::BytesWritable req(payload);
+  for (int i = 0; i < rounds; ++i) {
+    rpc::BytesWritable resp;
+    co_await client.call(kAddr, kEcho, req, &resp);
+    if (resp.value == payload) ++ok_count;
+    co_await sim::delay(s, sim::millis(1));
+  }
+}
+
+// A single caller with 1 ms gaps between calls: the EWMA of inter-append
+// gaps sits far above the configured linger, so the adaptive linger
+// collapses to zero and every call flushes immediately — sparse traffic
+// pays no added latency for the batching knob being on.
+TEST(Batching, SparseCallsFlushImmediatelyUnderAdaptiveLinger) {
+  Scheduler s;
+  rpc::BatchConfig on = batching_on();
+  Fixture f(s, RpcMode::kSocketIPoIB, on);
+  int ok_count = 0;
+  constexpr int kRounds = 6;
+  s.spawn(sparse_caller(s, *f.client, kRounds, ok_count));
+  s.run_until(sim::seconds(10));
+  EXPECT_EQ(ok_count, kRounds);
+
+  const rpc::RpcStats& cs = f.client->stats();
+  EXPECT_EQ(cs.batched_calls, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(cs.batches_sent, static_cast<std::uint64_t>(kRounds));  // one call per frame
+  EXPECT_EQ(cs.batch_flush_linger, 0u);
+  EXPECT_EQ(cs.batch_flush_immediate, static_cast<std::uint64_t>(kRounds));
+  f.server->stop();
+  s.drain_tasks();
+}
+
+// Same seed, same knobs => identical throughput and identical batch
+// counters, batching on or off, on both transports.
+TEST(Batching, BatchedRunsAreSeedDeterministic) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    for (bool enabled : {false, true}) {
+      rpc::BatchConfig b;
+      b.enabled = enabled;
+      const double a =
+          workloads::run_shared_throughput(mode, b, /*callers=*/8, /*shared_clients=*/2,
+                                           /*payload=*/64, /*duration_ms=*/20, /*seed=*/7);
+      const double c =
+          workloads::run_shared_throughput(mode, b, /*callers=*/8, /*shared_clients=*/2,
+                                           /*payload=*/64, /*duration_ms=*/20, /*seed=*/7);
+      EXPECT_EQ(a, c) << oib::rpc_mode_name(mode) << " enabled=" << enabled;
+      EXPECT_GT(a, 0.0);
+    }
+  }
+}
+
+// Coalescing must win throughput in the many-callers-per-connection
+// regime it was built for (the bench_fig5_batched gate, in miniature).
+TEST(Batching, SharedConnectionThroughputImprovesWhenBatched) {
+  const double plain = workloads::run_shared_throughput(
+      RpcMode::kSocketIPoIB, rpc::BatchConfig{}, 16, 2, 64, /*duration_ms=*/40);
+  rpc::BatchConfig on = batching_on();
+  const double batched = workloads::run_shared_throughput(
+      RpcMode::kSocketIPoIB, on, 16, 2, 64, /*duration_ms=*/40);
+  EXPECT_GT(batched, plain * 1.4);
+}
+
+}  // namespace
+}  // namespace rpcoib

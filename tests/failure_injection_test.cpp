@@ -210,6 +210,16 @@ std::uint64_t chaos_seed() {
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
 }
 
+/// RPCOIB_BATCHING=1 turns small-message coalescing on for the chaos
+/// engines, so the seed sweep also exercises the batch framing/parsing
+/// path under fault injection (retries resubmitting into open batches,
+/// flush timers racing teardown).
+rpc::BatchConfig chaos_batch() {
+  rpc::BatchConfig b;
+  b.enabled = std::getenv("RPCOIB_BATCHING") != nullptr;
+  return b;
+}
+
 Task delayed_echo(Scheduler& s, rpc::RpcClient& client, sim::Dur wait, int v, int& out,
                   bool& err) {
   co_await sim::delay(s, wait);
@@ -235,7 +245,7 @@ TEST(Chaos, RetryCarriesCallThroughLinkFlap) {
     retry.call_timeout = sim::millis(500);
     retry.max_retries = 10;
     retry.backoff_base = sim::millis(100);
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
     auto server = engine.make_server(tb.host(1), kAddr);
     register_slow(*server, tb.host(1));
     server->start();
@@ -275,7 +285,7 @@ TEST(Chaos, CallTimeoutFailsSlowCall) {
     Testbed tb(s, Testbed::cluster_b());
     rpc::RpcRetryPolicy retry;
     retry.call_timeout = sim::seconds(1);  // handler sleeps 5 s
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
     auto server = engine.make_server(tb.host(1), kAddr);
     register_slow(*server, tb.host(1));
     server->start();
@@ -311,7 +321,7 @@ TEST(Chaos, NonIdempotentMethodIsNeverRetried) {
     retry.call_timeout = sim::seconds(1);
     retry.max_retries = 5;
     retry.non_idempotent.insert(kSlow.to_string());
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
     auto server = engine.make_server(tb.host(1), kAddr);
     register_slow(*server, tb.host(1));
     server->start();
@@ -388,7 +398,7 @@ TEST(Chaos, SeededFaultRunsYieldByteIdenticalResilienceReports) {
       rpc::RpcRetryPolicy retry;
       retry.call_timeout = sim::millis(500);
       retry.max_retries = 6;
-      RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry});
+      RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
       auto server = engine.make_server(tb.host(1), kAddr);
       register_slow(*server, tb.host(1));
       server->start();

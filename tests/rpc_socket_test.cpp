@@ -2,6 +2,7 @@
 // concurrent calls, exceptions, multiple clients, stats capture.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -262,6 +263,93 @@ TEST(SocketRpc, MultipleClientHostsShareOneServer) {
   EXPECT_EQ(o1, 3);
   EXPECT_EQ(o2, 3);
   c2.close_connections();
+}
+
+Task call_add_catching(SocketRpcClient& c, std::int32_t a, std::int32_t b,
+                       std::int32_t& out, bool& failed) {
+  AddParam p;
+  p.a = a;
+  p.b = b;
+  IntWritable r;
+  try {
+    co_await c.call(kServerAddr, kAdd, p, &r);
+    out = r.value;
+  } catch (const RpcTransportError&) {
+    failed = true;
+  }
+}
+
+Task start_server_after_failure(Scheduler& s, SocketRpcServer& server, const bool& failed) {
+  // Poll at 1 us: the first caller's connect failure wakes the waiters,
+  // and the first waiter's replacement SYN is still in flight (one-way
+  // latency is several us) when the listener comes up — so the retry
+  // connects while the other waiter is parked on the replacement's
+  // `ready` event.
+  while (!failed) co_await sim::delay(s, sim::micros(1));
+  server.start();
+}
+
+// Regression: a caller woken from a broken connection's `ready` event must
+// not clobber the replacement another waiter already installed. Pre-fix,
+// the second waiter erased the map entry unconditionally, orphaning the
+// first waiter's connection (two connections opened, stranded receive
+// loop); post-fix it adopts the replacement and exactly one connection is
+// established.
+TEST(SocketRpc, ReconnectRaceAdoptsReplacementConnection) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  SocketRpcServer server(tb.host(1), tb.sockets(), kServerAddr, 4);
+  register_test_protocol(server);
+  // Server NOT started yet: the first call installs the connection entry,
+  // suspends in connect (SYN), and fails at the listener check.
+  SocketRpcClient client(tb.host(0), tb.sockets(), Transport::kIPoIB);
+  std::int32_t out_a = 0, out_b = 0, out_c = 0;
+  bool failed_a = false, failed_b = false, failed_c = false;
+  s.spawn(call_add_catching(client, 1, 1, out_a, failed_a));   // installs, fails
+  s.spawn(call_add_catching(client, 2, 3, out_b, failed_b));   // waits on ready
+  s.spawn(call_add_catching(client, 10, 20, out_c, failed_c)); // waits on ready
+  s.spawn(start_server_after_failure(s, server, failed_a));
+  s.run_until(sim::seconds(10));
+
+  EXPECT_TRUE(failed_a);  // no listener at its connect
+  EXPECT_FALSE(failed_b);
+  EXPECT_FALSE(failed_c);
+  EXPECT_EQ(out_b, 5);
+  EXPECT_EQ(out_c, 30);
+  // One waiter reconnected; the other adopted that replacement instead of
+  // clobbering it with a second connection.
+  EXPECT_EQ(client.stats().connections_opened, 1u);
+  client.close_connections();
+  server.stop();
+  s.drain_tasks();
+}
+
+// Regression: destroying a client whose receive loop is parked in read()
+// must not leave the loop touching freed state when the peer's teardown
+// finally wakes it (close() is a half-close — the local reader is only
+// woken by the *server* closing its end). Pre-fix this was a use-after-
+// free under ASan; post-fix the loop observes the cancelled flag and
+// exits.
+TEST(SocketRpc, DestroyClientWithParkedReceiverIsSafe) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  SocketRpcServer server(tb.host(1), tb.sockets(), kServerAddr, 4);
+  register_test_protocol(server);
+  server.start();
+  auto client = std::make_unique<SocketRpcClient>(tb.host(0), tb.sockets(),
+                                                  Transport::kIPoIB);
+  std::int32_t out = 0;
+  bool failed = false;
+  s.spawn(call_add_catching(*client, 3, 4, out, failed));
+  s.run_until(sim::seconds(1));
+  ASSERT_EQ(out, 7);
+  // The call is done but the receive loop is still blocked in read() on
+  // the idle connection. Destroy the client under it...
+  client.reset();
+  // ...then tear down the server: its side's close reaches the parked
+  // reader, which resumes exactly once more after the client is gone.
+  server.stop();
+  s.run_until(sim::seconds(2));
 }
 
 TEST(SocketRpc, LatencyOrderingAcrossTransports) {

@@ -123,6 +123,32 @@ TEST(ShadowPool, HistoryGrowsOnLargerUseAndShrinksOnSmaller) {
   EXPECT_EQ(f.pool.stats().history_shrinks, 1u);
 }
 
+// Fig. 4's shrink rule, end to end: one oversized call must not pin a
+// method's record at the large class forever — a run of small calls walks
+// it back down, and subsequent acquires come from the smaller class.
+TEST(ShadowPool, RunOfSmallCallsAfterLargeOneShrinksAcquiredClass) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"hdfs.ClientProtocol", "getBlockLocations"};
+  // One large call teaches the history a 64 KB class...
+  NativeBuffer* b = f.shadow.acquire_for(key);
+  f.shadow.release_for(key, b, 60000);
+  EXPECT_EQ(f.shadow.history(key), 65536u);
+
+  // ...then a run of small calls. The first release shrinks the record;
+  // every acquire after that returns the small class, not the big one.
+  const std::uint64_t shrinks_before = f.pool.stats().history_shrinks;
+  for (int i = 0; i < 8; ++i) {
+    b = f.shadow.acquire_for(key);
+    if (i > 0) EXPECT_EQ(b->span.size(), 512u) << "iteration " << i;
+    f.shadow.release_for(key, b, 200);
+  }
+  EXPECT_EQ(f.shadow.history(key), 512u);
+  EXPECT_GE(f.pool.stats().history_shrinks, shrinks_before + 1);
+  // The small-run steady state is history hits, not repeated shrinking.
+  EXPECT_GE(f.pool.stats().history_hits, 7u);
+}
+
 TEST(ShadowPool, MessageSizeLocalityYieldsHitsAfterFirstCall) {
   Scheduler s;
   PoolFixture f(s);

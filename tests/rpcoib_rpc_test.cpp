@@ -98,6 +98,36 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RpcoIBSizes,
                          ::testing::Values(1, 64, 1024, 4000, 4096, 8192, 65536, 1u << 20,
                                            2u << 20));
 
+// Regression (threshold handshake): a client configured with a larger
+// eager threshold than the server used to eager-SEND mid-size messages
+// into pre-posted receive buffers the server sized from its own smaller
+// knob — a verbs-level overrun. Post-fix both ends advertise their
+// thresholds at bootstrap and use min(local, peer), so the 4 KB call
+// below goes rendezvous and completes; both sides count the mismatch.
+TEST(RpcoIB, MismatchedEagerThresholdsNegotiateToMin) {
+  Scheduler s;
+  RdmaServerConfig scfg;
+  scfg.eager_threshold = 2 * 1024;
+  RdmaClientConfig ccfg;
+  ccfg.eager_threshold = 16 * 1024;
+  Fixture f(s, scfg, ccfg);
+  bool ok = false;
+  // Above the server's knob, below the client's: exactly the frame the
+  // unfixed client would have stuffed into a 2 KB-sized receive slot.
+  s.spawn(call_echo(f.client, 4096, ok));
+  s.run_until(sim::seconds(10));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.client.stats().threshold_mismatches, 1u);
+  EXPECT_EQ(f.server.stats().threshold_mismatches, 1u);
+  // No socket-mode escape hatch was needed: the RDMA path itself carried
+  // the call (rendezvous under the negotiated threshold).
+  EXPECT_EQ(f.client.stats().socket_fallbacks, 0u);
+  EXPECT_EQ(f.client.fallback_address_count(), 0u);
+  f.client.close_connections();
+  f.server.stop();
+  s.drain_tasks();
+}
+
 TEST(RpcoIB, ManyConcurrentCalls) {
   Scheduler s;
   Fixture f(s);
