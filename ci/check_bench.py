@@ -134,6 +134,53 @@ def check_fig8_hbase(t, data, failures):
             failures.append(f"fig8 {mix}: rpcoib/ipoib ratio {ratio:.3f} < {lim}")
 
 
+def check_srq_scale(t, data, failures):
+    # The SRQ's headline: registered receive memory stays flat as the
+    # connection count sweeps, while legacy per-QP rings grow linearly.
+    by_mode = {}
+    for row in data["rows"]:
+        by_mode.setdefault(row["mode"], {})[row["conns"]] = row
+    for mode in ("perqp", "srq"):
+        if mode not in by_mode:
+            failures.append(f"srq_scale: missing {mode!r} rows")
+            return
+    lo = min(by_mode["srq"])
+    hi = max(by_mode["srq"])
+    if hi <= lo:
+        failures.append("srq_scale: need at least two connection counts")
+        return
+
+    growth = (by_mode["srq"][hi]["ring_bytes_peak"]
+              / by_mode["srq"][lo]["ring_bytes_peak"])
+    lim = t["max_srq_ring_growth"]
+    print(f"srq_scale srq ring growth {lo}->{hi} conns = {growth:.3f}x (limit {lim})")
+    if growth > lim:
+        failures.append(f"srq_scale: srq ring growth {growth:.3f}x > {lim}x")
+
+    if hi not in by_mode["perqp"]:
+        failures.append(f"srq_scale: missing perqp row at {hi} conns")
+        return
+    mem_ratio = (by_mode["srq"][hi]["ring_bytes_peak"]
+                 / by_mode["perqp"][hi]["ring_bytes_peak"])
+    lim = t["max_srq_over_perqp_ring_at_max_conns"]
+    print(f"srq_scale @{hi} conns: srq/perqp ring bytes = {mem_ratio:.4f} (limit {lim})")
+    if mem_ratio > lim:
+        failures.append(
+            f"srq_scale @{hi} conns: srq/perqp ring ratio {mem_ratio:.4f} > {lim}"
+        )
+
+    lim = t["max_srq_over_perqp_latency"]
+    for conns in sorted(by_mode["srq"]):
+        if conns not in by_mode["perqp"]:
+            continue
+        lat = by_mode["srq"][conns]["mean_us"] / by_mode["perqp"][conns]["mean_us"]
+        print(f"srq_scale @{conns} conns: srq/perqp mean us = {lat:.3f} (limit {lim})")
+        if lat > lim:
+            failures.append(
+                f"srq_scale @{conns} conns: latency ratio {lat:.3f} > {lim}"
+            )
+
+
 CHECKS = {
     "fig5_latency": check_fig5_latency,
     "fig5_throughput": check_fig5_throughput,
@@ -141,6 +188,7 @@ CHECKS = {
     "fig6_sort": check_fig6_sort,
     "fig7_hdfs_write": check_fig7_hdfs_write,
     "fig8_hbase": check_fig8_hbase,
+    "srq_scale": check_srq_scale,
 }
 
 

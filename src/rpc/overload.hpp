@@ -150,6 +150,18 @@ class RetryCache {
     touch(it);
   }
 
+  /// Drop an in-progress entry without recording an outcome — used when
+  /// the attempt was shed with a retryable status (e.g. a capped-out
+  /// buffer pool): the client's retry must execute fresh, not be swallowed
+  /// as a duplicate of an attempt that produced nothing.
+  void forget(std::uint64_t conn_id, std::uint64_t call_id) {
+    const Key k{conn_id, call_id};
+    auto it = entries_.find(k);
+    if (it == entries_.end() || it->second.done) return;
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+  }
+
   std::size_t size() const { return entries_.size(); }
 
  private:

@@ -52,6 +52,13 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"server batched calls", std::to_string(server->batched_calls_received)});
     t.row({"server response batches", std::to_string(server->response_batches)});
     t.row({"server batched responses", std::to_string(server->batched_responses)});
+    t.row({"server srq posted", std::to_string(server->srq_posted)});
+    t.row({"server srq refills", std::to_string(server->srq_refills)});
+    t.row({"server srq rnr stalls", std::to_string(server->srq_rnr_stalls)});
+    t.row({"server srq evictions", std::to_string(server->srq_evictions)});
+    t.row({"server recv ring bytes peak", std::to_string(server->recv_ring_bytes_peak)});
+    t.row({"server responses dropped on stop",
+           std::to_string(server->responses_dropped_on_stop)});
   }
   std::ostringstream os;
   t.print(os);

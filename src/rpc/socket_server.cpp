@@ -67,7 +67,14 @@ void SocketRpcServer::stop() {
   }
   for (net::SocketPtr& c : conns_) c->close();
   conns_.clear();
-  if (response_queue_) response_queue_->close();
+  // Executed-but-unsent responses are equally accounted: the handler ran,
+  // but the responder never wrote the frame (callers see the closed
+  // connection as a transport error and may retry via the retry cache).
+  if (response_queue_) {
+    Response resp;
+    while (response_queue_->try_recv(resp)) ++stats_.responses_dropped_on_stop;
+    response_queue_->close();
+  }
 }
 
 sim::Task SocketRpcServer::listener_loop() {

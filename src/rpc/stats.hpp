@@ -92,6 +92,14 @@ struct RpcStats {
   std::uint64_t connections_opened = 0;     // transport connections established
   std::uint64_t threshold_mismatches = 0;   // bootstrap saw local != peer eager threshold
 
+  // Shared-receive-queue counters (RPCoIB server, srq.* knobs).
+  std::uint64_t srq_posted = 0;          // buffers posted to the shared recv ring
+  std::uint64_t srq_refills = 0;         // low-watermark refill rounds
+  std::uint64_t srq_rnr_stalls = 0;      // arrivals parked while the ring was dry
+  std::uint64_t srq_evictions = 0;       // idle connections evicted (LRU sweep)
+  std::uint64_t recv_ring_bytes_peak = 0;  // posted recv bytes high-water mark
+  std::uint64_t responses_dropped_on_stop = 0;  // finished responses dropped at stop()
+
   MethodProfile& method(const MethodKey& key) { return methods[key]; }
 
   void merge_resilience(const RpcStats& o) {
@@ -121,6 +129,14 @@ struct RpcStats {
     batched_responses += o.batched_responses;
     connections_opened += o.connections_opened;
     threshold_mismatches += o.threshold_mismatches;
+    srq_posted += o.srq_posted;
+    srq_refills += o.srq_refills;
+    srq_rnr_stalls += o.srq_rnr_stalls;
+    srq_evictions += o.srq_evictions;
+    if (o.recv_ring_bytes_peak > recv_ring_bytes_peak) {
+      recv_ring_bytes_peak = o.recv_ring_bytes_peak;
+    }
+    responses_dropped_on_stop += o.responses_dropped_on_stop;
   }
 };
 

@@ -41,7 +41,8 @@ std::unique_ptr<NativeBuffer> NativeBufferPool::make_buffer(std::size_t cls_inde
   return buf;
 }
 
-sim::Co<void> NativeBufferPool::initialize() {
+sim::Co<void> NativeBufferPool::initialize(std::size_t extra_size,
+                                           std::size_t extra_count) {
   if (initialized_) co_return;
   initialized_ = true;
   // Registration happens once at library load; its span is a root of its
@@ -56,6 +57,18 @@ sim::Co<void> NativeBufferPool::initialize() {
     for (std::size_t i = 0; i < cfg_.buffers_per_class; ++i) {
       std::unique_ptr<NativeBuffer> buf = make_buffer(c);
       buf->mr = co_await pd_.register_mr(buf->span);
+      stats_.registered_bytes += buf->span.size();
+      free_[c].push_back(buf.get());
+      owned_.push_back(std::move(buf));
+      ++registered;
+    }
+  }
+  if (extra_size > 0) {
+    const std::size_t c = class_index_for(extra_size);
+    for (std::size_t i = 0; i < extra_count; ++i) {
+      std::unique_ptr<NativeBuffer> buf = make_buffer(c);
+      buf->mr = co_await pd_.register_mr(buf->span);
+      stats_.registered_bytes += buf->span.size();
       free_[c].push_back(buf.get());
       owned_.push_back(std::move(buf));
       ++registered;
@@ -80,6 +93,7 @@ NativeBuffer* NativeBufferPool::acquire(std::size_t size) {
   ++stats_.demand_allocations;
   std::unique_ptr<NativeBuffer> buf = make_buffer(c);
   buf->mr = pd_.register_mr_untimed(buf->span);
+  stats_.registered_bytes += buf->span.size();
   NativeBuffer* raw = buf.get();
   owned_.push_back(std::move(buf));
   raw->leased = true;

@@ -26,6 +26,16 @@
 
 namespace rpcoib::oib {
 
+/// Thrown by capped acquisition paths (stream regrow under
+/// `demand_alloc_cap`) when the pool is dry and the cap is reached.
+/// Callers degrade instead of growing native memory without bound: the
+/// client routes the call onto its socket-fallback path, the server sheds
+/// the call with a retryable busy status.
+class PoolExhaustedError : public std::runtime_error {
+ public:
+  explicit PoolExhaustedError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// One pooled, registered native buffer.
 struct NativeBuffer {
   net::MutByteSpan span;     // full usable extent
@@ -46,6 +56,13 @@ struct PoolConfig {
   /// nullptr — the server NACKs instead of growing native memory without
   /// bound. 0 = uncapped (the seed behavior; plain acquire() always is).
   std::size_t demand_alloc_cap = 0;
+  /// Shared-receive-queue sizing (RdmaRpcServer): depth of the server-wide
+  /// pre-registered receive ring shared by every accepted connection, and
+  /// the low watermark below which the refill task tops it back up from
+  /// this pool. srq_depth 0 selects the legacy per-connection recv rings
+  /// (registered receive memory then grows O(connections)).
+  std::size_t srq_depth = 64;
+  std::size_t srq_low_watermark = 16;
 };
 
 struct PoolStats {
@@ -57,6 +74,7 @@ struct PoolStats {
   std::uint64_t history_hits = 0;        // shadow: history size was sufficient
   std::uint64_t history_misses = 0;      // shadow: stream had to re-get a bigger buffer
   std::uint64_t history_shrinks = 0;
+  std::uint64_t registered_bytes = 0;    // native bytes pinned + registered so far
 };
 
 /// Level 1: native size-class pool, pre-registered for RDMA.
@@ -69,7 +87,11 @@ class NativeBufferPool {
 
   /// Pre-allocate and pre-register every class's buffers, charging the
   /// one-time registration cost (done at library load in the paper).
-  sim::Co<void> initialize();
+  /// `extra_size`/`extra_count` pre-provision that many additional buffers
+  /// of the class serving `extra_size` — the RPCoIB server passes its SRQ
+  /// ring dimensions so the initial fill is covered by load-time
+  /// registration instead of counting as demand allocations.
+  sim::Co<void> initialize(std::size_t extra_size = 0, std::size_t extra_count = 0);
 
   /// Smallest-class buffer with capacity >= size. O(1) freelist pop on the
   /// warm path; falls back to demand allocation (charged) if the class ran

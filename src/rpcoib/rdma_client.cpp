@@ -126,6 +126,18 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
       break;
     }
     co_await conn->ready.wait();
+    if (!conn->broken && conn->qp && !conn->qp->connected()) {
+      // The server tore the QP down under us (idle-connection eviction):
+      // reclaim the pre-posted receive buffers, close the CQ so the old
+      // receive loop exits, fail anything still parked on the connection,
+      // and fall through to bootstrap a fresh one transparently.
+      conn->cancelled = true;
+      for (std::uint64_t wr : conn->qp->drain_posted_recvs()) {
+        if (NativeBuffer* b = buf_of(wr); b != nullptr) native_.release(b);
+      }
+      conn->cq.close();
+      fail_all(*conn, "QP closed by peer");
+    }
     if (!conn->broken) co_return conn;
     // Woke up on a broken connection. Another waiter may already have
     // installed a replacement while we were suspended; clobbering it
@@ -497,21 +509,45 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
   // call timeout, so the default wire format stays byte-identical.
   const sim::Time deadline =
       retry_.call_timeout > 0 ? host_.sched().now() + retry_.call_timeout : 0;
-  out.write_u8(static_cast<std::uint8_t>(FrameType::kCall));
-  std::uint64_t wire_id = id;
-  if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
-  if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
-  out.write_u64(wire_id);
-  if (ctx.valid()) {
-    // Flagged id announces two extra context words; untraced calls keep
-    // the seed wire format byte-for-byte.
-    out.write_u64(ctx.trace_id);
-    out.write_u64(ctx.span_id);
+  bool pool_exhausted = false;
+  try {
+    out.write_u8(static_cast<std::uint8_t>(FrameType::kCall));
+    std::uint64_t wire_id = id;
+    if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
+    if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
+    out.write_u64(wire_id);
+    if (ctx.valid()) {
+      // Flagged id announces two extra context words; untraced calls keep
+      // the seed wire format byte-for-byte.
+      out.write_u64(ctx.trace_id);
+      out.write_u64(ctx.span_id);
+    }
+    if (deadline != 0) out.write_u64(deadline);
+    out.write_text(key.protocol);
+    out.write_text(key.method);
+    param.write(out);
+  } catch (const PoolExhaustedError&) {
+    // A mid-serialization re-get was refused by the capped pool: degrade
+    // to the socket path for this one call, exactly like a rendezvous
+    // NACK (non-sticky — the next call tries RDMA again). The stream's
+    // destructor returns the partial buffer.
+    pool_exhausted = true;
   }
-  if (deadline != 0) out.write_u64(deadline);
-  out.write_text(key.protocol);
-  out.write_text(key.method);
-  param.write(out);
+  if (pool_exhausted) {
+    ++stats_.nack_fallbacks;
+    if (tr != nullptr) {
+      tr->add_complete("overload.pool:" + key.method, trace::Kind::kClient,
+                       trace::Category::kOverload, ctx, host_.id(), t_ser_start,
+                       host_.sched().now());
+    }
+    rpc.end();
+    if (!cfg_.fallback_to_socket) {
+      throw rpc::ServerBusyException("client buffer pool exhausted");
+    }
+    trace::activate(tr, t_parent);
+    co_await call_via_fallback(addr, key, param, response);
+    co_return;
+  }
   co_await host_.compute(out.take_accrued());
   const sim::Time t_serialized = host_.sched().now();
   if (ctx.valid()) {

@@ -112,6 +112,12 @@ void RdmaRpcServer::start() {
   if (overload_.cache_enabled()) {
     retry_cache_ = std::make_unique<rpc::RetryCache>(overload_.retry_cache_entries);
   }
+  if (cfg_.pool.srq_depth > 0) {
+    srq_ = std::make_unique<verbs::SharedReceiveQueue>(host_.sched());
+    srq_->set_stall_counter(&stats_.srq_rnr_stalls);
+    host_.sched().spawn(srq_refill_loop());
+  }
+  if (cfg_.srq_idle_evict > 0) host_.sched().spawn(idle_evict_loop());
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
   host_.sched().spawn(reader_loop());
@@ -153,18 +159,27 @@ void RdmaRpcServer::stop() {
   }
   for (auto& [rkey, buf] : pending_resp_) native_.release(buf);
   pending_resp_.clear();
-  for (auto& c : conns_) {
+  if (srq_) {
+    for (std::uint64_t wr : srq_->drain_posted_recvs()) {
+      native_.release(reinterpret_cast<NativeBuffer*>(wr));
+    }
+    srq_->close();  // wakes the refill loop into its ChannelClosed exit
+  }
+  for (auto& [id, c] : conns_) {
+    if (c->batcher && !c->batcher->empty()) {
+      // Finished responses still lingering in the coalescer die with the
+      // server; account for them so teardown losses are never silent.
+      stats_.responses_dropped_on_stop += c->batcher->take().size();
+    }
     if (c->qp) {
       for (std::uint64_t wr : c->qp->drain_posted_recvs()) {
-        auto* slot = reinterpret_cast<Slot*>(wr);
-        if (slot != nullptr && slot->buf != nullptr) {
-          native_.release(slot->buf);
-          slot->buf = nullptr;
-        }
+        native_.release(reinterpret_cast<NativeBuffer*>(wr));  // legacy rings
       }
+      c->qp->set_srq(nullptr);
       c->qp->disconnect();
     }
   }
+  ring_bytes_ = 0;
   if (cq_) cq_->close();
   if (call_queue_) call_queue_->close();
   // Stop but do not destroy the fallback listener: closing its queues only
@@ -173,20 +188,112 @@ void RdmaRpcServer::stop() {
   if (fallback_) fallback_->stop();
 }
 
-void RdmaRpcServer::post_slot(ConnState* conn, NativeBuffer* buf) {
-  auto slot = std::make_unique<Slot>();
-  slot->buf = buf;
-  slot->conn = conn;
-  Slot* raw = slot.get();
-  slots_.push_back(std::move(slot));
-  conn->qp->post_recv(reinterpret_cast<std::uint64_t>(raw), buf->span);
+void RdmaRpcServer::note_ring_bytes(std::size_t n) {
+  ring_bytes_ += n;
+  if (ring_bytes_ > stats_.recv_ring_bytes_peak) {
+    stats_.recv_ring_bytes_peak = ring_bytes_;
+  }
+}
+
+void RdmaRpcServer::post_recv_buffer(ConnState* conn, NativeBuffer* buf) {
+  if (srq_) {
+    srq_->post_recv(reinterpret_cast<std::uint64_t>(buf), buf->span);
+    ++stats_.srq_posted;
+  } else {
+    conn->qp->post_recv(reinterpret_cast<std::uint64_t>(buf), buf->span);
+  }
+  note_ring_bytes(buf->span.size());
+}
+
+void RdmaRpcServer::recycle_recv_buffer(ConnState* conn, NativeBuffer* buf) {
+  if (srq_) {
+    // The shared ring tops back up here on the hot path; the refill loop
+    // only covers buffers consumed by calls still in flight.
+    if (srq_->posted() < cfg_.pool.srq_depth) {
+      post_recv_buffer(nullptr, buf);
+    } else {
+      native_.release(buf);
+    }
+  } else if (conn != nullptr && conn->qp && conn->qp->connected()) {
+    post_recv_buffer(conn, buf);
+  } else {
+    native_.release(buf);
+  }
+}
+
+sim::Task RdmaRpcServer::srq_refill_loop() {
+  const std::shared_ptr<bool> alive = alive_;
+  verbs::SharedReceiveQueue* srq = srq_.get();
+  try {
+    for (;;) {
+      co_await srq->wait_limit();
+      if (!*alive) co_return;
+      ++stats_.srq_refills;
+      while (srq->posted() < cfg_.pool.srq_depth) {
+        post_recv_buffer(nullptr, native_.acquire(cfg_.recv_buf_size));
+      }
+      srq->arm_limit(cfg_.pool.srq_low_watermark);
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Task RdmaRpcServer::idle_evict_loop() {
+  const std::shared_ptr<bool> alive = alive_;
+  const sim::Dur idle = cfg_.srq_idle_evict;
+  const sim::Dur sweep = std::max<sim::Dur>(idle / 2, 1);
+  try {
+    for (;;) {
+      co_await sim::delay(host_.sched(), sweep);
+      if (!*alive) co_return;
+      std::vector<std::uint64_t> victims;
+      const sim::Time now = host_.sched().now();
+      for (const auto& [id, c] : conns_) {
+        // Evict only quiet, fully-flushed connections; anything with a
+        // pending response batch is mid-conversation by definition.
+        if (now - c->last_recv < idle) continue;
+        if (c->batcher && !c->batcher->empty()) continue;
+        if (!c->qp || !c->qp->connected()) continue;
+        victims.push_back(id);
+      }
+      for (std::uint64_t id : victims) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        ConnPtr c = it->second;
+        for (std::uint64_t wr : c->qp->drain_posted_recvs()) {  // legacy ring
+          auto* b = reinterpret_cast<NativeBuffer*>(wr);
+          ring_bytes_ -= std::min(ring_bytes_, b->span.size());
+          native_.release(b);
+        }
+        // Disconnect expires the client QP's peer immediately: the client
+        // observes !connected() on its next call and re-bootstraps.
+        c->qp->set_srq(nullptr);
+        c->qp->disconnect();
+        conns_.erase(it);
+        ++stats_.srq_evictions;
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
 }
 
 sim::Task RdmaRpcServer::listener_loop() {
   net::Listener* l = listener_;
   try {
-    // Library-load-time pool registration (amortized across all calls).
-    co_await native_.initialize();
+    // Library-load-time pool registration (amortized across all calls). In
+    // SRQ mode the ring's buffers are provisioned here too, so the fill
+    // below is pure freelist pops, not demand allocations.
+    co_await native_.initialize(srq_ ? cfg_.recv_buf_size : 0,
+                                srq_ ? cfg_.pool.srq_depth : 0);
+    if (srq_) {
+      // One server-wide pre-registered receive ring, filled once: from here
+      // on, registered receive memory is a function of srq_depth (load),
+      // not of how many connections accept() creates.
+      for (std::size_t i = 0; i < cfg_.pool.srq_depth; ++i) {
+        post_recv_buffer(nullptr, native_.acquire(cfg_.recv_buf_size));
+      }
+      srq_->arm_limit(cfg_.pool.srq_low_watermark);
+    }
     for (;;) {
       net::SocketPtr boot = co_await l->accept();
       verbs::QueuePairPtr qp;
@@ -200,9 +307,10 @@ sim::Task RdmaRpcServer::listener_loop() {
       } catch (const net::SocketError&) {
         continue;
       }
-      auto conn = std::make_unique<ConnState>();
+      auto conn = std::make_shared<ConnState>();
       conn->qp = std::move(qp);
       conn->id = ++conn_seq_;
+      conn->last_recv = host_.sched().now();
       // min(local, peer): an eager SEND must fit buffers sized by *either*
       // end's knob. Peer 0 means "not advertised" (legacy bootstrap).
       conn->eager_threshold =
@@ -213,10 +321,17 @@ sim::Task RdmaRpcServer::listener_loop() {
         ++stats_.threshold_mismatches;
       }
       if (batch_.enabled) conn->batcher = std::make_unique<rpc::CallBatcher>(batch_);
+      // kRecv completions carry the connection id as qp_context — with a
+      // shared ring the wr_id names only the buffer, not the sender.
+      conn->qp->set_context(conn->id);
       ConnState* raw = conn.get();
-      conns_.push_back(std::move(conn));
-      for (int i = 0; i < cfg_.recv_depth; ++i) {
-        post_slot(raw, native_.acquire(cfg_.recv_buf_size));
+      conns_[conn->id] = std::move(conn);
+      if (srq_) {
+        raw->qp->set_srq(srq_.get());
+      } else {
+        for (int i = 0; i < cfg_.recv_depth; ++i) {
+          post_recv_buffer(raw, native_.acquire(cfg_.recv_buf_size));
+        }
       }
     }
   } catch (const sim::ChannelClosed&) {
@@ -224,7 +339,7 @@ sim::Task RdmaRpcServer::listener_loop() {
   }
 }
 
-sim::Task RdmaRpcServer::fetch_call(ConnState* conn, std::uint32_t rkey, std::uint64_t off,
+sim::Task RdmaRpcServer::fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint64_t off,
                                     std::uint32_t len) {
   const sim::Time recv_start = host_.sched().now();
   // Graceful degradation: when the registered pool is dry and the demand-
@@ -283,21 +398,30 @@ sim::Task RdmaRpcServer::reader_loop() {
           break;
         }
         case verbs::Opcode::kRecv: {
-          auto* slot = reinterpret_cast<Slot*>(wc.wr_id);
-          ConnState* conn = slot->conn;
-          NativeBuffer* rb = slot->buf;
+          auto* rb = reinterpret_cast<NativeBuffer*>(wc.wr_id);
+          ring_bytes_ -= std::min(ring_bytes_, rb->span.size());
+          auto cit = conns_.find(wc.qp_context);
+          if (cit == conns_.end()) {
+            // Completion raced an eviction: the frame has no connection to
+            // answer on anymore; just recycle the shared buffer.
+            recycle_recv_buffer(nullptr, rb);
+            break;
+          }
+          ConnPtr conn = cit->second;
+          conn->last_recv = host_.sched().now();
           net::ByteSpan frame(rb->span.data(), wc.byte_len);
           co_await host_.compute(cm.cq_poll() + cm.thread_wakeup());
           const auto type = static_cast<FrameType>(frame[0]);
           if (type == FrameType::kCall) {
-            // Hand the pooled buffer to the call; replace the recv slot.
+            // Hand the pooled buffer to the call; the ring replaces it
+            // (SRQ: the low-watermark refill; legacy: an immediate post).
             ServerCall call;
             call.conn = conn;
             call.buf = rb;
             call.frame_len = wc.byte_len;
             call.recv_start = host_.sched().now();
             co_await enqueue_call(std::move(call));
-            post_slot(conn, native_.acquire(cfg_.recv_buf_size));
+            if (!srq_) post_recv_buffer(conn.get(), native_.acquire(cfg_.recv_buf_size));
           } else if (type == FrameType::kBatch) {
             // Client-coalesced eager calls: split into pooled copies (each
             // sub-call owns its buffer like a fetched call) so admission,
@@ -338,13 +462,13 @@ sim::Task RdmaRpcServer::reader_loop() {
                                  host_.sched().now());
               }
             }
-            conn->qp->post_recv(wc.wr_id, rb->span);  // reuse slot in place
+            recycle_recv_buffer(conn.get(), rb);  // frame fully copied out
           } else if (type == FrameType::kCtrlCall) {
             std::uint32_t rkey = 0, len = 0;
             std::uint64_t off = 0;
             parse_control(frame, rkey, off, len);
             host_.sched().spawn(fetch_call(conn, rkey, off, len));
-            conn->qp->post_recv(wc.wr_id, rb->span);  // reuse slot in place
+            recycle_recv_buffer(conn.get(), rb);
           } else if (type == FrameType::kAck) {
             const std::uint32_t rkey = parse_ack(frame);
             auto it = pending_resp_.find(rkey);
@@ -352,9 +476,9 @@ sim::Task RdmaRpcServer::reader_loop() {
               native_.release(it->second);
               pending_resp_.erase(it);
             }
-            conn->qp->post_recv(wc.wr_id, rb->span);
+            recycle_recv_buffer(conn.get(), rb);
           } else {
-            conn->qp->post_recv(wc.wr_id, rb->span);
+            recycle_recv_buffer(conn.get(), rb);
           }
           break;
         }
@@ -523,6 +647,7 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       in.trace_context = handle.context();
 
       bool error = false;
+      bool pool_busy = false;
       std::string error_msg;
       RDMAOutputStream out(cm, shadow_, key);
       out.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
@@ -536,6 +661,12 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       } else {
         try {
           co_await (*handler)(in, out);
+        } catch (const PoolExhaustedError& e) {
+          // The response outgrew a capped-out pool mid-serialization: shed
+          // with a retryable busy status instead of a hard RemoteException,
+          // mirroring the rendezvous NACK's graceful degradation.
+          pool_busy = true;
+          error_msg = e.what();
         } catch (const std::exception& e) {
           error = true;
           error_msg = e.what();
@@ -559,7 +690,18 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
         }
       }
       try {
-        if (error) {
+        if (pool_busy) {
+          // Not recorded in the retry cache: the condition is transient
+          // and the client's retry must execute fresh once the pool drains.
+          if (retry_cache_ != nullptr) retry_cache_->forget(call.conn->id, id);
+          ++stats_.calls_shed;
+          RDMAOutputStream busy(cm, shadow_, rpc::MethodKey{"__overload", "busy"});
+          busy.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+          busy.write_u64(id);
+          busy.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kBusy));
+          busy.write_text("server busy: " + error_msg);
+          if (!resp_expired) co_await respond(call, busy);
+        } else if (error) {
           // Rebuild the frame with the error payload.
           RDMAOutputStream err(cm, shadow_, key);
           err.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
@@ -593,7 +735,7 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
 
 sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
   const cluster::CostModel& cm = host_.cost();
-  ConnState* conn = call.conn;
+  ConnPtr conn = call.conn;
   const std::size_t batch_limit = std::min(batch_.max_bytes, conn->eager_threshold);
   if (conn->batcher != nullptr && batch_.batchable(out.length()) &&
       out.length() <= batch_limit) {
@@ -657,7 +799,7 @@ sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame
   }
 }
 
-sim::Co<void> RdmaRpcServer::append_response(ConnState* conn, net::Bytes payload) {
+sim::Co<void> RdmaRpcServer::append_response(ConnPtr conn, net::Bytes payload) {
   rpc::CallBatcher& b = *conn->batcher;
   // Batch frames ride the eager path, so the whole frame must fit the
   // client's pre-posted receive buffers: clamp to the negotiated threshold.
@@ -676,7 +818,7 @@ sim::Co<void> RdmaRpcServer::append_response(ConnState* conn, net::Bytes payload
   }
 }
 
-sim::Task RdmaRpcServer::response_batch_timer(ConnState* conn, std::uint64_t epoch,
+sim::Task RdmaRpcServer::response_batch_timer(ConnPtr conn, std::uint64_t epoch,
                                               sim::Dur linger) {
   // A zero linger still suspends one scheduler tick, so same-timestamp
   // responses coalesce while a lone response flushes "now".
@@ -689,7 +831,7 @@ sim::Task RdmaRpcServer::response_batch_timer(ConnState* conn, std::uint64_t epo
   co_await flush_response_batch(conn);
 }
 
-sim::Co<void> RdmaRpcServer::flush_response_batch(ConnState* conn) {
+sim::Co<void> RdmaRpcServer::flush_response_batch(ConnPtr conn) {
   rpc::CallBatcher& b = *conn->batcher;
   if (b.empty()) co_return;
   const cluster::CostModel& cm = host_.cost();

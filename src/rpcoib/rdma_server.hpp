@@ -27,8 +27,15 @@ struct RdmaServerConfig {
   int num_handlers = 8;
   std::size_t eager_threshold = WireDefaults::kEagerThreshold;
   std::size_t recv_buf_size = WireDefaults::kRecvBufSize;
+  /// Per-connection receive-ring depth — only used in legacy mode
+  /// (pool.srq_depth == 0). With the SRQ the server-wide ring is sized by
+  /// pool.srq_depth / pool.srq_low_watermark instead.
   int recv_depth = WireDefaults::kRecvDepth;
   PoolConfig pool{};
+  /// Evict connections with no receive activity for this long (LRU sweep,
+  /// runs at half the threshold). The client re-bootstraps transparently
+  /// on its next call. 0 = never evict.
+  sim::Dur srq_idle_evict = 0;
   /// Also run a plain socket RPC listener at `addr.port +
   /// kSocketFallbackPortOffset` mirroring this server's dispatcher, so
   /// clients whose QP bootstrap fails can reroute (socket-mode fallback).
@@ -57,14 +64,14 @@ class RdmaRpcServer final : public rpc::RpcServer {
     std::size_t eager_threshold = 0;
     // Small-response coalescer, allocated only when batching is enabled.
     std::unique_ptr<rpc::CallBatcher> batcher;
+    // Last receive completion; the LRU idle-eviction sweep keys on this.
+    sim::Time last_recv = 0;
   };
-  /// One posted receive slot; wr_id is this object's address.
-  struct Slot {
-    NativeBuffer* buf = nullptr;
-    ConnState* conn = nullptr;
-  };
+  // Shared across in-flight calls and the connection table so idle
+  // eviction can't pull a ConnState out from under a running handler.
+  using ConnPtr = std::shared_ptr<ConnState>;
   struct ServerCall {
-    ConnState* conn = nullptr;
+    ConnPtr conn;
     NativeBuffer* buf = nullptr;  // holds the kCall frame (recv slot or fetched)
     std::uint32_t frame_len = 0;
     sim::Time recv_start = 0;
@@ -77,7 +84,12 @@ class RdmaRpcServer final : public rpc::RpcServer {
   sim::Task listener_loop();
   sim::Task reader_loop();
   sim::Task handler_loop(int handler_id);
-  sim::Task fetch_call(ConnState* conn, std::uint32_t rkey, std::uint64_t off,
+  /// Refill the shared receive ring whenever it drops below the low
+  /// watermark (woken by the SRQ limit event; exits when the SRQ closes).
+  sim::Task srq_refill_loop();
+  /// Periodic LRU sweep evicting connections idle past srq_idle_evict.
+  sim::Task idle_evict_loop();
+  sim::Task fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint64_t off,
                        std::uint32_t len);
   sim::Co<void> respond(ServerCall& call, RDMAOutputStream& out);
   /// Send an already-framed response verbatim (retry-cache dedup hits).
@@ -86,15 +98,21 @@ class RdmaRpcServer final : public rpc::RpcServer {
   sim::Co<void> enqueue_call(ServerCall call);
   sim::Co<void> shed_call(ServerCall call, std::uint64_t id, trace::TraceContext ctx,
                           const std::string& method, sim::Time start);
-  void post_slot(ConnState* conn, NativeBuffer* buf);
+  /// Post a pooled buffer as a receive: to the SRQ, or to `conn`'s own ring
+  /// in legacy (srq_depth == 0) mode. wr_id is the buffer's address.
+  void post_recv_buffer(ConnState* conn, NativeBuffer* buf);
+  /// Re-post a consumed receive buffer (or return it to the pool when the
+  /// ring is full / the connection is gone).
+  void recycle_recv_buffer(ConnState* conn, NativeBuffer* buf);
+  void note_ring_bytes(std::size_t n);
   /// Buffer one serialized small kResp frame for `conn`; flushes inline
   /// when a limit fills, otherwise arms the adaptive-linger timer.
-  sim::Co<void> append_response(ConnState* conn, net::Bytes payload);
+  sim::Co<void> append_response(ConnPtr conn, net::Bytes payload);
   /// Post everything buffered for `conn` as one kBatch SEND.
-  sim::Co<void> flush_response_batch(ConnState* conn);
+  sim::Co<void> flush_response_batch(ConnPtr conn);
   /// Delayed flush armed per batch; stands down if `epoch` already flushed
   /// or the server stopped (checked through the `alive_` token).
-  sim::Task response_batch_timer(ConnState* conn, std::uint64_t epoch, sim::Dur linger);
+  sim::Task response_batch_timer(ConnPtr conn, std::uint64_t epoch, sim::Dur linger);
 
   cluster::Host& host_;
   net::SocketTable& sockets_;
@@ -111,8 +129,15 @@ class RdmaRpcServer final : public rpc::RpcServer {
   std::unique_ptr<rpc::AdmissionController> admission_;
   std::unique_ptr<rpc::RetryCache> retry_cache_;
   std::uint64_t conn_seq_ = 0;
-  std::vector<std::unique_ptr<ConnState>> conns_;
-  std::vector<std::unique_ptr<Slot>> slots_;
+  // Keyed by ConnState::id — also the qp_context stamped into kRecv
+  // completions, which is how SRQ-mode completions map back to their
+  // connection (the wr_id names only the shared buffer).
+  std::map<std::uint64_t, ConnPtr> conns_;
+  // Server-wide shared receive ring (null in legacy per-QP-ring mode).
+  std::unique_ptr<verbs::SharedReceiveQueue> srq_;
+  // Bytes currently posted as receive buffers (all rings); the peak lands
+  // in stats_.recv_ring_bytes_peak — the bench_srq_scale headline number.
+  std::size_t ring_bytes_ = 0;
   // Rendezvous response sources awaiting the client's ack, keyed by rkey.
   std::map<std::uint32_t, NativeBuffer*> pending_resp_;
   // RDMA-READ fetches in flight, keyed by odd wr_id token.

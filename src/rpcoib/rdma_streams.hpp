@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstring>
+#include <string>
 
 #include "rpc/writable.hpp"
 #include "rpcoib/buffer_pool.hpp"
@@ -64,8 +65,17 @@ class RDMAOutputStream final : public rpc::DataOutput {
 
  private:
   void regrow(std::size_t need) {
-    NativeBuffer* bigger = pool_.acquire_sized(
-        std::max(need, buf_->span.size() * 2));
+    // Mid-serialization grows honor demand_alloc_cap exactly like the
+    // server's rendezvous fetch: a capped-out pool refuses the re-get
+    // instead of expanding registered native memory without bound, and
+    // callers degrade (client: socket fallback; server: retryable busy).
+    const std::size_t want = std::max(need, buf_->span.size() * 2);
+    NativeBuffer* bigger = pool_.try_acquire_sized(want);
+    if (bigger == nullptr) {
+      throw PoolExhaustedError("buffer pool exhausted re-getting " +
+                               std::to_string(want) + " bytes for " + key_.protocol + "." +
+                               key_.method);
+    }
     std::memcpy(bigger->span.data(), buf_->span.data(), count_);
     accrue(cost_model().direct_copy(count_) + sim::from_us(kAcquireUs));
     pool_.release(buf_);

@@ -66,18 +66,101 @@ sim::Dur VerbsStack::registration_cost(std::size_t bytes) const {
 }
 
 // ---------------------------------------------------------------------------
+// SharedReceiveQueue
+
+SharedReceiveQueue::~SharedReceiveQueue() {
+  // Detach any still-parked QPs so their destructors don't reach back into
+  // a dead SRQ.
+  for (QueuePair* qp : waiters_) {
+    qp->srq_waiting_ = false;
+    qp->srq_ = nullptr;
+  }
+}
+
+void SharedReceiveQueue::post_recv(std::uint64_t wr_id, net::MutByteSpan buf) {
+  ring_.push_back(PostedRecv{wr_id, buf});
+  // Drain parked QPs in arrival order. A QP whose inbound outruns the ring
+  // re-queues at the tail (round-robin across starved connections), which
+  // keeps the schedule deterministic and starvation-free.
+  while (!ring_.empty() && !waiters_.empty()) {
+    QueuePair* qp = waiters_.front();
+    waiters_.pop_front();
+    qp->srq_waiting_ = false;
+    qp->match_inbound();
+  }
+}
+
+std::vector<std::uint64_t> SharedReceiveQueue::drain_posted_recvs() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(ring_.size());
+  for (const PostedRecv& pr : ring_) ids.push_back(pr.wr_id);
+  ring_.clear();
+  armed_watermark_ = 0;
+  return ids;
+}
+
+void SharedReceiveQueue::arm_limit(std::size_t watermark) {
+  armed_watermark_ = watermark;
+  if (armed_watermark_ != 0 && ring_.size() < armed_watermark_) {
+    // Already below the watermark: fire immediately (refill is due now).
+    armed_watermark_ = 0;
+    limit_events_.push(ring_.size());
+  }
+}
+
+sim::Co<void> SharedReceiveQueue::wait_limit() {
+  (void)co_await limit_events_.recv();
+  co_return;
+}
+
+bool SharedReceiveQueue::try_pop(PostedRecv& out) {
+  if (ring_.empty()) return false;
+  out = ring_.front();
+  ring_.pop_front();
+  if (armed_watermark_ != 0 && ring_.size() < armed_watermark_) {
+    armed_watermark_ = 0;  // one-shot until re-armed
+    limit_events_.push(ring_.size());
+  }
+  return true;
+}
+
+void SharedReceiveQueue::add_waiter(QueuePair* qp) {
+  if (qp->srq_waiting_) return;
+  qp->srq_waiting_ = true;
+  waiters_.push_back(qp);
+}
+
+void SharedReceiveQueue::remove_waiter(QueuePair* qp) {
+  if (!qp->srq_waiting_) return;
+  qp->srq_waiting_ = false;
+  std::erase(waiters_, qp);
+}
+
+void SharedReceiveQueue::note_stall() {
+  ++rnr_stalls_;
+  if (stall_mirror_ != nullptr) ++*stall_mirror_;
+}
+
+// ---------------------------------------------------------------------------
 // QueuePair
 
 QueuePair::QueuePair(VerbsStack& stack, cluster::Host& host, CompletionQueue& send_cq,
                      CompletionQueue& recv_cq)
     : stack_(stack), host_(host), send_cq_(send_cq), recv_cq_(recv_cq) {}
 
+QueuePair::~QueuePair() {
+  if (srq_ != nullptr) srq_->remove_waiter(this);
+}
+
 void QueuePair::connect_to(const QueuePairPtr& peer) {
   peer_ = peer;
   remote_host_ = peer->host_.id();
 }
 
-void QueuePair::disconnect() { peer_.reset(); }
+void QueuePair::disconnect() {
+  peer_.reset();
+  if (srq_ != nullptr) srq_->remove_waiter(this);
+}
 
 std::vector<std::uint64_t> QueuePair::drain_posted_recvs() {
   std::vector<std::uint64_t> ids;
@@ -88,26 +171,46 @@ std::vector<std::uint64_t> QueuePair::drain_posted_recvs() {
 }
 
 void QueuePair::post_recv(std::uint64_t wr_id, net::MutByteSpan buf) {
+  if (srq_ != nullptr) throw VerbsError("QP attached to SRQ has no receive queue");
   posted_recvs_.push_back(PostedRecv{wr_id, buf});
   match_inbound();
 }
 
+void QueuePair::set_srq(SharedReceiveQueue* srq) {
+  if (srq == nullptr && srq_ != nullptr) srq_->remove_waiter(this);
+  srq_ = srq;
+}
+
 void QueuePair::match_inbound() {
-  while (!inbound_.empty() && !posted_recvs_.empty()) {
+  while (!inbound_.empty()) {
+    PostedRecv pr;
+    if (srq_ != nullptr) {
+      if (!srq_->try_pop(pr)) {
+        // RNR: the shared ring is dry. Park the remaining arrivals and
+        // queue for the next buffer posted to the SRQ.
+        srq_->add_waiter(this);
+        return;
+      }
+    } else {
+      if (posted_recvs_.empty()) return;
+      pr = posted_recvs_.front();
+      posted_recvs_.pop_front();
+    }
     InboundMsg msg = std::move(inbound_.front());
     inbound_.pop_front();
-    PostedRecv pr = posted_recvs_.front();
-    posted_recvs_.pop_front();
     if (msg.data.size() > pr.buf.size()) throw VerbsError("recv buffer too small for SEND");
     std::memcpy(pr.buf.data(), msg.data.data(), msg.data.size());
     recv_cq_.push(WorkCompletion{pr.wr_id, Opcode::kRecv,
-                                 static_cast<std::uint32_t>(msg.data.size()), 0});
+                                 static_cast<std::uint32_t>(msg.data.size()), 0, context_});
   }
 }
 
 void QueuePair::on_send_arrival(net::Bytes data) {
   inbound_.push_back(InboundMsg{std::move(data)});
   match_inbound();
+  // Count each arrival this QP could not deliver immediately for lack of a
+  // shared buffer — the simulator's stand-in for an RNR NAK + sender retry.
+  if (srq_ != nullptr && !inbound_.empty()) srq_->note_stall();
 }
 
 sim::Co<void> QueuePair::post_send(std::uint64_t wr_id, net::ByteSpan buf) {

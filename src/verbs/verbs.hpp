@@ -52,6 +52,11 @@ struct WorkCompletion {
   Opcode opcode = Opcode::kSend;
   std::uint32_t byte_len = 0;
   std::uint32_t imm_data = 0;
+  /// For kRecv completions: the consuming QP's application context (the
+  /// ibv_wc.qp_num analogue). With a shared receive queue the wr_id alone
+  /// no longer identifies the connection a message arrived on; receivers
+  /// set a context per QP and read it back here.
+  std::uint64_t qp_context = 0;
 };
 
 /// A registered memory region. `lkey`/`rkey` identify it locally/remotely;
@@ -125,14 +130,95 @@ class CompletionQueue {
 class QueuePair;
 using QueuePairPtr = std::shared_ptr<QueuePair>;
 
+/// A posted receive buffer awaiting an incoming SEND.
+struct PostedRecv {
+  std::uint64_t wr_id = 0;
+  net::MutByteSpan buf;
+};
+
+/// Shared receive queue (the ibv_srq analogue): one posted-recv ring
+/// consumed FIFO by any number of attached QPs, so registered receive
+/// memory scales with *load* instead of connection count.
+///
+///  * post_recv() feeds the shared ring and drains any QPs parked on it,
+///    in arrival order (deterministic under the simulator);
+///  * an incoming SEND that finds the ring empty parks in its QP's inbound
+///    queue (RNR backpressure — the RC analogue of receiver-not-ready NAK
+///    plus sender retry) and the QP queues as a waiter for the next buffer;
+///  * arm_limit(w) arms the one-shot low-watermark event
+///    (IBV_EVENT_SRQ_LIMIT_REACHED): wait_limit() resumes once the ring
+///    pops below `w` buffers, and the refill loop re-arms after topping up.
+class SharedReceiveQueue {
+ public:
+  explicit SharedReceiveQueue(sim::Scheduler& sched) : limit_events_(sched) {}
+  SharedReceiveQueue(const SharedReceiveQueue&) = delete;
+  SharedReceiveQueue& operator=(const SharedReceiveQueue&) = delete;
+  ~SharedReceiveQueue();
+
+  /// Post a receive buffer to the shared ring; wakes parked QPs FIFO.
+  void post_recv(std::uint64_t wr_id, net::MutByteSpan buf);
+
+  /// Remove and return the wr_ids of all still-posted buffers (teardown:
+  /// pooled buffers go back to their pool instead of leaking).
+  std::vector<std::uint64_t> drain_posted_recvs();
+
+  /// Arm the low-watermark event: the next time the posted count drops
+  /// below `watermark` (or immediately, if it is already below), one event
+  /// fires and the limit disarms until re-armed. watermark 0 disarms.
+  void arm_limit(std::size_t watermark);
+
+  /// Suspend until the armed limit event fires. Throws sim::ChannelClosed
+  /// after close() — the refill loop's exit path.
+  sim::Co<void> wait_limit();
+
+  /// Close the limit-event channel, releasing any waiting refill loop.
+  void close() { limit_events_.close(); }
+
+  std::size_t posted() const { return ring_.size(); }
+  /// Arrivals that found the ring empty and had to park (RNR stalls).
+  std::uint64_t rnr_stalls() const { return rnr_stalls_; }
+  /// Mirror RNR stalls into an external counter as they happen (lets a
+  /// server surface them in its stats struct without polling).
+  void set_stall_counter(std::uint64_t* counter) { stall_mirror_ = counter; }
+
+ private:
+  friend class QueuePair;
+
+  /// Consume the head buffer; fires the armed limit event on the way down.
+  bool try_pop(PostedRecv& out);
+  void add_waiter(QueuePair* qp);
+  void remove_waiter(QueuePair* qp);
+  void note_stall();
+
+  std::deque<PostedRecv> ring_;
+  std::deque<QueuePair*> waiters_;  // QPs with parked inbound, FIFO
+  sim::Channel<std::size_t> limit_events_;
+  std::size_t armed_watermark_ = 0;  // 0 = disarmed
+  std::uint64_t rnr_stalls_ = 0;
+  std::uint64_t* stall_mirror_ = nullptr;
+};
+
 /// Reliable-connected queue pair. Created connected by ConnectionManager.
 class QueuePair : public std::enable_shared_from_this<QueuePair> {
  public:
   QueuePair(VerbsStack& stack, cluster::Host& host, CompletionQueue& send_cq,
             CompletionQueue& recv_cq);
+  ~QueuePair();
 
-  /// Post a receive buffer; consumed FIFO by incoming SENDs.
+  /// Post a receive buffer; consumed FIFO by incoming SENDs. Throws if the
+  /// QP is attached to an SRQ (like real verbs, an SRQ-attached QP has no
+  /// receive queue of its own).
   void post_recv(std::uint64_t wr_id, net::MutByteSpan buf);
+
+  /// Attach to (or detach from, with nullptr) a shared receive queue.
+  /// Incoming SENDs then consume buffers from the SRQ instead of a per-QP
+  /// ring. Must be set before traffic flows.
+  void set_srq(SharedReceiveQueue* srq);
+
+  /// Application context stamped into this QP's kRecv completions
+  /// (WorkCompletion::qp_context) — how an SRQ consumer maps a completion
+  /// back to its connection.
+  void set_context(std::uint64_t ctx) { context_ = ctx; }
 
   /// Two-sided send into the peer's next posted receive buffer. The local
   /// completion (kSend) is delivered once the message is on the wire and
@@ -164,11 +250,8 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
  private:
   friend class ConnectionManager;
   friend class VerbsStack;
+  friend class SharedReceiveQueue;
 
-  struct PostedRecv {
-    std::uint64_t wr_id;
-    net::MutByteSpan buf;
-  };
   struct InboundMsg {
     net::Bytes data;  // already-arrived SEND waiting for a posted recv (RNR case)
   };
@@ -187,6 +270,9 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   std::deque<PostedRecv> posted_recvs_;
   std::deque<InboundMsg> inbound_;
   sim::Time send_clock_ = 0;  // RC ordering: sends never reorder on a QP
+  SharedReceiveQueue* srq_ = nullptr;
+  std::uint64_t context_ = 0;
+  bool srq_waiting_ = false;  // queued on srq_->waiters_
 };
 
 /// Cluster-wide verbs state: rkey resolution and device parameters.

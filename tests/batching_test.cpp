@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "net/testbed.hpp"
+#include "rpc/socket_client.hpp"
 #include "rpcoib/engine.hpp"
+#include "rpcoib/rdma_client.hpp"
 #include "workloads/pingpong.hpp"
 
 namespace rpcoib {
@@ -193,6 +195,210 @@ TEST(Batching, SharedConnectionThroughputImprovesWhenBatched) {
   const double batched = workloads::run_shared_throughput(
       RpcMode::kSocketIPoIB, on, 16, 2, 64, /*duration_ms=*/40);
   EXPECT_GT(batched, plain * 1.4);
+}
+
+// --- Teardown and per-sub-call deadline semantics ---------------------------
+
+void close_client(rpc::RpcClient& c) {
+  if (auto* r = dynamic_cast<oib::RdmaRpcClient*>(&c)) {
+    r->close_connections();
+  } else if (auto* sc = dynamic_cast<rpc::SocketRpcClient*>(&c)) {
+    sc->close_connections();
+  }
+}
+
+// 0 = pending, 1 = ok, 2 = transport error, 3 = timeout.
+Task tracked_echo(rpc::RpcClient& c, int& outcome) {
+  net::Bytes payload(64, net::Byte{0x44});
+  rpc::BytesWritable req(payload);
+  rpc::BytesWritable resp;
+  try {
+    co_await c.call(kAddr, kEcho, req, &resp);
+    outcome = 1;
+  } catch (const rpc::RpcTimeoutError&) {
+    outcome = 3;
+  } catch (const rpc::RpcTransportError&) {
+    outcome = 2;
+  }
+}
+
+// A sub-threshold call parked under the linger when the client closes must
+// surface a transport error to its caller — not hang on a batch frame that
+// will never flush, and not vanish silently.
+TEST(BatchingTeardown, CloseBeforeLingerFailsParkedCallInsteadOfLosingIt) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    Scheduler s;
+    rpc::BatchConfig b;
+    b.enabled = true;
+    b.linger = sim::seconds(10);
+    Fixture f(s, mode, b);
+
+    // One completed call seeds the batcher's inter-arrival EWMA (its own
+    // append flushes immediately: the EWMA is still empty).
+    int first = 0;
+    s.spawn(tracked_echo(*f.client, first));
+    s.run_until(sim::millis(100));
+    ASSERT_EQ(first, 1);
+
+    // The next call appends 100 ms after the first — well inside the 10 s
+    // linger, so the estimator says company is coming and it parks...
+    int victim = 0;
+    s.spawn(tracked_echo(*f.client, victim));
+    s.run_until(sim::millis(110));
+    EXPECT_EQ(victim, 0);  // parked, not yet on the wire
+
+    // ...and the client closes first. The parked call must surface a
+    // transport error, not hang on a frame that will never flush.
+    close_client(*f.client);
+    s.run_until(sim::seconds(20));
+    EXPECT_EQ(victim, 2);
+    // The parked call never reached the server; the first one did.
+    EXPECT_EQ(f.server->stats().batched_calls_received, 1u);
+    f.server->stop();
+    s.drain_tasks();
+  }
+}
+
+const rpc::MethodKey kSlowPut{"test.BatchProtocol", "slowPut"};
+
+Task slow_put(rpc::RpcClient& c, int& outcome) {
+  rpc::BytesWritable req(net::Bytes(2048, net::Byte{0x22}));
+  rpc::BooleanWritable resp;
+  try {
+    co_await c.call(kAddr, kSlowPut, req, &resp);
+    outcome = resp.value ? 1 : 2;
+  } catch (const rpc::RpcTransportError&) {
+    outcome = 2;
+  }
+}
+
+// Responses parked in the server's coalescing linger when stop() lands are
+// dropped with accounting, not leaked or silently discarded.
+TEST(BatchingTeardown, ServerStopAccountsResponsesParkedInLinger) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    Scheduler s;
+    Testbed tb(s, Testbed::cluster_b());
+    rpc::BatchConfig b;
+    b.enabled = true;
+    b.linger = sim::seconds(10);  // responders cap theirs at linger/4 = 2.5 s
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .server_handlers = 1, .batch = b});
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_echo(*server);
+    server->dispatcher().register_method(
+        kSlowPut.protocol, kSlowPut.method,
+        [&tb](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+          rpc::BytesWritable v;
+          v.read_fields(in);
+          co_await sim::delay(tb.sched(), sim::millis(100));
+          rpc::BooleanWritable(true).write(out);
+        });
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    // 2 KB requests sit above small_threshold (own frames: the client
+    // never parks them), but the bool responses are tiny: the single
+    // handler's 100 ms cadence keeps the server's response linger armed,
+    // so responses accumulate in the coalescing window.
+    constexpr int kN = 12;
+    std::vector<int> outcomes(kN, 0);
+    for (int& o : outcomes) s.spawn(slow_put(*client, o));
+    s.run_until(sim::seconds(2));
+    server->stop();
+    EXPECT_GE(server->stats().responses_dropped_on_stop, 1u);
+    close_client(*client);
+    s.run_until(sim::seconds(20));
+    int delivered = 0;
+    for (int o : outcomes) {
+      EXPECT_NE(o, 0);  // nothing hangs
+      if (o == 1) ++delivered;
+    }
+    // The first response flushed before the linger armed.
+    EXPECT_GE(delivered, 1);
+    s.drain_tasks();
+  }
+}
+
+const rpc::MethodKey kBlock{"test.BatchProtocol", "block"};
+
+Task block_call(rpc::RpcClient& c, int& outcome) {
+  rpc::BytesWritable req(net::Bytes(2048, net::Byte{0x33}));
+  rpc::BooleanWritable resp;
+  try {
+    co_await c.call(kAddr, kBlock, req, &resp);
+    outcome = 1;
+  } catch (const rpc::RpcTransportError&) {
+    outcome = 2;
+  }
+}
+
+Task expiry_orchestrator(Scheduler& s, rpc::RpcClient& client, int& blocked, int& x, int& y,
+                         std::vector<char>& warm) {
+  // Occupy the single handler for seconds with a large-arg call (2 KB is
+  // above small_threshold, so it rides its own frame immediately).
+  s.spawn(block_call(client, blocked));
+  co_await sim::delay(s, sim::millis(50));
+  // Two quick small calls warm the batcher's inter-arrival EWMA; they
+  // queue behind the blocker and finish late (no deadline on them).
+  for (int i = 0; i < 2; ++i) {
+    bool* ok = reinterpret_cast<bool*>(&warm[static_cast<std::size_t>(i)]);
+    s.spawn(call_echo(client, 64, *ok));
+    co_await sim::delay(s, sim::micros(5));
+  }
+  co_await sim::delay(s, sim::millis(7));  // past the 5 ms linger: warm flushed
+  // X carries a 1 s deadline; the warm EWMA parks it under the linger.
+  rpc::RpcRetryPolicy deadline;
+  deadline.call_timeout = sim::seconds(1);
+  client.set_retry_policy(deadline);
+  s.spawn(tracked_echo(client, x));
+  co_await sim::delay(s, sim::millis(1));
+  // Y has no deadline and completes the pair: max_calls=2 flushes X and Y
+  // as one batch frame.
+  client.set_retry_policy({});
+  s.spawn(tracked_echo(client, y));
+}
+
+// Deadlines are per sub-call, not per batch frame: a frame carrying one
+// expired and one live call drops only the expired one at dequeue.
+TEST(BatchingTeardown, ExpiredSubCallInsideBatchFrameIsDroppedIndividually) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    Scheduler s;
+    Testbed tb(s, Testbed::cluster_b());
+    rpc::BatchConfig b;
+    b.enabled = true;
+    b.linger = sim::millis(5);
+    b.max_calls = 2;
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .server_handlers = 1, .batch = b});
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_echo(*server);
+    server->dispatcher().register_method(
+        kBlock.protocol, kBlock.method,
+        [&tb](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+          rpc::BytesWritable v;
+          v.read_fields(in);
+          co_await sim::delay(tb.sched(), sim::seconds(3));
+          rpc::BooleanWritable(true).write(out);
+        });
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    int blocked = 0, x = 0, y = 0;
+    std::vector<char> warm(2, 0);
+    s.spawn(expiry_orchestrator(s, *client, blocked, x, y, warm));
+    s.run_until(sim::seconds(30));
+
+    EXPECT_EQ(blocked, 1);
+    for (int i = 0; i < 2; ++i) EXPECT_TRUE(warm[static_cast<std::size_t>(i)]) << i;
+    EXPECT_EQ(x, 3);  // timed out client-side, expired server-side
+    EXPECT_EQ(y, 1);  // same frame, no deadline: executed normally
+    EXPECT_EQ(server->stats().calls_expired, 1u);
+    EXPECT_GE(server->stats().batched_calls_received, 4u);
+    EXPECT_EQ(client->stats().timeouts, 1u);
+    server->stop();
+    s.drain_tasks();
+  }
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 // end-to-end determinism of whole-cluster runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hdfs/hdfs_cluster.hpp"
 #include "mapred/mr_cluster.hpp"
@@ -220,6 +222,25 @@ rpc::BatchConfig chaos_batch() {
   return b;
 }
 
+/// RPCOIB_SRQ_DEPTH resizes the RPCoIB server's shared receive ring for
+/// the chaos engines (tiny rings force the RNR/refill path under faults;
+/// 0 selects the legacy per-connection rings). The watermark scales along.
+oib::PoolConfig chaos_pool() {
+  oib::PoolConfig p;
+  if (const char* env = std::getenv("RPCOIB_SRQ_DEPTH")) {
+    p.srq_depth = std::strtoull(env, nullptr, 10);
+    p.srq_low_watermark = std::max<std::size_t>(1, p.srq_depth / 4);
+  }
+  return p;
+}
+
+/// RPCOIB_CHAOS_CONNS sizes the many-connection chaos sweep (CI runs a
+/// 64-connection seed; the default keeps local runs quick).
+int chaos_conns() {
+  const char* env = std::getenv("RPCOIB_CHAOS_CONNS");
+  return env != nullptr ? static_cast<int>(std::strtoul(env, nullptr, 10)) : 6;
+}
+
 Task delayed_echo(Scheduler& s, rpc::RpcClient& client, sim::Dur wait, int v, int& out,
                   bool& err) {
   co_await sim::delay(s, wait);
@@ -417,6 +438,57 @@ TEST(Chaos, SeededFaultRunsYieldByteIdenticalResilienceReports) {
     const std::string b = run_once();
     EXPECT_EQ(a, b);
   }
+}
+
+// Many faulted connections through the shared receive ring: every call
+// retries to completion, the SRQ counters stay live, and the whole run is
+// byte-identical per seed. RPCOIB_SRQ_DEPTH shrinks the ring (refill and
+// RNR under fire) and RPCOIB_CHAOS_CONNS scales the connection count.
+TEST(Chaos, SrqServerSurvivesFaultedManyConnectionSweep) {
+  auto run_once = [] {
+    auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+    plan->set_default_faults(
+        {.drop_prob = 0.03, .spike_prob = 0.08, .spike_extra = sim::millis(1)});
+    net::TestbedConfig cfg = Testbed::cluster_b();
+    cfg.fault = plan;
+    Scheduler s;
+    Testbed tb(s, cfg);
+    rpc::RpcRetryPolicy retry;
+    retry.call_timeout = sim::millis(500);
+    retry.max_retries = 10;
+    retry.backoff_base = sim::millis(50);
+    EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_handlers = 4, .retry = retry};
+    ec.batch = chaos_batch();
+    ec.pool = chaos_pool();
+    RpcEngine engine(tb, ec);
+    auto server = engine.make_server(tb.host(1), kAddr);
+    register_slow(*server, tb.host(1));
+    server->start();
+
+    static constexpr cluster::HostId kClientHosts[] = {0, 2, 3, 4, 5, 6, 7, 8};
+    const int conns = chaos_conns();
+    std::vector<std::unique_ptr<rpc::RpcClient>> clients;
+    int completed = 0;
+    for (int i = 0; i < conns; ++i) {
+      clients.push_back(engine.make_client(tb.host(kClientHosts[i % 8])));
+      s.spawn(echo_burst(*clients.back(), 8, completed));
+    }
+    s.run_until(sim::seconds(300));
+    EXPECT_EQ(completed, conns * 8);
+    if (ec.pool.srq_depth > 0) EXPECT_GT(server->stats().srq_posted, 0u);
+
+    rpc::RpcStats merged;
+    for (auto& c : clients) merged.merge_resilience(c->stats());
+    std::string report =
+        rpc::resilience_report(merged, &plan->counters(), &server->stats());
+    report += "\nfinished at " + std::to_string(s.now());
+    server->stop();
+    s.drain_tasks();
+    return report;
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
 }
 
 TEST(Chaos, DisabledFaultPlanIsByteIdenticalToNoPlan) {

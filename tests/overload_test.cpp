@@ -436,7 +436,13 @@ TEST(Overload, PoolExhaustionNacksRendezvousAndFallsBackToSocket) {
   auto server = engine.make_server(tb.host(1), kAddr);
   register_suite(*server, tb.host(1));
   server->start();
-  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+  // The client gets its own *uncapped* pool: the cap under test here is the
+  // server's rendezvous-fetch one (client-side serialization caps are
+  // covered by the Regrow* tests).
+  oib::RdmaClientConfig cc;
+  cc.pool.buffers_per_class = 32;
+  std::unique_ptr<rpc::RpcClient> client = std::make_unique<oib::RdmaRpcClient>(
+      tb.host(0), tb.sockets(), engine.verbs(), cc);
 
   // Six concurrent 96 KB calls: the first rendezvous fetch takes the one
   // allowed demand allocation; overlapping fetches are NACKed and must
@@ -458,6 +464,43 @@ TEST(Overload, PoolExhaustionNacksRendezvousAndFallsBackToSocket) {
   // is NOT rerouted permanently.
   auto* rdma = dynamic_cast<oib::RdmaRpcClient*>(client.get());
   ASSERT_NE(rdma, nullptr);
+  EXPECT_EQ(rdma->fallback_address_count(), 0u);
+  server->stop();
+  s.drain_tasks();
+}
+
+// The same cap on the *client* side: serializing a large request re-gets
+// through try_acquire now, so a capped client pool degrades the call to
+// the socket fallback instead of demand-allocating past the cap (or
+// failing the call outright).
+TEST(Overload, ClientRegrowCapDegradesToSocketFallback) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_handlers = 2};
+  ec.pool.buffers_per_class = 32;
+  ec.pool.demand_alloc_cap = 1;
+  RpcEngine engine(tb, ec);
+  auto server = engine.make_server(tb.host(1), kAddr);
+  register_suite(*server, tb.host(1));
+  server->start();
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+  // Three concurrent 96 KB puts: the first serialization takes the one
+  // allowed demand allocation and keeps it leased until its response; the
+  // overlapping ones are denied mid-serialization and must complete over
+  // the socket path.
+  std::vector<CallOutcome> results(3, kPending);
+  for (CallOutcome& r : results) s.spawn(put_one(*client, 96u << 10, r));
+  s.run_until(sim::seconds(60));
+
+  for (CallOutcome r : results) EXPECT_EQ(r, kOk);
+  EXPECT_GE(client->stats().nack_fallbacks, 1u);
+  auto* rdma = dynamic_cast<oib::RdmaRpcClient*>(client.get());
+  ASSERT_NE(rdma, nullptr);
+  const oib::PoolStats& pool = rdma->pool().native().stats();
+  EXPECT_LE(pool.demand_allocations, 1u);
+  EXPECT_GE(pool.demand_denied, 1u);
+  // Pool pressure is transient: the address is not rerouted permanently.
   EXPECT_EQ(rdma->fallback_address_count(), 0u);
   server->stop();
   s.drain_tasks();

@@ -293,6 +293,65 @@ TEST(NativePool, ConnectionTeardownReleasesLeasedRendezvousBuffers) {
   s.drain_tasks();
 }
 
+// Regression: regrow() used to call the uncapped acquire(), so a client
+// serializing a huge message could demand-allocate native memory past
+// `demand_alloc_cap`. It now routes through try_acquire and surfaces
+// exhaustion as PoolExhaustedError (the caller degrades to the socket
+// fallback, mirroring the server's rendezvous NACK).
+TEST(RdmaStream, RegrowHonorsDemandAllocCap) {
+  Scheduler s;
+  PoolFixture f(s, PoolConfig{.min_class = 512,
+                              .max_class = 4u << 20,
+                              .prealloc_max_class = 64u << 10,
+                              .buffers_per_class = 2,
+                              .demand_alloc_cap = 1});
+  s.spawn(init_pool(f.pool));
+  s.run();
+  const rpc::MethodKey key{"p", "huge"};
+  // First large stream: 256 KB class is above prealloc_max_class, so this
+  // is the one demand allocation the cap allows. Keep it leased.
+  RDMAOutputStream out1(f.tb.host(0).cost(), f.shadow, key);
+  net::Bytes big(200 * 1024, net::Byte{1});
+  out1.write_raw(big);
+  EXPECT_EQ(f.pool.stats().demand_allocations, 1u);
+
+  // Second large stream: freelist dry, cap reached — the re-get must be
+  // denied rather than growing registered memory without bound.
+  {
+    RDMAOutputStream out2(f.tb.host(0).cost(), f.shadow, key);
+    net::Bytes bigger(300 * 1024, net::Byte{2});
+    EXPECT_THROW(out2.write_raw(bigger), PoolExhaustedError);
+  }
+  EXPECT_GE(f.pool.stats().demand_denied, 1u);
+  EXPECT_EQ(f.pool.stats().demand_allocations, 1u);
+
+  NativeBuffer* b = out1.take_buffer();
+  out1.finish(b);
+}
+
+// A stream that re-gets through several classes while writing must update
+// the method's history exactly once at release (to the final fitting
+// class), not once per intermediate re-get.
+TEST(ShadowPool, MultiRegetStreamGrowsHistoryOnce) {
+  Scheduler s;
+  PoolFixture f(s);
+  const rpc::MethodKey key{"p", "chunky"};
+  // Teach the history the smallest class first.
+  NativeBuffer* seed = f.shadow.acquire_for(key);
+  f.shadow.release_for(key, seed, 400);
+  ASSERT_EQ(f.shadow.history(key), 512u);
+
+  const std::uint64_t misses_before = f.pool.stats().history_misses;
+  RDMAOutputStream out(f.tb.host(0).cost(), f.shadow, key);
+  net::Bytes chunk(1024, net::Byte{3});
+  for (int i = 0; i < 10; ++i) out.write_raw(chunk);
+  EXPECT_GE(out.regets(), 2u);  // walked 512 -> ... -> 16384
+  NativeBuffer* b = out.take_buffer();
+  out.finish(b);
+  EXPECT_EQ(f.pool.stats().history_misses, misses_before + 1);
+  EXPECT_EQ(f.shadow.history(key), f.pool.class_size_for(10 * 1024));
+}
+
 TEST(RdmaStream, AbandonedStreamReturnsBufferToPool) {
   Scheduler s;
   PoolFixture f(s);
