@@ -110,6 +110,18 @@ def check_fig7_hdfs_write(t, data, failures):
     if ratio > lim:
         failures.append(f"fig7 @{gb} GB: write-time ratio {ratio:.4f} > {lim}")
 
+    # The bulk-streaming subsystem must keep beating the one-shot
+    # rendezvous pipeline at the largest write.
+    streamed_key = "HDFSoIB-RPCoIB-streamed"
+    if streamed_key not in by_config:
+        failures.append(f"fig7: missing {streamed_key} row at {gb} GB")
+        return
+    ratio = by_config[streamed_key] / by_config[rpcoib_key]
+    lim = t["max_streamed_over_oneshot"]
+    print(f"fig7 {gb:>4} GB: streamed/oneshot write time = {ratio:.4f} (limit {lim})")
+    if ratio > lim:
+        failures.append(f"fig7 @{gb} GB: streamed/oneshot ratio {ratio:.4f} > {lim}")
+
 
 def check_fig8_hbase(t, data, failures):
     # Per-mix gate at the largest record count: RPCoIB must keep beating
@@ -132,6 +144,38 @@ def check_fig8_hbase(t, data, failures):
         print(f"fig8 {mix:>5}: rpcoib/ipoib = {ratio:.3f} (min {lim})")
         if ratio < lim:
             failures.append(f"fig8 {mix}: rpcoib/ipoib ratio {ratio:.3f} < {lim}")
+
+
+def check_stream_bw(t, data, failures):
+    # The streaming subsystem's headline: pipelined chunked streaming must
+    # beat the one-shot rendezvous block pipeline at the default geometry
+    # (256 KB chunks, ring depth 4), hold a bandwidth floor, and the ring
+    # must actually pipeline (depth >1 beats the serialized depth-1 ring).
+    by_geom = {(row["chunk_kb"], row["depth"]): row for row in data["rows"]}
+    default = by_geom.get((256, 4))
+    if default is None:
+        failures.append("stream_bw: missing 256 KB x depth-4 row")
+        return
+    lim = t["min_speedup_default_geometry"]
+    print(f"stream_bw 256KB x4: streamed/oneshot speedup = "
+          f"{default['speedup']:.3f}x (min {lim})")
+    if default["speedup"] < lim:
+        failures.append(
+            f"stream_bw: default-geometry speedup {default['speedup']:.3f}x < {lim}x"
+        )
+    lim = t["min_default_geometry_mib_s"]
+    print(f"stream_bw 256KB x4: {default['mib_s']:.1f} MiB/s (min {lim})")
+    if default["mib_s"] < lim:
+        failures.append(f"stream_bw: bandwidth {default['mib_s']:.1f} MiB/s < {lim}")
+    shallow = by_geom.get((256, 1))
+    if shallow is None:
+        failures.append("stream_bw: missing 256 KB x depth-1 row")
+        return
+    overlap = default["speedup"] / shallow["speedup"]
+    lim = t["min_deep_over_shallow_ring"]
+    print(f"stream_bw 256KB: depth-4/depth-1 overlap ratio = {overlap:.3f} (min {lim})")
+    if overlap < lim:
+        failures.append(f"stream_bw: overlap ratio {overlap:.3f} < {lim}")
 
 
 def check_srq_scale(t, data, failures):
@@ -189,6 +233,7 @@ CHECKS = {
     "fig7_hdfs_write": check_fig7_hdfs_write,
     "fig8_hbase": check_fig8_hbase,
     "srq_scale": check_srq_scale,
+    "stream_bw": check_stream_bw,
 }
 
 

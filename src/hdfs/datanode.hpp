@@ -50,16 +50,33 @@ class DataNode {
   std::uint64_t used_bytes() const { return used_; }
   rpc::RpcClient& rpc() { return *rpc_; }
 
+  /// Bulk-stream endpoint, for stats inspection; null when streaming is
+  /// disabled or the node has not been started with it.
+  oib::stream::StreamHub* stream_hub() { return stream_hub_.get(); }
+
  private:
   sim::Task heartbeat_loop();
   sim::Task block_report_loop();
   sim::Task replicate_block(LocatedBlock cmd);
+  /// Inbound streamed block: consume chunks from the ring, forwarding each
+  /// one downstream (chunk k forwards while k+1 is arriving) before
+  /// releasing its slot, then store and report the block.
+  sim::Task stream_ingest(oib::stream::StreamReaderPtr r, net::Bytes meta);
+  /// One-shot forward to the remaining pipeline members when the next hop
+  /// refused or cannot take a stream.
+  sim::Co<void> forward_block_legacy(Block b, std::vector<DatanodeId> targets);
+  /// Tail of a streamed ingest: disk write + catalog + blockReceived (the
+  /// per-chunk loop already charged receive CPU).
+  sim::Co<void> finish_streamed_block(Block b);
 
   cluster::Host& host_;
   oib::RpcEngine& engine_;
   net::Address nn_addr_;
   HdfsConfig cfg_;
   std::unique_ptr<rpc::RpcClient> rpc_;
+  /// Bulk-stream endpoint (block ingest listener + downstream forwarding);
+  /// created per start() when streaming is enabled, stopped with the node.
+  std::unique_ptr<oib::stream::StreamHub> stream_hub_;
   PeerLookup peer_lookup_;
   std::map<BlockId, std::uint64_t> blocks_;
   std::uint64_t used_ = 0;

@@ -32,7 +32,16 @@ DFSClient::DFSClient(cluster::Host& host, oib::RpcEngine& engine, net::Address n
       data_mode_(data_mode),
       cfg_(cfg),
       rpc_(engine.make_client(host)),
-      name_(std::move(client_name)) {}
+      name_(std::move(client_name)) {
+  // The streamed block pipeline needs registered memory on both ends, so
+  // it only exists on the RDMA data path; everywhere else the legacy
+  // one-shot pipeline below is the only path.
+  if (engine.config().stream.enabled && data_mode_ == DataMode::kRdma) {
+    stream_hub_ = std::make_unique<oib::stream::StreamHub>(
+        host, engine.testbed().sockets(), engine.verbs(), engine.config().stream,
+        engine.config().pool);
+  }
+}
 
 sim::Co<bool> DFSClient::mkdirs(const std::string& path) {
   PathParam p(path, name_);
@@ -151,6 +160,21 @@ sim::Co<void> DFSClient::write_block_attempt(const std::string& path,
   attempt_block_ = lb.located.block.id;
   lb.located.block.num_bytes = nbytes;
 
+  // Streamed pipeline first: chunk k+1 serializes while chunk k is on the
+  // wire and the head datanode forwards it downstream. Any fallback (hub
+  // declined, staging pool capped, ring grant refused, bootstrap failure)
+  // returns false — counted in the hub's stats — and the legacy one-shot
+  // path below runs unchanged.
+  if (stream_hub_ != nullptr && !lb.located.locations.empty() &&
+      stream_hub_->should_stream(nbytes)) {
+    const bool streamed = co_await write_block_streamed(lb.located, ctx);
+    if (streamed) {
+      co_await block_nn_syncs(path, nbytes, ctx);
+      blk.end();
+      co_return;
+    }
+  }
+
   const net::Transport t = data_transport(data_mode_);
   const net::NetParams& np = fabric_.params(t);
 
@@ -215,10 +239,54 @@ sim::Co<void> DFSClient::write_block_attempt(const std::string& path,
   // The client's end-of-block ack waits for the last pipeline node.
   co_await wg.wait();
 
+  co_await block_nn_syncs(path, nbytes, ctx);
+  blk.end();
+}
+
+sim::Co<bool> DFSClient::write_block_streamed(const LocatedBlock& located,
+                                              const trace::TraceContext& ctx) {
+  StreamBlockMeta meta;
+  meta.block = located.block;
+  meta.downstream.assign(located.locations.begin() + 1, located.locations.end());
+  oib::stream::StreamWriterPtr w = co_await stream_hub_->open(
+      {located.locations.front(), oib::stream::kHdfsStreamPort},
+      encode_stream_block_meta(meta), located.block.num_bytes);
+  if (w == nullptr) co_return false;  // fall back to the legacy path
+  trace::TraceCollector* tr = trace::active(host_.tracer());
+  const sim::Time t0 = host_.sched().now();
+  bool failed = false;  // co_await is not allowed inside a handler
+  std::string why;
+  try {
+    co_await w->write_all();
+    const std::uint8_t status = co_await w->close();
+    if (status != 0) {
+      failed = true;
+      why = "pipeline status " + std::to_string(status);
+    }
+  } catch (const oib::stream::StreamAbortedError& e) {
+    failed = true;
+    why = e.what();
+  }
+  if (tr != nullptr && ctx.valid()) {
+    tr->add_complete("stream.block", trace::Kind::kInternal, trace::Category::kStream,
+                     ctx, host_.id(), t0, host_.sched().now());
+  }
+  if (failed) {
+    // Same failure surface as a lost legacy pipeline: write_block abandons
+    // the block and re-requests fresh targets.
+    throw rpc::RpcTransportError("streamed block " + std::to_string(located.block.id) +
+                                 ": " + why);
+  }
+  co_return true;
+}
+
+sim::Co<void> DFSClient::block_nn_syncs(const std::string& path, std::uint64_t nbytes,
+                                        const trace::TraceContext& ctx) {
   // Client<->NameNode synchronization attributable to this block beyond
   // addBlock (lease renewals, packet-window bookkeeping; calibrated per
   // full block and scaled by the bytes actually written — see
   // HdfsConfig::nn_syncs_per_block and EXPERIMENTS.md).
+  trace::TraceCollector* tr = trace::active(host_.tracer());
   const int syncs = std::max(
       1, static_cast<int>(static_cast<double>(cfg_.nn_syncs_per_block) *
                           static_cast<double>(nbytes) / static_cast<double>(cfg_.block_size)));
@@ -228,7 +296,6 @@ sim::Co<void> DFSClient::write_block_attempt(const std::string& path,
     trace::activate(tr, ctx);
     co_await rpc_->call(nn_addr_, kRenewLease, p, &ok);
   }
-  blk.end();
 }
 
 sim::Co<void> DFSClient::write_file(const std::string& path, std::uint64_t nbytes) {

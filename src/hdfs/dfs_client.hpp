@@ -15,6 +15,7 @@
 #include "hdfs/namenode.hpp"
 #include "rpc/rpc.hpp"
 #include "rpcoib/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace rpcoib::hdfs {
 
@@ -59,12 +60,26 @@ class DFSClient {
   /// mid-write (cfg.pipeline_retries > 0 only).
   std::uint64_t pipeline_retries_count() const { return pipeline_retries_; }
 
+  /// Bulk-stream endpoint, for stats inspection; null when streaming is
+  /// disabled or the data path is not RDMA.
+  oib::stream::StreamHub* stream_hub() { return stream_hub_.get(); }
+
  private:
   /// One block through the replication pipeline, with recovery: on a lost
   /// pipeline DataNode the block is abandoned and re-requested (fresh
   /// addBlock targets) up to cfg.pipeline_retries times.
   sim::Co<void> write_block(const std::string& path, std::uint64_t nbytes);
   sim::Co<void> write_block_attempt(const std::string& path, std::uint64_t nbytes);
+  /// Streamed pipeline: chunk the block through the stream hub to the head
+  /// datanode (which forwards downstream). False = fall back to the legacy
+  /// one-shot path; throws RpcTransportError if the stream failed mid-block
+  /// so write_block's abandonBlock retry re-drives it.
+  sim::Co<bool> write_block_streamed(const LocatedBlock& located,
+                                     const trace::TraceContext& ctx);
+  /// Client<->NameNode synchronization attributable to one block beyond
+  /// addBlock (shared by the streamed and legacy paths).
+  sim::Co<void> block_nn_syncs(const std::string& path, std::uint64_t nbytes,
+                               const trace::TraceContext& ctx);
 
   cluster::Host& host_;
   net::Fabric& fabric_;
@@ -73,6 +88,10 @@ class DFSClient {
   DataMode data_mode_;
   HdfsConfig cfg_;
   std::unique_ptr<rpc::RpcClient> rpc_;
+  /// Bulk-stream endpoint for the block pipeline; null unless streaming is
+  /// enabled and the data path is RDMA (the only path with registered
+  /// memory to stream through).
+  std::unique_ptr<oib::stream::StreamHub> stream_hub_;
   std::string name_;
   std::uint64_t pipeline_retries_ = 0;
   /// Block id of the attempt in flight, so a failed pipeline can

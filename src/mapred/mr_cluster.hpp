@@ -26,6 +26,10 @@ class MrCluster {
   void stop_tasktracker(std::size_t index);
 
   JobTracker& jobtracker() { return *jt_; }
+  TaskTracker* tasktracker(std::size_t index) {
+    return index < tts_.size() ? tts_[index].get() : nullptr;
+  }
+  std::size_t num_tasktrackers() const { return tts_.size(); }
   const net::Address& jt_addr() const { return jt_addr_; }
   std::unique_ptr<JobClient> make_client(cluster::Host& host);
 

@@ -21,6 +21,27 @@ const rpc::MethodKey kCanCommit{kTaskUmbilicalProtocol, "canCommit"};
 const rpc::MethodKey kGetMapCompletionEvents{kTaskUmbilicalProtocol,
                                              "getMapCompletionEvents"};
 const rpc::MethodKey kGetFileInfo{hdfs::kClientProtocol, "getFileInfo"};
+
+// Shuffle fetch metadata: the segment size the server should stream back.
+// (Job/task ids would select the real spill file; the simulator only needs
+// the byte count.)
+net::Bytes encode_shuffle_meta(std::uint64_t seg_bytes) {
+  net::Bytes out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<net::Byte>((seg_bytes >> (8 * i)) & 0xff);
+  }
+  return out;
+}
+
+bool decode_shuffle_meta(net::ByteSpan meta, std::uint64_t* seg_bytes) {
+  if (meta.size() != 8) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(meta[i])) << (8 * i);
+  }
+  *seg_bytes = v;
+  return true;
+}
 }  // namespace
 
 TaskTracker::TaskTracker(cluster::Host& host, oib::RpcEngine& engine, net::Address jt_addr,
@@ -46,6 +67,22 @@ void TaskTracker::start() {
   if (running_flag_) return;
   running_flag_ = true;
   umbilical_server_->start();
+  if (engine_.config().stream.enabled && hdfs_.data_mode() == hdfs::DataMode::kRdma) {
+    // Fresh hub per start, like the DataNode: a stopped hub cannot listen
+    // again, and chaos tests restart trackers.
+    stream_hub_ = std::make_unique<oib::stream::StreamHub>(
+        host_, engine_.testbed().sockets(), engine_.verbs(), engine_.config().stream,
+        engine_.config().pool);
+    stream_hub_->listen(
+        {host_.id(), oib::stream::kShuffleStreamPort},
+        [](oib::stream::StreamReaderPtr r, net::Bytes) -> sim::Task {
+          const std::string why = "shuffle port serves fetches only";
+          co_await r->abort(why);
+        },
+        [this](oib::stream::StreamHub::ConnPtr c, std::uint64_t token, net::Bytes meta) {
+          return serve_shuffle(std::move(c), token, std::move(meta));
+        });
+  }
   host_.sched().spawn(heartbeat_loop());
 }
 
@@ -53,6 +90,7 @@ void TaskTracker::stop() {
   if (!running_flag_) return;
   running_flag_ = false;
   umbilical_server_->stop();
+  if (stream_hub_ != nullptr) stream_hub_->stop();
 }
 
 void TaskTracker::register_umbilical_handlers() {
@@ -218,6 +256,54 @@ sim::Co<MapCompletionEventsResult> TaskTracker::umbilical_completion_events(JobI
   co_return r;
 }
 
+sim::Co<bool> TaskTracker::fetch_segment_streamed(cluster::HostId src,
+                                                  std::uint64_t seg_bytes) {
+  net::Bytes meta = encode_shuffle_meta(seg_bytes);
+  oib::stream::StreamReaderPtr r =
+      co_await stream_hub_->fetch({src, oib::stream::kShuffleStreamPort}, meta);
+  if (r == nullptr) co_return false;  // no listener at the peer / refused / timed out
+  bool ok = false;  // co_await is not allowed inside a handler
+  try {
+    const std::uint64_t nchunks = r->num_chunks();
+    for (std::uint64_t i = 0; i < nchunks; ++i) {
+      oib::stream::Chunk c = co_await r->next_chunk();
+      co_await r->release_chunk(c.seq);
+    }
+    co_await r->finish(0);
+    ok = true;
+  } catch (const std::exception&) {
+  }
+  if (!ok) {
+    const std::string why = "shuffle fetch failed";
+    co_await r->abort(why);
+  }
+  co_return ok;
+}
+
+sim::Task TaskTracker::serve_shuffle(oib::stream::StreamHub::ConnPtr conn,
+                                     std::uint64_t token, net::Bytes meta) {
+  std::uint64_t seg_bytes = 0;
+  if (!decode_shuffle_meta(net::ByteSpan(meta.data(), meta.size()), &seg_bytes) ||
+      seg_bytes == 0 || stream_hub_ == nullptr) {
+    co_return;  // the fetcher times out and takes its legacy path
+  }
+  oib::stream::StreamWriterPtr w = co_await stream_hub_->open_on(conn, token, seg_bytes);
+  if (w == nullptr) co_return;  // capped pool / no grant: same fetcher timeout
+  bool ok = false;  // co_await is not allowed inside a handler
+  std::string why;
+  try {
+    // Map outputs are synthetic at benchmark scale; the segment's read cost
+    // was already charged when the map spilled it and the page cache holds
+    // it, so serving is pure wire + chunk bookkeeping.
+    co_await w->write_all();
+    co_await w->close();
+    ok = true;
+  } catch (const std::exception& e) {
+    why = e.what();
+  }
+  if (!ok) co_await w->abort(why);
+}
+
 sim::Co<void> TaskTracker::traced_disk(trace::TraceContext ctx, const char* name,
                                        std::uint64_t bytes) {
   const sim::Time t0 = host_.sched().now();
@@ -342,12 +428,22 @@ sim::Co<void> TaskTracker::run_reduce(const TaskAssignment& t, const JobSpec& sp
       const auto src = static_cast<cluster::HostId>(ev.completed_map_hosts[fetched]);
       if (per_map_seg > 0) {
         const sim::Time t_fetch = host_.sched().now();
-        co_await engine_.testbed().fabric().transfer(src, host_.id(), shuffle_t,
-                                                     per_map_seg);
+        // Streamed fetch first (pipelined chunks through the peer's hub);
+        // any refusal or mid-stream failure falls back to the modeled
+        // one-shot transfer, so the reduce always makes progress.
+        bool streamed = false;
+        if (stream_hub_ != nullptr && src != host_.id() &&
+            stream_hub_->should_stream(per_map_seg)) {
+          streamed = co_await fetch_segment_streamed(src, per_map_seg);
+        }
+        if (!streamed) {
+          co_await engine_.testbed().fabric().transfer(src, host_.id(), shuffle_t,
+                                                       per_map_seg);
+        }
         if (ctx.valid()) {
           tr->add_complete("shuffle.fetch", trace::Kind::kInternal,
-                           trace::Category::kWire, ctx, host_.id(), t_fetch,
-                           host_.sched().now());
+                           streamed ? trace::Category::kStream : trace::Category::kWire,
+                           ctx, host_.id(), t_fetch, host_.sched().now());
         }
         co_await traced_disk(ctx, "shuffle.spill", per_map_seg);
       }

@@ -51,6 +51,10 @@ class TaskTracker {
   cluster::Host& host() const { return host_; }
   int tasks_completed() const { return tasks_completed_; }
 
+  /// Bulk-stream endpoint, for stats inspection; null when streaming is
+  /// disabled or the data path is not RDMA.
+  oib::stream::StreamHub* stream_hub() { return stream_hub_.get(); }
+
  private:
   struct RunningTask {
     TaskAssignment assignment;
@@ -61,6 +65,15 @@ class TaskTracker {
   sim::Task run_task(TaskAssignment t, JobSpec spec);
   sim::Co<void> run_map(const TaskAssignment& t, const JobSpec& spec);
   sim::Co<void> run_reduce(const TaskAssignment& t, const JobSpec& spec);
+
+  /// Streamed shuffle fetch of one map-output segment from `src`. False on
+  /// any fallback (no hub at the peer, refused, mid-stream failure): the
+  /// caller re-fetches over the legacy modeled transfer.
+  sim::Co<bool> fetch_segment_streamed(cluster::HostId src, std::uint64_t seg_bytes);
+  /// Serve side of the role-flipped fetch: stream the requested segment
+  /// back on the fetcher's own connection.
+  sim::Task serve_shuffle(oib::stream::StreamHub::ConnPtr conn, std::uint64_t token,
+                          net::Bytes meta);
 
   // Umbilical helpers (child task -> local TaskTracker RPC).
   sim::Co<void> umbilical_get_task(const TaskAssignment& t);
@@ -86,6 +99,10 @@ class TaskTracker {
   std::unique_ptr<rpc::RpcClient> umbilical_rpc_;  // child tasks -> tracker (loopback)
   std::unique_ptr<rpc::RpcServer> umbilical_server_;
   std::unique_ptr<hdfs::DFSClient> dfs_;           // shared by this node's tasks
+  /// Bulk-stream endpoint for the shuffle (serves fetches of this node's
+  /// map outputs, fetches remote segments); created per start() when
+  /// streaming is enabled on the RDMA data path.
+  std::unique_ptr<oib::stream::StreamHub> stream_hub_;
 
   SpecLookup jt_spec_lookup_;
   bool oob_pending_ = false;

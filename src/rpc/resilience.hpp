@@ -32,6 +32,14 @@ inline std::string resilience_report(const RpcStats& stats,
   t.row({"batch flushes (immediate)", std::to_string(stats.batch_flush_immediate)});
   t.row({"connections opened", std::to_string(stats.connections_opened)});
   t.row({"threshold mismatches", std::to_string(stats.threshold_mismatches)});
+  t.row({"streams opened", std::to_string(stats.streams_opened)});
+  t.row({"stream chunks", std::to_string(stats.stream_chunks)});
+  t.row({"stream bytes", std::to_string(stats.stream_bytes)});
+  t.row({"stream credit stalls", std::to_string(stats.stream_credit_stalls)});
+  t.row({"stream fallbacks", std::to_string(stats.stream_fallbacks)});
+  t.row({"stream pool denied", std::to_string(stats.stream_pool_denied)});
+  t.row({"stream aborts", std::to_string(stats.stream_aborts)});
+  t.row({"stream deadline expiries", std::to_string(stats.stream_deadline_expiries)});
   if (faults != nullptr) {
     t.row({"fault drops", std::to_string(faults->drops)});
     t.row({"fault spikes", std::to_string(faults->spikes)});

@@ -100,6 +100,16 @@ struct RpcStats {
   std::uint64_t recv_ring_bytes_peak = 0;  // posted recv bytes high-water mark
   std::uint64_t responses_dropped_on_stop = 0;  // finished responses dropped at stop()
 
+  // Bulk-streaming counters (rpcoib/stream, stream.* knobs).
+  std::uint64_t streams_opened = 0;     // granted streams (writer and reader hubs)
+  std::uint64_t stream_chunks = 0;      // chunks RDMA-WRITTEN
+  std::uint64_t stream_bytes = 0;       // payload bytes streamed
+  std::uint64_t stream_credit_stalls = 0;   // writer waits for ring credit
+  std::uint64_t stream_fallbacks = 0;   // open/fetch degraded to the legacy path
+  std::uint64_t stream_pool_denied = 0;     // ring/staging try_acquire refusals
+  std::uint64_t stream_aborts = 0;      // streams torn down before completion
+  std::uint64_t stream_deadline_expiries = 0;  // per-chunk progress deadline hits
+
   MethodProfile& method(const MethodKey& key) { return methods[key]; }
 
   void merge_resilience(const RpcStats& o) {
@@ -137,6 +147,14 @@ struct RpcStats {
       recv_ring_bytes_peak = o.recv_ring_bytes_peak;
     }
     responses_dropped_on_stop += o.responses_dropped_on_stop;
+    streams_opened += o.streams_opened;
+    stream_chunks += o.stream_chunks;
+    stream_bytes += o.stream_bytes;
+    stream_credit_stalls += o.stream_credit_stalls;
+    stream_fallbacks += o.stream_fallbacks;
+    stream_pool_denied += o.stream_pool_denied;
+    stream_aborts += o.stream_aborts;
+    stream_deadline_expiries += o.stream_deadline_expiries;
   }
 };
 

@@ -15,6 +15,7 @@
 #include "rpc/rpc.hpp"
 #include "rpcoib/rdma_client.hpp"
 #include "rpcoib/rdma_server.hpp"
+#include "rpcoib/stream/stream.hpp"
 #include "verbs/verbs.hpp"
 
 namespace rpcoib::oib {
@@ -47,6 +48,10 @@ struct EngineConfig {
   /// RPCoIB only: reroute to the companion socket listener when the QP
   /// bootstrap exchange fails (and run that listener server-side).
   bool socket_fallback = true;
+  /// Pipelined bulk streaming for the HDFS block pipeline and the shuffle
+  /// fetch path (stream.* knobs). Default-disabled: both data paths stay
+  /// byte-identical to the seed.
+  stream::StreamConfig stream{};
 };
 
 /// Owns the verbs stack for a testbed and stamps out clients/servers.

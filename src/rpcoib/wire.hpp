@@ -19,6 +19,15 @@
 //                                                     sub-frame is a complete kCall or
 //                                                     kResp frame (rpc::BatchConfig;
 //                                                     never emitted with batching off)
+//
+// Bulk-streaming control frames (src/rpcoib/stream; ride their own QP,
+// chunk data moves by RDMA WRITE with immediate):
+//   kStreamOpen   [u8][u64 sid][u64 total][u32 chunk][u32 depth][u32 mlen][meta]
+//   kStreamGrant  [u8][u64 sid][u8 accepted][u8 nslots][(u32 rkey)(u64 off)(u32 len)]*
+//   kStreamCredit [u8][u64 sid][u32 seq]
+//   kStreamDone   [u8][u64 sid][u8 status]
+//   kStreamAbort  [u8][u64 sid][u32 rlen][reason]
+//   kStreamFetch  [u8][u64 token][u32 mlen][meta]
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,12 @@ enum class FrameType : std::uint8_t {
   kAck = 4,
   kNack = 5,
   kBatch = 6,
+  kStreamOpen = 7,
+  kStreamGrant = 8,
+  kStreamCredit = 9,
+  kStreamDone = 10,
+  kStreamAbort = 11,
+  kStreamFetch = 12,
 };
 
 struct WireDefaults {

@@ -19,6 +19,14 @@
 //     co_await sock->write(wire);                 // OK
 //     co_await sock->write(out.take_pending());   // WRONG: double-free
 // Trivially destructible temporaries (spans, ints, net::Address) are safe.
+//
+// Second GCC 12 landmine: never use a co_await expression directly inside a
+// branch condition — GCC 12.2 lays out the coroutine frame inconsistently
+// between the ramp and the actor (off by 8 bytes; resumes read garbage
+// resume indices and hit ud2). Hoist the result to a named local:
+//     const bool ok = co_await gate.take(d);
+//     if (!ok) break;                             // OK
+//     if (!co_await gate.take(d)) break;          // WRONG: frame miscompile
 #pragma once
 
 #include <coroutine>

@@ -17,6 +17,7 @@ const char* category_name(Category c) {
     case Category::kFault: return "fault/recovery";
     case Category::kRetry: return "retry backoff";
     case Category::kOverload: return "overload/deadline";
+    case Category::kStream: return "bulk stream";
   }
   return "?";
 }

@@ -47,8 +47,9 @@ enum class Category : std::uint8_t {
   kFault,          // attempts lost to injected faults (timeout/transport)
   kRetry,          // backoff waits between retry attempts
   kOverload,       // admission shedding, deadline drops, retry-cache dedup
+  kStream,         // pipelined bulk streaming (chunk writes, credit waits)
 };
-inline constexpr int kCategoryCount = 13;
+inline constexpr int kCategoryCount = 14;
 
 const char* category_name(Category c);
 

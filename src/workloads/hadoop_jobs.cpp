@@ -181,16 +181,28 @@ CloudBurstResult run_cloudburst(RpcMode rpc_mode, std::uint64_t seed) {
 
 double run_hdfs_write(hdfs::DataMode data_mode, RpcMode rpc_mode, std::uint64_t file_bytes,
                       std::uint64_t seed, trace::TraceCollector* collector) {
+  return run_hdfs_write(data_mode, rpc_mode, file_bytes, HdfsWriteSetup{}, seed,
+                        collector);
+}
+
+double run_hdfs_write(hdfs::DataMode data_mode, RpcMode rpc_mode, std::uint64_t file_bytes,
+                      const HdfsWriteSetup& setup, std::uint64_t seed,
+                      trace::TraceCollector* collector) {
   Scheduler s;
-  // 32 DataNodes + NameNode + client on separate nodes (Fig. 7 setup).
-  net::TestbedConfig cfg = Testbed::cluster_a(34);
+  // DataNodes + NameNode + client on separate nodes (Fig. 7 setup: 32 DNs).
+  net::TestbedConfig cfg = Testbed::cluster_a(2 + setup.datanodes);
   cfg.seed = seed;
   Testbed tb(s, cfg);
   tb.set_tracer(collector);
-  RpcEngine engine(tb, EngineConfig{.mode = rpc_mode});
+  EngineConfig ec{.mode = rpc_mode};
+  ec.stream = setup.stream;
+  RpcEngine engine(tb, ec);
   std::vector<cluster::HostId> dns;
-  for (int i = 2; i < 34; ++i) dns.push_back(i);
-  hdfs::HdfsCluster cluster(engine, 0, dns, data_mode);
+  for (int i = 2; i < 2 + setup.datanodes; ++i) dns.push_back(i);
+  hdfs::HdfsConfig hcfg;
+  if (setup.block_size != 0) hcfg.block_size = setup.block_size;
+  if (setup.nn_syncs_per_block >= 0) hcfg.nn_syncs_per_block = setup.nn_syncs_per_block;
+  hdfs::HdfsCluster cluster(engine, 0, dns, data_mode, hcfg);
   cluster.start();
   // Let registrations land before timing starts.
   s.run_until(sim::millis(500));

@@ -60,6 +60,22 @@ double run_hdfs_write(hdfs::DataMode data_mode, oib::RpcMode rpc_mode,
                       std::uint64_t file_bytes, std::uint64_t seed = 7,
                       trace::TraceCollector* collector = nullptr);
 
+/// Deployment overrides for run_hdfs_write: bench_stream_bw shrinks the
+/// cluster to a single replica pipeline and strips the NameNode chatter to
+/// isolate data-path bandwidth; fig7's streamed row turns the bulk
+/// streaming subsystem on over the full 32-DataNode deployment.
+struct HdfsWriteSetup {
+  int datanodes = 32;
+  std::uint64_t block_size = 0;        // 0 = HdfsConfig default (64 MB)
+  int nn_syncs_per_block = -1;         // <0 = HdfsConfig default
+  oib::stream::StreamConfig stream{};  // disabled = legacy one-shot pipeline
+};
+
+double run_hdfs_write(hdfs::DataMode data_mode, oib::RpcMode rpc_mode,
+                      std::uint64_t file_bytes, const HdfsWriteSetup& setup,
+                      std::uint64_t seed = 7,
+                      trace::TraceCollector* collector = nullptr);
+
 struct HBaseRunResult {
   double throughput_kops = 0;
 };

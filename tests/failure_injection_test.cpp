@@ -241,6 +241,22 @@ int chaos_conns() {
   return env != nullptr ? static_cast<int>(std::strtoul(env, nullptr, 10)) : 6;
 }
 
+/// RPCOIB_STREAM_CHUNK_KB / RPCOIB_STREAM_DEPTH reshape the bulk-stream
+/// ring for the streamed chaos run: tiny chunks multiply the in-flight
+/// frame count a mid-stream abort must reclaim, and a depth-1 ring keeps
+/// the credit path saturated so faults land inside credit stalls.
+oib::stream::StreamConfig chaos_stream() {
+  oib::stream::StreamConfig c;
+  c.enabled = true;
+  if (const char* env = std::getenv("RPCOIB_STREAM_CHUNK_KB")) {
+    c.chunk_size = std::strtoull(env, nullptr, 10) << 10;
+  }
+  if (const char* env = std::getenv("RPCOIB_STREAM_DEPTH")) {
+    c.ring_depth = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return c;
+}
+
 Task delayed_echo(Scheduler& s, rpc::RpcClient& client, sim::Dur wait, int v, int& out,
                   bool& err) {
   co_await sim::delay(s, wait);
@@ -546,6 +562,64 @@ TEST(Chaos, HdfsPipelineRetriesThroughDatanodeLoss) {
   EXPECT_TRUE(done);
   EXPECT_GE(retried, 1u);
   cluster.stop();
+  s.drain_tasks();
+}
+
+TEST(Chaos, StreamedPipelineRetriesThroughDatanodeLoss) {
+  // Same datanode-loss schedule as above, but with the bulk-streaming
+  // subsystem carrying the blocks: a mid-stream loss must abort cleanly
+  // (no leaked registered chunks), the client must abandonBlock and
+  // re-drive the block, and the file must still complete fully replicated.
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_a(6));
+  oib::EngineConfig ec{.mode = RpcMode::kRpcoIB};
+  ec.stream = chaos_stream();
+  RpcEngine engine(tb, ec);
+  hdfs::HdfsConfig cfg;
+  cfg.block_size = 4ULL << 20;
+  cfg.pipeline_retries = 50;
+  cfg.heartbeat_interval = sim::seconds(2);
+  cfg.dn_dead_after = sim::seconds(6);
+  cfg.replication_check_interval = sim::seconds(2);
+  hdfs::HdfsCluster cluster(engine, 0, {2, 3, 4, 5}, hdfs::DataMode::kRdma, cfg);
+  cluster.start();
+  s.run_until(sim::seconds(1));  // registrations land
+
+  bool done = false;
+  std::uint64_t retried = 0;
+  std::uint64_t client_aborts = 0;
+  std::uint64_t client_opened = 0;
+  s.spawn([](Testbed& t, hdfs::HdfsCluster& hc, bool& ok, std::uint64_t& n,
+             std::uint64_t& aborts, std::uint64_t& opened) -> Task {
+    std::unique_ptr<hdfs::DFSClient> c = hc.make_client(t.host(1), "chaos-writer");
+    co_await c->write_file("/chaos/streamed", 128u << 20);
+    n = c->pipeline_retries_count();
+    if (c->stream_hub() != nullptr) {
+      aborts = c->stream_hub()->stats().stream_aborts;
+      opened = c->stream_hub()->stats().streams_opened;
+    }
+    ok = true;
+  }(tb, cluster, done, retried, client_aborts, client_opened));
+  s.run_until(s.now() + sim::millis(80));  // a few of the 32 blocks in flight
+  // One pipeline DataNode dies mid-write: its hub aborts every active
+  // stream, upstream writers see the abort, and the client re-drives the
+  // affected block through abandonBlock + fresh targets.
+  cluster.datanode_object(2)->stop();
+  s.run_until(sim::seconds(900));
+  EXPECT_TRUE(done);
+  EXPECT_GE(retried, 1u);
+  EXPECT_GE(client_opened, 32u);  // the blocks still went through streams
+  EXPECT_GE(client_aborts, 1u);   // at least the interrupted one aborted
+
+  cluster.stop();
+  s.run_until(s.now() + sim::seconds(1));
+  // Clean abort everywhere: no registered ring/staging slot leaked on any
+  // datanode hub, including the one that died mid-stream.
+  for (hdfs::DatanodeId id : {2, 3, 4, 5}) {
+    oib::stream::StreamHub* hub = cluster.datanode_object(id)->stream_hub();
+    ASSERT_NE(hub, nullptr) << id;
+    EXPECT_EQ(hub->pool().stats().acquires, hub->pool().stats().releases) << id;
+  }
   s.drain_tasks();
 }
 

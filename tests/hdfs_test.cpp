@@ -22,8 +22,10 @@ using sim::Task;
 struct Fixture {
   Fixture(Scheduler& s, RpcMode rpc_mode = RpcMode::kSocketIPoIB,
           DataMode data_mode = DataMode::kSocketIPoIB, int dns = 4, HdfsConfig cfg = {})
+      : Fixture(s, EngineConfig{.mode = rpc_mode}, data_mode, dns, cfg) {}
+  Fixture(Scheduler& s, EngineConfig ec, DataMode data_mode, int dns, HdfsConfig cfg = {})
       : tb(s, Testbed::cluster_a(2 + dns)),
-        engine(tb, EngineConfig{.mode = rpc_mode}),
+        engine(tb, ec),
         cluster(engine, /*nn_host=*/0, dn_hosts(dns), data_mode, cfg) {
     cluster.start();
   }
@@ -245,6 +247,146 @@ TEST(Hdfs, TotalDatanodeLossDoesNotCrashMonitor) {
   s.run_until(sim::seconds(180));
   // All replicas gone (data loss), monitor survived, no live datanodes.
   EXPECT_EQ(f.cluster.namenode().live_datanodes().size(), 0u);
+  f.cluster.stop();
+  s.drain_tasks();
+}
+
+// --- Streamed block pipeline -------------------------------------------------
+
+oib::EngineConfig stream_engine(RpcMode rpc_mode) {
+  oib::EngineConfig ec{.mode = rpc_mode};
+  ec.stream.enabled = true;
+  return ec;
+}
+
+/// Stream counters copied out of a hub before its owner dies.
+struct StreamCounters {
+  bool hub_present = false;
+  std::uint64_t opened = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t aborts = 0;
+};
+
+StreamCounters snap(oib::stream::StreamHub* hub) {
+  StreamCounters c;
+  if (hub == nullptr) return c;
+  c.hub_present = true;
+  const rpc::RpcStats& st = hub->stats();
+  c.opened = st.streams_opened;
+  c.chunks = st.stream_chunks;
+  c.bytes = st.stream_bytes;
+  c.fallbacks = st.stream_fallbacks;
+  c.denied = st.stream_pool_denied;
+  c.aborts = st.stream_aborts;
+  return c;
+}
+
+Task do_streamed_write(Fixture& f, std::uint64_t nbytes, StreamCounters& cs, bool& done) {
+  std::unique_ptr<DFSClient> c = f.cluster.make_client(f.tb.host(1), "stream-writer");
+  co_await c->write_file("/data/streamed", nbytes);
+  cs = snap(c->stream_hub());
+  done = true;
+}
+
+TEST(Hdfs, StreamedWriteReplicatesBlocksAndCountsChunks) {
+  Scheduler s;
+  HdfsConfig cfg;
+  cfg.block_size = 8 << 20;
+  Fixture f(s, stream_engine(RpcMode::kRpcoIB), DataMode::kRdma, 4, cfg);
+  StreamCounters cs;
+  bool done = false;
+  s.spawn(do_streamed_write(f, 20u << 20, cs, done));  // 20MB -> 8+8+4MB blocks
+  s.run_until(sim::seconds(120));
+  ASSERT_TRUE(done);
+
+  // Same replication invariant as the legacy pipeline...
+  NameNode& nn = f.cluster.namenode();
+  EXPECT_EQ(nn.file_length("/data/streamed"), 20u << 20);
+  EXPECT_EQ(nn.num_blocks(), 3u);
+  for (BlockId b = 1000; b < 1003; ++b) EXPECT_EQ(nn.replica_count(b), 3u) << b;
+
+  // ...but every block went through the client's stream hub: one stream
+  // per block, 256KB chunks (32 + 32 + 16), no fallback, no abort.
+  ASSERT_TRUE(cs.hub_present);
+  EXPECT_EQ(cs.opened, 3u);
+  EXPECT_EQ(cs.chunks, 80u);
+  EXPECT_EQ(cs.bytes, 20u << 20);
+  EXPECT_EQ(cs.fallbacks, 0u);
+  EXPECT_EQ(cs.aborts, 0u);
+
+  // The datanodes forwarded downstream through their own hubs (two forward
+  // legs per block on the writer side, reader-side grants on all three).
+  std::uint64_t dn_chunks = 0;
+  for (cluster::HostId h : Fixture::dn_hosts(4)) {
+    dn_chunks += snap(f.cluster.datanode_object(h)->stream_hub()).chunks;
+  }
+  EXPECT_GE(dn_chunks, 160u);  // >= 2 forward legs x 80 chunks
+
+  f.cluster.stop();
+  s.run_until(s.now() + sim::seconds(1));
+  // No leaked registered ring/staging slots anywhere.
+  for (cluster::HostId h : Fixture::dn_hosts(4)) {
+    oib::stream::StreamHub* hub = f.cluster.datanode_object(h)->stream_hub();
+    ASSERT_NE(hub, nullptr);
+    EXPECT_EQ(hub->pool().stats().acquires, hub->pool().stats().releases) << h;
+  }
+  s.drain_tasks();
+}
+
+TEST(Hdfs, StreamedWriteFasterThanOneShotAtLargeBlocks) {
+  // The acceptance shape of Fig. 7's streamed row: at the largest block
+  // size the pipelined chunks overlap serialization, wire, and downstream
+  // forwarding, beating the one-shot rendezvous block push.
+  auto time_for = [](bool streamed) {
+    Scheduler s;
+    HdfsConfig cfg;
+    cfg.block_size = 64ULL << 20;
+    oib::EngineConfig ec{.mode = RpcMode::kRpcoIB};
+    ec.stream.enabled = streamed;
+    Fixture f(s, ec, DataMode::kRdma, 4, cfg);
+    double secs = 0;
+    s.spawn(write_timed(f, 256u << 20, secs));
+    s.run_until(sim::seconds(600));
+    f.cluster.stop();
+    s.drain_tasks();
+    EXPECT_GT(secs, 0.0);
+    return secs;
+  };
+  const double one_shot = time_for(false);
+  const double piped = time_for(true);
+  EXPECT_LT(piped, one_shot);
+}
+
+TEST(Hdfs, CappedClientStreamPoolFallsBackToLegacyPipeline) {
+  Scheduler s;
+  HdfsConfig cfg;
+  cfg.block_size = 8 << 20;
+  // Socket RPC keeps the demand cap's blast radius off the RPC engine's own
+  // pools; the cap starves only the stream hubs. Connection bootstrap alone
+  // overruns a cap of 1, so no staging slot is ever granted.
+  oib::EngineConfig ec{.mode = RpcMode::kSocketIPoIB};
+  ec.stream.enabled = true;
+  ec.pool.demand_alloc_cap = 1;
+  Fixture f(s, ec, DataMode::kRdma, 3, cfg);
+  StreamCounters cs;
+  bool done = false;
+  s.spawn(do_streamed_write(f, 10u << 20, cs, done));
+  s.run_until(sim::seconds(120));
+  ASSERT_TRUE(done);
+
+  // The write degraded to the legacy one-shot pipeline and still
+  // replicated fully.
+  NameNode& nn = f.cluster.namenode();
+  EXPECT_EQ(nn.file_length("/data/streamed"), 10u << 20);
+  for (BlockId b = 1000; b < 1002; ++b) EXPECT_EQ(nn.replica_count(b), 3u) << b;
+  ASSERT_TRUE(cs.hub_present);
+  EXPECT_EQ(cs.opened, 0u);
+  EXPECT_GE(cs.denied, 1u);
+  EXPECT_GE(cs.fallbacks, 1u);
+
   f.cluster.stop();
   s.drain_tasks();
 }

@@ -22,8 +22,12 @@ struct Fixture {
   Fixture(Scheduler& s, int slaves = 4, RpcMode rpc_mode = RpcMode::kSocketIPoIB,
           hdfs::DataMode data_mode = hdfs::DataMode::kSocketIPoIB,
           hdfs::HdfsConfig hdfs_cfg = small_blocks(), TaskTrackerConfig tt_cfg = {})
+      : Fixture(s, slaves, EngineConfig{.mode = rpc_mode}, data_mode, hdfs_cfg, tt_cfg) {}
+  Fixture(Scheduler& s, int slaves, EngineConfig ec,
+          hdfs::DataMode data_mode = hdfs::DataMode::kSocketIPoIB,
+          hdfs::HdfsConfig hdfs_cfg = small_blocks(), TaskTrackerConfig tt_cfg = {})
       : tb(s, Testbed::cluster_a(1 + slaves)),
-        engine(tb, EngineConfig{.mode = rpc_mode}),
+        engine(tb, ec),
         hdfs_cluster(engine, 0, slave_ids(slaves), data_mode, hdfs_cfg),
         mr(engine, hdfs_cluster, 0, slave_ids(slaves), tt_cfg) {
     hdfs_cluster.start();
@@ -208,6 +212,61 @@ TEST(MapReduce, InjectedFailuresNeverSpeedTheJobUp) {
   EXPECT_GE(faulty, clean);
   EXPECT_TRUE(faulty_st.complete);
   EXPECT_EQ(faulty_st.maps_done, clean_st.maps_done);
+}
+
+TEST(MapReduce, StreamedShuffleFetchesSegmentsAndJobCompletes) {
+  Scheduler s;
+  oib::EngineConfig ec{.mode = RpcMode::kRpcoIB};
+  ec.stream.enabled = true;
+  // Tight slots spread the 8 maps and 4 reduces across all 4 trackers —
+  // with default slots the first heartbeat wins the whole job and every
+  // shuffle fetch is node-local (local segments never stream).
+  TaskTrackerConfig tt_cfg;
+  tt_cfg.map_slots = 2;
+  tt_cfg.reduce_slots = 1;
+  Fixture f(s, 4, ec, hdfs::DataMode::kRdma, Fixture::small_blocks(), tt_cfg);
+  // 64MB input / 8 maps / 4 reduces -> 2MB per-map segments, over the
+  // 1MB streaming threshold: remote fetches take the stream path.
+  double secs = 0;
+  s.spawn(run_job(f, small_sort_job(), secs));
+  s.run_until(sim::seconds(3600));
+  ASSERT_GT(secs, 0.0);
+  const JobStatus st = f.mr.jobtracker().status_of(1);
+  EXPECT_TRUE(st.complete);
+  EXPECT_EQ(st.maps_done, 8);
+  EXPECT_EQ(st.reduces_done, 4);
+
+  // Remote segments moved as streams: every tracker both served fetches
+  // (writer side) and consumed them (reader side) through its hub.
+  std::uint64_t opened = 0, chunks = 0, aborts = 0;
+  for (std::size_t i = 0; i < f.mr.num_tasktrackers(); ++i) {
+    TaskTracker* tt = f.mr.tasktracker(i);
+    ASSERT_NE(tt, nullptr);
+    ASSERT_NE(tt->stream_hub(), nullptr) << i;
+    const rpc::RpcStats& hs = tt->stream_hub()->stats();
+    opened += hs.streams_opened;
+    chunks += hs.stream_chunks;
+    aborts += hs.stream_aborts;
+  }
+  EXPECT_GT(opened, 0u);
+  // Each remote 2MB segment is 8 x 256KB chunks; with 32 fetches mostly
+  // remote, well over 100 chunks must have streamed.
+  EXPECT_GT(chunks, 100u);
+  EXPECT_EQ(aborts, 0u);
+
+  // Reduce outputs still land in HDFS with full replication.
+  hdfs::NameNode& nn = f.hdfs_cluster.namenode();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(nn.file_exists("/sort-out/part-r-" + std::to_string(r))) << r;
+  }
+
+  // Explicit teardown ahead of the fixture dtor (stops are idempotent):
+  // draining reclaims the hub connection loops so the streamed run stays
+  // leak-free under ASan.
+  f.mr.stop();
+  f.hdfs_cluster.stop();
+  s.run_until(s.now() + sim::seconds(1));
+  s.drain_tasks();
 }
 
 }  // namespace
