@@ -20,6 +20,13 @@ std::string json_out_arg(int argc, char** argv) {
   }
   return "";
 }
+
+std::string report_out_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) return argv[i] + 13;
+  }
+  return "";
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +62,46 @@ int main(int argc, char** argv) {
             << metrics::Table::pct((peak_rdma / peak_ipoib - 1.0) * 100.0, 0) << " vs IPoIB)\n"
             << "Paper: RPCoIB peak 135.22 Kops/s; +82% vs 10GigE; +64% vs IPoIB.\n";
 
+  // Shard-scaling sweep (server.shards): same workload at the two highest
+  // client counts, server receive/dispatch sharded 1-8 ways. The serial
+  // Reader/CQ loop is the unsharded server's throughput cap, so peak
+  // Kops/s should climb with the shard count; ci/check_bench.py gates the
+  // 4-shard over 1-shard ratio.
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  const std::vector<int> shard_clients = {32, 64};
+  metrics::print_banner(std::cout, "Shard scaling: peak Kops/sec vs server.shards");
+  metrics::Table st({"Shards", "RPC-IPoIB(32Gbps)", "RPCoIB(32Gbps)"});
+  std::vector<double> shard_peak_ipoib, shard_peak_rpcoib;
+  std::string shard_report;  // 4-shard RPCoIB resilience report (artifact)
+  for (int shards : shard_counts) {
+    std::string* report = shards == 4 ? &shard_report : nullptr;
+    std::vector<workloads::ThroughputResult> si = workloads::run_throughput(
+        RpcMode::kSocketIPoIB, shard_clients, 8, 512, kWindowMs, 1, shards);
+    std::vector<workloads::ThroughputResult> sr = workloads::run_throughput(
+        RpcMode::kRpcoIB, shard_clients, 8, 512, kWindowMs, 1, shards, report);
+    double pi = 0, pr = 0;
+    for (const auto& r : si) pi = std::max(pi, r.kops);
+    for (const auto& r : sr) pr = std::max(pr, r.kops);
+    shard_peak_ipoib.push_back(pi);
+    shard_peak_rpcoib.push_back(pr);
+    st.row({std::to_string(shards), metrics::Table::num(pi, 1), metrics::Table::num(pr, 1)});
+  }
+  st.print(std::cout);
+  std::cout << "4-shard / 1-shard RPCoIB peak: "
+            << metrics::Table::num(shard_peak_rpcoib[2] / shard_peak_rpcoib[0], 2) << "x\n";
+
+  // --report-out=FILE: the 4-shard RPCoIB resilience report with the
+  // per-shard shard.* counter rows (uploaded as a CI artifact).
+  if (const std::string report_path = report_out_arg(argc, argv); !report_path.empty()) {
+    std::ofstream rf(report_path);
+    if (!rf) {
+      std::cerr << "error: could not write " << report_path << "\n";
+      return 1;
+    }
+    rf << shard_report;
+    std::cout << "wrote " << report_path << "\n";
+  }
+
   // --json-out=FILE: machine-readable copy of the table for the CI
   // benchmark-regression gate (ci/check_bench.py).
   if (const std::string json_path = json_out_arg(argc, argv); !json_path.empty()) {
@@ -68,6 +115,13 @@ int main(int argc, char** argv) {
       js << "    {\"clients\": " << clients[i] << ", \"tengige_kops\": " << tengige[i].kops
          << ", \"ipoib_kops\": " << ipoib[i].kops << ", \"rpcoib_kops\": " << rpcoib[i].kops
          << "}" << (i + 1 < clients.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"shard_rows\": [\n";
+    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+      js << "    {\"shards\": " << shard_counts[i]
+         << ", \"ipoib_kops\": " << shard_peak_ipoib[i]
+         << ", \"rpcoib_kops\": " << shard_peak_rpcoib[i] << "}"
+         << (i + 1 < shard_counts.size() ? "," : "") << "\n";
     }
     js << "  ]\n}\n";
     std::cout << "wrote " << json_path << "\n";

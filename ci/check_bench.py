@@ -15,6 +15,7 @@ Stdlib only -- runs on a bare CI python3.
 """
 
 import json
+import os
 import sys
 
 
@@ -55,6 +56,24 @@ def check_fig5_throughput(t, data, failures):
     print(f"fig5b peak: rpcoib = {peak_rpcoib:.1f} Kops/s (min {kops_lim})")
     if peak_rpcoib < kops_lim:
         failures.append(f"fig5b peak: rpcoib {peak_rpcoib:.1f} Kops/s < {kops_lim}")
+
+    # Shard-scaling gate (server.shards): sharding the receive/dispatch
+    # chain must actually lift the throughput ceiling, and one shard must
+    # stay as fast as the seed's unsharded server.
+    shard_rows = {row["shards"]: row for row in data.get("shard_rows", [])}
+    if 1 not in shard_rows or 4 not in shard_rows:
+        failures.append("fig5b: missing shards=1 or shards=4 row in shard_rows")
+        return
+    scaling = shard_rows[4]["rpcoib_kops"] / shard_rows[1]["rpcoib_kops"]
+    lim = t["min_shard4_over_shard1_rpcoib"]
+    print(f"fig5b shards: rpcoib 4-shard/1-shard peak = {scaling:.3f}x (min {lim})")
+    if scaling < lim:
+        failures.append(f"fig5b shards: 4-shard/1-shard ratio {scaling:.3f} < {lim}")
+    base = shard_rows[1]["rpcoib_kops"]
+    lim = t["min_shard1_rpcoib_kops"]
+    print(f"fig5b shards: rpcoib 1-shard peak = {base:.1f} Kops/s (min {lim})")
+    if base < lim:
+        failures.append(f"fig5b shards: 1-shard rpcoib {base:.1f} Kops/s < {lim}")
 
 
 def check_fig5_batched(t, data, failures):
@@ -237,6 +256,23 @@ CHECKS = {
 }
 
 
+def write_step_summary(results, failures):
+    """Per-bench pass/fail markdown for the GitHub Actions step summary
+    (no-op outside Actions: $GITHUB_STEP_SUMMARY unset)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        f.write("### Bench gate\n\n| bench | result |\n|---|---|\n")
+        for bench, n_failed in results:
+            mark = "✅ pass" if n_failed == 0 else f"❌ {n_failed} failed"
+            f.write(f"| {bench} | {mark} |\n")
+        if failures:
+            f.write("\n")
+            for fail in failures:
+                f.write(f"- ❌ {fail}\n")
+
+
 def main(argv):
     if len(argv) < 3:
         print(
@@ -246,18 +282,23 @@ def main(argv):
         return 2
     thresholds = load(argv[1])
     failures = []
+    results = []  # (bench key, failure count) per input file, in order
 
     for path in argv[2:]:
         data = load(path)
         bench = data.get("bench")
+        before = len(failures)
         if bench not in CHECKS:
             failures.append(f"{path}: unknown bench {bench!r}")
-            continue
-        if bench not in thresholds:
+        elif bench not in thresholds:
             failures.append(f"{path}: no thresholds for {bench!r}")
-            continue
-        CHECKS[bench](thresholds[bench], data, failures)
+        else:
+            CHECKS[bench](thresholds[bench], data, failures)
+        results.append((bench or path, len(failures) - before))
 
+    write_step_summary(results, failures)
+    for bench, n_failed in results:
+        print(f"{bench}: {'pass' if n_failed == 0 else f'{n_failed} FAILED'}")
     if failures:
         print("\nbench gate: FAILED", file=sys.stderr)
         for f in failures:

@@ -1,0 +1,200 @@
+// Transport-independent per-shard call pipeline.
+//
+// Both servers used to carry a private copy of the same receive-side
+// chain: admission gate (decide / shed-newest / evict-oldest), enqueue
+// accounting, dequeue pairing, deadline bookkeeping, retry-cache dedup and
+// stop()-time drain. With the server sharded (server.shards), each reader
+// shard instantiates one CallPipeline over its own call queue, its own
+// AdmissionController/RetryCache and its own stats block, so shards never
+// share mutable state — the single-writer discipline the shard.* counters
+// document. The transport keeps what is genuinely transport-specific:
+// frame parsing, busy-frame encoding, trace-span emission and buffer
+// ownership.
+//
+// `Call` must expose a `sim::Time enqueued` member; the protocol string
+// used for per-protocol admission quotas is extracted through the functor
+// passed at construction (the two transports store it differently).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpc/overload.hpp"
+#include "rpc/stats.hpp"
+#include "sim/channel.hpp"
+#include "sim/random.hpp"
+
+namespace rpcoib::rpc {
+
+template <typename Call>
+class CallPipeline {
+ public:
+  using ProtocolFn = std::function<const std::string&(const Call&)>;
+
+  /// Fate of an arriving call at the admission gate.
+  enum class Gate {
+    kAdmit,        // push() it
+    kShedArrival,  // answer busy, drop the arrival
+    kEvictOldest,  // admit the arrival after evicting the queue head
+  };
+
+  CallPipeline(sim::Scheduler& sched, std::uint32_t shard_id, const OverloadConfig& cfg,
+               ProtocolFn protocol_of, std::uint64_t seed)
+      : shard_id_(shard_id),
+        queue_(std::make_unique<sim::Channel<Call>>(sched)),
+        protocol_of_(std::move(protocol_of)),
+        rng_(seed) {
+    if (cfg.admission_enabled()) admission_ = std::make_unique<AdmissionController>(cfg);
+    if (cfg.cache_enabled()) {
+      retry_cache_ = std::make_unique<RetryCache>(cfg.retry_cache_entries);
+    }
+  }
+
+  std::uint32_t shard_id() const { return shard_id_; }
+
+  /// True when the OverloadConfig turned the admission gate on (transports
+  /// skip admission-only work like header pre-parsing otherwise).
+  bool admission_enabled() const { return admission_ != nullptr; }
+
+  /// The shard's call queue. Handlers block on queue().recv() directly
+  /// (no extra coroutine layer) and pair it with note_dequeued().
+  sim::Channel<Call>& queue() { return *queue_; }
+
+  /// Admission decision for an arrival while the queue holds its current
+  /// depth. kAdmit when no admission control is configured.
+  Gate gate(const Call& call) const {
+    if (!admission_) return Gate::kAdmit;
+    switch (admission_->decide(queue_->size(), protocol_of_(call))) {
+      case AdmissionController::Decision::kShedNewest: return Gate::kShedArrival;
+      case AdmissionController::Decision::kShedOldest: return Gate::kEvictOldest;
+      case AdmissionController::Decision::kAdmit: break;
+    }
+    return Gate::kAdmit;
+  }
+
+  /// Pop the queue head for eviction (Gate::kEvictOldest), pairing the
+  /// admission accounting. False when every queued call is already claimed
+  /// by a waking handler — then the caller sheds the arrival instead so
+  /// the bound holds at every instant.
+  bool evict_oldest(Call& victim) {
+    if (!queue_->try_recv(victim)) return false;
+    if (admission_) admission_->on_dequeue(protocol_of_(victim));
+    return true;
+  }
+
+  /// Admit `call` into the shard queue: stamps `enqueued`, pairs the
+  /// admission accounting and tracks the depth high-water mark.
+  void push(Call call, sim::Time now) {
+    call.enqueued = now;
+    if (admission_) admission_->on_enqueue(protocol_of_(call));
+    queue_->push(std::move(call));
+    ++counters_.dispatched;
+    if (queue_->size() > stats_.queue_depth_peak) {
+      stats_.queue_depth_peak = queue_->size();
+    }
+    if (stats_.queue_depth_peak > counters_.queued_peak) {
+      counters_.queued_peak = stats_.queue_depth_peak;
+    }
+  }
+
+  /// Pair a blocking queue().recv() with the admission accounting.
+  void note_dequeued(const Call& call) {
+    if (admission_) admission_->on_dequeue(protocol_of_(call));
+  }
+
+  /// Non-blocking dequeue with the same pairing — the work-stealing path
+  /// (a sibling shard's idle handler) and opportunistic local pops.
+  bool try_take(Call& out) {
+    if (!queue_->try_recv(out)) return false;
+    if (admission_) admission_->on_dequeue(protocol_of_(out));
+    return true;
+  }
+
+  /// One call answered busy (admission shed or a capped-out pool).
+  void note_shed() {
+    ++stats_.calls_shed;
+    ++counters_.dropped;
+  }
+
+  /// Deadline check at dequeue: true means the caller already gave up and
+  /// the call must not cost a handler. Counts calls_expired.
+  bool expired_at_dequeue(sim::Time deadline, sim::Time now) {
+    if (deadline == 0 || now < deadline) return false;
+    ++stats_.calls_expired;
+    ++counters_.dropped;
+    return true;
+  }
+
+  /// Deadline check before sending: true means the handler ran but the
+  /// response would be ignored. Counts responses_expired (the call itself
+  /// still executed, so it is not a drop).
+  bool expired_before_response(sim::Time deadline, sim::Time now) {
+    if (deadline == 0 || now < deadline) return false;
+    ++stats_.responses_expired;
+    return true;
+  }
+
+  /// Drain every queued-but-unexecuted call at stop() with admission
+  /// pairing and drop accounting; returned so the transport can release
+  /// owned resources (pooled buffers) before closing the queue.
+  std::vector<Call> drain() {
+    std::vector<Call> out;
+    Call call;
+    while (queue_->try_recv(call)) {
+      if (admission_) admission_->on_dequeue(protocol_of_(call));
+      out.push_back(std::move(call));
+    }
+    stats_.dropped_on_stop += out.size();
+    counters_.dropped += out.size();
+    return out;
+  }
+
+  void close() { queue_->close(); }
+
+  /// Per-<conn, call> dedup cache; null when the config disables it.
+  RetryCache* retry_cache() { return retry_cache_.get(); }
+
+  /// This shard's stats block. Only this shard's loops write scalars here
+  /// (plus the stealing exception, which the counters record explicitly);
+  /// the server's stats() override folds the blocks into one view.
+  RpcStats& stats() { return stats_; }
+  ShardCounters& counters() { return counters_; }
+  const ShardCounters& counters() const { return counters_; }
+
+  /// Deterministic per-shard stream (seeded per shard at construction) for
+  /// tie-breaking decisions like the steal-scan start, so shard counts
+  /// never perturb a sibling's draws and seeded runs stay byte-identical.
+  sim::Rng& rng() { return rng_; }
+
+ private:
+  std::uint32_t shard_id_;
+  std::unique_ptr<sim::Channel<Call>> queue_;
+  ProtocolFn protocol_of_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<RetryCache> retry_cache_;
+  RpcStats stats_;
+  ShardCounters counters_;
+  sim::Rng rng_;
+};
+
+/// How often a stealing handler with nothing queued anywhere re-scans the
+/// sibling shards. Stealing handlers poll instead of parking on their own
+/// queue (a blocked recv never sees a sibling's backlog build), so this
+/// bounds both the steal latency and the idle event rate.
+inline constexpr sim::Dur kStealPollInterval = sim::micros(100);
+
+/// Per-shard seed derivation shared by both transports: a splitmix64-style
+/// mix of the server's base seed and the shard index, so every shard owns
+/// an independent deterministic stream.
+inline std::uint64_t shard_seed(std::uint64_t base, std::uint32_t shard_id) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (shard_id + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rpcoib::rpc

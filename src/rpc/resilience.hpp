@@ -3,6 +3,7 @@
 // the chaos suite can assert byte-identical reports across seeded runs.
 #pragma once
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 
@@ -67,6 +68,26 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"server recv ring bytes peak", std::to_string(server->recv_ring_bytes_peak)});
     t.row({"server responses dropped on stop",
            std::to_string(server->responses_dropped_on_stop)});
+    if (!server->shards.empty()) {
+      // Sharded receive path (server.shards): one row group per reader
+      // shard plus an imbalance summary, all integer-valued so the chaos
+      // suite's byte-identical assertions extend to the sharded layout.
+      t.row({"server shards", std::to_string(server->shards.size())});
+      std::uint64_t max_disp = 0, min_disp = ~std::uint64_t{0};
+      for (std::size_t i = 0; i < server->shards.size(); ++i) {
+        const ShardCounters& sc = server->shards[i];
+        const std::string p = "shard " + std::to_string(i) + " ";
+        t.row({p + "conns", std::to_string(sc.conns_assigned)});
+        t.row({p + "dispatched", std::to_string(sc.dispatched)});
+        t.row({p + "queue peak", std::to_string(sc.queued_peak)});
+        t.row({p + "dropped", std::to_string(sc.dropped)});
+        t.row({p + "steals", std::to_string(sc.steals)});
+        t.row({p + "stolen", std::to_string(sc.stolen)});
+        max_disp = std::max(max_disp, sc.dispatched);
+        min_disp = std::min(min_disp, sc.dispatched);
+      }
+      t.row({"shard dispatch spread (max-min)", std::to_string(max_disp - min_disp)});
+    }
   }
   std::ostringstream os;
   t.print(os);

@@ -90,8 +90,11 @@ class RpcServer {
   /// stop() the simulation can run to quiescence.
   virtual void stop() = 0;
 
-  RpcStats& stats() { return stats_; }
-  const RpcStats& stats() const { return stats_; }
+  /// Server-side counters. Sharded servers override this to fold their
+  /// per-shard stat blocks into one view on demand (the per-shard blocks
+  /// stay single-writer; only this read path aggregates).
+  virtual RpcStats& stats() { return stats_; }
+  virtual const RpcStats& stats() const { return stats_; }
 
   /// Overload-protection knobs (bounded queue, admission policy, retry
   /// cache). Set before start(); the default keeps the seed's unbounded

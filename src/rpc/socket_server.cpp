@@ -22,31 +22,40 @@ class ReaderSlotGuard {
 }  // namespace
 
 SocketRpcServer::SocketRpcServer(cluster::Host& host, net::SocketTable& sockets,
-                                 net::Address addr, int num_handlers, int num_readers)
+                                 net::Address addr, int num_handlers, int num_readers,
+                                 int num_shards, bool steal)
     : host_(host),
       sockets_(sockets),
       addr_(addr),
       num_handlers_(num_handlers),
-      num_readers_(num_readers) {}
+      num_readers_(num_readers),
+      num_shards_(num_shards < 1 ? 1 : num_shards),
+      steal_(steal) {}
 
 SocketRpcServer::~SocketRpcServer() { stop(); }
 
 void SocketRpcServer::start() {
   if (running_) return;
   running_ = true;
-  call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
-  response_queue_ = std::make_unique<sim::Channel<Response>>(host_.sched());
-  reader_slots_ = std::make_unique<sim::Semaphore>(host_.sched(), num_readers_);
-  admission_ = overload_.admission_enabled()
-                   ? std::make_unique<AdmissionController>(overload_)
-                   : nullptr;
-  retry_cache_ = overload_.cache_enabled()
-                     ? std::make_unique<RetryCache>(overload_.retry_cache_entries)
-                     : nullptr;
+  shards_.clear();
+  for (int i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        host_.sched(), static_cast<std::uint32_t>(i), overload_, num_readers_,
+        shard_seed(host_.id(), static_cast<std::uint32_t>(i))));
+  }
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
-  for (int i = 0; i < num_handlers_; ++i) host_.sched().spawn(handler_loop(i));
-  host_.sched().spawn(responder_loop());
+  // Handlers split across shards (every shard keeps at least one); with
+  // one shard the ids and spawn order are exactly the unsharded server's.
+  int handler_id = 0;
+  for (int i = 0; i < num_shards_; ++i) {
+    int mine = num_handlers_ / num_shards_ + (i < num_handlers_ % num_shards_ ? 1 : 0);
+    if (mine < 1) mine = 1;
+    for (int h = 0; h < mine; ++h) {
+      host_.sched().spawn(handler_loop(*shards_[static_cast<std::size_t>(i)], handler_id++));
+    }
+    host_.sched().spawn(responder_loop(*shards_[static_cast<std::size_t>(i)]));
+  }
 }
 
 void SocketRpcServer::stop() {
@@ -54,27 +63,67 @@ void SocketRpcServer::stop() {
   running_ = false;
   sockets_.unlisten(addr_);
   listener_ = nullptr;
-  // Queued-but-unexecuted calls must not vanish silently: drain them with
-  // accounting. Their callers observe a transport error when the
-  // connections close below, so every dropped call is surfaced.
-  if (call_queue_) {
-    ServerCall call;
-    while (call_queue_->try_recv(call)) {
-      if (admission_) admission_->on_dequeue(call.key.protocol);
-      ++stats_.dropped_on_stop;
-    }
-    call_queue_->close();
+  // Queued-but-unexecuted calls must not vanish silently: every shard
+  // drains with accounting. Their callers observe a transport error when
+  // the connections close below, so every dropped call is surfaced.
+  for (auto& sh : shards_) {
+    (void)sh->pipeline.drain();
+    sh->pipeline.close();
   }
-  for (net::SocketPtr& c : conns_) c->close();
-  conns_.clear();
+  for (auto& sh : shards_) {
+    for (net::SocketPtr& c : sh->conns) c->close();
+    sh->conns.clear();
+  }
   // Executed-but-unsent responses are equally accounted: the handler ran,
   // but the responder never wrote the frame (callers see the closed
   // connection as a transport error and may retry via the retry cache).
-  if (response_queue_) {
+  for (auto& sh : shards_) {
     Response resp;
-    while (response_queue_->try_recv(resp)) ++stats_.responses_dropped_on_stop;
-    response_queue_->close();
+    while (sh->response_queue.try_recv(resp)) {
+      ++sh->pipeline.stats().responses_dropped_on_stop;
+    }
+    sh->response_queue.close();
   }
+}
+
+RpcStats& SocketRpcServer::stats() {
+  sync_stats();
+  return stats_;
+}
+
+const RpcStats& SocketRpcServer::stats() const {
+  const_cast<SocketRpcServer*>(this)->sync_stats();
+  return stats_;
+}
+
+void SocketRpcServer::sync_stats() {
+  if (shards_.empty()) return;
+  RpcStats agg;
+  for (const auto& sh : shards_) {
+    agg.merge_resilience(sh->pipeline.stats());
+    agg.calls_handled += sh->pipeline.stats().calls_handled;
+    agg.recv_alloc_us.merge(sh->pipeline.stats().recv_alloc_us);
+    agg.recv_total_us.merge(sh->pipeline.stats().recv_total_us);
+    agg.shards.push_back(sh->pipeline.counters());
+  }
+  // Only overwrite the shard-sourced fields; anything written directly to
+  // stats_ by non-shard code stays untouched.
+  stats_.calls_handled = agg.calls_handled;
+  stats_.calls_shed = agg.calls_shed;
+  stats_.calls_expired = agg.calls_expired;
+  stats_.responses_expired = agg.responses_expired;
+  stats_.dedup_hits = agg.dedup_hits;
+  stats_.dedup_in_flight = agg.dedup_in_flight;
+  stats_.dropped_on_stop = agg.dropped_on_stop;
+  stats_.responses_dropped_on_stop = agg.responses_dropped_on_stop;
+  stats_.queue_depth_peak = agg.queue_depth_peak;
+  stats_.batches_received = agg.batches_received;
+  stats_.batched_calls_received = agg.batched_calls_received;
+  stats_.response_batches = agg.response_batches;
+  stats_.batched_responses = agg.batched_responses;
+  stats_.recv_alloc_us = agg.recv_alloc_us;
+  stats_.recv_total_us = agg.recv_total_us;
+  stats_.shards = std::move(agg.shards);
 }
 
 sim::Task SocketRpcServer::listener_loop() {
@@ -82,8 +131,13 @@ sim::Task SocketRpcServer::listener_loop() {
   try {
     for (;;) {
       net::SocketPtr conn = co_await l->accept();
-      conns_.push_back(conn);
-      host_.sched().spawn(reader_loop(std::move(conn), ++conn_seq_));
+      const std::uint64_t conn_id = ++conn_seq_;
+      // Stable affinity: a connection's shard is a pure function of its
+      // dense id, so reconnects and seeded replays land deterministically.
+      Shard& shard = *shards_[(conn_id - 1) % shards_.size()];
+      ++shard.pipeline.counters().conns_assigned;
+      shard.conns.push_back(conn);
+      host_.sched().spawn(reader_loop(std::move(conn), conn_id, shard));
     }
   } catch (const sim::ChannelClosed&) {
     // stop() shut the listener down.
@@ -107,17 +161,8 @@ net::Bytes SocketRpcServer::status_frame(std::uint64_t id, RpcStatus status,
   return frame.take_pending();
 }
 
-void SocketRpcServer::enqueue(ServerCall call) {
-  call.enqueued = host_.sched().now();
-  if (admission_) admission_->on_enqueue(call.key.protocol);
-  call_queue_->push(std::move(call));
-  if (call_queue_->size() > stats_.queue_depth_peak) {
-    stats_.queue_depth_peak = call_queue_->size();
-  }
-}
-
-void SocketRpcServer::shed(const ServerCall& call) {
-  ++stats_.calls_shed;
+void SocketRpcServer::shed(Shard& shard, const ServerCall& call) {
+  shard.pipeline.note_shed();
   if (call.ctx.valid()) {
     if (trace::TraceCollector* tr = trace::active(host_.tracer())) {
       tr->add_complete("overload.shed:" + call.key.method, trace::Kind::kServer,
@@ -126,11 +171,12 @@ void SocketRpcServer::shed(const ServerCall& call) {
                        host_.sched().now());
     }
   }
-  response_queue_->push(Response{
+  shard.response_queue.push(Response{
       call.conn, status_frame(call.id, RpcStatus::kBusy, "server busy: call queue full")});
 }
 
-sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_id) {
+sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_id,
+                                       Shard& shard) {
   const cluster::CostModel& cm = host_.cost();
   try {
     // The connection's receive CPU is paid inside the Reader critical
@@ -143,13 +189,14 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
     for (;;) {
       // Listing 2, lines 3-5: 4-byte length buffer. Waiting for the call
       // to start arriving is idle time; once readable, the connection's
-      // processing serializes through the Reader thread pool (default 1,
-      // Hadoop's selector model) — the socket server's throughput cap.
+      // processing serializes through the shard's Reader thread pool
+      // (default 1, Hadoop's selector model) — the socket server's
+      // throughput cap, and the contention point sharding splits.
       net::Bytes len_buf(4);
       co_await conn->read_full(len_buf);
-      co_await reader_slots_->acquire();
+      co_await shard.reader_slots.acquire();
       // From here to release() any exception must free the Reader slot.
-      ReaderSlotGuard slot_guard(*reader_slots_);
+      ReaderSlotGuard slot_guard(shard.reader_slots);
       const sim::Time t_recv_start = host_.sched().now();
       sim::Dur alloc_cost = cm.heap_alloc(4);
       co_await host_.compute(conn->take_rx_charge() + cm.selector() + 2 * cm.syscall() +
@@ -174,7 +221,7 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
       DataInputBuffer peek(cm, frame);
       const std::uint64_t first = peek.read_u64();
       if ((first & trace::kWireBatchFlag) != 0) {
-        ++stats_.batches_received;
+        ++shard.pipeline.stats().batches_received;
         const std::size_t count = first & kWireBatchCountMask;
         std::vector<std::uint32_t> lens(count);
         for (std::size_t i = 0; i < count; ++i) lens[i] = peek.read_u32();
@@ -185,11 +232,11 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
           net::Bytes sub(frame.begin() + static_cast<std::ptrdiff_t>(off),
                          frame.begin() + static_cast<std::ptrdiff_t>(off + lens[i]));
           off += lens[i];
-          ++stats_.batched_calls_received;
+          ++shard.pipeline.stats().batched_calls_received;
           const sim::Dur sub_alloc = cm.heap_alloc(lens[i]);
           co_await host_.compute(sub_alloc);
           const trace::TraceContext ctx = co_await process_frame(
-              conn, conn_id, std::move(sub), t_recv_start, alloc_cost + sub_alloc);
+              conn, conn_id, shard, std::move(sub), t_recv_start, alloc_cost + sub_alloc);
           if (!first_ctx.valid()) first_ctx = ctx;
         }
         if (first_ctx.valid()) {
@@ -199,7 +246,8 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
           }
         }
       } else {
-        co_await process_frame(conn, conn_id, std::move(frame), t_recv_start, alloc_cost);
+        co_await process_frame(conn, conn_id, shard, std::move(frame), t_recv_start,
+                               alloc_cost);
       }
     }
   } catch (const net::SocketError&) {
@@ -210,7 +258,7 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
 
 sim::Co<trace::TraceContext> SocketRpcServer::process_frame(net::SocketPtr conn,
                                                             std::uint64_t conn_id,
-                                                            net::Bytes frame,
+                                                            Shard& shard, net::Bytes frame,
                                                             sim::Time t_recv_start,
                                                             sim::Dur alloc_cost) {
   const cluster::CostModel& cm = host_.cost();
@@ -240,49 +288,75 @@ sim::Co<trace::TraceContext> SocketRpcServer::process_frame(net::SocketPtr conn,
   const trace::TraceContext ctx = call.ctx;
   call.conn = std::move(conn);
   call.conn_id = conn_id;
+  call.shard = shard.index;
   call.frame = std::move(frame);
 
   // Admission control: shed beyond the configured bound while the
   // call is still cheap — before it costs a handler.
-  if (admission_) {
-    const AdmissionController::Decision d =
-        admission_->decide(call_queue_->size(), call.key.protocol);
-    if (d == AdmissionController::Decision::kShedNewest) {
-      shed(call);
+  switch (shard.pipeline.gate(call)) {
+    case CallPipeline<ServerCall>::Gate::kShedArrival:
+      shed(shard, call);
       co_return ctx;
-    }
-    if (d == AdmissionController::Decision::kShedOldest) {
+    case CallPipeline<ServerCall>::Gate::kEvictOldest: {
       // Evict before enqueueing so the bound holds at every instant.
-      // try_recv can only miss when every queued call is already
+      // evict_oldest can only miss when every queued call is already
       // claimed by a waking handler; then the arrival is shed instead.
       ServerCall victim;
-      if (call_queue_->try_recv(victim)) {
-        admission_->on_dequeue(victim.key.protocol);
-        shed(victim);
+      if (shard.pipeline.evict_oldest(victim)) {
+        shed(shard, victim);
       } else {
-        shed(call);
+        shed(shard, call);
         co_return ctx;
       }
+      break;
     }
+    case CallPipeline<ServerCall>::Gate::kAdmit:
+      break;
   }
-  enqueue(std::move(call));
+  shard.pipeline.push(std::move(call), host_.sched().now());
   co_return ctx;
 }
 
-sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
+sim::Task SocketRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
   const cluster::CostModel& cm = host_.cost();
   try {
     for (;;) {
-      ServerCall call = co_await call_queue_->recv();
+      ServerCall call;
+      bool have = false;
+      // Stealing handlers poll rather than park on their own queue: a
+      // blocked recv() would never see a sibling's backlog build up.
+      while (steal_ && shards_.size() > 1 && !have && !home.pipeline.queue().closed()) {
+        have = home.pipeline.try_take(call);
+        if (!have) {
+          // Per-shard seeded scan start spreads thieves over victims.
+          const std::size_t start = static_cast<std::size_t>(
+              home.pipeline.rng().next_below(shards_.size()));
+          for (std::size_t k = 0; k < shards_.size() && !have; ++k) {
+            const std::size_t v = (start + k) % shards_.size();
+            if (v == home.index) continue;
+            if (shards_[v]->pipeline.try_take(call)) {
+              have = true;
+              ++home.pipeline.counters().steals;
+              ++shards_[v]->pipeline.counters().stolen;
+            }
+          }
+        }
+        if (!have) co_await sim::delay(host_.sched(), kStealPollInterval);
+      }
+      if (!have) {
+        call = co_await home.pipeline.queue().recv();
+        home.pipeline.note_dequeued(call);
+      }
+      // All per-call bookkeeping (stats, retry cache, responder) stays on
+      // the call's home shard even when a sibling handler stole it.
+      Shard& shard = *shards_[call.shard];
       const sim::Time t_dequeue = host_.sched().now();
-      if (admission_) admission_->on_dequeue(call.key.protocol);
       trace::TraceCollector* tr =
           call.ctx.valid() ? trace::active(host_.tracer()) : nullptr;
 
       // Deadline check at dequeue: the caller already gave up, so don't
       // burn a handler on it (and nobody is waiting for a response).
-      if (call.deadline != 0 && t_dequeue >= call.deadline) {
-        ++stats_.calls_expired;
+      if (shard.pipeline.expired_at_dequeue(call.deadline, t_dequeue)) {
         if (tr != nullptr) {
           tr->add_complete("deadline.expired:" + call.key.method, trace::Kind::kServer,
                            trace::Category::kOverload, call.ctx, host_.id(),
@@ -298,23 +372,23 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
       // Retry cache: a repeated <connection, call id> is a client retry.
       // Re-send the stored response rather than re-executing the handler
       // (the non-idempotent-safety contract of RpcRetryPolicy).
-      if (retry_cache_) {
-        const RetryCache::State st = retry_cache_->begin(call.conn_id, call.id);
+      if (RetryCache* retry_cache = shard.pipeline.retry_cache()) {
+        const RetryCache::State st = retry_cache->begin(call.conn_id, call.id);
         if (st == RetryCache::State::kCompleted) {
-          ++stats_.dedup_hits;
+          ++shard.pipeline.stats().dedup_hits;
           if (tr != nullptr) {
             tr->add_complete("overload.dedup:" + call.key.method, trace::Kind::kServer,
                              trace::Category::kOverload, call.ctx, host_.id(), t_dequeue,
                              host_.sched().now());
           }
-          response_queue_->push(
-              Response{call.conn, *retry_cache_->completed_frame(call.conn_id, call.id)});
+          shard.response_queue.push(
+              Response{call.conn, *retry_cache->completed_frame(call.conn_id, call.id)});
           continue;
         }
         if (st == RetryCache::State::kInProgress) {
           // First attempt still executing; it (or the cache on the next
           // retry) will answer. Running twice is the one forbidden outcome.
-          ++stats_.dedup_in_flight;
+          ++shard.pipeline.stats().dedup_in_flight;
           continue;
         }
       }
@@ -346,8 +420,10 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
 
       // The receive path per Listing 2 runs through deserialization;
       // Fig. 1 compares its allocation share to its total duration.
-      stats_.recv_alloc_us.add(sim::to_us(call.recv_alloc + in.take_alloc_accrued()));
-      stats_.recv_total_us.add(sim::to_us(host_.sched().now() - call.recv_start));
+      shard.pipeline.stats().recv_alloc_us.add(
+          sim::to_us(call.recv_alloc + in.take_alloc_accrued()));
+      shard.pipeline.stats().recv_total_us.add(
+          sim::to_us(host_.sched().now() - call.recv_start));
 
       // Frame the response: [len][id][status][value|error text].
       BufferedOutputStream frame(cm);
@@ -367,26 +443,27 @@ sim::Task SocketRpcServer::handler_loop(int /*handler_id*/) {
       net::Bytes wire = frame.take_pending();
       // The executed outcome must survive even when the response is
       // dropped below: the caller's retry is answered from the cache.
-      if (retry_cache_) retry_cache_->complete(call.conn_id, call.id, wire);
-      if (call.deadline != 0 && host_.sched().now() >= call.deadline) {
+      if (RetryCache* retry_cache = shard.pipeline.retry_cache()) {
+        retry_cache->complete(call.conn_id, call.id, wire);
+      }
+      if (shard.pipeline.expired_before_response(call.deadline, host_.sched().now())) {
         // Executed past the caller's deadline: the response would be
         // ignored, so don't spend the Responder + wire on it.
-        ++stats_.responses_expired;
         if (tr != nullptr) {
           tr->add_complete("deadline.response:" + call.key.method, trace::Kind::kServer,
                            trace::Category::kOverload, call.ctx, host_.id(),
                            host_.sched().now(), host_.sched().now());
         }
       } else {
-        response_queue_->push(Response{call.conn, std::move(wire)});
+        shard.response_queue.push(Response{call.conn, std::move(wire)});
       }
-      ++stats_.calls_handled;
+      ++shard.pipeline.stats().calls_handled;
     }
   } catch (const sim::ChannelClosed&) {
   }
 }
 
-sim::Co<void> SocketRpcServer::write_response_batch(net::SocketPtr conn,
+sim::Co<void> SocketRpcServer::write_response_batch(Shard& shard, net::SocketPtr conn,
                                                     const std::vector<Response*>& group,
                                                     std::size_t begin, std::size_t end) {
   const cluster::CostModel& cm = host_.cost();
@@ -407,8 +484,8 @@ sim::Co<void> SocketRpcServer::write_response_batch(net::SocketPtr conn,
   out.flush();
   co_await host_.compute(out.take_accrued());
   net::Bytes wire = out.take_pending();
-  ++stats_.response_batches;
-  stats_.batched_responses += n;
+  ++shard.pipeline.stats().response_batches;
+  shard.pipeline.stats().batched_responses += n;
   try {
     co_await conn->write(wire);
   } catch (const net::SocketError&) {
@@ -416,10 +493,10 @@ sim::Co<void> SocketRpcServer::write_response_batch(net::SocketPtr conn,
   }
 }
 
-sim::Task SocketRpcServer::responder_loop() {
+sim::Task SocketRpcServer::responder_loop(Shard& shard) {
   try {
     for (;;) {
-      Response r = co_await response_queue_->recv();
+      Response r = co_await shard.response_queue.recv();
       if (!batch_.enabled) {
         try {
           co_await r.conn->write(r.data);
@@ -436,15 +513,17 @@ sim::Task SocketRpcServer::responder_loop() {
       // that is what turns a burst of handler finishes into one wire write
       // per connection, and what keeps the callers on a shared connection
       // waking in sync (sustaining client-side call coalescing). Sparse
-      // completions skip the wait entirely.
-      resp_gaps_.note(host_.sched().now());
-      const sim::Dur resp_linger = resp_gaps_.linger(batch_.linger / 4);
+      // completions skip the wait entirely. Connections never migrate
+      // between shards, so a connection's responses always coalesce within
+      // its home shard's Responder — never across shards.
+      shard.resp_gaps.note(host_.sched().now());
+      const sim::Dur resp_linger = shard.resp_gaps.linger(batch_.linger / 4);
       if (resp_linger > 0) co_await sim::delay(host_.sched(), resp_linger);
       std::vector<Response> round;
       round.push_back(std::move(r));
       {
         Response more;
-        while (response_queue_->try_recv(more)) round.push_back(std::move(more));
+        while (shard.response_queue.try_recv(more)) round.push_back(std::move(more));
       }
       std::vector<net::SocketPtr> order;
       for (const Response& resp : round) {
@@ -479,7 +558,7 @@ sim::Task SocketRpcServer::responder_loop() {
             ++j;
           }
           if (j - i >= 2) {
-            co_await write_response_batch(conn, mine, i, j);
+            co_await write_response_batch(shard, conn, mine, i, j);
             i = j;
           } else {
             try {

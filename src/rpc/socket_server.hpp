@@ -14,12 +14,21 @@
 // per call) and the Responder merges queued small responses per
 // connection into one wire write. Batch frames are always *parsed*;
 // the knob only gates emission.
+//
+// `num_shards` > 1 breaks the serial-Reader ceiling: connections are
+// assigned round-robin (by dense connection id) to independent shards,
+// each owning its own Reader slot pool, CallPipeline (call queue +
+// admission + retry cache), handler subset and Responder — so no receive,
+// dispatch or response work ever contends across shards. The default of 1
+// keeps the server operation-for-operation identical to the unsharded
+// code.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "rpc/pipeline.hpp"
 #include "rpc/rpc.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
@@ -30,22 +39,32 @@ namespace rpcoib::rpc {
 class SocketRpcServer final : public RpcServer {
  public:
   /// `num_readers` models Hadoop's Reader thread count (default 1, as in
-  /// Hadoop 1.0.3): all connections' receive processing serializes
-  /// through this many threads, which is what caps socket-RPC throughput.
+  /// Hadoop 1.0.3): all of a shard's connections serialize their receive
+  /// processing through this many threads, which is what caps socket-RPC
+  /// throughput. `num_shards` replicates the whole Reader/queue/Handler/
+  /// Responder chain; `steal` lets an idle shard's handlers take queued
+  /// calls from siblings (off by default — stealing trades the strict
+  /// per-shard ordering for utilization).
   SocketRpcServer(cluster::Host& host, net::SocketTable& sockets, net::Address addr,
-                  int num_handlers, int num_readers = 1);
+                  int num_handlers, int num_readers = 1, int num_shards = 1,
+                  bool steal = false);
   ~SocketRpcServer() override;
 
   void start() override;
   void stop() override;
 
+  RpcStats& stats() override;
+  const RpcStats& stats() const override;
+
   cluster::Host& host() const { return host_; }
   const net::Address& addr() const { return addr_; }
+  int num_shards() const { return num_shards_; }
 
  private:
   struct ServerCall {
     net::SocketPtr conn;
     std::uint64_t conn_id = 0;  // dense per-server connection sequence number
+    std::uint32_t shard = 0;    // home shard (== conn_id's shard)
     std::uint64_t id = 0;
     MethodKey key;
     net::Bytes frame;        // full received frame
@@ -61,43 +80,61 @@ class SocketRpcServer final : public RpcServer {
     net::Bytes data;
   };
 
+  /// One reader shard: a disjoint set of connections with its own Reader
+  /// slots, pipeline (queue/admission/cache/stats), and Responder.
+  struct Shard {
+    Shard(sim::Scheduler& sched, std::uint32_t index, const OverloadConfig& cfg,
+          int readers, std::uint64_t seed)
+        : index(index),
+          pipeline(sched, index, cfg,
+                   [](const ServerCall& c) -> const std::string& { return c.key.protocol; },
+                   seed),
+          response_queue(sched),
+          reader_slots(sched, readers) {}
+
+    std::uint32_t index;
+    CallPipeline<ServerCall> pipeline;
+    sim::Channel<Response> response_queue;
+    sim::Semaphore reader_slots;
+    std::vector<net::SocketPtr> conns;
+    LingerEstimator resp_gaps;  // responder-side adaptive-linger estimator
+  };
+
   sim::Task listener_loop();
-  sim::Task reader_loop(net::SocketPtr conn, std::uint64_t conn_id);
-  sim::Task handler_loop(int handler_id);
-  sim::Task responder_loop();
+  sim::Task reader_loop(net::SocketPtr conn, std::uint64_t conn_id, Shard& shard);
+  sim::Task handler_loop(Shard& home, int handler_id);
+  sim::Task responder_loop(Shard& shard);
 
   /// One call's receive-side processing (header parse, admission,
   /// enqueue) — the unit shared by the single-frame path and each
   /// sub-call of a batch frame. Returns the call's trace context so the
   /// batch path can parent its batch.parse span.
   sim::Co<trace::TraceContext> process_frame(net::SocketPtr conn, std::uint64_t conn_id,
-                                             net::Bytes frame, sim::Time t_recv_start,
-                                             sim::Dur alloc_cost);
+                                             Shard& shard, net::Bytes frame,
+                                             sim::Time t_recv_start, sim::Dur alloc_cost);
   /// Coalesce group[begin..end) (small responses for one connection) into
   /// a single [u32 total][u64 kWireBatchFlag|n][u32 len_i][payload_i...]
   /// frame and write it.
-  sim::Co<void> write_response_batch(net::SocketPtr conn,
+  sim::Co<void> write_response_batch(Shard& shard, net::SocketPtr conn,
                                      const std::vector<Response*>& group,
                                      std::size_t begin, std::size_t end);
 
   net::Bytes status_frame(std::uint64_t id, RpcStatus status, const std::string& msg);
-  void enqueue(ServerCall call);
-  void shed(const ServerCall& call);
+  void shed(Shard& shard, const ServerCall& call);
+  /// Fold the per-shard stat blocks into stats_ (idempotent; the scalar
+  /// aggregates are rebuilt from scratch on every call).
+  void sync_stats();
 
   cluster::Host& host_;
   net::SocketTable& sockets_;
   net::Address addr_;
   int num_handlers_;
-  std::unique_ptr<sim::Semaphore> reader_slots_;
   int num_readers_;
+  int num_shards_;
+  bool steal_;
   net::Listener* listener_ = nullptr;
-  std::unique_ptr<sim::Channel<ServerCall>> call_queue_;
-  std::unique_ptr<sim::Channel<Response>> response_queue_;
-  std::unique_ptr<AdmissionController> admission_;
-  std::unique_ptr<RetryCache> retry_cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t conn_seq_ = 0;
-  std::vector<net::SocketPtr> conns_;
-  LingerEstimator resp_gaps_;  // responder-side adaptive-linger estimator
   bool running_ = false;
 };
 

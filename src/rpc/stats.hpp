@@ -27,6 +27,19 @@ struct MethodProfile {
   std::uint64_t sequence_dropped = 0;         // sizes not stored due to the cap
 };
 
+/// Per-shard receive/dispatch counters (server.shards). One block per
+/// reader shard, written only by that shard's loops (single-writer
+/// discipline); RpcServer::stats() snapshots every block into
+/// RpcStats::shards so the resilience report can show the shard.* rows.
+struct ShardCounters {
+  std::uint64_t conns_assigned = 0;  // connections homed on this shard
+  std::uint64_t dispatched = 0;      // calls admitted into the shard queue
+  std::uint64_t queued_peak = 0;     // shard call-queue high-water mark
+  std::uint64_t dropped = 0;         // shed + expired + dropped at stop()
+  std::uint64_t steals = 0;          // calls this shard's handlers took from siblings
+  std::uint64_t stolen = 0;          // calls sibling handlers took from this shard
+};
+
 struct RpcStats {
   /// When true, every call appends its size to the per-method sequence
   /// (Fig. 3 traces; off by default to bound memory).
@@ -110,6 +123,10 @@ struct RpcStats {
   std::uint64_t stream_aborts = 0;      // streams torn down before completion
   std::uint64_t stream_deadline_expiries = 0;  // per-chunk progress deadline hits
 
+  // Per-shard snapshot (server.shards knob); empty on clients and on
+  // servers that never synced their shard blocks.
+  std::vector<ShardCounters> shards;
+
   MethodProfile& method(const MethodKey& key) { return methods[key]; }
 
   void merge_resilience(const RpcStats& o) {
@@ -155,6 +172,17 @@ struct RpcStats {
     stream_pool_denied += o.stream_pool_denied;
     stream_aborts += o.stream_aborts;
     stream_deadline_expiries += o.stream_deadline_expiries;
+    if (o.shards.size() > shards.size()) shards.resize(o.shards.size());
+    for (std::size_t i = 0; i < o.shards.size(); ++i) {
+      shards[i].conns_assigned += o.shards[i].conns_assigned;
+      shards[i].dispatched += o.shards[i].dispatched;
+      if (o.shards[i].queued_peak > shards[i].queued_peak) {
+        shards[i].queued_peak = o.shards[i].queued_peak;
+      }
+      shards[i].dropped += o.shards[i].dropped;
+      shards[i].steals += o.shards[i].steals;
+      shards[i].stolen += o.shards[i].stolen;
+    }
   }
 };
 

@@ -33,6 +33,13 @@ const char* rpc_mode_name(RpcMode mode);
 struct EngineConfig {
   RpcMode mode = RpcMode::kSocketIPoIB;
   int server_handlers = 8;
+  /// Reader shards per server (server.shards). Each shard owns a disjoint
+  /// set of connections with its own receive loop, call queue and handler
+  /// subset on both transports. Default 1: the unsharded legacy server.
+  int server_shards = 1;
+  /// Let idle shard handlers take queued calls from sibling shards
+  /// (bookkeeping stays on the home shard). Off by default.
+  bool shard_steal = false;
   std::size_t eager_threshold = WireDefaults::kEagerThreshold;
   PoolConfig pool{};
   /// Timeout/retry/backoff applied to every client this engine creates.

@@ -96,6 +96,7 @@ RdmaRpcServer::RdmaRpcServer(cluster::Host& host, net::SocketTable& sockets,
       shadow_(native_) {
   // Pre-posted receive buffers must hold any eager frame plus headers.
   cfg_.recv_buf_size = std::max(cfg_.recv_buf_size, cfg_.eager_threshold + 512);
+  if (cfg_.shards < 1) cfg_.shards = 1;
 }
 
 RdmaRpcServer::~RdmaRpcServer() { stop(); }
@@ -104,30 +105,55 @@ void RdmaRpcServer::start() {
   if (running_) return;
   running_ = true;
   alive_ = std::make_shared<bool>(true);
-  cq_ = std::make_unique<verbs::CompletionQueue>(host_.sched());
-  call_queue_ = std::make_unique<sim::Channel<ServerCall>>(host_.sched());
-  if (overload_.admission_enabled()) {
-    admission_ = std::make_unique<rpc::AdmissionController>(overload_);
-  }
-  if (overload_.cache_enabled()) {
-    retry_cache_ = std::make_unique<rpc::RetryCache>(overload_.retry_cache_entries);
-  }
-  if (cfg_.pool.srq_depth > 0) {
-    srq_ = std::make_unique<verbs::SharedReceiveQueue>(host_.sched());
-    srq_->set_stall_counter(&stats_.srq_rnr_stalls);
-    host_.sched().spawn(srq_refill_loop());
+  shards_.clear();
+  const int n = cfg_.shards;
+  for (int i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(
+        host_.sched(), static_cast<std::uint32_t>(i), overload_,
+        rpc::shard_seed(host_.id(), static_cast<std::uint32_t>(i)));
+    if (cfg_.pool.srq_depth > 0) {
+      // Stripe the shared ring: each shard owns srq_depth / n slots (the
+      // remainder spread over the low shards, never below one) and refills
+      // at a proportionally scaled watermark. One shard keeps the exact
+      // configured geometry.
+      if (n == 1) {
+        shard->srq_depth = cfg_.pool.srq_depth;
+        shard->srq_low_watermark = cfg_.pool.srq_low_watermark;
+      } else {
+        const std::size_t ui = static_cast<std::size_t>(i);
+        shard->srq_depth = std::max<std::size_t>(
+            1, cfg_.pool.srq_depth / n + (ui < cfg_.pool.srq_depth % n ? 1 : 0));
+        shard->srq_low_watermark = std::min(
+            shard->srq_depth,
+            std::max<std::size_t>(1, cfg_.pool.srq_low_watermark / n +
+                                         (ui < cfg_.pool.srq_low_watermark % n ? 1 : 0)));
+      }
+      shard->srq = std::make_unique<verbs::SharedReceiveQueue>(host_.sched());
+      shard->srq->set_stall_counter(&shard->pipeline.stats().srq_rnr_stalls);
+    }
+    shards_.push_back(std::move(shard));
+    if (shards_.back()->srq) host_.sched().spawn(srq_refill_loop(*shards_.back()));
   }
   if (cfg_.srq_idle_evict > 0) host_.sched().spawn(idle_evict_loop());
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
-  host_.sched().spawn(reader_loop());
-  for (int i = 0; i < cfg_.num_handlers; ++i) host_.sched().spawn(handler_loop(i));
+  for (auto& shard : shards_) host_.sched().spawn(reader_loop(*shard));
+  // Handlers split across shards (every shard keeps at least one); with
+  // one shard the ids and spawn order are exactly the unsharded server's.
+  int handler_id = 0;
+  for (int i = 0; i < n; ++i) {
+    int mine = cfg_.num_handlers / n + (i < cfg_.num_handlers % n ? 1 : 0);
+    if (mine < 1) mine = 1;
+    for (int h = 0; h < mine; ++h) {
+      host_.sched().spawn(handler_loop(*shards_[static_cast<std::size_t>(i)], handler_id++));
+    }
+  }
   if (cfg_.socket_fallback) {
     fallback_ = std::make_unique<rpc::SocketRpcServer>(
         host_, sockets_,
         net::Address{addr_.host,
                      static_cast<std::uint16_t>(addr_.port + kSocketFallbackPortOffset)},
-        cfg_.num_handlers);
+        cfg_.num_handlers, 1, cfg_.shards, cfg_.steal);
     for (const auto& [key, handler] : dispatcher_.all()) {
       fallback_->dispatcher().register_method(key.protocol, key.method, handler);
     }
@@ -149,27 +175,27 @@ void RdmaRpcServer::stop() {
   // frames, unacked rendezvous response sources, and pre-posted receive
   // slots — so acquires and releases balance across a stop. The dropped
   // calls' clients observe a transport error when the QPs disconnect.
-  if (call_queue_) {
-    ServerCall call;
-    while (call_queue_->try_recv(call)) {
-      if (admission_) admission_->on_dequeue(call.admit_protocol);
-      native_.release(call.buf);
-      ++stats_.dropped_on_stop;
-    }
+  for (auto& shard : shards_) {
+    for (ServerCall& call : shard->pipeline.drain()) native_.release(call.buf);
   }
-  for (auto& [rkey, buf] : pending_resp_) native_.release(buf);
-  pending_resp_.clear();
-  if (srq_) {
-    for (std::uint64_t wr : srq_->drain_posted_recvs()) {
-      native_.release(reinterpret_cast<NativeBuffer*>(wr));
+  for (auto& shard : shards_) {
+    for (auto& [rkey, buf] : shard->pending_resp) native_.release(buf);
+    shard->pending_resp.clear();
+  }
+  for (auto& shard : shards_) {
+    if (shard->srq) {
+      for (std::uint64_t wr : shard->srq->drain_posted_recvs()) {
+        native_.release(reinterpret_cast<NativeBuffer*>(wr));
+      }
+      shard->srq->close();  // wakes the refill loop into its ChannelClosed exit
     }
-    srq_->close();  // wakes the refill loop into its ChannelClosed exit
   }
   for (auto& [id, c] : conns_) {
     if (c->batcher && !c->batcher->empty()) {
       // Finished responses still lingering in the coalescer die with the
       // server; account for them so teardown losses are never silent.
-      stats_.responses_dropped_on_stop += c->batcher->take().size();
+      shard_of(*c).pipeline.stats().responses_dropped_on_stop +=
+          c->batcher->take().size();
     }
     if (c->qp) {
       for (std::uint64_t wr : c->qp->drain_posted_recvs()) {
@@ -179,60 +205,113 @@ void RdmaRpcServer::stop() {
       c->qp->disconnect();
     }
   }
-  ring_bytes_ = 0;
-  if (cq_) cq_->close();
-  if (call_queue_) call_queue_->close();
+  for (auto& shard : shards_) shard->ring_bytes = 0;
+  for (auto& shard : shards_) {
+    if (shard->cq) shard->cq->close();
+  }
+  for (auto& shard : shards_) shard->pipeline.close();
   // Stop but do not destroy the fallback listener: closing its queues only
   // *schedules* the suspended handler loops, which still read the queues
   // when they resume. The object lives until this server is destroyed.
   if (fallback_) fallback_->stop();
 }
 
-void RdmaRpcServer::note_ring_bytes(std::size_t n) {
-  ring_bytes_ += n;
-  if (ring_bytes_ > stats_.recv_ring_bytes_peak) {
-    stats_.recv_ring_bytes_peak = ring_bytes_;
+rpc::RpcStats& RdmaRpcServer::stats() {
+  sync_stats();
+  return stats_;
+}
+
+const rpc::RpcStats& RdmaRpcServer::stats() const {
+  const_cast<RdmaRpcServer*>(this)->sync_stats();
+  return stats_;
+}
+
+void RdmaRpcServer::sync_stats() {
+  if (shards_.empty()) return;
+  rpc::RpcStats agg;
+  std::uint64_t ring_peak_sum = 0;
+  for (const auto& shard : shards_) {
+    agg.merge_resilience(shard->pipeline.stats());
+    agg.calls_handled += shard->pipeline.stats().calls_handled;
+    agg.recv_alloc_us.merge(shard->pipeline.stats().recv_alloc_us);
+    agg.recv_total_us.merge(shard->pipeline.stats().recv_total_us);
+    ring_peak_sum += shard->pipeline.stats().recv_ring_bytes_peak;
+    agg.shards.push_back(shard->pipeline.counters());
+  }
+  // Only the shard-sourced fields are overwritten; anything written
+  // directly to stats_ by non-shard code (threshold_mismatches from the
+  // Listener's handshake) stays untouched.
+  stats_.calls_handled = agg.calls_handled;
+  stats_.calls_shed = agg.calls_shed;
+  stats_.calls_expired = agg.calls_expired;
+  stats_.responses_expired = agg.responses_expired;
+  stats_.dedup_hits = agg.dedup_hits;
+  stats_.dedup_in_flight = agg.dedup_in_flight;
+  stats_.dropped_on_stop = agg.dropped_on_stop;
+  stats_.responses_dropped_on_stop = agg.responses_dropped_on_stop;
+  stats_.pool_nacks = agg.pool_nacks;
+  stats_.queue_depth_peak = agg.queue_depth_peak;
+  stats_.batches_received = agg.batches_received;
+  stats_.batched_calls_received = agg.batched_calls_received;
+  stats_.response_batches = agg.response_batches;
+  stats_.batched_responses = agg.batched_responses;
+  stats_.srq_posted = agg.srq_posted;
+  stats_.srq_refills = agg.srq_refills;
+  stats_.srq_rnr_stalls = agg.srq_rnr_stalls;
+  stats_.srq_evictions = agg.srq_evictions;
+  // The stripes post independently, so the server-wide registered-memory
+  // footprint is the sum of the per-stripe peaks (exact at one shard).
+  stats_.recv_ring_bytes_peak = ring_peak_sum;
+  stats_.recv_alloc_us = agg.recv_alloc_us;
+  stats_.recv_total_us = agg.recv_total_us;
+  stats_.shards = std::move(agg.shards);
+}
+
+void RdmaRpcServer::note_ring_bytes(Shard& shard, std::size_t n) {
+  shard.ring_bytes += n;
+  if (shard.ring_bytes > shard.pipeline.stats().recv_ring_bytes_peak) {
+    shard.pipeline.stats().recv_ring_bytes_peak = shard.ring_bytes;
   }
 }
 
-void RdmaRpcServer::post_recv_buffer(ConnState* conn, NativeBuffer* buf) {
-  if (srq_) {
-    srq_->post_recv(reinterpret_cast<std::uint64_t>(buf), buf->span);
-    ++stats_.srq_posted;
+void RdmaRpcServer::post_recv_buffer(Shard& shard, ConnState* conn, NativeBuffer* buf) {
+  if (shard.srq) {
+    shard.srq->post_recv(reinterpret_cast<std::uint64_t>(buf), buf->span);
+    ++shard.pipeline.stats().srq_posted;
   } else {
     conn->qp->post_recv(reinterpret_cast<std::uint64_t>(buf), buf->span);
   }
-  note_ring_bytes(buf->span.size());
+  note_ring_bytes(shard, buf->span.size());
 }
 
-void RdmaRpcServer::recycle_recv_buffer(ConnState* conn, NativeBuffer* buf) {
-  if (srq_) {
-    // The shared ring tops back up here on the hot path; the refill loop
+void RdmaRpcServer::recycle_recv_buffer(Shard& shard, ConnState* conn, NativeBuffer* buf) {
+  if (shard.srq) {
+    // The shared stripe tops back up here on the hot path; the refill loop
     // only covers buffers consumed by calls still in flight.
-    if (srq_->posted() < cfg_.pool.srq_depth) {
-      post_recv_buffer(nullptr, buf);
+    if (shard.srq->posted() < shard.srq_depth) {
+      post_recv_buffer(shard, nullptr, buf);
     } else {
       native_.release(buf);
     }
   } else if (conn != nullptr && conn->qp && conn->qp->connected()) {
-    post_recv_buffer(conn, buf);
+    post_recv_buffer(shard, conn, buf);
   } else {
     native_.release(buf);
   }
 }
 
-sim::Task RdmaRpcServer::srq_refill_loop() {
+sim::Task RdmaRpcServer::srq_refill_loop(Shard& shard) {
   const std::shared_ptr<bool> alive = alive_;
-  verbs::SharedReceiveQueue* srq = srq_.get();
+  verbs::SharedReceiveQueue* srq = shard.srq.get();
   try {
     for (;;) {
       co_await srq->wait_limit();
       if (!*alive) co_return;
-      ++stats_.srq_refills;
-      while (srq->posted() < cfg_.pool.srq_depth) {
-        post_recv_buffer(nullptr, native_.acquire(cfg_.recv_buf_size));
+      ++shard.pipeline.stats().srq_refills;
+      while (srq->posted() < shard.srq_depth) {
+        post_recv_buffer(shard, nullptr, native_.acquire(cfg_.recv_buf_size));
       }
-      srq->arm_limit(cfg_.pool.srq_low_watermark);
+      srq->arm_limit(shard.srq_low_watermark);
     }
   } catch (const sim::ChannelClosed&) {
   }
@@ -260,9 +339,10 @@ sim::Task RdmaRpcServer::idle_evict_loop() {
         auto it = conns_.find(id);
         if (it == conns_.end()) continue;
         ConnPtr c = it->second;
+        Shard& shard = shard_of(*c);
         for (std::uint64_t wr : c->qp->drain_posted_recvs()) {  // legacy ring
           auto* b = reinterpret_cast<NativeBuffer*>(wr);
-          ring_bytes_ -= std::min(ring_bytes_, b->span.size());
+          shard.ring_bytes -= std::min(shard.ring_bytes, b->span.size());
           native_.release(b);
         }
         // Disconnect expires the client QP's peer immediately: the client
@@ -270,7 +350,7 @@ sim::Task RdmaRpcServer::idle_evict_loop() {
         c->qp->set_srq(nullptr);
         c->qp->disconnect();
         conns_.erase(it);
-        ++stats_.srq_evictions;
+        ++shard.pipeline.stats().srq_evictions;
       }
     }
   } catch (const sim::ChannelClosed&) {
@@ -281,25 +361,31 @@ sim::Task RdmaRpcServer::listener_loop() {
   net::Listener* l = listener_;
   try {
     // Library-load-time pool registration (amortized across all calls). In
-    // SRQ mode the ring's buffers are provisioned here too, so the fill
-    // below is pure freelist pops, not demand allocations.
-    co_await native_.initialize(srq_ ? cfg_.recv_buf_size : 0,
-                                srq_ ? cfg_.pool.srq_depth : 0);
-    if (srq_) {
-      // One server-wide pre-registered receive ring, filled once: from here
-      // on, registered receive memory is a function of srq_depth (load),
-      // not of how many connections accept() creates.
-      for (std::size_t i = 0; i < cfg_.pool.srq_depth; ++i) {
-        post_recv_buffer(nullptr, native_.acquire(cfg_.recv_buf_size));
+    // SRQ mode every stripe's buffers are provisioned here too, so the
+    // fills below are pure freelist pops, not demand allocations.
+    std::size_t total_srq = 0;
+    for (const auto& shard : shards_) total_srq += shard->srq_depth;
+    co_await native_.initialize(total_srq > 0 ? cfg_.recv_buf_size : 0, total_srq);
+    for (auto& shard : shards_) {
+      if (!shard->srq) continue;
+      // One pre-registered receive stripe per shard, filled once: from
+      // here on, registered receive memory is a function of srq_depth
+      // (load), not of how many connections accept() creates.
+      for (std::size_t i = 0; i < shard->srq_depth; ++i) {
+        post_recv_buffer(*shard, nullptr, native_.acquire(cfg_.recv_buf_size));
       }
-      srq_->arm_limit(cfg_.pool.srq_low_watermark);
+      shard->srq->arm_limit(shard->srq_low_watermark);
     }
     for (;;) {
       net::SocketPtr boot = co_await l->accept();
+      // Stable affinity: the next accepted connection's dense id is
+      // conn_seq_ + 1, so its home shard — and the CQ its QP completes
+      // into — is known before the handshake.
+      Shard& shard = *shards_[conn_seq_ % shards_.size()];
       verbs::QueuePairPtr qp;
       std::uint64_t peer_threshold = 0;
       try {
-        qp = co_await cm_.accept(boot, *cq_, *cq_,
+        qp = co_await cm_.accept(boot, *shard.cq, *shard.cq,
                                  static_cast<std::uint64_t>(cfg_.eager_threshold),
                                  &peer_threshold);
       } catch (const verbs::VerbsError&) {
@@ -310,6 +396,8 @@ sim::Task RdmaRpcServer::listener_loop() {
       auto conn = std::make_shared<ConnState>();
       conn->qp = std::move(qp);
       conn->id = ++conn_seq_;
+      conn->shard = shard.index;
+      ++shard.pipeline.counters().conns_assigned;
       conn->last_recv = host_.sched().now();
       // min(local, peer): an eager SEND must fit buffers sized by *either*
       // end's knob. Peer 0 means "not advertised" (legacy bootstrap).
@@ -326,11 +414,11 @@ sim::Task RdmaRpcServer::listener_loop() {
       conn->qp->set_context(conn->id);
       ConnState* raw = conn.get();
       conns_[conn->id] = std::move(conn);
-      if (srq_) {
-        raw->qp->set_srq(srq_.get());
+      if (shard.srq) {
+        raw->qp->set_srq(shard.srq.get());
       } else {
         for (int i = 0; i < cfg_.recv_depth; ++i) {
-          post_recv_buffer(raw, native_.acquire(cfg_.recv_buf_size));
+          post_recv_buffer(shard, raw, native_.acquire(cfg_.recv_buf_size));
         }
       }
     }
@@ -341,6 +429,7 @@ sim::Task RdmaRpcServer::listener_loop() {
 
 sim::Task RdmaRpcServer::fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint64_t off,
                                     std::uint32_t len) {
+  Shard& shard = shard_of(*conn);
   const sim::Time recv_start = host_.sched().now();
   // Graceful degradation: when the registered pool is dry and the demand-
   // allocation cap is reached, refuse the rendezvous instead of growing
@@ -350,7 +439,7 @@ sim::Task RdmaRpcServer::fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint6
   if (dst == nullptr) {
     // The call's trace context is inside the frame we refused to fetch;
     // the client records the overload.nack span with full context.
-    ++stats_.pool_nacks;
+    ++shard.pipeline.stats().pool_nacks;
     const ControlFrame nack = make_nack(rkey);
     try {
       co_await conn->qp->post_send(0, nack.span());
@@ -358,14 +447,14 @@ sim::Task RdmaRpcServer::fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint6
     }
     co_return;
   }
-  const std::uint64_t token = (next_read_token_++ << 1) | 1;
+  const std::uint64_t token = (shard.next_read_token++ << 1) | 1;
   sim::SimEvent read_done(host_.sched());
-  read_waiters_[token] = &read_done;
+  shard.read_waiters[token] = &read_done;
   try {
     net::MutByteSpan into(dst->span.data(), len);
     co_await conn->qp->post_rdma_read(token, into, verbs::RemoteBuffer{rkey, off, len});
     co_await read_done.wait();
-    read_waiters_.erase(token);
+    shard.read_waiters.erase(token);
     ServerCall call;
     call.conn = conn;
     call.buf = dst;
@@ -373,16 +462,16 @@ sim::Task RdmaRpcServer::fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint6
     call.recv_start = recv_start;
     co_await enqueue_call(std::move(call));
   } catch (const std::exception&) {
-    read_waiters_.erase(token);
+    shard.read_waiters.erase(token);
     native_.release(dst);
   }
 }
 
-sim::Task RdmaRpcServer::reader_loop() {
+sim::Task RdmaRpcServer::reader_loop(Shard& shard) {
   const cluster::CostModel& cm = host_.cost();
   try {
     for (;;) {
-      verbs::WorkCompletion wc = co_await cq_->wait();
+      verbs::WorkCompletion wc = co_await shard.cq->wait();
       switch (wc.opcode) {
         case verbs::Opcode::kSend: {
           // Eager response on the wire: pooled source is reusable.
@@ -393,18 +482,18 @@ sim::Task RdmaRpcServer::reader_loop() {
           break;
         }
         case verbs::Opcode::kRdmaRead: {
-          auto it = read_waiters_.find(wc.wr_id);
-          if (it != read_waiters_.end()) it->second->set();
+          auto it = shard.read_waiters.find(wc.wr_id);
+          if (it != shard.read_waiters.end()) it->second->set();
           break;
         }
         case verbs::Opcode::kRecv: {
           auto* rb = reinterpret_cast<NativeBuffer*>(wc.wr_id);
-          ring_bytes_ -= std::min(ring_bytes_, rb->span.size());
+          shard.ring_bytes -= std::min(shard.ring_bytes, rb->span.size());
           auto cit = conns_.find(wc.qp_context);
           if (cit == conns_.end()) {
             // Completion raced an eviction: the frame has no connection to
             // answer on anymore; just recycle the shared buffer.
-            recycle_recv_buffer(nullptr, rb);
+            recycle_recv_buffer(shard, nullptr, rb);
             break;
           }
           ConnPtr conn = cit->second;
@@ -421,14 +510,16 @@ sim::Task RdmaRpcServer::reader_loop() {
             call.frame_len = wc.byte_len;
             call.recv_start = host_.sched().now();
             co_await enqueue_call(std::move(call));
-            if (!srq_) post_recv_buffer(conn.get(), native_.acquire(cfg_.recv_buf_size));
+            if (!shard.srq) {
+              post_recv_buffer(shard, conn.get(), native_.acquire(cfg_.recv_buf_size));
+            }
           } else if (type == FrameType::kBatch) {
             // Client-coalesced eager calls: split into pooled copies (each
             // sub-call owns its buffer like a fetched call) so admission,
             // deadlines and tracing all stay per call. One copy charge
             // covers the whole frame; the slot recycles after the split
             // (its contents are stable until reposted).
-            ++stats_.batches_received;
+            ++shard.pipeline.stats().batches_received;
             std::uint32_t count = 0;
             std::memcpy(&count, frame.data() + 1, 4);
             co_await host_.compute(cm.direct_copy(wc.byte_len));
@@ -441,7 +532,7 @@ sim::Task RdmaRpcServer::reader_loop() {
               NativeBuffer* sub = shadow_.acquire_sized(sub_len);
               std::memcpy(sub->span.data(), frame.data() + off, sub_len);
               off += sub_len;
-              ++stats_.batched_calls_received;
+              ++shard.pipeline.stats().batched_calls_received;
               if (!bctx.valid()) {
                 const CallHeader h =
                     parse_call_header(cm, net::ByteSpan(sub->span.data(), sub_len));
@@ -462,23 +553,23 @@ sim::Task RdmaRpcServer::reader_loop() {
                                  host_.sched().now());
               }
             }
-            recycle_recv_buffer(conn.get(), rb);  // frame fully copied out
+            recycle_recv_buffer(shard, conn.get(), rb);  // frame fully copied out
           } else if (type == FrameType::kCtrlCall) {
             std::uint32_t rkey = 0, len = 0;
             std::uint64_t off = 0;
             parse_control(frame, rkey, off, len);
             host_.sched().spawn(fetch_call(conn, rkey, off, len));
-            recycle_recv_buffer(conn.get(), rb);
+            recycle_recv_buffer(shard, conn.get(), rb);
           } else if (type == FrameType::kAck) {
             const std::uint32_t rkey = parse_ack(frame);
-            auto it = pending_resp_.find(rkey);
-            if (it != pending_resp_.end()) {
+            auto it = shard.pending_resp.find(rkey);
+            if (it != shard.pending_resp.end()) {
               native_.release(it->second);
-              pending_resp_.erase(it);
+              shard.pending_resp.erase(it);
             }
-            recycle_recv_buffer(conn.get(), rb);
+            recycle_recv_buffer(shard, conn.get(), rb);
           } else {
-            recycle_recv_buffer(conn.get(), rb);
+            recycle_recv_buffer(shard, conn.get(), rb);
           }
           break;
         }
@@ -491,7 +582,8 @@ sim::Task RdmaRpcServer::reader_loop() {
 }
 
 sim::Co<void> RdmaRpcServer::enqueue_call(ServerCall call) {
-  if (admission_ != nullptr) {
+  Shard& shard = shard_of(*call.conn);
+  if (shard.pipeline.admission_enabled()) {
     const CallHeader hdr = parse_call_header(
         host_.cost(), net::ByteSpan(call.buf->span.data(), call.frame_len));
     if (!hdr.ok) {
@@ -500,41 +592,40 @@ sim::Co<void> RdmaRpcServer::enqueue_call(ServerCall call) {
       co_return;
     }
     call.admit_protocol = hdr.key.protocol;
-    const auto decision = admission_->decide(call_queue_->size(), call.admit_protocol);
-    if (decision == rpc::AdmissionController::Decision::kShedNewest) {
-      const sim::Time start = call.recv_start;
-      co_await shed_call(std::move(call), hdr.id, hdr.ctx, hdr.key.method, start);
-      co_return;
-    }
-    if (decision == rpc::AdmissionController::Decision::kShedOldest) {
-      ServerCall victim;
-      if (call_queue_->try_recv(victim)) {
-        admission_->on_dequeue(victim.admit_protocol);
-        const CallHeader vh = parse_call_header(
-            host_.cost(), net::ByteSpan(victim.buf->span.data(), victim.frame_len));
-        const sim::Time vstart = victim.enqueued != 0 ? victim.enqueued : victim.recv_start;
-        co_await shed_call(std::move(victim), vh.id, vh.ctx, vh.key.method, vstart);
-      } else {
-        // Every queued call is already claimed by a waking handler; shed
-        // the arrival instead so the bound holds at every instant.
+    switch (shard.pipeline.gate(call)) {
+      case rpc::CallPipeline<ServerCall>::Gate::kShedArrival: {
         const sim::Time start = call.recv_start;
         co_await shed_call(std::move(call), hdr.id, hdr.ctx, hdr.key.method, start);
         co_return;
       }
+      case rpc::CallPipeline<ServerCall>::Gate::kEvictOldest: {
+        ServerCall victim;
+        if (shard.pipeline.evict_oldest(victim)) {
+          const CallHeader vh = parse_call_header(
+              host_.cost(), net::ByteSpan(victim.buf->span.data(), victim.frame_len));
+          const sim::Time vstart =
+              victim.enqueued != 0 ? victim.enqueued : victim.recv_start;
+          co_await shed_call(std::move(victim), vh.id, vh.ctx, vh.key.method, vstart);
+        } else {
+          // Every queued call is already claimed by a waking handler; shed
+          // the arrival instead so the bound holds at every instant.
+          const sim::Time start = call.recv_start;
+          co_await shed_call(std::move(call), hdr.id, hdr.ctx, hdr.key.method, start);
+          co_return;
+        }
+        break;
+      }
+      case rpc::CallPipeline<ServerCall>::Gate::kAdmit:
+        break;
     }
-    admission_->on_enqueue(call.admit_protocol);
   }
-  call.enqueued = host_.sched().now();
-  call_queue_->push(std::move(call));
-  if (call_queue_->size() > stats_.queue_depth_peak) {
-    stats_.queue_depth_peak = call_queue_->size();
-  }
+  shard.pipeline.push(std::move(call), host_.sched().now());
 }
 
 sim::Co<void> RdmaRpcServer::shed_call(ServerCall call, std::uint64_t id,
                                        trace::TraceContext ctx, const std::string& method,
                                        sim::Time start) {
-  ++stats_.calls_shed;
+  shard_of(*call.conn).pipeline.note_shed();
   trace::TraceCollector* tr = ctx.valid() ? trace::active(host_.tracer()) : nullptr;
   if (tr != nullptr) {
     tr->add_complete("overload.shed:" + method, trace::Kind::kServer,
@@ -554,12 +645,40 @@ sim::Co<void> RdmaRpcServer::shed_call(ServerCall call, std::uint64_t id,
   native_.release(call.buf);
 }
 
-sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
+sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
   const cluster::CostModel& cm = host_.cost();
   try {
     for (;;) {
-      ServerCall call = co_await call_queue_->recv();
-      if (admission_ != nullptr) admission_->on_dequeue(call.admit_protocol);
+      ServerCall call;
+      bool have = false;
+      // Stealing handlers poll rather than park on their own queue: a
+      // blocked recv() would never see a sibling's backlog build up.
+      while (cfg_.steal && shards_.size() > 1 && !have &&
+             !home.pipeline.queue().closed()) {
+        have = home.pipeline.try_take(call);
+        if (!have) {
+          // Per-shard seeded scan start spreads thieves over victims.
+          const std::size_t start = static_cast<std::size_t>(
+              home.pipeline.rng().next_below(shards_.size()));
+          for (std::size_t k = 0; k < shards_.size() && !have; ++k) {
+            const std::size_t v = (start + k) % shards_.size();
+            if (v == home.index) continue;
+            if (shards_[v]->pipeline.try_take(call)) {
+              have = true;
+              ++home.pipeline.counters().steals;
+              ++shards_[v]->pipeline.counters().stolen;
+            }
+          }
+        }
+        if (!have) co_await sim::delay(host_.sched(), rpc::kStealPollInterval);
+      }
+      if (!have) {
+        call = co_await home.pipeline.queue().recv();
+        home.pipeline.note_dequeued(call);
+      }
+      // All per-call bookkeeping (stats, retry cache, pending responses)
+      // stays on the call's home shard even when a sibling stole it.
+      Shard& shard = shard_of(*call.conn);
       const sim::Time t_dequeue = host_.sched().now();
       co_await host_.compute(cm.thread_wakeup() + cm.rpc_framework());
 
@@ -599,8 +718,7 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       // The caller's deadline already passed while this call sat in the
       // queue: executing it would waste a handler on a response nobody
       // will read (the client has timed out and may be retrying).
-      if (deadline != 0 && host_.sched().now() >= deadline) {
-        ++stats_.calls_expired;
+      if (shard.pipeline.expired_at_dequeue(deadline, host_.sched().now())) {
         if (tr != nullptr) {
           tr->add_complete("deadline.expired:" + key.method, trace::Kind::kServer,
                            trace::Category::kOverload, ctx, host_.id(), call.enqueued,
@@ -613,18 +731,19 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
         tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue, ctx,
                          host_.id(), call.enqueued, t_dequeue);
       }
-      if (retry_cache_ != nullptr) {
-        const rpc::RetryCache::State seen = retry_cache_->begin(call.conn->id, id);
+      rpc::RetryCache* retry_cache = shard.pipeline.retry_cache();
+      if (retry_cache != nullptr) {
+        const rpc::RetryCache::State seen = retry_cache->begin(call.conn->id, id);
         if (seen == rpc::RetryCache::State::kCompleted) {
           // A retry of a call that already executed: replay the recorded
           // response instead of running the handler a second time.
-          ++stats_.dedup_hits;
+          ++shard.pipeline.stats().dedup_hits;
           if (tr != nullptr) {
             tr->add_complete("overload.dedup:" + key.method, trace::Kind::kServer,
                              trace::Category::kOverload, ctx, host_.id(), t_dequeue,
                              host_.sched().now());
           }
-          const net::Bytes* cached = retry_cache_->completed_frame(call.conn->id, id);
+          const net::Bytes* cached = retry_cache->completed_frame(call.conn->id, id);
           if (cached != nullptr) {
             try {
               co_await respond_frame(call, net::ByteSpan(cached->data(), cached->size()));
@@ -637,7 +756,7 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
         if (seen == rpc::RetryCache::State::kInProgress) {
           // First attempt still running on another handler; that execution
           // will answer (or the client's next retry hits kCompleted).
-          ++stats_.dedup_in_flight;
+          ++shard.pipeline.stats().dedup_in_flight;
           native_.release(call.buf);
           continue;
         }
@@ -673,16 +792,17 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
         }
       }
 
-      stats_.recv_alloc_us.add(sim::to_us(in.take_alloc_accrued()) +
-                               RDMAOutputStream::kAcquireUs);
-      stats_.recv_total_us.add(sim::to_us(host_.sched().now() - call.recv_start));
+      shard.pipeline.stats().recv_alloc_us.add(sim::to_us(in.take_alloc_accrued()) +
+                                               RDMAOutputStream::kAcquireUs);
+      shard.pipeline.stats().recv_total_us.add(
+          sim::to_us(host_.sched().now() - call.recv_start));
 
       // The deadline may also pass *during* execution; then the response
       // is dropped unsent — but still recorded in the retry cache, because
       // the executed outcome must answer the retry already on its way.
-      const bool resp_expired = deadline != 0 && host_.sched().now() >= deadline;
+      const bool resp_expired =
+          shard.pipeline.expired_before_response(deadline, host_.sched().now());
       if (resp_expired) {
-        ++stats_.responses_expired;
         if (tr != nullptr) {
           tr->add_complete("deadline.response:" + key.method, trace::Kind::kServer,
                            trace::Category::kOverload, ctx, host_.id(),
@@ -693,8 +813,8 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
         if (pool_busy) {
           // Not recorded in the retry cache: the condition is transient
           // and the client's retry must execute fresh once the pool drains.
-          if (retry_cache_ != nullptr) retry_cache_->forget(call.conn->id, id);
-          ++stats_.calls_shed;
+          if (retry_cache != nullptr) retry_cache->forget(call.conn->id, id);
+          shard.pipeline.note_shed();
           RDMAOutputStream busy(cm, shadow_, rpc::MethodKey{"__overload", "busy"});
           busy.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
           busy.write_u64(id);
@@ -708,16 +828,16 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
           err.write_u64(id);
           err.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kError));
           err.write_text(error_msg);
-          if (retry_cache_ != nullptr) {
-            retry_cache_->complete(call.conn->id, id,
-                                   net::Bytes(err.data().begin(), err.data().end()));
+          if (retry_cache != nullptr) {
+            retry_cache->complete(call.conn->id, id,
+                                  net::Bytes(err.data().begin(), err.data().end()));
           }
           if (!resp_expired) co_await respond(call, err);
           // On expiry the stream destructor returns the pooled buffer.
         } else {
-          if (retry_cache_ != nullptr) {
-            retry_cache_->complete(call.conn->id, id,
-                                   net::Bytes(out.data().begin(), out.data().end()));
+          if (retry_cache != nullptr) {
+            retry_cache->complete(call.conn->id, id,
+                                  net::Bytes(out.data().begin(), out.data().end()));
           }
           if (!resp_expired) co_await respond(call, out);
         }
@@ -727,7 +847,7 @@ sim::Task RdmaRpcServer::handler_loop(int /*handler_id*/) {
       co_await host_.compute(in.take_accrued());
       handle.end();
       native_.release(call.buf);  // the kCall frame's buffer
-      ++stats_.calls_handled;
+      ++shard.pipeline.stats().calls_handled;
     }
   } catch (const sim::ChannelClosed&) {
   }
@@ -755,12 +875,13 @@ sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
   const net::ByteSpan msg = out.data();
   NativeBuffer* buf = out.take_buffer();
   shadow_.update_history(out.key(), len);
+  Shard& shard = shard_of(*conn);
   try {
     if (len <= conn->eager_threshold) {
       co_await call.conn->qp->post_send(reinterpret_cast<std::uint64_t>(buf), msg);
       // Released by reader_loop at the kSend completion.
     } else {
-      pending_resp_[buf->mr.rkey] = buf;
+      shard.pending_resp[buf->mr.rkey] = buf;
       const ControlFrame ctrl = ControlFrame::make(
           FrameType::kCtrlResp, buf->mr.rkey,
           static_cast<std::uint64_t>(msg.data() - buf->mr.addr),
@@ -768,7 +889,7 @@ sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
       co_await call.conn->qp->post_send(0, ctrl.span());
     }
   } catch (const verbs::VerbsError&) {
-    pending_resp_.erase(buf->mr.rkey);
+    shard.pending_resp.erase(buf->mr.rkey);
     native_.release(buf);
     throw;
   }
@@ -779,13 +900,14 @@ sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame
   NativeBuffer* buf = shadow_.acquire_sized(frame.size());
   std::memcpy(buf->span.data(), frame.data(), frame.size());
   co_await host_.compute(cm.direct_copy(frame.size()) + cm.jni_call() + cm.rpc_framework());
+  Shard& shard = shard_of(*call.conn);
   try {
     if (frame.size() <= call.conn->eager_threshold) {
       co_await call.conn->qp->post_send(reinterpret_cast<std::uint64_t>(buf),
                                         net::ByteSpan(buf->span.data(), frame.size()));
       // Released by reader_loop at the kSend completion.
     } else {
-      pending_resp_[buf->mr.rkey] = buf;
+      shard.pending_resp[buf->mr.rkey] = buf;
       const ControlFrame ctrl = ControlFrame::make(
           FrameType::kCtrlResp, buf->mr.rkey,
           static_cast<std::uint64_t>(buf->span.data() - buf->mr.addr),
@@ -793,7 +915,7 @@ sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame
       co_await call.conn->qp->post_send(0, ctrl.span());
     }
   } catch (const verbs::VerbsError&) {
-    pending_resp_.erase(buf->mr.rkey);
+    shard.pending_resp.erase(buf->mr.rkey);
     native_.release(buf);
     throw;
   }
@@ -873,8 +995,9 @@ sim::Co<void> RdmaRpcServer::flush_response_batch(ConnPtr conn) {
     co_return;
   }
   if (!*alive) co_return;
-  ++stats_.response_batches;
-  stats_.batched_responses += count;
+  Shard& shard = shard_of(*conn);
+  ++shard.pipeline.stats().response_batches;
+  shard.pipeline.stats().batched_responses += count;
 }
 
 }  // namespace rpcoib::oib

@@ -2,10 +2,18 @@
 //
 // Keeps the default server's thread architecture — Listener, Reader,
 // Handler pool, Responder — but the Listener accepts QP bootstrap over the
-// socket address, the Reader polls one shared completion queue for every
+// socket address, the Reader polls a completion queue for every
 // connection, calls arrive in pooled registered buffers (eager) or are
 // RDMA-READ in (rendezvous), and responses are serialized straight into
 // pooled registered buffers whose size comes from per-method history.
+//
+// `shards` > 1 replicates the whole receive/dispatch chain: connections
+// are assigned round-robin (by dense connection id) to independent shards,
+// each with its own completion queue, its own SRQ stripe of the shared
+// receive ring, its own CallPipeline (call queue + admission + retry
+// cache) and its own handler subset — so CQ polling, admission and
+// dispatch never contend across shards. The default of 1 keeps the server
+// operation-for-operation identical to the unsharded code.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "rpc/pipeline.hpp"
 #include "rpc/rpc.hpp"
 #include "rpc/socket_server.hpp"
 #include "rpcoib/buffer_pool.hpp"
@@ -25,11 +34,19 @@ namespace rpcoib::oib {
 
 struct RdmaServerConfig {
   int num_handlers = 8;
+  /// Reader shards (server.shards). Each shard owns a disjoint set of
+  /// connections end to end: CQ, SRQ stripe, call queue, handlers.
+  int shards = 1;
+  /// Let an idle shard's handlers take queued calls from sibling shards
+  /// (per-call bookkeeping stays on the call's home shard). Off by
+  /// default: stealing trades strict per-shard ordering for utilization.
+  bool steal = false;
   std::size_t eager_threshold = WireDefaults::kEagerThreshold;
   std::size_t recv_buf_size = WireDefaults::kRecvBufSize;
   /// Per-connection receive-ring depth — only used in legacy mode
   /// (pool.srq_depth == 0). With the SRQ the server-wide ring is sized by
-  /// pool.srq_depth / pool.srq_low_watermark instead.
+  /// pool.srq_depth / pool.srq_low_watermark instead (split into
+  /// per-shard stripes when shards > 1).
   int recv_depth = WireDefaults::kRecvDepth;
   PoolConfig pool{};
   /// Evict connections with no receive activity for this long (LRU sweep,
@@ -51,14 +68,19 @@ class RdmaRpcServer final : public rpc::RpcServer {
   void start() override;
   void stop() override;
 
+  rpc::RpcStats& stats() override;
+  const rpc::RpcStats& stats() const override;
+
   cluster::Host& host() const { return host_; }
   const net::Address& addr() const { return addr_; }
   ShadowPool& pool() { return shadow_; }
+  int num_shards() const { return cfg_.shards; }
 
  private:
   struct ConnState {
     verbs::QueuePairPtr qp;
     std::uint64_t id = 0;  // dense per-server sequence number (retry-cache key)
+    std::uint32_t shard = 0;  // home shard: (id - 1) % shards
     // Negotiated per-connection eager/rendezvous switch point:
     // min(local, client-advertised) from the bootstrap handshake.
     std::size_t eager_threshold = 0;
@@ -81,12 +103,42 @@ class RdmaRpcServer final : public rpc::RpcServer {
     std::string admit_protocol;
   };
 
+  /// One reader shard: a disjoint set of connections with its own CQ, SRQ
+  /// stripe and pipeline (queue/admission/cache/stats). Everything a
+  /// completion can touch lives here, so shards share no mutable state.
+  struct Shard {
+    Shard(sim::Scheduler& sched, std::uint32_t index, const rpc::OverloadConfig& cfg,
+          std::uint64_t seed)
+        : index(index),
+          cq(std::make_unique<verbs::CompletionQueue>(sched)),
+          pipeline(
+              sched, index, cfg,
+              [](const ServerCall& c) -> const std::string& { return c.admit_protocol; },
+              seed) {}
+
+    std::uint32_t index;
+    std::unique_ptr<verbs::CompletionQueue> cq;
+    rpc::CallPipeline<ServerCall> pipeline;
+    // This shard's stripe of the shared receive ring (null in legacy mode).
+    std::unique_ptr<verbs::SharedReceiveQueue> srq;
+    std::size_t srq_depth = 0;          // stripe depth
+    std::size_t srq_low_watermark = 0;  // stripe refill watermark
+    // Bytes currently posted as receive buffers on this shard's rings; the
+    // per-shard peaks sum into stats recv_ring_bytes_peak.
+    std::size_t ring_bytes = 0;
+    // Rendezvous response sources awaiting the client's ack, keyed by rkey.
+    std::map<std::uint32_t, NativeBuffer*> pending_resp;
+    // RDMA-READ fetches in flight on this shard's CQ, keyed by odd wr_id.
+    std::map<std::uint64_t, sim::SimEvent*> read_waiters;
+    std::uint64_t next_read_token = 1;
+  };
+
   sim::Task listener_loop();
-  sim::Task reader_loop();
-  sim::Task handler_loop(int handler_id);
-  /// Refill the shared receive ring whenever it drops below the low
+  sim::Task reader_loop(Shard& shard);
+  sim::Task handler_loop(Shard& home, int handler_id);
+  /// Refill one shard's receive stripe whenever it drops below its low
   /// watermark (woken by the SRQ limit event; exits when the SRQ closes).
-  sim::Task srq_refill_loop();
+  sim::Task srq_refill_loop(Shard& shard);
   /// Periodic LRU sweep evicting connections idle past srq_idle_evict.
   sim::Task idle_evict_loop();
   sim::Task fetch_call(ConnPtr conn, std::uint32_t rkey, std::uint64_t off,
@@ -94,17 +146,21 @@ class RdmaRpcServer final : public rpc::RpcServer {
   sim::Co<void> respond(ServerCall& call, RDMAOutputStream& out);
   /// Send an already-framed response verbatim (retry-cache dedup hits).
   sim::Co<void> respond_frame(ServerCall& call, net::ByteSpan frame);
-  /// Admission gate in front of call_queue_; sheds with a busy response.
+  /// Admission gate in front of the home shard's call queue; sheds with a
+  /// busy response.
   sim::Co<void> enqueue_call(ServerCall call);
   sim::Co<void> shed_call(ServerCall call, std::uint64_t id, trace::TraceContext ctx,
                           const std::string& method, sim::Time start);
-  /// Post a pooled buffer as a receive: to the SRQ, or to `conn`'s own ring
-  /// in legacy (srq_depth == 0) mode. wr_id is the buffer's address.
-  void post_recv_buffer(ConnState* conn, NativeBuffer* buf);
+  /// Post a pooled buffer as a receive: to `shard`'s SRQ stripe, or to
+  /// `conn`'s own ring in legacy (srq_depth == 0) mode. wr_id is the
+  /// buffer's address.
+  void post_recv_buffer(Shard& shard, ConnState* conn, NativeBuffer* buf);
   /// Re-post a consumed receive buffer (or return it to the pool when the
-  /// ring is full / the connection is gone).
-  void recycle_recv_buffer(ConnState* conn, NativeBuffer* buf);
-  void note_ring_bytes(std::size_t n);
+  /// stripe is full / the connection is gone).
+  void recycle_recv_buffer(Shard& shard, ConnState* conn, NativeBuffer* buf);
+  void note_ring_bytes(Shard& shard, std::size_t n);
+  /// The home shard of a connection (CQ, pipeline, pending_resp...).
+  Shard& shard_of(const ConnState& conn) { return *shards_[conn.shard]; }
   /// Buffer one serialized small kResp frame for `conn`; flushes inline
   /// when a limit fills, otherwise arms the adaptive-linger timer.
   sim::Co<void> append_response(ConnPtr conn, net::Bytes payload);
@@ -113,6 +169,11 @@ class RdmaRpcServer final : public rpc::RpcServer {
   /// Delayed flush armed per batch; stands down if `epoch` already flushed
   /// or the server stopped (checked through the `alive_` token).
   sim::Task response_batch_timer(ConnPtr conn, std::uint64_t epoch, sim::Dur linger);
+  /// Fold the per-shard stat blocks into stats_ (idempotent; the scalar
+  /// aggregates are rebuilt from scratch on every call). Fields written
+  /// directly to stats_ by non-shard code (threshold_mismatches) are left
+  /// untouched.
+  void sync_stats();
 
   cluster::Host& host_;
   net::SocketTable& sockets_;
@@ -124,25 +185,12 @@ class RdmaRpcServer final : public rpc::RpcServer {
   ShadowPool shadow_;
 
   net::Listener* listener_ = nullptr;
-  std::unique_ptr<verbs::CompletionQueue> cq_;  // shared by all QPs
-  std::unique_ptr<sim::Channel<ServerCall>> call_queue_;
-  std::unique_ptr<rpc::AdmissionController> admission_;
-  std::unique_ptr<rpc::RetryCache> retry_cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t conn_seq_ = 0;
   // Keyed by ConnState::id — also the qp_context stamped into kRecv
   // completions, which is how SRQ-mode completions map back to their
   // connection (the wr_id names only the shared buffer).
   std::map<std::uint64_t, ConnPtr> conns_;
-  // Server-wide shared receive ring (null in legacy per-QP-ring mode).
-  std::unique_ptr<verbs::SharedReceiveQueue> srq_;
-  // Bytes currently posted as receive buffers (all rings); the peak lands
-  // in stats_.recv_ring_bytes_peak — the bench_srq_scale headline number.
-  std::size_t ring_bytes_ = 0;
-  // Rendezvous response sources awaiting the client's ack, keyed by rkey.
-  std::map<std::uint32_t, NativeBuffer*> pending_resp_;
-  // RDMA-READ fetches in flight, keyed by odd wr_id token.
-  std::map<std::uint64_t, sim::SimEvent*> read_waiters_;
-  std::uint64_t next_read_token_ = 1;
   // Companion socket listener for bootstrap-failure fallback clients.
   std::unique_ptr<rpc::SocketRpcServer> fallback_;
   // Liveness token for detached flush timers: ConnState objects survive

@@ -4,6 +4,7 @@
 
 #include "metrics/metrics.hpp"
 #include "net/testbed.hpp"
+#include "rpc/resilience.hpp"
 
 namespace rpcoib::workloads {
 
@@ -91,7 +92,8 @@ std::vector<LatencyResult> run_latency(RpcMode mode, const std::vector<std::size
 
 std::vector<ThroughputResult> run_throughput(RpcMode mode, const std::vector<int>& client_counts,
                                              int handlers, std::size_t payload,
-                                             int duration_ms, std::uint64_t seed) {
+                                             int duration_ms, std::uint64_t seed, int shards,
+                                             std::string* last_report) {
   std::vector<ThroughputResult> results;
   for (int n_clients : client_counts) {
     Scheduler s;
@@ -101,6 +103,7 @@ std::vector<ThroughputResult> run_throughput(RpcMode mode, const std::vector<int
     EngineConfig ecfg;
     ecfg.mode = mode;
     ecfg.server_handlers = handlers;
+    ecfg.server_shards = shards;
     RpcEngine engine(tb, ecfg);
     std::unique_ptr<rpc::RpcServer> server = engine.make_server(tb.host(0), kBenchAddr);
     register_pingpong(*server);
@@ -130,6 +133,12 @@ std::vector<ThroughputResult> run_throughput(RpcMode mode, const std::vector<int
     // clients were active (includes connect+warmup skew, which is small).
     const double secs = sim::to_sec(t_end);
     results.push_back(ThroughputResult{n_clients, total_ops / secs / 1000.0});
+    if (last_report != nullptr && n_clients == client_counts.back()) {
+      // Per-shard shard.* rows for the bench artifact (taken before stop()
+      // so no dropped-on-stop noise lands in the dispatch counters).
+      *last_report = rpc::resilience_report(clients.front()->stats(), nullptr,
+                                            &server->stats());
+    }
     server->stop();
     s.drain_tasks();
   }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rpcoib/engine.hpp"
@@ -39,12 +40,18 @@ std::vector<LatencyResult> run_latency(oib::RpcMode mode, const std::vector<std:
                                        trace::TraceCollector* collector = nullptr);
 
 /// Throughput at each client count: server on host 0 with `handlers`
-/// handler threads; clients distributed round-robin over hosts 1..8, each
-/// issuing back-to-back 512-byte calls for `duration_ms` of virtual time.
+/// handler threads split over `shards` reader shards (server.shards);
+/// clients distributed round-robin over hosts 1..8, each issuing
+/// back-to-back 512-byte calls for `duration_ms` of virtual time. When
+/// `last_report` is non-null, the server's resilience report (including
+/// the per-shard shard.* rows) at the final client count is stored there
+/// before teardown.
 std::vector<ThroughputResult> run_throughput(oib::RpcMode mode,
                                              const std::vector<int>& client_counts,
                                              int handlers = 8, std::size_t payload = 512,
-                                             int duration_ms = 200, std::uint64_t seed = 1);
+                                             int duration_ms = 200, std::uint64_t seed = 1,
+                                             int shards = 1,
+                                             std::string* last_report = nullptr);
 
 /// Server-side receive-path decomposition for Fig. 1: returns the ratio of
 /// buffer-allocation time to total receive time at the given payload.

@@ -241,6 +241,16 @@ int chaos_conns() {
   return env != nullptr ? static_cast<int>(std::strtoul(env, nullptr, 10)) : 6;
 }
 
+/// RPCOIB_SHARDS shards every chaos server's receive/dispatch chain
+/// (server.shards) on both transports. CI runs the matrix at 1 (default)
+/// and 4, plus a striped-SRQ geometry (RPCOIB_SHARDS=4 RPCOIB_SRQ_DEPTH=8
+/// RPCOIB_CHAOS_CONNS=64); the byte-identical-per-seed assertions then
+/// cover the sharded pipelines too.
+int chaos_shards() {
+  const char* env = std::getenv("RPCOIB_SHARDS");
+  return env != nullptr ? static_cast<int>(std::strtoul(env, nullptr, 10)) : 1;
+}
+
 /// RPCOIB_STREAM_CHUNK_KB / RPCOIB_STREAM_DEPTH reshape the bulk-stream
 /// ring for the streamed chaos run: tiny chunks multiply the in-flight
 /// frame count a mid-stream abort must reclaim, and a depth-1 ring keeps
@@ -282,7 +292,7 @@ TEST(Chaos, RetryCarriesCallThroughLinkFlap) {
     retry.call_timeout = sim::millis(500);
     retry.max_retries = 10;
     retry.backoff_base = sim::millis(100);
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .server_shards = chaos_shards(), .retry = retry, .batch = chaos_batch()});
     auto server = engine.make_server(tb.host(1), kAddr);
     register_slow(*server, tb.host(1));
     server->start();
@@ -322,7 +332,7 @@ TEST(Chaos, CallTimeoutFailsSlowCall) {
     Testbed tb(s, Testbed::cluster_b());
     rpc::RpcRetryPolicy retry;
     retry.call_timeout = sim::seconds(1);  // handler sleeps 5 s
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .server_shards = chaos_shards(), .retry = retry, .batch = chaos_batch()});
     auto server = engine.make_server(tb.host(1), kAddr);
     register_slow(*server, tb.host(1));
     server->start();
@@ -358,7 +368,7 @@ TEST(Chaos, NonIdempotentMethodIsNeverRetried) {
     retry.call_timeout = sim::seconds(1);
     retry.max_retries = 5;
     retry.non_idempotent.insert(kSlow.to_string());
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
+    RpcEngine engine(tb, EngineConfig{.mode = mode, .server_shards = chaos_shards(), .retry = retry, .batch = chaos_batch()});
     auto server = engine.make_server(tb.host(1), kAddr);
     register_slow(*server, tb.host(1));
     server->start();
@@ -435,7 +445,7 @@ TEST(Chaos, SeededFaultRunsYieldByteIdenticalResilienceReports) {
       rpc::RpcRetryPolicy retry;
       retry.call_timeout = sim::millis(500);
       retry.max_retries = 6;
-      RpcEngine engine(tb, EngineConfig{.mode = mode, .retry = retry, .batch = chaos_batch()});
+      RpcEngine engine(tb, EngineConfig{.mode = mode, .server_shards = chaos_shards(), .retry = retry, .batch = chaos_batch()});
       auto server = engine.make_server(tb.host(1), kAddr);
       register_slow(*server, tb.host(1));
       server->start();
@@ -473,7 +483,8 @@ TEST(Chaos, SrqServerSurvivesFaultedManyConnectionSweep) {
     retry.call_timeout = sim::millis(500);
     retry.max_retries = 10;
     retry.backoff_base = sim::millis(50);
-    EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_handlers = 4, .retry = retry};
+    EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_handlers = 4,
+                    .server_shards = chaos_shards(), .retry = retry};
     ec.batch = chaos_batch();
     ec.pool = chaos_pool();
     RpcEngine engine(tb, ec);
