@@ -69,4 +69,21 @@ FaultDecision FaultPlan::decide(cluster::HostId src, cluster::HostId dst, sim::T
   return d;
 }
 
+bool FaultPlan::take_kill(cluster::HostId src, cluster::HostId dst, sim::Time now) {
+  if (!kills_enabled() || src == dst) return false;
+  for (KillEntry& k : kills_) {
+    if (k.fired || now < k.at) continue;
+    if ((k.src < 0 || k.src == src) && (k.dst < 0 || k.dst == dst)) {
+      k.fired = true;
+      ++counters_.kills;
+      return true;
+    }
+  }
+  if (kill_prob_ > 0.0 && kill_rng_.next_double() < kill_prob_) {
+    ++counters_.kills;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace rpcoib::net

@@ -65,14 +65,20 @@ struct FaultCounters {
   std::uint64_t spikes = 0;       // latency spikes injected
   std::uint64_t outage_hits = 0;  // deliveries delayed/lost by a window
   std::uint64_t true_losses = 0;  // one-shot deliveries actually lost
+  std::uint64_t kills = 0;        // connections force-killed mid-call
 };
 
 class FaultPlan {
  public:
-  explicit FaultPlan(std::uint64_t seed = 20130701) : rng_(seed) {}
+  explicit FaultPlan(std::uint64_t seed = 20130701)
+      : rng_(seed), kill_rng_(seed ^ 0x6B696C6CULL) {}
 
   /// Re-seed (restarts the failure schedule; call before a run).
-  void set_seed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+  void set_seed(std::uint64_t seed) {
+    rng_ = sim::Rng(seed);
+    kill_rng_ = sim::Rng(seed ^ 0x6B696C6CULL);
+    for (KillEntry& k : kills_) k.fired = false;
+  }
 
   /// Faults applied to every link without a per-link override.
   void set_default_faults(LinkFaults f) { default_ = f; }
@@ -97,6 +103,29 @@ class FaultPlan {
   void set_retransmit_delay(sim::Dur d) { rto_ = d; }
   sim::Dur retransmit_delay() const { return rto_; }
 
+  /// Schedule a deterministic connection kill: the first in-flight RPC
+  /// attempt on src -> dst at or after `at` has its connection forcibly
+  /// torn down (socket closed / QP to error) after the request is on the
+  /// wire — distinct from packet drops, which the transport retransmits
+  /// through. src/dst of -1 match any host.
+  void add_connection_kill(cluster::HostId src, cluster::HostId dst, sim::Time at) {
+    kills_.push_back(KillEntry{src, dst, at, false});
+  }
+
+  /// Seeded probabilistic kills: each in-flight attempt on any link dies
+  /// with probability `p`. Draws come from a dedicated RNG stream, so
+  /// enabling kills never perturbs the drop/spike schedule of the same
+  /// seed (and p == 0 draws nothing at all).
+  void set_kill_prob(double p) { kill_prob_ = p; }
+
+  /// True when any kill source is configured; transports skip the plan
+  /// (zero RNG draws) when false, keeping kill-free runs bit-identical.
+  bool kills_enabled() const { return kill_prob_ > 0.0 || !kills_.empty(); }
+
+  /// Consume one kill for an attempt on src -> dst at `now`; true means
+  /// the calling transport must tear the connection down.
+  bool take_kill(cluster::HostId src, cluster::HostId dst, sim::Time now);
+
   /// True when any fault source is configured. The fabric skips the plan
   /// entirely (no RNG draws) when this is false, keeping disabled-plan
   /// runs bit-identical to runs with no plan at all.
@@ -118,6 +147,12 @@ class FaultPlan {
     cluster::HostId dst;
     LinkFaults faults;
   };
+  struct KillEntry {
+    cluster::HostId src;
+    cluster::HostId dst;
+    sim::Time at;
+    bool fired;
+  };
 
   const LinkFaults& faults_for(cluster::HostId src, cluster::HostId dst) const;
   /// Earliest time >= now at which no window covers src -> dst (follows
@@ -126,9 +161,14 @@ class FaultPlan {
                               sim::Time now) const;
 
   sim::Rng rng_;
+  // Kill draws ride their own stream (seed ^ constant) so a plan with and
+  // without kills produces the same drop/spike schedule.
+  sim::Rng kill_rng_;
   LinkFaults default_{};
   std::vector<LinkOverride> overrides_;
   std::vector<FaultWindow> windows_;
+  std::vector<KillEntry> kills_;
+  double kill_prob_ = 0.0;
   sim::Dur rto_ = sim::millis(200);
   FaultCounters counters_;
 };

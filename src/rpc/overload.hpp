@@ -101,10 +101,13 @@ class AdmissionController {
   std::map<std::string, std::size_t> queued_;
 };
 
-/// Bounded LRU of executed calls, keyed by <connection id, call id>.
+/// Bounded LRU of executed calls, keyed by <owner id, call id>.
 ///
-/// Connection ids are dense per-server sequence numbers (not pointers), so
-/// cache behavior — including evictions — is deterministic per seed.
+/// The owner id is the session id when the connection advertised one
+/// (durable across reconnects — see rpc/session.hpp) and the dense
+/// per-server connection sequence number otherwise. Both are
+/// deterministic per seed, so cache behavior — including evictions — is
+/// too.
 class RetryCache {
  public:
   enum class State {
@@ -160,6 +163,18 @@ class RetryCache {
     if (it == entries_.end() || it->second.done) return;
     lru_.erase(it->second.lru);
     entries_.erase(it);
+  }
+
+  /// Drop every entry owned by `owner_id` — the dedup key space of one
+  /// expired/evicted session (or one torn-down sessionless connection).
+  /// Keys sort by owner first, so this is one contiguous map range.
+  void forget_owner(std::uint64_t owner_id) {
+    auto lo = entries_.lower_bound(Key{owner_id, 0});
+    auto hi = owner_id == ~std::uint64_t{0} ? entries_.end()
+                                            : entries_.lower_bound(Key{owner_id + 1, 0});
+    if (lo == hi) return;
+    for (auto it = lo; it != hi; ++it) lru_.erase(it->second.lru);
+    entries_.erase(lo, hi);
   }
 
   std::size_t size() const { return entries_.size(); }

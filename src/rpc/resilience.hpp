@@ -33,6 +33,20 @@ inline std::string resilience_report(const RpcStats& stats,
   t.row({"batch flushes (immediate)", std::to_string(stats.batch_flush_immediate)});
   t.row({"connections opened", std::to_string(stats.connections_opened)});
   t.row({"threshold mismatches", std::to_string(stats.threshold_mismatches)});
+  // Reconnect recovery FSM rows, split by detection cause. Emitted only
+  // when a reconnect happened so sessionless seeded reports stay
+  // byte-identical to builds without the session layer.
+  if (stats.reconnects_peer_closed + stats.reconnects_qp_error +
+          stats.reconnects_idle_evicted + stats.reconnects_fault_injected +
+          stats.calls_replayed >
+      0) {
+    t.row({"reconnects (peer closed)", std::to_string(stats.reconnects_peer_closed)});
+    t.row({"reconnects (qp error)", std::to_string(stats.reconnects_qp_error)});
+    t.row({"reconnects (idle evicted)", std::to_string(stats.reconnects_idle_evicted)});
+    t.row({"reconnects (fault injected)",
+           std::to_string(stats.reconnects_fault_injected)});
+    t.row({"calls replayed", std::to_string(stats.calls_replayed)});
+  }
   t.row({"streams opened", std::to_string(stats.streams_opened)});
   t.row({"stream chunks", std::to_string(stats.stream_chunks)});
   t.row({"stream bytes", std::to_string(stats.stream_bytes)});
@@ -46,6 +60,11 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"fault spikes", std::to_string(faults->spikes)});
     t.row({"fault outage hits", std::to_string(faults->outage_hits)});
     t.row({"fault true losses", std::to_string(faults->true_losses)});
+    // Connection kills only appear when the plan fired one, keeping
+    // kill-free seeded reports byte-identical to earlier builds.
+    if (faults->kills > 0) {
+      t.row({"fault kills", std::to_string(faults->kills)});
+    }
   }
   if (server != nullptr) {
     // Server-side overload section (admission / deadlines / retry cache).
@@ -68,6 +87,17 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"server recv ring bytes peak", std::to_string(server->recv_ring_bytes_peak)});
     t.row({"server responses dropped on stop",
            std::to_string(server->responses_dropped_on_stop)});
+    // Session-table rows appear only once a session was opened (the layer
+    // is default-off; sessionless reports must not change).
+    if (server->sessions_opened + server->sessions_expired + server->sessions_evicted +
+            server->sessions_rejected + server->session_table_peak >
+        0) {
+      t.row({"server sessions opened", std::to_string(server->sessions_opened)});
+      t.row({"server sessions expired", std::to_string(server->sessions_expired)});
+      t.row({"server sessions evicted", std::to_string(server->sessions_evicted)});
+      t.row({"server session rejections", std::to_string(server->sessions_rejected)});
+      t.row({"server session table peak", std::to_string(server->session_table_peak)});
+    }
     if (!server->shards.empty()) {
       // Sharded receive path (server.shards): one row group per reader
       // shard plus an imbalance summary, all integer-valued so the chaos

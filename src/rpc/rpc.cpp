@@ -12,7 +12,7 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
   // lets the server-side retry cache recognize duplicates.
   const std::uint64_t call_id = next_call_id_++;
   if (!retry_.enabled()) {
-    co_await call_attempt(addr, key, param, response, call_id);
+    co_await call_attempt(addr, key, param, response, call_id, false);
     co_return;
   }
 
@@ -32,7 +32,7 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
     std::string err;
     try {
       trace::activate(tr, parent);
-      co_await call_attempt(addr, key, param, response, call_id);
+      co_await call_attempt(addr, key, param, response, call_id, attempt > 0);
     } catch (const ServerBusyException& e) {
       failed = true;
       busy = true;
@@ -66,12 +66,14 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
                        h.id(), t0, h.sched().now());
     }
     // Shed calls were never executed, so "busy" is retryable regardless of
-    // idempotency. A timeout on a non-idempotent method is retryable only
-    // when the server dedups retries (retry_non_idempotent_on_timeout);
-    // other transport errors keep Hadoop's TRY_ONCE_THEN_FAIL for the
-    // non-idempotent set — a reconnect would lose the dedup key anyway.
+    // idempotency. Timeouts AND transport errors (a reconnect replaying
+    // its in-flight calls) on a non-idempotent method are retryable when
+    // the server dedups retries (retry_non_idempotent_on_timeout): the
+    // retry cache is keyed by the durable session id, so the dedup key
+    // survives the reconnect and a completed first attempt is answered
+    // from the cache instead of re-executed.
     const bool retryable =
-        busy || idempotent || (timed_out && retry_.retry_non_idempotent_on_timeout);
+        busy || idempotent || retry_.retry_non_idempotent_on_timeout;
     if (!retryable || attempt + 1 >= max_attempts) {
       const std::string what =
           key.to_string() + ": " + err + " (after " + std::to_string(attempt + 1) +
@@ -82,6 +84,10 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
     }
 
     ++stats_.retries;
+    // A retry after a transport failure is a replay of an in-flight call
+    // through the reconnect recovery machine (the next attempt's
+    // get_connection re-bootstraps the torn-down peer).
+    if (!busy && !timed_out) ++stats_.calls_replayed;
     const sim::Dur wait = retry_.backoff(attempt, h.rng());
     stats_.backoff_us.add(sim::to_us(wait));
     const sim::Time b0 = h.sched().now();

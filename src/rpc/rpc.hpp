@@ -15,6 +15,7 @@
 #include "rpc/overload.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/retry.hpp"
+#include "rpc/session.hpp"
 #include "rpc/stats.hpp"
 #include "rpc/writable.hpp"
 #include "sim/task.hpp"
@@ -54,6 +55,12 @@ class RpcClient {
   void set_batch(BatchConfig cfg) { batch_ = cfg; }
   const BatchConfig& batch() const { return batch_; }
 
+  /// Durable-session knobs. Set before the first call; the default
+  /// (disabled) mints no session id and keeps the wire format
+  /// byte-identical to a sessionless build.
+  void set_session(SessionConfig cfg) { session_ = cfg; }
+  const SessionConfig& session() const { return session_; }
+
   RpcStats& stats() { return stats_; }
   const RpcStats& stats() const { return stats_; }
 
@@ -63,13 +70,28 @@ class RpcClient {
   /// RpcTimeoutError once the deadline passes. `call_id` is allocated by
   /// call() once per *logical* call, so every attempt of a retried call
   /// carries the same id — the key the server's retry cache dedups on.
+  /// `retried` is true on attempts > 0; with sessions enabled the
+  /// transport stamps it on the wire (kWireRetryFlag) so the server can
+  /// bounce a retry whose session lease already expired.
   virtual sim::Co<void> call_attempt(net::Address addr, const MethodKey& key,
                                      const Writable& param, Writable* response,
-                                     std::uint64_t call_id) = 0;
+                                     std::uint64_t call_id, bool retried) = 0;
+
+  /// The client's stable session id, minted on first use from the host's
+  /// seeded RNG (top bit set so it can never collide with a dense
+  /// server-side connection id). 0 when the session layer is off — the
+  /// handshake then carries no session bytes.
+  std::uint64_t session_id(cluster::Host& h) {
+    if (!session_.enabled) return 0;
+    if (session_id_ == 0) session_id_ = h.rng().next_u64() | (1ULL << 63);
+    return session_id_;
+  }
 
   RpcStats stats_;
   RpcRetryPolicy retry_;
   BatchConfig batch_;
+  SessionConfig session_;
+  std::uint64_t session_id_ = 0;
   std::uint64_t next_call_id_ = 1;
 
  private:
@@ -107,11 +129,17 @@ class RpcServer {
   void set_batch(BatchConfig cfg) { batch_ = cfg; }
   const BatchConfig& batch() const { return batch_; }
 
+  /// Durable-session knobs (lease, per-shard table cap). Set before
+  /// start(); disabled by default.
+  void set_session(SessionConfig cfg) { session_ = cfg; }
+  const SessionConfig& session() const { return session_; }
+
  protected:
   Dispatcher dispatcher_;
   RpcStats stats_;
   OverloadConfig overload_;
   BatchConfig batch_;
+  SessionConfig session_;
 };
 
 }  // namespace rpcoib::rpc

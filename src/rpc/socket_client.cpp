@@ -1,8 +1,10 @@
 #include "rpc/socket_client.hpp"
 
+#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "rpc/buffers.hpp"
 #include "trace/trace.hpp"
 
@@ -12,6 +14,10 @@ namespace {
 // Connection header written once per connection, like Hadoop's
 // "hrpc" + version preamble.
 constexpr net::Byte kRpcMagic[] = {'h', 'r', 'p', 'c', 4};
+// Version-5 preamble announces a durable session: the magic is followed
+// by the client's 64-bit session id. Only sent with sessions enabled, so
+// the default handshake stays byte-identical to version 4.
+constexpr net::Byte kRpcMagicSession[] = {'h', 'r', 'p', 'c', 5};
 }  // namespace
 
 SocketRpcClient::SocketRpcClient(cluster::Host& host, net::SocketTable& sockets,
@@ -35,6 +41,7 @@ void SocketRpcClient::close_connections() {
 
 void SocketRpcClient::fail_all(Connection& conn, const std::string& why) {
   conn.broken = true;
+  conn.recovery = Recovery::kTornDown;
   for (auto& [id, pc] : conn.pending) {
     pc->error = true;
     pc->error_msg = why;
@@ -68,7 +75,16 @@ sim::Co<SocketRpcClient::ConnectionPtr> SocketRpcClient::get_connection(net::Add
   connections_[addr] = raw;
   try {
     raw->sock = co_await sockets_.connect(host_, addr, transport_);
-    co_await raw->sock->write(net::ByteSpan(kRpcMagic, sizeof(kRpcMagic)));
+    if (const std::uint64_t sid = session_id(host_); sid != 0) {
+      // Session handshake: v5 magic + the durable session id. The server
+      // keys retry-cache state by it, so dedup survives this connection.
+      net::Bytes pre(sizeof(kRpcMagicSession) + sizeof(sid));
+      std::memcpy(pre.data(), kRpcMagicSession, sizeof(kRpcMagicSession));
+      std::memcpy(pre.data() + sizeof(kRpcMagicSession), &sid, sizeof(sid));
+      co_await raw->sock->write(pre);
+    } else {
+      co_await raw->sock->write(net::ByteSpan(kRpcMagic, sizeof(kRpcMagic)));
+    }
   } catch (const net::SocketError& e) {
     raw->ready.set();
     fail_all(*raw, e.what());
@@ -79,8 +95,42 @@ sim::Co<SocketRpcClient::ConnectionPtr> SocketRpcClient::get_connection(net::Add
   }
   raw->receiver = host_.sched().spawn(receive_loop(raw));
   raw->ready.set();
+  raw->recovery = Recovery::kHealthy;
   ++stats_.connections_opened;
   co_return raw;
+}
+
+void SocketRpcClient::note_reconnect(ReconnectCause cause) {
+  // Reconnect accounting rides the session knob: with sessions off the
+  // counters stay zero, the report grows no rows, and seeded sessionless
+  // runs stay byte-identical to a build without the session layer.
+  if (!session_.enabled) return;
+  switch (cause) {
+    case ReconnectCause::kPeerClosed: ++stats_.reconnects_peer_closed; break;
+    case ReconnectCause::kQpError: ++stats_.reconnects_qp_error; break;
+    case ReconnectCause::kIdleEvicted: ++stats_.reconnects_idle_evicted; break;
+    case ReconnectCause::kFaultInjected: ++stats_.reconnects_fault_injected; break;
+  }
+  if (trace::TraceCollector* tr = trace::active(host_.tracer()); tr != nullptr) {
+    const sim::Time now = host_.sched().now();
+    tr->add_complete(std::string("reconnect.") + reconnect_cause_name(cause),
+                     trace::Kind::kClient, trace::Category::kSession, {}, host_.id(),
+                     now, now);
+  }
+}
+
+void SocketRpcClient::kill_connection(const ConnectionPtr& conn, net::Address addr) {
+  // FaultPlan connection kill: forced close with the request already on
+  // the wire — the server may still execute and respond into the void,
+  // which is exactly the duplicate-execution window the session-keyed
+  // retry cache must close. Cancel first so the receiver stands down
+  // instead of double-failing the pending map.
+  conn->cancelled = true;
+  if (conn->sock) conn->sock->close();
+  fail_all(*conn, "connection killed (injected fault)");
+  note_reconnect(ReconnectCause::kFaultInjected);
+  auto it = connections_.find(addr);
+  if (it != connections_.end() && it->second == conn) connections_.erase(it);
 }
 
 sim::Co<void> SocketRpcClient::deliver_one(cluster::Host& host, Connection& conn,
@@ -150,7 +200,14 @@ sim::Task SocketRpcClient::receive_loop(ConnectionPtr conn) {
       }
     }
   } catch (const net::SocketError& e) {
-    if (!conn->cancelled) fail_all(*conn, e.what());
+    // EOF / reset from the remote end. `cancelled` doubles as a liveness
+    // guard for the client object: close_connections() (also run by the
+    // destructor) sets it before this loop can resume, so touching the
+    // client's stats here is safe when it is still false.
+    if (!conn->cancelled) {
+      fail_all(*conn, e.what());
+      note_reconnect(ReconnectCause::kPeerClosed);
+    }
   }
 }
 
@@ -234,7 +291,7 @@ sim::Co<void> SocketRpcClient::flush_batch(ConnectionPtr conn) {
 
 sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& key,
                                             const Writable& param, Writable* response,
-                                            std::uint64_t call_id) {
+                                            std::uint64_t call_id, bool retried) {
   // Consume the ambient trace parent before the first suspension point
   // (see trace.hpp's propagation discipline).
   trace::TraceCollector* tr = trace::active(host_.tracer());
@@ -262,6 +319,10 @@ sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& 
   std::uint64_t wire_id = id;
   if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
   if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
+  // Retried attempts are marked only under the session layer: the server
+  // uses the flag to bounce a retry whose session lease expired instead
+  // of silently re-executing it. Sessionless wire stays byte-identical.
+  if (retried && session_.enabled) wire_id |= trace::kWireRetryFlag;
   d.write_u64(wire_id);
   if (ctx.valid()) {
     // Flagged id announces two extra context words; untraced calls keep
@@ -311,6 +372,15 @@ sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& 
   if (ctx.valid()) {
     tr->add_complete("send", trace::Kind::kInternal, trace::Category::kSend, ctx,
                      host_.id(), t_serialized, t_sent);
+  }
+
+  // Connection-kill fault hook: the request is on the wire, so the server
+  // side may execute it — the retry that follows the teardown is the
+  // exactly-once case the durable session dedup covers.
+  if (net::FaultPlan* plan = sockets_.fabric().fault_plan();
+      plan != nullptr && plan->kills_enabled() && !conn->broken &&
+      plan->take_kill(host_.id(), addr.host, host_.sched().now())) {
+    kill_connection(conn, addr);
   }
 
   // --- Profiling (Table I / Fig. 3 feeds) ------------------------------

@@ -39,7 +39,8 @@ class SocketRpcClient final : public RpcClient {
 
  protected:
   sim::Co<void> call_attempt(net::Address addr, const MethodKey& key, const Writable& param,
-                             Writable* response, std::uint64_t call_id) override;
+                             Writable* response, std::uint64_t call_id,
+                             bool retried) override;
 
  private:
   struct PendingCall {
@@ -50,6 +51,17 @@ class SocketRpcClient final : public RpcClient {
     bool busy = false;  // error with RpcStatus::kBusy -> ServerBusyException
     std::string error_msg;
   };
+
+  /// Reconnect recovery state machine (unified with the RDMA client; see
+  /// DESIGN.md §13). A connection is kConnecting while the handshake runs,
+  /// kHealthy once ready, and kTornDown after a failure is detected (EOF
+  /// from the peer, a send into a closed socket, or an injected kill) and
+  /// every pending call was failed over to the retry loop. Re-bootstrap is
+  /// the next get_connection(): it drops the kTornDown corpse and dials a
+  /// fresh connection carrying the same durable session id, and the retry
+  /// loop replays the failed in-flight calls under RpcRetryPolicy — the
+  /// session-keyed server retry cache makes that replay exactly-once.
+  enum class Recovery : std::uint8_t { kConnecting, kHealthy, kTornDown };
 
   struct Connection {
     Connection(sim::Scheduler& s, const BatchConfig& batch)
@@ -62,6 +74,7 @@ class SocketRpcClient final : public RpcClient {
     // loop and flush timers check it after every resumption instead of
     // touching the (possibly destroyed) client.
     bool cancelled = false;
+    Recovery recovery = Recovery::kConnecting;
     std::map<std::uint64_t, PendingCall*> pending;
     CallBatcher batcher;
     // First traced call of the open batch; parents the batch.flush span.
@@ -89,6 +102,11 @@ class SocketRpcClient final : public RpcClient {
   /// Delayed flush armed per batch; stands down if `epoch` already flushed.
   sim::Task batch_timer(ConnectionPtr conn, std::uint64_t epoch, sim::Dur linger);
   static void fail_all(Connection& conn, const std::string& why);
+  /// Count one recovery-FSM activation (failure detected, connection torn
+  /// down) and emit its kSession trace span.
+  void note_reconnect(ReconnectCause cause);
+  /// Forced mid-call teardown: the FaultPlan connection-kill hook.
+  void kill_connection(const ConnectionPtr& conn, net::Address addr);
 
   cluster::Host& host_;
   net::SocketTable& sockets_;

@@ -1,5 +1,6 @@
 #include "rpc/socket_server.hpp"
 
+#include <cstring>
 #include <utility>
 
 #include "rpc/buffers.hpp"
@@ -41,7 +42,7 @@ void SocketRpcServer::start() {
   for (int i = 0; i < num_shards_; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         host_.sched(), static_cast<std::uint32_t>(i), overload_, num_readers_,
-        shard_seed(host_.id(), static_cast<std::uint32_t>(i))));
+        shard_seed(host_.id(), static_cast<std::uint32_t>(i)), session_));
   }
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
@@ -117,6 +118,11 @@ void SocketRpcServer::sync_stats() {
   stats_.dropped_on_stop = agg.dropped_on_stop;
   stats_.responses_dropped_on_stop = agg.responses_dropped_on_stop;
   stats_.queue_depth_peak = agg.queue_depth_peak;
+  stats_.sessions_opened = agg.sessions_opened;
+  stats_.sessions_expired = agg.sessions_expired;
+  stats_.sessions_evicted = agg.sessions_evicted;
+  stats_.sessions_rejected = agg.sessions_rejected;
+  stats_.session_table_peak = agg.session_table_peak;
   stats_.batches_received = agg.batches_received;
   stats_.batched_calls_received = agg.batched_calls_received;
   stats_.response_batches = agg.response_batches;
@@ -134,10 +140,17 @@ sim::Task SocketRpcServer::listener_loop() {
       const std::uint64_t conn_id = ++conn_seq_;
       // Stable affinity: a connection's shard is a pure function of its
       // dense id, so reconnects and seeded replays land deterministically.
-      Shard& shard = *shards_[(conn_id - 1) % shards_.size()];
-      ++shard.pipeline.counters().conns_assigned;
-      shard.conns.push_back(conn);
-      host_.sched().spawn(reader_loop(std::move(conn), conn_id, shard));
+      // With sessions enabled the shard is instead a function of the
+      // session id carried in the preamble, so the reader picks it after
+      // the handshake — a reconnecting client must land on the shard that
+      // holds its session lease and retry-cache entries.
+      Shard* home = nullptr;
+      if (!session_.enabled) {
+        home = shards_[(conn_id - 1) % shards_.size()].get();
+        ++home->pipeline.counters().conns_assigned;
+        home->conns.push_back(conn);
+      }
+      host_.sched().spawn(reader_loop(std::move(conn), conn_id, home));
     }
   } catch (const sim::ChannelClosed&) {
     // stop() shut the listener down.
@@ -175,16 +188,56 @@ void SocketRpcServer::shed(Shard& shard, const ServerCall& call) {
       call.conn, status_frame(call.id, RpcStatus::kBusy, "server busy: call queue full")});
 }
 
+void SocketRpcServer::touch_session(Shard& shard, std::uint64_t session_id, bool retried) {
+  if (!session_.enabled || session_id == 0) return;
+  const SessionTable::TouchResult r =
+      shard.sessions.touch(session_id, host_.sched().now(), /*open_if_missing=*/!retried);
+  RpcStats& st = shard.pipeline.stats();
+  if (r.opened) ++st.sessions_opened;
+  st.sessions_expired += r.expired.size();
+  st.sessions_evicted += r.evicted.size();
+  if (shard.sessions.peak() > st.session_table_peak) {
+    st.session_table_peak = shard.sessions.peak();
+  }
+  // A dead session's retry-cache entries go with it — the dedup promise
+  // is scoped to the lease, and the space bound depends on the purge.
+  if (RetryCache* cache = shard.pipeline.retry_cache()) {
+    for (const std::uint64_t sid : r.expired) cache->forget_owner(sid);
+    for (const std::uint64_t sid : r.evicted) cache->forget_owner(sid);
+  }
+}
+
 sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_id,
-                                       Shard& shard) {
+                                       Shard* home) {
   const cluster::CostModel& cm = host_.cost();
   try {
     // The connection's receive CPU is paid inside the Reader critical
     // section below, as on a real selector-driven Reader thread.
     conn->set_deferred_rx_charge(true);
-    // Connection preamble ("hrpc" + version).
+    // Connection preamble ("hrpc" + version). Version 5 appends the
+    // client's 64-bit durable session id; version 4 is sessionless.
     net::Bytes magic(5);
     co_await conn->read_full(magic);
+    std::uint64_t session_id = 0;
+    if (magic[4] == net::Byte{5}) {
+      net::Bytes sid_buf(8);
+      co_await conn->read_full(sid_buf);
+      std::memcpy(&session_id, sid_buf.data(), sizeof(session_id));
+    }
+    // Ignore an advertised session when the feature is off locally: the
+    // call path stays byte-identical to a sessionless build.
+    if (!session_.enabled) session_id = 0;
+    if (home == nullptr) {
+      // Session-affine shard choice (sessionless connections keep the
+      // dense-id mapping, so mixed workloads stay deterministic).
+      const std::size_t pick = session_id != 0
+                                   ? static_cast<std::size_t>(session_id % shards_.size())
+                                   : static_cast<std::size_t>((conn_id - 1) % shards_.size());
+      home = shards_[pick].get();
+      ++home->pipeline.counters().conns_assigned;
+      home->conns.push_back(conn);
+    }
+    Shard& shard = *home;
 
     for (;;) {
       // Listing 2, lines 3-5: 4-byte length buffer. Waiting for the call
@@ -235,8 +288,9 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
           ++shard.pipeline.stats().batched_calls_received;
           const sim::Dur sub_alloc = cm.heap_alloc(lens[i]);
           co_await host_.compute(sub_alloc);
-          const trace::TraceContext ctx = co_await process_frame(
-              conn, conn_id, shard, std::move(sub), t_recv_start, alloc_cost + sub_alloc);
+          const trace::TraceContext ctx =
+              co_await process_frame(conn, conn_id, session_id, shard, std::move(sub),
+                                     t_recv_start, alloc_cost + sub_alloc);
           if (!first_ctx.valid()) first_ctx = ctx;
         }
         if (first_ctx.valid()) {
@@ -246,8 +300,8 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
           }
         }
       } else {
-        co_await process_frame(conn, conn_id, shard, std::move(frame), t_recv_start,
-                               alloc_cost);
+        co_await process_frame(conn, conn_id, session_id, shard, std::move(frame),
+                               t_recv_start, alloc_cost);
       }
     }
   } catch (const net::SocketError&) {
@@ -256,11 +310,9 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
   }
 }
 
-sim::Co<trace::TraceContext> SocketRpcServer::process_frame(net::SocketPtr conn,
-                                                            std::uint64_t conn_id,
-                                                            Shard& shard, net::Bytes frame,
-                                                            sim::Time t_recv_start,
-                                                            sim::Dur alloc_cost) {
+sim::Co<trace::TraceContext> SocketRpcServer::process_frame(
+    net::SocketPtr conn, std::uint64_t conn_id, std::uint64_t session_id, Shard& shard,
+    net::Bytes frame, sim::Time t_recv_start, sim::Dur alloc_cost) {
   const cluster::CostModel& cm = host_.cost();
   // Parse the call header; param bytes stay in place in `frame`.
   DataInputBuffer in(cm, frame);
@@ -273,6 +325,7 @@ sim::Co<trace::TraceContext> SocketRpcServer::process_frame(net::SocketPtr conn,
     call.ctx.span_id = in.read_u64();
   }
   if ((call.id & trace::kWireDeadlineFlag) != 0) call.deadline = in.read_u64();
+  call.retried = (call.id & trace::kWireRetryFlag) != 0;
   call.id &= trace::kWireIdMask;
   call.key.protocol = in.read_text();
   call.key.method = in.read_text();
@@ -288,8 +341,11 @@ sim::Co<trace::TraceContext> SocketRpcServer::process_frame(net::SocketPtr conn,
   const trace::TraceContext ctx = call.ctx;
   call.conn = std::move(conn);
   call.conn_id = conn_id;
+  call.session_id = session_id;
+  call.owner = session_id != 0 ? session_id : conn_id;
   call.shard = shard.index;
   call.frame = std::move(frame);
+  touch_session(shard, session_id, call.retried);
 
   // Admission control: shed beyond the configured bound while the
   // call is still cheap — before it costs a handler.
@@ -369,11 +425,33 @@ sim::Task SocketRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
                          call.ctx, host_.id(), call.enqueued, t_dequeue);
       }
 
-      // Retry cache: a repeated <connection, call id> is a client retry.
-      // Re-send the stored response rather than re-executing the handler
-      // (the non-idempotent-safety contract of RpcRetryPolicy).
+      // Session lease check for retried attempts: if the session that
+      // would hold the dedup state is gone (expired or evicted), the
+      // server cannot prove the first attempt never executed — so the
+      // retry is bounced with a retryable busy-class error rather than
+      // silently re-executed. A *fresh* call simply re-opened the session
+      // at arrival.
+      if (call.retried && call.session_id != 0 &&
+          !shard.sessions.alive(call.session_id, t_dequeue)) {
+        ++shard.pipeline.stats().sessions_rejected;
+        if (tr != nullptr) {
+          tr->add_complete("session.rejected:" + call.key.method, trace::Kind::kServer,
+                           trace::Category::kSession, call.ctx, host_.id(), t_dequeue,
+                           host_.sched().now());
+        }
+        shard.response_queue.push(Response{
+            call.conn, status_frame(call.id, RpcStatus::kBusy,
+                                    "session expired: retry cannot be deduplicated")});
+        continue;
+      }
+
+      // Retry cache: a repeated <owner, call id> is a client retry (the
+      // owner is the durable session id when one was advertised, the dense
+      // connection id otherwise). Re-send the stored response rather than
+      // re-executing the handler (the non-idempotent-safety contract of
+      // RpcRetryPolicy).
       if (RetryCache* retry_cache = shard.pipeline.retry_cache()) {
-        const RetryCache::State st = retry_cache->begin(call.conn_id, call.id);
+        const RetryCache::State st = retry_cache->begin(call.owner, call.id);
         if (st == RetryCache::State::kCompleted) {
           ++shard.pipeline.stats().dedup_hits;
           if (tr != nullptr) {
@@ -382,7 +460,7 @@ sim::Task SocketRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
                              host_.sched().now());
           }
           shard.response_queue.push(
-              Response{call.conn, *retry_cache->completed_frame(call.conn_id, call.id)});
+              Response{call.conn, *retry_cache->completed_frame(call.owner, call.id)});
           continue;
         }
         if (st == RetryCache::State::kInProgress) {
@@ -444,7 +522,7 @@ sim::Task SocketRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
       // The executed outcome must survive even when the response is
       // dropped below: the caller's retry is answered from the cache.
       if (RetryCache* retry_cache = shard.pipeline.retry_cache()) {
-        retry_cache->complete(call.conn_id, call.id, wire);
+        retry_cache->complete(call.owner, call.id, wire);
       }
       if (shard.pipeline.expired_before_response(call.deadline, host_.sched().now())) {
         // Executed past the caller's deadline: the response would be

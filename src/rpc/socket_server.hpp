@@ -64,6 +64,9 @@ class SocketRpcServer final : public RpcServer {
   struct ServerCall {
     net::SocketPtr conn;
     std::uint64_t conn_id = 0;  // dense per-server connection sequence number
+    std::uint64_t session_id = 0;  // durable session id (0 = sessionless)
+    std::uint64_t owner = 0;       // retry-cache key: session_id, else conn_id
+    bool retried = false;          // kWireRetryFlag: a client retry attempt
     std::uint32_t shard = 0;    // home shard (== conn_id's shard)
     std::uint64_t id = 0;
     MethodKey key;
@@ -84,13 +87,14 @@ class SocketRpcServer final : public RpcServer {
   /// slots, pipeline (queue/admission/cache/stats), and Responder.
   struct Shard {
     Shard(sim::Scheduler& sched, std::uint32_t index, const OverloadConfig& cfg,
-          int readers, std::uint64_t seed)
+          int readers, std::uint64_t seed, const SessionConfig& session)
         : index(index),
           pipeline(sched, index, cfg,
                    [](const ServerCall& c) -> const std::string& { return c.key.protocol; },
                    seed),
           response_queue(sched),
-          reader_slots(sched, readers) {}
+          reader_slots(sched, readers),
+          sessions(session) {}
 
     std::uint32_t index;
     CallPipeline<ServerCall> pipeline;
@@ -98,10 +102,15 @@ class SocketRpcServer final : public RpcServer {
     sim::Semaphore reader_slots;
     std::vector<net::SocketPtr> conns;
     LingerEstimator resp_gaps;  // responder-side adaptive-linger estimator
+    SessionTable sessions;      // durable-session leases (home shard only)
   };
 
   sim::Task listener_loop();
-  sim::Task reader_loop(net::SocketPtr conn, std::uint64_t conn_id, Shard& shard);
+  /// `home` is the listener-chosen shard (sessionless path). With sessions
+  /// enabled it is null: the reader picks the shard session-affinely after
+  /// the preamble, so a reconnect lands on the shard holding its dedup
+  /// state.
+  sim::Task reader_loop(net::SocketPtr conn, std::uint64_t conn_id, Shard* home);
   sim::Task handler_loop(Shard& home, int handler_id);
   sim::Task responder_loop(Shard& shard);
 
@@ -110,8 +119,13 @@ class SocketRpcServer final : public RpcServer {
   /// sub-call of a batch frame. Returns the call's trace context so the
   /// batch path can parent its batch.parse span.
   sim::Co<trace::TraceContext> process_frame(net::SocketPtr conn, std::uint64_t conn_id,
-                                             Shard& shard, net::Bytes frame,
-                                             sim::Time t_recv_start, sim::Dur alloc_cost);
+                                             std::uint64_t session_id, Shard& shard,
+                                             net::Bytes frame, sim::Time t_recv_start,
+                                             sim::Dur alloc_cost);
+  /// Lease bookkeeping for one arriving call: renew (or open, unless the
+  /// call is a retry) its session and drop retry-cache state for every
+  /// session the sweep expired or evicted.
+  void touch_session(Shard& shard, std::uint64_t session_id, bool retried);
   /// Coalesce group[begin..end) (small responses for one connection) into
   /// a single [u32 total][u64 kWireBatchFlag|n][u32 len_i][payload_i...]
   /// frame and write it.

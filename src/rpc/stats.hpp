@@ -105,6 +105,22 @@ struct RpcStats {
   std::uint64_t connections_opened = 0;     // transport connections established
   std::uint64_t threshold_mismatches = 0;   // bootstrap saw local != peer eager threshold
 
+  // Reconnect recovery state machine (client side, split by detection
+  // cause — see rpc::ReconnectCause). Each counts one connection torn
+  // down and eligible for re-bootstrap + in-flight replay.
+  std::uint64_t reconnects_peer_closed = 0;    // EOF / closed by remote
+  std::uint64_t reconnects_qp_error = 0;       // verbs post failed mid-call
+  std::uint64_t reconnects_idle_evicted = 0;   // stale QP found on reuse
+  std::uint64_t reconnects_fault_injected = 0; // FaultPlan connection kill
+  std::uint64_t calls_replayed = 0;            // attempts re-sent after a reconnect
+
+  // Durable session layer (session.* knobs). Server side, per shard:
+  std::uint64_t sessions_opened = 0;      // new session ids admitted
+  std::uint64_t sessions_expired = 0;     // idle past the lease, state dropped
+  std::uint64_t sessions_evicted = 0;     // LRU-evicted past table_cap
+  std::uint64_t sessions_rejected = 0;    // retried call on expired session bounced
+  std::uint64_t session_table_peak = 0;   // live-session high-water mark
+
   // Shared-receive-queue counters (RPCoIB server, srq.* knobs).
   std::uint64_t srq_posted = 0;          // buffers posted to the shared recv ring
   std::uint64_t srq_refills = 0;         // low-watermark refill rounds
@@ -156,6 +172,18 @@ struct RpcStats {
     batched_responses += o.batched_responses;
     connections_opened += o.connections_opened;
     threshold_mismatches += o.threshold_mismatches;
+    reconnects_peer_closed += o.reconnects_peer_closed;
+    reconnects_qp_error += o.reconnects_qp_error;
+    reconnects_idle_evicted += o.reconnects_idle_evicted;
+    reconnects_fault_injected += o.reconnects_fault_injected;
+    calls_replayed += o.calls_replayed;
+    sessions_opened += o.sessions_opened;
+    sessions_expired += o.sessions_expired;
+    sessions_evicted += o.sessions_evicted;
+    sessions_rejected += o.sessions_rejected;
+    if (o.session_table_peak > session_table_peak) {
+      session_table_peak = o.session_table_peak;
+    }
     srq_posted += o.srq_posted;
     srq_refills += o.srq_refills;
     srq_rnr_stalls += o.srq_rnr_stalls;

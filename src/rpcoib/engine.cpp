@@ -39,6 +39,7 @@ std::unique_ptr<rpc::RpcClient> RpcEngine::make_client(cluster::Host& host) {
   std::unique_ptr<rpc::RpcClient> client = make_client_impl(host);
   client->set_retry_policy(cfg_.retry);
   client->set_batch(cfg_.batch);
+  client->set_session(cfg_.session);
   client->stats().record_sequences = record_sequences_;
   rpc::RpcClient* raw = client.get();
   clients_.push_back(raw);
@@ -105,6 +106,7 @@ std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
   if (server) {
     server->set_overload(cfg_.overload);
     server->set_batch(cfg_.batch);
+    server->set_session(cfg_.session);
   }
   return server;
 }

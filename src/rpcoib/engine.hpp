@@ -52,6 +52,13 @@ struct EngineConfig {
   /// server (response batching) this engine creates. Default-disabled:
   /// one frame per message, byte-identical to the seed wire format.
   rpc::BatchConfig batch{};
+  /// Durable client sessions (session.* knobs): exactly-once RPC across
+  /// connection loss. Applied to every client (session id in the
+  /// handshake, retry flagging, reconnect accounting) and server
+  /// (session-keyed retry cache, leases). Default-disabled: no handshake
+  /// bytes change, no new report rows — byte-identical to a sessionless
+  /// build.
+  rpc::SessionConfig session{};
   /// RPCoIB only: reroute to the companion socket listener when the QP
   /// bootstrap exchange fails (and run that listener server-side).
   bool socket_fallback = true;

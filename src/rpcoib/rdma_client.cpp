@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "net/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace rpcoib::oib {
@@ -103,6 +104,7 @@ void RdmaRpcClient::release_rendezvous(PendingCall& pc) {
 
 void RdmaRpcClient::fail_all(Connection& conn, const std::string& why) {
   conn.broken = true;
+  conn.recovery = Recovery::kTornDown;
   for (auto& [id, pc] : conn.pending) {
     // Return in-flight rendezvous sources to the pool before waking the
     // caller: a drained scheduler may never resume the call coroutine, so
@@ -137,6 +139,7 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
       }
       conn->cq.close();
       fail_all(*conn, "QP closed by peer");
+      note_reconnect(rpc::ReconnectCause::kIdleEvicted);
     }
     if (!conn->broken) co_return conn;
     // Woke up on a broken connection. Another waiter may already have
@@ -154,11 +157,13 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
     // Bootstrap over the server's socket address (Section III-D),
     // exchanging eager thresholds in the endpoint-info blob, then
     // pre-post pooled receive buffers for eager traffic.
+    // The durable session id (0 when sessions are off) rides the same
+    // endpoint-info blob, so a reconnect re-announces it for free.
     std::uint64_t peer_threshold = 0;
     raw->qp = co_await cm_.connect(host_, addr, raw->cq, raw->cq,
                                    net::Transport::kIPoIB,
                                    static_cast<std::uint64_t>(cfg_.eager_threshold),
-                                   &peer_threshold);
+                                   &peer_threshold, session_id(host_));
     // min(local, peer): an eager SEND must fit buffers sized by *either*
     // end's knob. Peer 0 means "not advertised" (legacy bootstrap).
     raw->eager_threshold =
@@ -189,9 +194,50 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
     throw rpc::RpcTransportError(e.what());
   }
   host_.sched().spawn(receive_loop(raw));
+  raw->recovery = Recovery::kHealthy;
   raw->ready.set();
   ++stats_.connections_opened;
   co_return raw;
+}
+
+void RdmaRpcClient::note_reconnect(rpc::ReconnectCause cause) {
+  // Reconnect accounting rides the session knob: with sessions off the
+  // counters stay zero, the report grows no rows, and seeded sessionless
+  // runs stay byte-identical to a build without the session layer.
+  if (!session_.enabled) return;
+  switch (cause) {
+    case rpc::ReconnectCause::kPeerClosed: ++stats_.reconnects_peer_closed; break;
+    case rpc::ReconnectCause::kQpError: ++stats_.reconnects_qp_error; break;
+    case rpc::ReconnectCause::kIdleEvicted: ++stats_.reconnects_idle_evicted; break;
+    case rpc::ReconnectCause::kFaultInjected: ++stats_.reconnects_fault_injected; break;
+  }
+  if (trace::TraceCollector* tr = trace::active(host_.tracer()); tr != nullptr) {
+    const sim::Time now = host_.sched().now();
+    tr->add_complete(std::string("reconnect.") + rpc::reconnect_cause_name(cause),
+                     trace::Kind::kClient, trace::Category::kSession, {}, host_.id(),
+                     now, now);
+  }
+}
+
+void RdmaRpcClient::teardown_connection(const ConnectionPtr& conn, net::Address addr,
+                                        rpc::ReconnectCause cause, const std::string& why) {
+  if (conn->qp) {
+    // Still-posted receive slots hold pooled buffers; reclaim them before
+    // the QP breaks or the pool leaks a slot per pre-posted recv.
+    for (std::uint64_t wr : conn->qp->drain_posted_recvs()) {
+      if (NativeBuffer* b = buf_of(wr); b != nullptr) native_.release(b);
+    }
+    conn->qp->disconnect();
+  }
+  // NOT cancelled and the CQ stays open: completions already scheduled
+  // (the in-flight kSend, READ completions, stale responses) still land,
+  // and the still-running receive loop recycles their pooled buffers —
+  // the pool balance survives the teardown. The loop parks harmlessly on
+  // the open CQ afterwards.
+  fail_all(*conn, why);
+  note_reconnect(cause);
+  auto it = connections_.find(addr);
+  if (it != connections_.end() && it->second == conn) connections_.erase(it);
 }
 
 void RdmaRpcClient::repost_recv(const ConnectionPtr& conn, NativeBuffer* buf) {
@@ -334,7 +380,11 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
   } catch (const sim::ChannelClosed&) {
     // Shutdown path.
   } catch (const verbs::VerbsError& e) {
+    const bool was_broken = conn->broken;
     fail_all(*conn, e.what());
+    if (!conn->cancelled && !was_broken) {
+      note_reconnect(rpc::ReconnectCause::kQpError);
+    }
   }
 }
 
@@ -448,6 +498,9 @@ sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::Met
     attempt_only.call_timeout = retry_.call_timeout;
     fallback_->set_retry_policy(attempt_only);
     fallback_->set_batch(batch_);
+    // The fallback endpoint is its own client and mints its own durable
+    // session id; it only needs the same knob so its calls stay dedupable.
+    fallback_->set_session(session_);
   }
   const net::Address companion{addr.host,
                                static_cast<std::uint16_t>(addr.port + kSocketFallbackPortOffset)};
@@ -456,7 +509,8 @@ sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::Met
 
 sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKey& key,
                                           const rpc::Writable& param,
-                                          rpc::Writable* response, std::uint64_t call_id) {
+                                          rpc::Writable* response, std::uint64_t call_id,
+                                          bool retried) {
   // Consume the ambient trace parent before the first suspension point
   // (see trace.hpp's propagation discipline).
   trace::TraceCollector* tr = trace::active(host_.tracer());
@@ -515,6 +569,9 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     std::uint64_t wire_id = id;
     if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
     if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
+    // Mark retried attempts so the server can refuse them (instead of
+    // re-executing) when the session that held the dedup state is gone.
+    if (retried && session_.enabled) wire_id |= trace::kWireRetryFlag;
     out.write_u64(wire_id);
     if (ctx.valid()) {
       // Flagged id announces two extra context words; untraced calls keep
@@ -609,7 +666,23 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     conn->pending.erase(id);
     if (buf != nullptr) native_.release(buf);
     release_rendezvous(pc);
+    if (session_.enabled && !conn->cancelled && !conn->broken) {
+      // The post failed with the QP in error state mid-call: tear the
+      // connection down now so the retry re-bootstraps instead of landing
+      // on the dead QP again. (Sessionless builds keep the lazy detection
+      // at the next get_connection, byte-identical to the old behavior.)
+      teardown_connection(conn, addr, rpc::ReconnectCause::kQpError, e.what());
+    }
     throw rpc::RpcTransportError(e.what());
+  }
+  // Connection-kill fault hook: the request is on the wire, so the server
+  // side may execute it — the retry that follows this teardown is exactly
+  // the duplicate-execution window the session-keyed retry cache closes.
+  if (net::FaultPlan* plan = stack_.fabric().fault_plan();
+      plan != nullptr && plan->kills_enabled() && !conn->broken &&
+      plan->take_kill(host_.id(), addr.host, host_.sched().now())) {
+    teardown_connection(conn, addr, rpc::ReconnectCause::kFaultInjected,
+                        "connection killed (injected fault)");
   }
   const sim::Time t_sent = host_.sched().now();
   if (ctx.valid()) {

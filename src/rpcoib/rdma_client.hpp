@@ -54,9 +54,17 @@ class RdmaRpcClient final : public rpc::RpcClient {
  protected:
   sim::Co<void> call_attempt(net::Address addr, const rpc::MethodKey& key,
                              const rpc::Writable& param, rpc::Writable* response,
-                             std::uint64_t call_id) override;
+                             std::uint64_t call_id, bool retried) override;
 
  private:
+  /// Reconnect recovery state machine (unified with the socket client; see
+  /// DESIGN.md §13). kConnecting while the bootstrap exchange runs,
+  /// kHealthy once the QP is paired and receives are posted, kTornDown
+  /// after a failure (stale QP found on reuse, a post into an errored QP,
+  /// or an injected kill) failed every pending call over to the retry
+  /// loop. Re-bootstrap is the next get_connection(); the durable session
+  /// id carried in the bootstrap blob makes the replay exactly-once.
+  enum class Recovery : std::uint8_t { kConnecting, kHealthy, kTornDown };
   struct PendingCall {
     explicit PendingCall(sim::Scheduler& s) : done(s) {}
     sim::SimEvent done;
@@ -86,6 +94,7 @@ class RdmaRpcClient final : public rpc::RpcClient {
     // min(local, peer-advertised) from the bootstrap handshake, so an
     // eager SEND always fits the peer's pre-posted receive buffers.
     std::size_t eager_threshold = 0;
+    Recovery recovery = Recovery::kConnecting;
     rpc::CallBatcher batcher;  // small-call coalescing (BatchConfig)
     // First traced call of the open batch; parents the batch.flush span.
     trace::TraceContext batch_ctx;
@@ -120,6 +129,17 @@ class RdmaRpcClient final : public rpc::RpcClient {
   void repost_recv(const ConnectionPtr& conn, NativeBuffer* buf);
   void fail_all(Connection& conn, const std::string& why);
   void release_rendezvous(PendingCall& pc);
+  /// Count one recovery-FSM activation and emit its kSession trace span.
+  /// No-op with sessions disabled (the knob gates all reconnect rows).
+  void note_reconnect(rpc::ReconnectCause cause);
+  /// Full mid-call teardown: reclaim posted receive slots, break the QP,
+  /// fail pending calls over to the retry loop and drop the map entry.
+  /// The CQ stays OPEN: completions already scheduled (the just-posted
+  /// kSend, in-flight READs, stale responses) must still be reaped by the
+  /// receive loop so their pooled buffers go back — the pool stays
+  /// balanced across a kill.
+  void teardown_connection(const ConnectionPtr& conn, net::Address addr,
+                           rpc::ReconnectCause cause, const std::string& why);
   sim::Co<void> call_via_fallback(net::Address addr, const rpc::MethodKey& key,
                                   const rpc::Writable& param, rpc::Writable* response);
 

@@ -55,6 +55,7 @@ ControlFrame make_nack(std::uint32_t rkey) {
 struct CallHeader {
   bool ok = false;
   std::uint64_t id = 0;
+  bool retried = false;  // kWireRetryFlag: a client retry attempt
   sim::Time deadline = 0;
   trace::TraceContext ctx;
   rpc::MethodKey key;
@@ -71,6 +72,7 @@ CallHeader parse_call_header(const cluster::CostModel& cm, net::ByteSpan frame) 
       h.ctx.span_id = in.read_u64();
     }
     if ((h.id & trace::kWireDeadlineFlag) != 0) h.deadline = in.read_u64();
+    h.retried = (h.id & trace::kWireRetryFlag) != 0;
     h.id &= trace::kWireIdMask;
     h.key.protocol = in.read_text();
     h.key.method = in.read_text();
@@ -110,7 +112,7 @@ void RdmaRpcServer::start() {
   for (int i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(
         host_.sched(), static_cast<std::uint32_t>(i), overload_,
-        rpc::shard_seed(host_.id(), static_cast<std::uint32_t>(i)));
+        rpc::shard_seed(host_.id(), static_cast<std::uint32_t>(i)), session_);
     if (cfg_.pool.srq_depth > 0) {
       // Stripe the shared ring: each shard owns srq_depth / n slots (the
       // remainder spread over the low shards, never below one) and refills
@@ -161,6 +163,7 @@ void RdmaRpcServer::start() {
     // or overload would simply migrate to the companion listener.
     fallback_->set_overload(overload_);
     fallback_->set_batch(batch_);
+    fallback_->set_session(session_);
     fallback_->start();
   }
 }
@@ -251,6 +254,11 @@ void RdmaRpcServer::sync_stats() {
   stats_.responses_dropped_on_stop = agg.responses_dropped_on_stop;
   stats_.pool_nacks = agg.pool_nacks;
   stats_.queue_depth_peak = agg.queue_depth_peak;
+  stats_.sessions_opened = agg.sessions_opened;
+  stats_.sessions_expired = agg.sessions_expired;
+  stats_.sessions_evicted = agg.sessions_evicted;
+  stats_.sessions_rejected = agg.sessions_rejected;
+  stats_.session_table_peak = agg.session_table_peak;
   stats_.batches_received = agg.batches_received;
   stats_.batched_calls_received = agg.batched_calls_received;
   stats_.response_batches = agg.response_batches;
@@ -265,6 +273,25 @@ void RdmaRpcServer::sync_stats() {
   stats_.recv_alloc_us = agg.recv_alloc_us;
   stats_.recv_total_us = agg.recv_total_us;
   stats_.shards = std::move(agg.shards);
+}
+
+void RdmaRpcServer::touch_session(Shard& shard, std::uint64_t session_id, bool retried) {
+  if (!session_.enabled || session_id == 0) return;
+  const rpc::SessionTable::TouchResult r =
+      shard.sessions.touch(session_id, host_.sched().now(), /*open_if_missing=*/!retried);
+  rpc::RpcStats& st = shard.pipeline.stats();
+  if (r.opened) ++st.sessions_opened;
+  st.sessions_expired += r.expired.size();
+  st.sessions_evicted += r.evicted.size();
+  if (shard.sessions.peak() > st.session_table_peak) {
+    st.session_table_peak = shard.sessions.peak();
+  }
+  // A dead session's retry-cache entries go with it — the dedup promise
+  // is scoped to the lease, and the space bound depends on the purge.
+  if (rpc::RetryCache* cache = shard.pipeline.retry_cache()) {
+    for (const std::uint64_t sid : r.expired) cache->forget_owner(sid);
+    for (const std::uint64_t sid : r.evicted) cache->forget_owner(sid);
+  }
 }
 
 void RdmaRpcServer::note_ring_bytes(Shard& shard, std::size_t n) {
@@ -378,24 +405,34 @@ sim::Task RdmaRpcServer::listener_loop() {
     }
     for (;;) {
       net::SocketPtr boot = co_await l->accept();
-      // Stable affinity: the next accepted connection's dense id is
-      // conn_seq_ + 1, so its home shard — and the CQ its QP completes
-      // into — is known before the handshake.
-      Shard& shard = *shards_[conn_seq_ % shards_.size()];
+      // Two-phase handshake: read the client's blob first, so the home
+      // shard — and the CQ the QP completes into — can be chosen from the
+      // durable session id it carries. A reconnecting session must land on
+      // the shard that holds its lease and retry-cache state; sessionless
+      // connections keep the dense-id round-robin, operation-for-operation
+      // the pre-session behavior.
       verbs::QueuePairPtr qp;
-      std::uint64_t peer_threshold = 0;
+      verbs::ConnectionManager::BootstrapInfo info;
+      Shard* shard_p = nullptr;
       try {
-        qp = co_await cm_.accept(boot, *shard.cq, *shard.cq,
-                                 static_cast<std::uint64_t>(cfg_.eager_threshold),
-                                 &peer_threshold);
+        info = co_await cm_.read_bootstrap(boot);
+        const std::uint64_t sid = session_.enabled ? info.session_id : 0;
+        shard_p = sid != 0 ? shards_[sid % shards_.size()].get()
+                           : shards_[conn_seq_ % shards_.size()].get();
+        qp = co_await cm_.accept(boot, info, *shard_p->cq, *shard_p->cq,
+                                 static_cast<std::uint64_t>(cfg_.eager_threshold));
       } catch (const verbs::VerbsError&) {
         continue;  // malformed bootstrap (e.g. a socket client); drop it
       } catch (const net::SocketError&) {
         continue;
       }
+      Shard& shard = *shard_p;
+      const std::uint64_t peer_threshold = info.peer_eager_threshold;
       auto conn = std::make_shared<ConnState>();
       conn->qp = std::move(qp);
       conn->id = ++conn_seq_;
+      conn->session_id = session_.enabled ? info.session_id : 0;
+      conn->owner = conn->session_id != 0 ? conn->session_id : conn->id;
       conn->shard = shard.index;
       ++shard.pipeline.counters().conns_assigned;
       conn->last_recv = host_.sched().now();
@@ -686,6 +723,7 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
       // buffer, no native->heap copy (Section III-B).
       RDMAInputStream in(cm, net::ByteSpan(call.buf->span.data(), call.frame_len));
       std::uint64_t id = 0;
+      bool retried = false;
       sim::Time deadline = 0;
       trace::TraceContext ctx;
       rpc::MethodKey key;
@@ -697,6 +735,7 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
           ctx.span_id = in.read_u64();
         }
         if ((id & trace::kWireDeadlineFlag) != 0) deadline = in.read_u64();
+        retried = (id & trace::kWireRetryFlag) != 0;
         id &= trace::kWireIdMask;
         key.protocol = in.read_text();
         key.method = in.read_text();
@@ -731,9 +770,36 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
         tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue, ctx,
                          host_.id(), call.enqueued, t_dequeue);
       }
+      // Session lease bookkeeping, then the expiry check for retries: a
+      // retried attempt whose session is gone cannot be proved unexecuted,
+      // so it is bounced with a retryable busy-class error instead of run
+      // a second time. A fresh call just (re-)opened the session above.
+      touch_session(shard, call.conn->session_id, retried);
+      if (retried && call.conn->session_id != 0 &&
+          !shard.sessions.alive(call.conn->session_id, t_dequeue)) {
+        ++shard.pipeline.stats().sessions_rejected;
+        if (tr != nullptr) {
+          tr->add_complete("session.rejected:" + key.method, trace::Kind::kServer,
+                           trace::Category::kSession, ctx, host_.id(), t_dequeue,
+                           host_.sched().now());
+        }
+        try {
+          RDMAOutputStream busy(cm, shadow_, rpc::MethodKey{"__session", "rejected"});
+          busy.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+          busy.write_u64(id);
+          busy.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kBusy));
+          busy.write_text("session expired: retry cannot be deduplicated");
+          co_await respond(call, busy);
+        } catch (const verbs::VerbsError&) {
+          // Client already gone; nothing to tell it.
+        }
+        native_.release(call.buf);
+        continue;
+      }
+
       rpc::RetryCache* retry_cache = shard.pipeline.retry_cache();
       if (retry_cache != nullptr) {
-        const rpc::RetryCache::State seen = retry_cache->begin(call.conn->id, id);
+        const rpc::RetryCache::State seen = retry_cache->begin(call.conn->owner, id);
         if (seen == rpc::RetryCache::State::kCompleted) {
           // A retry of a call that already executed: replay the recorded
           // response instead of running the handler a second time.
@@ -743,7 +809,7 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
                              trace::Category::kOverload, ctx, host_.id(), t_dequeue,
                              host_.sched().now());
           }
-          const net::Bytes* cached = retry_cache->completed_frame(call.conn->id, id);
+          const net::Bytes* cached = retry_cache->completed_frame(call.conn->owner, id);
           if (cached != nullptr) {
             try {
               co_await respond_frame(call, net::ByteSpan(cached->data(), cached->size()));
@@ -813,7 +879,7 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
         if (pool_busy) {
           // Not recorded in the retry cache: the condition is transient
           // and the client's retry must execute fresh once the pool drains.
-          if (retry_cache != nullptr) retry_cache->forget(call.conn->id, id);
+          if (retry_cache != nullptr) retry_cache->forget(call.conn->owner, id);
           shard.pipeline.note_shed();
           RDMAOutputStream busy(cm, shadow_, rpc::MethodKey{"__overload", "busy"});
           busy.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
@@ -829,14 +895,14 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
           err.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kError));
           err.write_text(error_msg);
           if (retry_cache != nullptr) {
-            retry_cache->complete(call.conn->id, id,
+            retry_cache->complete(call.conn->owner, id,
                                   net::Bytes(err.data().begin(), err.data().end()));
           }
           if (!resp_expired) co_await respond(call, err);
           // On expiry the stream destructor returns the pooled buffer.
         } else {
           if (retry_cache != nullptr) {
-            retry_cache->complete(call.conn->id, id,
+            retry_cache->complete(call.conn->owner, id,
                                   net::Bytes(out.data().begin(), out.data().end()));
           }
           if (!resp_expired) co_await respond(call, out);

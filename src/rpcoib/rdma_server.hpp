@@ -79,8 +79,10 @@ class RdmaRpcServer final : public rpc::RpcServer {
  private:
   struct ConnState {
     verbs::QueuePairPtr qp;
-    std::uint64_t id = 0;  // dense per-server sequence number (retry-cache key)
-    std::uint32_t shard = 0;  // home shard: (id - 1) % shards
+    std::uint64_t id = 0;  // dense per-server sequence number
+    std::uint64_t session_id = 0;  // durable session id (0 = sessionless)
+    std::uint64_t owner = 0;       // retry-cache key: session_id, else id
+    std::uint32_t shard = 0;  // home shard: session-affine, else (id - 1) % shards
     // Negotiated per-connection eager/rendezvous switch point:
     // min(local, client-advertised) from the bootstrap handshake.
     std::size_t eager_threshold = 0;
@@ -108,17 +110,19 @@ class RdmaRpcServer final : public rpc::RpcServer {
   /// completion can touch lives here, so shards share no mutable state.
   struct Shard {
     Shard(sim::Scheduler& sched, std::uint32_t index, const rpc::OverloadConfig& cfg,
-          std::uint64_t seed)
+          std::uint64_t seed, const rpc::SessionConfig& session)
         : index(index),
           cq(std::make_unique<verbs::CompletionQueue>(sched)),
           pipeline(
               sched, index, cfg,
               [](const ServerCall& c) -> const std::string& { return c.admit_protocol; },
-              seed) {}
+              seed),
+          sessions(session) {}
 
     std::uint32_t index;
     std::unique_ptr<verbs::CompletionQueue> cq;
     rpc::CallPipeline<ServerCall> pipeline;
+    rpc::SessionTable sessions;  // durable-session leases (home shard only)
     // This shard's stripe of the shared receive ring (null in legacy mode).
     std::unique_ptr<verbs::SharedReceiveQueue> srq;
     std::size_t srq_depth = 0;          // stripe depth
@@ -159,6 +163,10 @@ class RdmaRpcServer final : public rpc::RpcServer {
   /// stripe is full / the connection is gone).
   void recycle_recv_buffer(Shard& shard, ConnState* conn, NativeBuffer* buf);
   void note_ring_bytes(Shard& shard, std::size_t n);
+  /// Lease bookkeeping for one dequeued call: renew (or open, unless the
+  /// call is a retry) its session and drop retry-cache state for every
+  /// session the sweep expired or evicted.
+  void touch_session(Shard& shard, std::uint64_t session_id, bool retried);
   /// The home shard of a connection (CQ, pipeline, pending_resp...).
   Shard& shard_of(const ConnState& conn) { return *shards_[conn.shard]; }
   /// Buffer one serialized small kResp frame for `conn`; flushes inline

@@ -18,6 +18,7 @@ const char* category_name(Category c) {
     case Category::kRetry: return "retry backoff";
     case Category::kOverload: return "overload/deadline";
     case Category::kStream: return "bulk stream";
+    case Category::kSession: return "session/reconnect";
   }
   return "?";
 }

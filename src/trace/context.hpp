@@ -42,8 +42,17 @@ inline constexpr std::uint64_t kWireDeadlineFlag = 1ULL << 62;
 /// wire format stays byte-identical to the seed.
 inline constexpr std::uint64_t kWireBatchFlag = 1ULL << 61;
 
+/// Fourth-highest bit of the on-wire call id. When set, this frame is a
+/// *re-sent attempt* of a logical call (attempt > 0 under the client's
+/// retry policy). Servers running a durable session layer use it to tell
+/// "retry of a call whose session state may have expired" (must not be
+/// silently re-executed) from a genuinely new call. Stamped only when the
+/// client's session layer is enabled, so the default wire format stays
+/// byte-identical to a sessionless build.
+inline constexpr std::uint64_t kWireRetryFlag = 1ULL << 60;
+
 /// Mask stripping all wire flag bits off a call id.
 inline constexpr std::uint64_t kWireIdMask =
-    ~(kWireTraceFlag | kWireDeadlineFlag | kWireBatchFlag);
+    ~(kWireTraceFlag | kWireDeadlineFlag | kWireBatchFlag | kWireRetryFlag);
 
 }  // namespace rpcoib::trace

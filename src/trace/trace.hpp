@@ -48,8 +48,9 @@ enum class Category : std::uint8_t {
   kRetry,          // backoff waits between retry attempts
   kOverload,       // admission shedding, deadline drops, retry-cache dedup
   kStream,         // pipelined bulk streaming (chunk writes, credit waits)
+  kSession,        // session lifecycle + reconnect recovery state machine
 };
-inline constexpr int kCategoryCount = 14;
+inline constexpr int kCategoryCount = 15;
 
 const char* category_name(Category c);
 

@@ -313,7 +313,8 @@ sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Addres
                                                  CompletionQueue& recv_cq,
                                                  net::Transport mgmt_transport,
                                                  std::uint64_t local_eager_threshold,
-                                                 std::uint64_t* peer_eager_threshold) {
+                                                 std::uint64_t* peer_eager_threshold,
+                                                 std::uint64_t session_id) {
   net::SocketPtr sock = co_await sockets_.connect(src, addr, mgmt_transport);
   // Injected fault hook: the management socket worked, but the verbs-level
   // exchange (SM path resolution, GID lookup) fails. Distinct from a dead
@@ -332,9 +333,11 @@ sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Addres
   net::Bytes info(kEndpointInfoBytes, 0);
   const std::uintptr_t cookie = reinterpret_cast<std::uintptr_t>(qp.get());
   std::memcpy(info.data(), &cookie, sizeof(cookie));
-  // Bytes 8..15: our eager threshold (0 = not advertised). The blob was
-  // all-zero here before, so unadvertised stays wire-identical.
+  // Bytes 8..15: our eager threshold (0 = not advertised). Bytes 16..23:
+  // our durable session id (0 = sessionless). The blob was all-zero in
+  // both ranges before, so unadvertised stays wire-identical.
   std::memcpy(info.data() + 8, &local_eager_threshold, sizeof(local_eager_threshold));
+  std::memcpy(info.data() + 16, &session_id, sizeof(session_id));
   stack_.cm_register(cookie, qp);
   co_await sock->write(info);
 
@@ -349,20 +352,25 @@ sim::Co<QueuePairPtr> ConnectionManager::connect(cluster::Host& src, net::Addres
   co_return qp;
 }
 
-sim::Co<QueuePairPtr> ConnectionManager::accept(net::SocketPtr bootstrap,
-                                                CompletionQueue& send_cq,
-                                                CompletionQueue& recv_cq,
-                                                std::uint64_t local_eager_threshold,
-                                                std::uint64_t* peer_eager_threshold) {
+sim::Co<ConnectionManager::BootstrapInfo> ConnectionManager::read_bootstrap(
+    net::SocketPtr bootstrap) {
   net::Bytes info(kEndpointInfoBytes);
   co_await bootstrap->read_full(info);
-  std::uintptr_t cookie = 0;
-  std::memcpy(&cookie, info.data(), sizeof(cookie));
-  QueuePairPtr client_qp = stack_.cm_lookup(cookie);
+  BootstrapInfo out;
+  std::memcpy(&out.cookie, info.data(), sizeof(out.cookie));
+  std::memcpy(&out.peer_eager_threshold, info.data() + 8,
+              sizeof(out.peer_eager_threshold));
+  std::memcpy(&out.session_id, info.data() + 16, sizeof(out.session_id));
+  co_return out;
+}
+
+sim::Co<QueuePairPtr> ConnectionManager::accept(net::SocketPtr bootstrap,
+                                                const BootstrapInfo& info,
+                                                CompletionQueue& send_cq,
+                                                CompletionQueue& recv_cq,
+                                                std::uint64_t local_eager_threshold) {
+  QueuePairPtr client_qp = stack_.cm_lookup(info.cookie);
   if (!client_qp) throw VerbsError("connection manager: unknown endpoint cookie");
-  if (peer_eager_threshold != nullptr) {
-    std::memcpy(peer_eager_threshold, info.data() + 8, sizeof(*peer_eager_threshold));
-  }
 
   auto qp = std::make_shared<QueuePair>(stack_, bootstrap->local(), send_cq, recv_cq);
   qp->connect_to(client_qp);
@@ -371,6 +379,18 @@ sim::Co<QueuePairPtr> ConnectionManager::accept(net::SocketPtr bootstrap,
   net::Bytes reply(kEndpointInfoBytes, 0);
   std::memcpy(reply.data() + 8, &local_eager_threshold, sizeof(local_eager_threshold));
   co_await bootstrap->write(reply);
+  co_return qp;
+}
+
+sim::Co<QueuePairPtr> ConnectionManager::accept(net::SocketPtr bootstrap,
+                                                CompletionQueue& send_cq,
+                                                CompletionQueue& recv_cq,
+                                                std::uint64_t local_eager_threshold,
+                                                std::uint64_t* peer_eager_threshold) {
+  const BootstrapInfo info = co_await read_bootstrap(bootstrap);
+  if (peer_eager_threshold != nullptr) *peer_eager_threshold = info.peer_eager_threshold;
+  QueuePairPtr qp =
+      co_await accept(bootstrap, info, send_cq, recv_cq, local_eager_threshold);
   co_return qp;
 }
 

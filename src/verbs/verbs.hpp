@@ -340,14 +340,38 @@ class ConnectionManager {
   /// advertised value is returned through `peer_eager_threshold` when
   /// non-null. RPCoIB endpoints use min(local, peer) so an eager SEND can
   /// never exceed what the receiver's pre-posted buffers were sized for.
+  /// `session_id` rides bytes 16..23 (0 = sessionless; those bytes were
+  /// always zero before, so sessionless blobs stay wire-identical).
   sim::Co<QueuePairPtr> connect(cluster::Host& src, net::Address addr,
                                 CompletionQueue& send_cq, CompletionQueue& recv_cq,
                                 net::Transport mgmt_transport = net::Transport::kIPoIB,
                                 std::uint64_t local_eager_threshold = 0,
-                                std::uint64_t* peer_eager_threshold = nullptr);
+                                std::uint64_t* peer_eager_threshold = nullptr,
+                                std::uint64_t session_id = 0);
+
+  /// Endpoint info read off a bootstrap socket before any server QP
+  /// exists: the rendezvous cookie plus the peer's advertised eager
+  /// threshold and durable session id. Splitting the read out of accept()
+  /// lets a sharded server pick the owning shard — and with it the CQ and
+  /// SRQ the connection lands on — from the session id, so a reconnecting
+  /// session finds its retry-cache state on the same shard.
+  struct BootstrapInfo {
+    std::uintptr_t cookie = 0;
+    std::uint64_t peer_eager_threshold = 0;
+    std::uint64_t session_id = 0;  // 0 = sessionless peer
+  };
+
+  /// Phase one of the server-side handshake: read the client's blob.
+  sim::Co<BootstrapInfo> read_bootstrap(net::SocketPtr bootstrap);
+
+  /// Phase two: pair QPs onto the chosen CQs and send the reply blob.
+  sim::Co<QueuePairPtr> accept(net::SocketPtr bootstrap, const BootstrapInfo& info,
+                               CompletionQueue& send_cq, CompletionQueue& recv_cq,
+                               std::uint64_t local_eager_threshold = 0);
 
   /// Server side: accept one connection from an already-accepted bootstrap
-  /// socket. Threshold exchange mirrors connect().
+  /// socket (read_bootstrap + two-phase accept in one step). Threshold
+  /// exchange mirrors connect().
   sim::Co<QueuePairPtr> accept(net::SocketPtr bootstrap, CompletionQueue& send_cq,
                                CompletionQueue& recv_cq,
                                std::uint64_t local_eager_threshold = 0,

@@ -77,7 +77,11 @@ struct MrStack {
   static EngineConfig make_engine_cfg(RpcMode rpc_mode, const ChaosConfig* chaos) {
     EngineConfig cfg;
     cfg.mode = rpc_mode;
-    if (chaos != nullptr) cfg.retry = chaos->retry;
+    if (chaos != nullptr) {
+      cfg.retry = chaos->retry;
+      cfg.overload = chaos->overload;
+      cfg.session = chaos->session;
+    }
     return cfg;
   }
   static hdfs::HdfsConfig make_hdfs_cfg(bool dn_disk_writes, const ChaosConfig* chaos) {

@@ -31,6 +31,8 @@ struct SortResult {
 struct ChaosConfig {
   std::shared_ptr<net::FaultPlan> fault;  // installed on the testbed fabric
   rpc::RpcRetryPolicy retry;              // applied to every RPC client
+  rpc::OverloadConfig overload;           // admission + retry cache, every server
+  rpc::SessionConfig session;             // durable sessions + reconnect recovery
   sim::Dur tracker_expiry = 0;            // JobTracker task re-execution
   int pipeline_retries = 0;               // DFSClient write-pipeline recovery
 };
