@@ -130,6 +130,16 @@ class RetryCache {
     return State::kFresh;
   }
 
+  /// Non-mutating lookup: like begin() but never registers the call.
+  /// Lets a server decide a retried attempt's fate (e.g. the session
+  /// call-id fence) without planting an in-progress entry that would
+  /// swallow the client's next attempt as a duplicate.
+  State peek(std::uint64_t conn_id, std::uint64_t call_id) const {
+    auto it = entries_.find(Key{conn_id, call_id});
+    if (it == entries_.end()) return State::kFresh;
+    return it->second.done ? State::kCompleted : State::kInProgress;
+  }
+
   /// Response frame of a completed entry; valid until the next mutation.
   const net::Bytes* completed_frame(std::uint64_t conn_id, std::uint64_t call_id) const {
     auto it = entries_.find(Key{conn_id, call_id});

@@ -54,6 +54,18 @@ class ServerBusyException : public RpcTransportError {
   explicit ServerBusyException(const std::string& what) : RpcTransportError(what) {}
 };
 
+/// Raised at the caller when the server refused a retried attempt because
+/// the durable session holding its dedup state is gone (lease expired,
+/// table-evicted, or superseded by a re-opened session). The server can
+/// prove neither execution nor non-execution of the first attempt, so this
+/// is terminal: the retry loop rethrows it instead of re-sending — another
+/// attempt could duplicate a completed call. A subtype of
+/// RpcTransportError so legacy catch sites see a connection-class failure.
+class SessionExpiredException : public RpcTransportError {
+ public:
+  explicit SessionExpiredException(const std::string& what) : RpcTransportError(what) {}
+};
+
 /// Low bits of a batch frame's leading u64 (flagged with
 /// trace::kWireBatchFlag) holding the sub-message count. 32 bits bounds a
 /// batch far beyond any BatchConfig::max_calls while keeping the flag bits
@@ -66,6 +78,11 @@ enum class RpcStatus : std::uint8_t {
   kSuccess = 0,
   kError = 1,  // handler threw; body is the error text -> RemoteException
   kBusy = 2,   // call shed before execution; body text -> ServerBusyException
+  // Retried attempt refused: its session's dedup state is gone, so the
+  // server cannot prove the first attempt never executed. Terminal ->
+  // SessionExpiredException. Only ever emitted with sessions enabled, so
+  // the sessionless wire never carries this byte.
+  kSessionExpired = 3,
 };
 
 /// A server-side method implementation: deserialize from `in`, do the work

@@ -37,14 +37,16 @@ struct RpcRetryPolicy {
   /// Methods that must NOT be retried (a lost reply does not prove the
   /// server never executed the call), keyed by MethodKey::to_string().
   std::set<std::string> non_idempotent;
-  /// Allow non-idempotent methods to retry after a timeout or a
-  /// transport error (connection loss) too. Only safe against servers
-  /// running a retry cache: attempts of one logical call share a call id,
-  /// and a completed first attempt is answered from the cache instead of
-  /// re-executed. With the durable session layer enabled the dedup key is
-  /// the session id, so this holds across reconnects as well.
-  /// ServerBusyException never needs this switch — shed calls were never
-  /// executed.
+  /// Allow non-idempotent methods to retry after a timeout — and, with
+  /// the durable session layer enabled, after a transport error
+  /// (connection loss) too. Only safe against servers running a retry
+  /// cache: attempts of one logical call share a call id, and a completed
+  /// first attempt is answered from the cache instead of re-executed.
+  /// Timeout retries ride the same connection, so the conn-keyed cache
+  /// dedups them even without sessions; transport-error retries cross a
+  /// reconnect, which loses the dense conn id, so they are attempted only
+  /// when sessions key the cache durably. ServerBusyException never needs
+  /// this switch — shed calls were never executed.
   bool retry_non_idempotent_on_timeout = false;
 
   bool enabled() const { return call_timeout > 0 || max_retries > 0; }

@@ -41,6 +41,11 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
       failed = true;
       timed_out = true;
       err = e.what();
+    } catch (const SessionExpiredException&) {
+      // The server lost (or superseded) the dedup state for this logical
+      // call: another attempt could duplicate a completed execution, so
+      // the failure is terminal — never retried.
+      throw;
     } catch (const RpcTransportError& e) {
       // RemoteException is not caught: the server executed the handler,
       // so retrying cannot help and would be wrong for mutations.
@@ -66,14 +71,17 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
                        h.id(), t0, h.sched().now());
     }
     // Shed calls were never executed, so "busy" is retryable regardless of
-    // idempotency. Timeouts AND transport errors (a reconnect replaying
-    // its in-flight calls) on a non-idempotent method are retryable when
+    // idempotency. Timeouts on a non-idempotent method are retryable when
     // the server dedups retries (retry_non_idempotent_on_timeout): the
-    // retry cache is keyed by the durable session id, so the dedup key
-    // survives the reconnect and a completed first attempt is answered
-    // from the cache instead of re-executed.
+    // next attempt rides the same connection, so the retry cache sees the
+    // same owner key either way. Transport errors (a reconnect replaying
+    // its in-flight calls) additionally require the session layer —
+    // without it the cache is keyed by the dense conn id, which the
+    // reconnect loses, so a completed-but-unanswered call would silently
+    // re-execute on the new connection.
     const bool retryable =
-        busy || idempotent || retry_.retry_non_idempotent_on_timeout;
+        busy || idempotent ||
+        (retry_.retry_non_idempotent_on_timeout && (timed_out || session_.enabled));
     if (!retryable || attempt + 1 >= max_attempts) {
       const std::string what =
           key.to_string() + ": " + err + " (after " + std::to_string(attempt + 1) +
@@ -86,8 +94,10 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
     ++stats_.retries;
     // A retry after a transport failure is a replay of an in-flight call
     // through the reconnect recovery machine (the next attempt's
-    // get_connection re-bootstraps the torn-down peer).
-    if (!busy && !timed_out) ++stats_.calls_replayed;
+    // get_connection re-bootstraps the torn-down peer). Gated on the
+    // session knob like note_reconnect, so sessionless seeded reports
+    // grow no reconnect rows and stay byte-identical.
+    if (!busy && !timed_out && session_.enabled) ++stats_.calls_replayed;
     const sim::Dur wait = retry_.backoff(attempt, h.rng());
     stats_.backoff_us.add(sim::to_us(wait));
     const sim::Time b0 = h.sched().now();

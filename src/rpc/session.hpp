@@ -16,8 +16,10 @@
 // aggregated like the shard.* counters) expires sessions idle past the
 // lease and LRU-evicts past the table cap, dropping their retry-cache
 // entries. A *retried* attempt (kWireRetryFlag) arriving for an expired
-// session is answered with a retryable busy-class error — never silently
-// re-executed — while a fresh call simply re-opens the session.
+// session — or missing the cache on a session re-opened after its dedup
+// state was purged (the call-id fence) — is answered with a terminal
+// session-expired error, never silently re-executed; a fresh call simply
+// re-opens the session.
 //
 // Everything is default-off: with `enabled == false` no session id is
 // minted (zero RNG draws), no handshake bytes change, and no report rows
@@ -81,8 +83,10 @@ class SessionTable {
   /// caller forgets retry-cache state for every returned expired/evicted
   /// id. `open_if_missing == false` only renews a live session — the
   /// arrival path for retried attempts, which must not resurrect an
-  /// expired session under a retried call id.
-  TouchResult touch(std::uint64_t sid, sim::Time now, bool open_if_missing = true) {
+  /// expired session under a retried call id. `opener_call_id` is the
+  /// fresh call doing the opening; it becomes the session's fence().
+  TouchResult touch(std::uint64_t sid, sim::Time now, bool open_if_missing = true,
+                    std::uint64_t opener_call_id = 0) {
     TouchResult r;
     r.expired = expire_idle(now);
     auto it = entries_.find(sid);
@@ -93,7 +97,7 @@ class SessionTable {
     }
     if (!open_if_missing) return r;
     lru_.push_back(sid);
-    entries_[sid] = Entry{now, std::prev(lru_.end())};
+    entries_[sid] = Entry{now, std::prev(lru_.end()), opener_call_id};
     r.opened = true;
     while (cfg_.table_cap > 0 && entries_.size() > cfg_.table_cap) {
       const std::uint64_t victim = lru_.front();
@@ -110,6 +114,16 @@ class SessionTable {
     auto it = entries_.find(sid);
     if (it == entries_.end()) return false;
     return cfg_.lease == 0 || now < it->second.last_active + cfg_.lease;
+  }
+
+  /// Call-id fence of a live session: the id of the fresh call that
+  /// (re-)opened this incarnation. Client call ids are monotonic, so a
+  /// *retried* call id below the fence predates the open — its dedup
+  /// state (if it ever had any) died with the previous incarnation, and
+  /// a cache miss on it proves nothing. 0 for unknown sessions.
+  std::uint64_t fence(std::uint64_t sid) const {
+    auto it = entries_.find(sid);
+    return it == entries_.end() ? 0 : it->second.fence;
   }
 
   /// Drop every session idle past the lease; returns the dropped ids.
@@ -134,6 +148,7 @@ class SessionTable {
   struct Entry {
     sim::Time last_active = 0;
     std::list<std::uint64_t>::iterator lru_it;
+    std::uint64_t fence = 0;  // call id that opened this incarnation
   };
 
   SessionConfig cfg_;

@@ -146,6 +146,7 @@ sim::Co<void> SocketRpcClient::deliver_one(cluster::Host& host, Connection& conn
   if (status != static_cast<std::uint8_t>(RpcStatus::kSuccess)) {
     pc->error = true;
     pc->busy = status == static_cast<std::uint8_t>(RpcStatus::kBusy);
+    pc->session_expired = status == static_cast<std::uint8_t>(RpcStatus::kSessionExpired);
     pc->error_msg = in.read_text();
   } else {
     pc->value.assign(payload.begin() + static_cast<std::ptrdiff_t>(in.position()),
@@ -406,6 +407,10 @@ sim::Co<void> SocketRpcClient::call_attempt(net::Address addr, const MethodKey& 
   }
   if (pc.error) {
     conn->pending.erase(id);
+    // A session-expired verdict outranks a later connection failure: the
+    // server has ruled the logical call undedupable, so it must surface
+    // terminally, not as a retryable transport error.
+    if (pc.session_expired) throw SessionExpiredException(pc.error_msg);
     if (conn->broken) throw RpcTransportError(pc.error_msg);
     if (pc.busy) throw ServerBusyException(pc.error_msg);
     throw RemoteException(pc.error_msg);

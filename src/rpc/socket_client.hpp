@@ -49,6 +49,7 @@ class SocketRpcClient final : public RpcClient {
     net::Bytes value;
     bool error = false;
     bool busy = false;  // error with RpcStatus::kBusy -> ServerBusyException
+    bool session_expired = false;  // kSessionExpired -> SessionExpiredException
     std::string error_msg;
   };
 

@@ -75,6 +75,11 @@ void SocketRpcServer::stop() {
     for (net::SocketPtr& c : sh->conns) c->close();
     sh->conns.clear();
   }
+  // Accepted connections still parked on the preamble (sessions route to
+  // a shard only after the handshake) live in no shard's list yet; close
+  // them too so their reader tasks unwind instead of pending forever.
+  for (net::SocketPtr& c : pending_conns_) c->close();
+  pending_conns_.clear();
   // Executed-but-unsent responses are equally accounted: the handler ran,
   // but the responder never wrote the frame (callers see the closed
   // connection as a transport error and may retry via the retry cache).
@@ -149,6 +154,10 @@ sim::Task SocketRpcServer::listener_loop() {
         home = shards_[(conn_id - 1) % shards_.size()].get();
         ++home->pipeline.counters().conns_assigned;
         home->conns.push_back(conn);
+      } else {
+        // Until the preamble names the session (and thus the shard), park
+        // the socket where stop() can still find and close it.
+        pending_conns_.push_back(conn);
       }
       host_.sched().spawn(reader_loop(std::move(conn), conn_id, home));
     }
@@ -188,10 +197,20 @@ void SocketRpcServer::shed(Shard& shard, const ServerCall& call) {
       call.conn, status_frame(call.id, RpcStatus::kBusy, "server busy: call queue full")});
 }
 
-void SocketRpcServer::touch_session(Shard& shard, std::uint64_t session_id, bool retried) {
+void SocketRpcServer::unpend(const net::SocketPtr& conn) {
+  for (auto it = pending_conns_.begin(); it != pending_conns_.end(); ++it) {
+    if (*it == conn) {
+      pending_conns_.erase(it);
+      return;
+    }
+  }
+}
+
+void SocketRpcServer::touch_session(Shard& shard, std::uint64_t session_id, bool retried,
+                                    std::uint64_t call_id) {
   if (!session_.enabled || session_id == 0) return;
-  const SessionTable::TouchResult r =
-      shard.sessions.touch(session_id, host_.sched().now(), /*open_if_missing=*/!retried);
+  const SessionTable::TouchResult r = shard.sessions.touch(
+      session_id, host_.sched().now(), /*open_if_missing=*/!retried, call_id);
   RpcStats& st = shard.pipeline.stats();
   if (r.opened) ++st.sessions_opened;
   st.sessions_expired += r.expired.size();
@@ -236,6 +255,7 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
       home = shards_[pick].get();
       ++home->pipeline.counters().conns_assigned;
       home->conns.push_back(conn);
+      unpend(conn);  // homed: the shard's conns list owns closing it now
     }
     Shard& shard = *home;
 
@@ -305,8 +325,12 @@ sim::Task SocketRpcServer::reader_loop(net::SocketPtr conn, std::uint64_t conn_i
       }
     }
   } catch (const net::SocketError&) {
-    // Peer went away; connection reader exits.
+    // Peer went away; connection reader exits. A conn that died during
+    // the preamble is still on the pending list — drop it (no-op once
+    // homed).
+    unpend(conn);
   } catch (const sim::ChannelClosed&) {
+    unpend(conn);
   }
 }
 
@@ -345,7 +369,7 @@ sim::Co<trace::TraceContext> SocketRpcServer::process_frame(
   call.owner = session_id != 0 ? session_id : conn_id;
   call.shard = shard.index;
   call.frame = std::move(frame);
-  touch_session(shard, session_id, call.retried);
+  touch_session(shard, session_id, call.retried, call.id);
 
   // Admission control: shed beyond the configured bound while the
   // call is still cheap — before it costs a handler.
@@ -425,24 +449,37 @@ sim::Task SocketRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
                          call.ctx, host_.id(), call.enqueued, t_dequeue);
       }
 
-      // Session lease check for retried attempts: if the session that
-      // would hold the dedup state is gone (expired or evicted), the
-      // server cannot prove the first attempt never executed — so the
-      // retry is bounced with a retryable busy-class error rather than
-      // silently re-executed. A *fresh* call simply re-opened the session
-      // at arrival.
-      if (call.retried && call.session_id != 0 &&
-          !shard.sessions.alive(call.session_id, t_dequeue)) {
-        ++shard.pipeline.stats().sessions_rejected;
-        if (tr != nullptr) {
-          tr->add_complete("session.rejected:" + call.key.method, trace::Kind::kServer,
-                           trace::Category::kSession, call.ctx, host_.id(), t_dequeue,
-                           host_.sched().now());
+      // Session checks for retried attempts. The server cannot prove the
+      // first attempt never executed when (a) the session that would hold
+      // the dedup state is gone (expired or evicted), or (b) the session
+      // was re-opened by a later fresh call (the fence) and this retried
+      // id misses the cache — its state, if any, died with the previous
+      // incarnation. Either way the retry is refused with a *terminal*
+      // session-expired status — retrying again could duplicate a
+      // completed call, and a retryable bounce would merely defer that
+      // outcome until a fresh call revives the session. A fresh call
+      // simply re-opened the session at arrival.
+      if (call.retried && call.session_id != 0) {
+        bool undedupable = !shard.sessions.alive(call.session_id, t_dequeue);
+        if (!undedupable) {
+          RetryCache* rc = shard.pipeline.retry_cache();
+          undedupable = rc != nullptr &&
+                        rc->peek(call.owner, call.id) == RetryCache::State::kFresh &&
+                        call.id < shard.sessions.fence(call.session_id);
         }
-        shard.response_queue.push(Response{
-            call.conn, status_frame(call.id, RpcStatus::kBusy,
-                                    "session expired: retry cannot be deduplicated")});
-        continue;
+        if (undedupable) {
+          ++shard.pipeline.stats().sessions_rejected;
+          if (tr != nullptr) {
+            tr->add_complete("session.rejected:" + call.key.method, trace::Kind::kServer,
+                             trace::Category::kSession, call.ctx, host_.id(), t_dequeue,
+                             host_.sched().now());
+          }
+          shard.response_queue.push(Response{
+              call.conn,
+              status_frame(call.id, RpcStatus::kSessionExpired,
+                           "session expired: retry cannot be deduplicated")});
+          continue;
+        }
       }
 
       // Retry cache: a repeated <owner, call id> is a client retry (the

@@ -124,8 +124,12 @@ class SocketRpcServer final : public RpcServer {
                                              sim::Dur alloc_cost);
   /// Lease bookkeeping for one arriving call: renew (or open, unless the
   /// call is a retry) its session and drop retry-cache state for every
-  /// session the sweep expired or evicted.
-  void touch_session(Shard& shard, std::uint64_t session_id, bool retried);
+  /// session the sweep expired or evicted. `call_id` fences the session's
+  /// incarnation when the call opens it.
+  void touch_session(Shard& shard, std::uint64_t session_id, bool retried,
+                     std::uint64_t call_id);
+  /// Remove `conn` from the accepted-but-unhomed list (no-op when absent).
+  void unpend(const net::SocketPtr& conn);
   /// Coalesce group[begin..end) (small responses for one connection) into
   /// a single [u32 total][u64 kWireBatchFlag|n][u32 len_i][payload_i...]
   /// frame and write it.
@@ -148,6 +152,12 @@ class SocketRpcServer final : public RpcServer {
   bool steal_;
   net::Listener* listener_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Sessions only: sockets accepted but still parked on the preamble /
+  /// session-id read, so homed in no shard's conns list yet. The reader
+  /// moves a conn out once it picks the session-affine shard; stop()
+  /// closes whatever is still in limbo here so no reader task is left
+  /// pending on read_full.
+  std::vector<net::SocketPtr> pending_conns_;
   std::uint64_t conn_seq_ = 0;
   bool running_ = false;
 };

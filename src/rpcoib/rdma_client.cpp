@@ -758,6 +758,11 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
   } else {
     native_.release(pc.resp_buf);
   }
+  if (status == static_cast<std::uint8_t>(rpc::RpcStatus::kSessionExpired)) {
+    // Terminal: the server could not prove the first attempt never
+    // executed, so the retry loop must not re-send this logical call.
+    throw rpc::SessionExpiredException(error_msg);
+  }
   if (status == static_cast<std::uint8_t>(rpc::RpcStatus::kBusy)) {
     throw rpc::ServerBusyException(error_msg);
   }

@@ -275,10 +275,11 @@ void RdmaRpcServer::sync_stats() {
   stats_.shards = std::move(agg.shards);
 }
 
-void RdmaRpcServer::touch_session(Shard& shard, std::uint64_t session_id, bool retried) {
+void RdmaRpcServer::touch_session(Shard& shard, std::uint64_t session_id, bool retried,
+                                  std::uint64_t call_id) {
   if (!session_.enabled || session_id == 0) return;
-  const rpc::SessionTable::TouchResult r =
-      shard.sessions.touch(session_id, host_.sched().now(), /*open_if_missing=*/!retried);
+  const rpc::SessionTable::TouchResult r = shard.sessions.touch(
+      session_id, host_.sched().now(), /*open_if_missing=*/!retried, call_id);
   rpc::RpcStats& st = shard.pipeline.stats();
   if (r.opened) ++st.sessions_opened;
   st.sessions_expired += r.expired.size();
@@ -770,31 +771,43 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
         tr->add_complete("queue", trace::Kind::kInternal, trace::Category::kQueue, ctx,
                          host_.id(), call.enqueued, t_dequeue);
       }
-      // Session lease bookkeeping, then the expiry check for retries: a
-      // retried attempt whose session is gone cannot be proved unexecuted,
-      // so it is bounced with a retryable busy-class error instead of run
-      // a second time. A fresh call just (re-)opened the session above.
-      touch_session(shard, call.conn->session_id, retried);
-      if (retried && call.conn->session_id != 0 &&
-          !shard.sessions.alive(call.conn->session_id, t_dequeue)) {
-        ++shard.pipeline.stats().sessions_rejected;
-        if (tr != nullptr) {
-          tr->add_complete("session.rejected:" + key.method, trace::Kind::kServer,
-                           trace::Category::kSession, ctx, host_.id(), t_dequeue,
-                           host_.sched().now());
+      // Session lease bookkeeping, then the checks for retries: a retried
+      // attempt whose session is gone — or whose id predates the fence of
+      // a re-opened session while missing the cache — cannot be proved
+      // unexecuted, so it is refused with a *terminal* session-expired
+      // error instead of run a second time (a retryable bounce would only
+      // defer the duplicate until a fresh call revives the session). A
+      // fresh call just (re-)opened the session above.
+      touch_session(shard, call.conn->session_id, retried, id);
+      if (retried && call.conn->session_id != 0) {
+        bool undedupable = !shard.sessions.alive(call.conn->session_id, t_dequeue);
+        if (!undedupable) {
+          rpc::RetryCache* rc = shard.pipeline.retry_cache();
+          undedupable =
+              rc != nullptr &&
+              rc->peek(call.conn->owner, id) == rpc::RetryCache::State::kFresh &&
+              id < shard.sessions.fence(call.conn->session_id);
         }
-        try {
-          RDMAOutputStream busy(cm, shadow_, rpc::MethodKey{"__session", "rejected"});
-          busy.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
-          busy.write_u64(id);
-          busy.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kBusy));
-          busy.write_text("session expired: retry cannot be deduplicated");
-          co_await respond(call, busy);
-        } catch (const verbs::VerbsError&) {
-          // Client already gone; nothing to tell it.
+        if (undedupable) {
+          ++shard.pipeline.stats().sessions_rejected;
+          if (tr != nullptr) {
+            tr->add_complete("session.rejected:" + key.method, trace::Kind::kServer,
+                             trace::Category::kSession, ctx, host_.id(), t_dequeue,
+                             host_.sched().now());
+          }
+          try {
+            RDMAOutputStream expired(cm, shadow_, rpc::MethodKey{"__session", "rejected"});
+            expired.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+            expired.write_u64(id);
+            expired.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kSessionExpired));
+            expired.write_text("session expired: retry cannot be deduplicated");
+            co_await respond(call, expired);
+          } catch (const verbs::VerbsError&) {
+            // Client already gone; nothing to tell it.
+          }
+          native_.release(call.buf);
+          continue;
         }
-        native_.release(call.buf);
-        continue;
       }
 
       rpc::RetryCache* retry_cache = shard.pipeline.retry_cache();

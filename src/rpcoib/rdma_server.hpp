@@ -165,8 +165,10 @@ class RdmaRpcServer final : public rpc::RpcServer {
   void note_ring_bytes(Shard& shard, std::size_t n);
   /// Lease bookkeeping for one dequeued call: renew (or open, unless the
   /// call is a retry) its session and drop retry-cache state for every
-  /// session the sweep expired or evicted.
-  void touch_session(Shard& shard, std::uint64_t session_id, bool retried);
+  /// session the sweep expired or evicted. `call_id` fences the session's
+  /// incarnation when the call opens it.
+  void touch_session(Shard& shard, std::uint64_t session_id, bool retried,
+                     std::uint64_t call_id);
   /// The home shard of a connection (CQ, pipeline, pending_resp...).
   Shard& shard_of(const ConnState& conn) { return *shards_[conn.shard]; }
   /// Buffer one serialized small kResp frame for `conn`; flushes inline

@@ -290,8 +290,10 @@ TEST(Chaos, KillEveryConnectionExactlyOnce) {
 //
 // The session lease expires while a killed call is backing off. The
 // retried attempt (kWireRetryFlag) arrives for a dead session and must
-// be bounced with a retryable error — never silently re-executed — and
-// must not resurrect the session.
+// be refused with a *terminal* session-expired error — never silently
+// re-executed, never resurrecting the session, and never re-sent (a
+// retryable bounce would let a later fresh call revive the session with
+// the dedup state already purged, re-opening the duplicate window).
 TEST(Session, LeaseExpiryRejectsRetryInsteadOfReExecuting) {
   for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
     SCOPED_TRACE(oib::rpc_mode_name(mode));
@@ -328,13 +330,88 @@ TEST(Session, LeaseExpiryRejectsRetryInsteadOfReExecuting) {
     }(s, *client, ok, err));
     s.run_until(sim::seconds(120));
 
-    // The call fails (retryable busy-class error surfaced to the caller)
-    // rather than silently re-executing under an expired session.
+    // The call fails terminally (SessionExpiredException, a transport-
+    // class error) rather than silently re-executing under an expired
+    // session — and the terminal status stops the retry loop at the
+    // first rejection instead of burning the remaining attempts.
     EXPECT_FALSE(ok);
     EXPECT_TRUE(err);
     EXPECT_GE(server->stats().sessions_rejected, 1u);
     EXPECT_GE(server->stats().sessions_expired, 1u);
     EXPECT_LE(exec[99], 1) << "expired-session retry re-executed the call";
+    server->stop();
+    s.drain_tasks();
+  }
+}
+
+// --- A fresh call reviving the session must not reopen the dupe window ------
+//
+// The race the terminal status alone cannot close: the killed call's
+// session expires (purging its dedup state), then a *fresh* call from
+// the same client re-opens the session before the retry arrives. The
+// retry now finds the session alive and the cache empty — without the
+// per-session call-id fence it would re-execute. The fence (the opener's
+// call id, recorded at re-open) refuses the stale retried id instead.
+TEST(Session, FreshCallRevivingExpiredSessionDoesNotReExecuteStaleRetry) {
+  for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+    SCOPED_TRACE(oib::rpc_mode_name(mode));
+    auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+    plan->add_connection_kill(0, 1, sim::seconds(1));
+    net::TestbedConfig cfg = Testbed::cluster_b();
+    cfg.fault = plan;
+    Scheduler s;
+    Testbed tb(s, cfg);
+    rpc::RpcRetryPolicy retry = session_retry();
+    retry.max_retries = 3;
+    retry.backoff_base = sim::seconds(5);  // backoff outlives the lease
+    EngineConfig ec{.mode = mode, .server_shards = chaos_shards(), .retry = retry};
+    ec.overload.retry_cache_entries = 256;
+    ec.session = sessions_on();
+    ec.session.lease = sim::seconds(2);
+    RpcEngine engine(tb, ec);
+    auto server = engine.make_server(tb.host(1), kAddr);
+    std::map<int, int> exec;
+    register_session_methods(*server, exec);
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    int warm = 0;
+    bool warm_err = false;
+    s.spawn(echo_task(*client, 7, warm, warm_err));
+    s.run_until(sim::millis(500));
+    EXPECT_EQ(warm, 7);
+
+    // t=1s: bump sent, connection killed under it; its retry backs off 5s.
+    bool ok = false, err = false;
+    s.spawn([](Scheduler& sc, rpc::RpcClient& c, bool& o, bool& e) -> Task {
+      co_await sim::delay(sc, sim::seconds(1));
+      co_await one_bump(c, 99, o, e);
+    }(s, *client, ok, err));
+    // t=4.5s: lease (2s) has expired the session and purged its dedup
+    // state; this fresh echo re-opens (and fences) the session, and the
+    // keepalives that follow hold it alive across the retry's entire
+    // backoff+jitter window [6s, 8.5s] — so the retry always finds a
+    // LIVE session with an empty cache, the exact race the fence closes.
+    int revived = 0;
+    bool revived_err = false;
+    s.spawn([](Scheduler& sc, rpc::RpcClient& c, int& out, bool& e) -> Task {
+      co_await sim::delay(sc, sim::millis(4500));
+      for (int i = 0; i < 10 && !e; ++i) {
+        co_await one_echo(c, 11, out, e);
+        co_await sim::delay(sc, sim::millis(500));
+      }
+    }(s, *client, revived, revived_err));
+    s.run_until(sim::seconds(120));
+
+    // The revived session serves the fresh calls normally...
+    EXPECT_EQ(revived, 11);
+    EXPECT_FALSE(revived_err);
+    // ...but the stale retry is refused, not re-executed: exactly-once
+    // holds even though the retry found a live session and an empty cache.
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(err);
+    EXPECT_GE(server->stats().sessions_rejected, 1u);
+    EXPECT_LE(exec[99], 1) << "stale retry re-executed on the revived session";
     server->stop();
     s.drain_tasks();
   }
