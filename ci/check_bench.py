@@ -244,6 +244,48 @@ def check_srq_scale(t, data, failures):
             )
 
 
+def check_ud_scale(t, data, failures):
+    # The UD datagram path's headline: the server's registered receive
+    # memory is a property of its fixed endpoint pool, not of the client
+    # count, so it must stay flat across the whole 4 -> 16k sweep while
+    # small-call latency stays within a small factor of the RC baseline.
+    by_mode = {}
+    for row in data["rows"]:
+        by_mode.setdefault(row["mode"], {})[row["conns"]] = row
+    for mode in ("rc", "ud"):
+        if mode not in by_mode:
+            failures.append(f"ud_scale: missing {mode!r} rows")
+            return
+    lo = min(by_mode["ud"])
+    hi = max(by_mode["ud"])
+    if hi <= lo:
+        failures.append("ud_scale: need at least two connection counts")
+        return
+
+    growth = (by_mode["ud"][hi]["ring_bytes_peak"]
+              / by_mode["ud"][lo]["ring_bytes_peak"])
+    lim = t["max_ud_ring_growth"]
+    print(f"ud_scale ud ring growth {lo}->{hi} conns = {growth:.3f}x (limit {lim})")
+    if growth > lim:
+        failures.append(f"ud_scale: ud ring growth {growth:.3f}x > {lim}x")
+
+    if by_mode["ud"][hi].get("ud_datagrams", 0) <= 0:
+        failures.append(
+            f"ud_scale @{hi} conns: no datagrams reached the server's UD path"
+        )
+
+    lim = t["max_ud_over_rc_latency"]
+    for conns in sorted(by_mode["ud"]):
+        if conns not in by_mode["rc"]:
+            continue
+        lat = by_mode["ud"][conns]["mean_us"] / by_mode["rc"][conns]["mean_us"]
+        print(f"ud_scale @{conns} conns: ud/rc mean us = {lat:.3f} (limit {lim})")
+        if lat > lim:
+            failures.append(
+                f"ud_scale @{conns} conns: latency ratio {lat:.3f} > {lim}"
+            )
+
+
 CHECKS = {
     "fig5_latency": check_fig5_latency,
     "fig5_throughput": check_fig5_throughput,
@@ -252,6 +294,7 @@ CHECKS = {
     "fig7_hdfs_write": check_fig7_hdfs_write,
     "fig8_hbase": check_fig8_hbase,
     "srq_scale": check_srq_scale,
+    "ud_scale": check_ud_scale,
     "stream_bw": check_stream_bw,
 }
 

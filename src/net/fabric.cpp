@@ -65,6 +65,18 @@ sim::Time Fabric::deliver(cluster::HostId src, cluster::HostId dst, Transport t,
   return arrival;
 }
 
+sim::Time Fabric::deliver_datagram(cluster::HostId src, cluster::HostId dst, Transport t,
+                                   std::size_t bytes, std::function<void()> on_arrival) {
+  (void)dst;
+  const NetParams& p = params(t);
+  const sim::Time egress_done = reserve_egress(src, t, bytes);
+  const sim::Time arrival = egress_done + p.one_way_latency;
+  const bool lost =
+      fault_ != nullptr && fault_->take_datagram_loss(src, dst, sched_.now());
+  if (!lost) sched_.call_at(arrival, std::move(on_arrival));
+  return arrival;
+}
+
 sim::Time Fabric::deliver_flow(cluster::HostId src, cluster::HostId dst, Transport t,
                                std::size_t bytes, sim::Time& flow_clock,
                                std::function<void()> on_arrival) {

@@ -44,6 +44,14 @@ class Fabric {
   sim::Time deliver(cluster::HostId src, cluster::HostId dst, Transport t, std::size_t bytes,
                     std::function<void()> on_arrival);
 
+  /// Unreliable datagram delivery (IB UD): the loss decision comes from
+  /// the fault plan's dedicated datagram stream only — the drop/spike,
+  /// outage and kill streams draw nothing, so seeded RC/TCP chaos runs
+  /// stay byte-identical when UD traffic is added. A lost datagram's
+  /// callback never fires.
+  sim::Time deliver_datagram(cluster::HostId src, cluster::HostId dst, Transport t,
+                             std::size_t bytes, std::function<void()> on_arrival);
+
   /// Like deliver(), but never reorders within a flow: the arrival is
   /// clamped to `flow_clock` (the flow's previous arrival), which is then
   /// advanced. Small messages may still preempt *other* flows' bulk

@@ -86,4 +86,21 @@ bool FaultPlan::take_kill(cluster::HostId src, cluster::HostId dst, sim::Time no
   return false;
 }
 
+bool FaultPlan::take_datagram_loss(cluster::HostId src, cluster::HostId dst, sim::Time now) {
+  if (src == dst) return false;
+  // Outage windows are deterministic (no RNG draw) and swallow datagrams
+  // outright — there is no retransmit path to stall.
+  if (!windows_.empty() && window_clear_time(src, dst, now) > now) {
+    ++counters_.outage_hits;
+    ++counters_.datagram_losses;
+    return true;
+  }
+  if (!datagram_loss_enabled()) return false;
+  if (datagram_rng_.next_double() < datagram_loss_prob_) {
+    ++counters_.datagram_losses;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace rpcoib::net

@@ -66,17 +66,21 @@ struct FaultCounters {
   std::uint64_t outage_hits = 0;  // deliveries delayed/lost by a window
   std::uint64_t true_losses = 0;  // one-shot deliveries actually lost
   std::uint64_t kills = 0;        // connections force-killed mid-call
+  std::uint64_t datagram_losses = 0;  // UD datagrams dropped in flight
 };
 
 class FaultPlan {
  public:
   explicit FaultPlan(std::uint64_t seed = 20130701)
-      : rng_(seed), kill_rng_(seed ^ 0x6B696C6CULL) {}
+      : rng_(seed),
+        kill_rng_(seed ^ 0x6B696C6CULL),
+        datagram_rng_(seed ^ 0x75646C6FULL) {}
 
   /// Re-seed (restarts the failure schedule; call before a run).
   void set_seed(std::uint64_t seed) {
     rng_ = sim::Rng(seed);
     kill_rng_ = sim::Rng(seed ^ 0x6B696C6CULL);
+    datagram_rng_ = sim::Rng(seed ^ 0x75646C6FULL);
     for (KillEntry& k : kills_) k.fired = false;
   }
 
@@ -126,6 +130,22 @@ class FaultPlan {
   /// the calling transport must tear the connection down.
   bool take_kill(cluster::HostId src, cluster::HostId dst, sim::Time now);
 
+  /// Probabilistic UD datagram loss: each unreliable datagram on any link
+  /// is dropped in flight with probability `p`. Draws come from a third
+  /// dedicated RNG stream — configuring datagram loss never perturbs the
+  /// drop/spike or kill schedules of the same seed, and a plan without UD
+  /// loss draws nothing here even when UD traffic flows.
+  void set_datagram_loss(double p) { datagram_loss_prob_ = p; }
+
+  /// True when UD datagram loss is configured; the UD send path skips the
+  /// plan (zero RNG draws) when false.
+  bool datagram_loss_enabled() const { return datagram_loss_prob_ > 0.0; }
+
+  /// Decide the fate of one UD datagram on src -> dst at `now`. Outage
+  /// windows (deterministic, no RNG) also swallow datagrams; probabilistic
+  /// loss draws only from the dedicated datagram stream.
+  bool take_datagram_loss(cluster::HostId src, cluster::HostId dst, sim::Time now);
+
   /// True when any fault source is configured. The fabric skips the plan
   /// entirely (no RNG draws) when this is false, keeping disabled-plan
   /// runs bit-identical to runs with no plan at all.
@@ -164,11 +184,14 @@ class FaultPlan {
   // Kill draws ride their own stream (seed ^ constant) so a plan with and
   // without kills produces the same drop/spike schedule.
   sim::Rng kill_rng_;
+  // UD datagram-loss draws ride a third stream for the same reason.
+  sim::Rng datagram_rng_;
   LinkFaults default_{};
   std::vector<LinkOverride> overrides_;
   std::vector<FaultWindow> windows_;
   std::vector<KillEntry> kills_;
   double kill_prob_ = 0.0;
+  double datagram_loss_prob_ = 0.0;
   sim::Dur rto_ = sim::millis(200);
   FaultCounters counters_;
 };

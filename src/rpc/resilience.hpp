@@ -47,6 +47,19 @@ inline std::string resilience_report(const RpcStats& stats,
            std::to_string(stats.reconnects_fault_injected)});
     t.row({"calls replayed", std::to_string(stats.calls_replayed)});
   }
+  // UD datagram-path rows appear only when UD traffic flowed (the path is
+  // default-off; RC-only reports must stay byte-identical).
+  if (stats.ud_datagrams_sent + stats.ud_responses_received + stats.ud_rc_fallbacks >
+      0) {
+    t.row({"ud datagrams sent", std::to_string(stats.ud_datagrams_sent)});
+    t.row({"ud responses received", std::to_string(stats.ud_responses_received)});
+    t.row({"ud rc fallbacks", std::to_string(stats.ud_rc_fallbacks)});
+  }
+  // Cold-start session recovery (first datagram of a session lost on a
+  // lossy path); own gate so loss-free reports grow no row.
+  if (stats.session_cold_restarts > 0) {
+    t.row({"session cold restarts", std::to_string(stats.session_cold_restarts)});
+  }
   t.row({"streams opened", std::to_string(stats.streams_opened)});
   t.row({"stream chunks", std::to_string(stats.stream_chunks)});
   t.row({"stream bytes", std::to_string(stats.stream_bytes)});
@@ -64,6 +77,10 @@ inline std::string resilience_report(const RpcStats& stats,
     // kill-free seeded reports byte-identical to earlier builds.
     if (faults->kills > 0) {
       t.row({"fault kills", std::to_string(faults->kills)});
+    }
+    // Same gating for the UD datagram-loss stream.
+    if (faults->datagram_losses > 0) {
+      t.row({"fault datagram losses", std::to_string(faults->datagram_losses)});
     }
   }
   if (server != nullptr) {
@@ -87,6 +104,16 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"server recv ring bytes peak", std::to_string(server->recv_ring_bytes_peak)});
     t.row({"server responses dropped on stop",
            std::to_string(server->responses_dropped_on_stop)});
+    // Server UD rows appear only when a datagram reached (or bounced off)
+    // a UD endpoint; see the client-side ud rows above.
+    if (server->ud_calls_received + server->ud_responses_sent + server->ud_rx_dropped +
+            server->ud_resp_oversize >
+        0) {
+      t.row({"server ud calls received", std::to_string(server->ud_calls_received)});
+      t.row({"server ud responses sent", std::to_string(server->ud_responses_sent)});
+      t.row({"server ud rx dropped", std::to_string(server->ud_rx_dropped)});
+      t.row({"server ud oversize responses", std::to_string(server->ud_resp_oversize)});
+    }
     // Session-table rows appear only once a session was opened (the layer
     // is default-off; sessionless reports must not change).
     if (server->sessions_opened + server->sessions_expired + server->sessions_evicted +

@@ -13,6 +13,7 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
   const std::uint64_t call_id = next_call_id_++;
   if (!retry_.enabled()) {
     co_await call_attempt(addr, key, param, response, call_id, false);
+    if (session_.enabled) session_confirmed_.insert(addr);
     co_return;
   }
 
@@ -23,16 +24,22 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
   const trace::TraceContext parent = tr != nullptr ? tr->take_ambient() : trace::TraceContext{};
   const int max_attempts = retry_.max_retries + 1;
   const bool idempotent = retry_.idempotent(key);
+  const sim::Time t_first = h.sched().now();
+  // Attempts at this index are sent WITHOUT the retry flag; bumped past
+  // the current attempt by a cold-start session restart (below), whose
+  // resend must re-open the session as a fresh call.
+  int fresh_attempt = 0;
 
   for (int attempt = 0;; ++attempt) {
     const sim::Time t0 = h.sched().now();
     bool failed = false;
     bool timed_out = false;
     bool busy = false;
+    bool expired_cold = false;
     std::string err;
     try {
       trace::activate(tr, parent);
-      co_await call_attempt(addr, key, param, response, call_id, attempt > 0);
+      co_await call_attempt(addr, key, param, response, call_id, attempt != fresh_attempt);
     } catch (const ServerBusyException& e) {
       failed = true;
       busy = true;
@@ -41,34 +48,59 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
       failed = true;
       timed_out = true;
       err = e.what();
-    } catch (const SessionExpiredException&) {
+    } catch (const SessionExpiredException& e) {
       // The server lost (or superseded) the dedup state for this logical
       // call: another attempt could duplicate a completed execution, so
-      // the failure is terminal — never retried.
-      throw;
+      // the failure is terminal — never retried. One case is provably
+      // safe to resend: if no call has EVER completed on this session at
+      // this address, and the bounce arrived within one lease of this
+      // call's first attempt, then no earlier attempt can have executed —
+      // an executed attempt would have opened the session (fresh calls
+      // open; retried ones only execute through a live one) and the lease
+      // hasn't elapsed since, so the server would have found it alive
+      // instead of bouncing. That is the cold-start window on a lossy
+      // datagram path: the session's first frame was lost and the flagged
+      // retransmit met a server that had never seen the session. The
+      // resend goes out fresh and (re-)opens the session with this call
+      // id as the fence.
+      const bool cold_start = session_.enabled && !session_confirmed_.contains(addr) &&
+                              session_.lease > 0 &&
+                              h.sched().now() - t_first < session_.lease;
+      if (!cold_start || attempt + 1 >= max_attempts) throw;
+      failed = true;
+      expired_cold = true;
+      err = e.what();
     } catch (const RpcTransportError& e) {
       // RemoteException is not caught: the server executed the handler,
       // so retrying cannot help and would be wrong for mutations.
       failed = true;
       err = e.what();
     }
-    if (!failed) co_return;
+    if (!failed) {
+      if (session_.enabled) session_confirmed_.insert(addr);
+      co_return;
+    }
 
     if (busy) {
       ++stats_.busy_rejections;
     } else if (timed_out) {
       ++stats_.timeouts;
+    } else if (expired_cold) {
+      ++stats_.session_cold_restarts;
     } else {
       ++stats_.transport_errors;
     }
     if (tr != nullptr) {
-      tr->add_complete(std::string(busy        ? "overload.busy:"
-                                   : timed_out ? "fault.timeout:"
-                                               : "fault.transport:") +
+      tr->add_complete(std::string(busy           ? "overload.busy:"
+                                   : timed_out    ? "fault.timeout:"
+                                   : expired_cold ? "session.cold_restart:"
+                                                  : "fault.transport:") +
                            key.method,
                        trace::Kind::kClient,
-                       busy ? trace::Category::kOverload : trace::Category::kFault, parent,
-                       h.id(), t0, h.sched().now());
+                       busy           ? trace::Category::kOverload
+                       : expired_cold ? trace::Category::kSession
+                                      : trace::Category::kFault,
+                       parent, h.id(), t0, h.sched().now());
     }
     // Shed calls were never executed, so "busy" is retryable regardless of
     // idempotency. Timeouts on a non-idempotent method are retryable when
@@ -80,7 +112,7 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
     // reconnect loses, so a completed-but-unanswered call would silently
     // re-execute on the new connection.
     const bool retryable =
-        busy || idempotent ||
+        expired_cold || busy || idempotent ||
         (retry_.retry_non_idempotent_on_timeout && (timed_out || session_.enabled));
     if (!retryable || attempt + 1 >= max_attempts) {
       const std::string what =
@@ -92,12 +124,13 @@ sim::Co<void> RpcClient::call(net::Address addr, const MethodKey& key, const Wri
     }
 
     ++stats_.retries;
+    if (expired_cold) fresh_attempt = attempt + 1;
     // A retry after a transport failure is a replay of an in-flight call
     // through the reconnect recovery machine (the next attempt's
     // get_connection re-bootstraps the torn-down peer). Gated on the
     // session knob like note_reconnect, so sessionless seeded reports
     // grow no reconnect rows and stay byte-identical.
-    if (!busy && !timed_out && session_.enabled) ++stats_.calls_replayed;
+    if (!busy && !timed_out && !expired_cold && session_.enabled) ++stats_.calls_replayed;
     const sim::Dur wait = retry_.backoff(attempt, h.rng());
     stats_.backoff_us.add(sim::to_us(wait));
     const sim::Time b0 = h.sched().now();

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 
 #include "cluster/host.hpp"
 #include "net/socket.hpp"
@@ -93,6 +94,12 @@ class RpcClient {
   SessionConfig session_;
   std::uint64_t session_id_ = 0;
   std::uint64_t next_call_id_ = 1;
+  /// Addresses where at least one call has completed successfully, i.e.
+  /// the server has provably opened this client's session. Until then a
+  /// session-expired bounce can be the cold-start case (the session's
+  /// very first datagram was lost on a lossy path) and call() may resend
+  /// as fresh; afterwards the bounce is always terminal.
+  std::set<net::Address> session_confirmed_;
 
  private:
   std::function<void(const RpcStats&)> on_destroy_;

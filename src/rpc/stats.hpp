@@ -113,6 +113,11 @@ struct RpcStats {
   std::uint64_t reconnects_idle_evicted = 0;   // stale QP found on reuse
   std::uint64_t reconnects_fault_injected = 0; // FaultPlan connection kill
   std::uint64_t calls_replayed = 0;            // attempts re-sent after a reconnect
+  // Session-expired bounce answered with a *fresh* resend: the session was
+  // never confirmed at that address and the bounce arrived within one
+  // lease of the first attempt, proving no earlier attempt executed (the
+  // UD cold-start case — the session's first datagram was lost).
+  std::uint64_t session_cold_restarts = 0;
 
   // Durable session layer (session.* knobs). Server side, per shard:
   std::uint64_t sessions_opened = 0;      // new session ids admitted
@@ -128,6 +133,16 @@ struct RpcStats {
   std::uint64_t srq_evictions = 0;       // idle connections evicted (LRU sweep)
   std::uint64_t recv_ring_bytes_peak = 0;  // posted recv bytes high-water mark
   std::uint64_t responses_dropped_on_stop = 0;  // finished responses dropped at stop()
+
+  // UD datagram eager-path counters (rpcoib, ud.* knobs). Client side:
+  std::uint64_t ud_datagrams_sent = 0;    // kUdCall datagrams put on the wire
+  std::uint64_t ud_responses_received = 0;  // kResp datagrams demuxed to a caller
+  std::uint64_t ud_rc_fallbacks = 0;      // calls too big for the UD budget -> RC path
+  // Server side:
+  std::uint64_t ud_calls_received = 0;    // calls unpacked from kUdCall datagrams
+  std::uint64_t ud_responses_sent = 0;    // kResp datagrams sent back
+  std::uint64_t ud_rx_dropped = 0;        // datagrams silently dropped (ring overrun)
+  std::uint64_t ud_resp_oversize = 0;     // responses too big for a datagram, bounced
 
   // Bulk-streaming counters (rpcoib/stream, stream.* knobs).
   std::uint64_t streams_opened = 0;     // granted streams (writer and reader hubs)
@@ -177,6 +192,7 @@ struct RpcStats {
     reconnects_idle_evicted += o.reconnects_idle_evicted;
     reconnects_fault_injected += o.reconnects_fault_injected;
     calls_replayed += o.calls_replayed;
+    session_cold_restarts += o.session_cold_restarts;
     sessions_opened += o.sessions_opened;
     sessions_expired += o.sessions_expired;
     sessions_evicted += o.sessions_evicted;
@@ -192,6 +208,13 @@ struct RpcStats {
       recv_ring_bytes_peak = o.recv_ring_bytes_peak;
     }
     responses_dropped_on_stop += o.responses_dropped_on_stop;
+    ud_datagrams_sent += o.ud_datagrams_sent;
+    ud_responses_received += o.ud_responses_received;
+    ud_rc_fallbacks += o.ud_rc_fallbacks;
+    ud_calls_received += o.ud_calls_received;
+    ud_responses_sent += o.ud_responses_sent;
+    ud_rx_dropped += o.ud_rx_dropped;
+    ud_resp_oversize += o.ud_resp_oversize;
     streams_opened += o.streams_opened;
     stream_chunks += o.stream_chunks;
     stream_bytes += o.stream_bytes;

@@ -74,6 +74,7 @@ std::unique_ptr<rpc::RpcClient> RpcEngine::make_client_impl(cluster::Host& host)
       rc.eager_threshold = cfg_.eager_threshold;
       rc.pool = cfg_.pool;
       rc.fallback_to_socket = cfg_.socket_fallback;
+      rc.ud = cfg_.ud;
       return std::make_unique<RdmaRpcClient>(host, tb_.sockets(), verbs_, rc);
     }
   }
@@ -99,6 +100,7 @@ std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
       sc.eager_threshold = cfg_.eager_threshold;
       sc.pool = cfg_.pool;
       sc.socket_fallback = cfg_.socket_fallback;
+      sc.ud = cfg_.ud;
       server = std::make_unique<RdmaRpcServer>(host, tb_.sockets(), verbs_, addr, sc);
       break;
     }

@@ -66,6 +66,12 @@ struct EngineConfig {
   /// fetch path (stream.* knobs). Default-disabled: both data paths stay
   /// byte-identical to the seed.
   stream::StreamConfig stream{};
+  /// RPCoIB only: route sub-MTU eager calls over UD datagrams into a
+  /// fixed server endpoint pool (ud.* knobs), keeping per-client server
+  /// state flat; RC QPs bootstrap only for rendezvous-sized traffic. UD
+  /// is lossy — enable `session` and a retry policy with it for
+  /// exactly-once delivery. Default-disabled: byte-identical to RC-only.
+  UdConfig ud{};
 };
 
 /// Owns the verbs stack for a testbed and stamps out clients/servers.

@@ -48,6 +48,9 @@ void parse_control(net::ByteSpan frame, std::uint32_t& rkey, std::uint64_t& off,
   std::memcpy(&len, frame.data() + 13, 4);
 }
 
+/// kUdCall wrapper: [u8 type][u64 session] before the inner frame.
+inline constexpr std::size_t kUdHeaderBytes = 9;
+
 }  // namespace
 
 RdmaRpcClient::RdmaRpcClient(cluster::Host& host, net::SocketTable& sockets,
@@ -91,6 +94,25 @@ void RdmaRpcClient::close_connections() {
     fail_all(*conn, "client shutdown");
   }
   connections_.clear();
+  if (ud_) {
+    ud_->cancelled = true;
+    if (ud_->ep) {
+      // Posted ring slots hold pooled buffers; reclaim before the
+      // endpoint dies or the pool leaks one slot per posted recv.
+      for (std::uint64_t wr : ud_->ep->drain_posted_recvs()) {
+        if (NativeBuffer* b = buf_of(wr); b != nullptr) native_.release(b);
+      }
+    }
+    ud_->cq.close();
+    for (auto& [id, pc] : ud_->pending) {
+      pc->transport_error = true;
+      pc->error_msg = "client shutdown";
+      pc->done.set();
+    }
+    ud_->pending.clear();
+    ud_.reset();
+  }
+  ud_dests_.clear();
   fallback_addrs_.clear();
   if (fallback_) fallback_->close_connections();
 }
@@ -173,8 +195,17 @@ sim::Co<RdmaRpcClient::ConnectionPtr> RdmaRpcClient::get_connection(net::Address
     if (peer_threshold != 0 && peer_threshold != cfg_.eager_threshold) {
       ++stats_.threshold_mismatches;
     }
+    // Ring sizing from the *negotiated* handshake, not the construction
+    // clamp (which only saw the local knob): a peer that advertised a
+    // larger threshold can send eager frames up to its own advertisement
+    // when our side reads as "not advertised" (threshold 0), so every
+    // pre-posted buffer must cover the larger of the two advertisements
+    // or an oversized eager response overruns the ring.
+    const std::size_t ring_buf = std::max(
+        cfg_.recv_buf_size,
+        std::max(raw->eager_threshold, static_cast<std::size_t>(peer_threshold)) + 512);
     for (int i = 0; i < cfg_.recv_depth; ++i) {
-      NativeBuffer* rb = native_.acquire(cfg_.recv_buf_size);
+      NativeBuffer* rb = native_.acquire(ring_buf);
       raw->qp->post_recv(wr_of(rb), rb->span);
     }
   } catch (const verbs::VerbsError& e) {
@@ -486,6 +517,364 @@ sim::Co<void> RdmaRpcClient::flush_batch(ConnectionPtr conn) {
   }
 }
 
+std::size_t RdmaRpcClient::ud_budget() const {
+  // A datagram must fit the path MTU; eager semantics additionally cap
+  // the inner frame at the local threshold (no handshake exists on the
+  // connectionless path to negotiate one — server UD rings are sized for
+  // a full MTU, so the MTU is the only hard wire limit).
+  return std::min(cfg_.eager_threshold + kUdHeaderBytes, verbs::UdEndpoint::kMtu);
+}
+
+verbs::AddressHandle RdmaRpcClient::ud_target(const verbs::UdService& svc,
+                                              std::uint64_t sid,
+                                              std::uint64_t call_id) const {
+  const std::size_t i = static_cast<std::size_t>((sid ^ call_id) % svc.qpns.size());
+  return verbs::AddressHandle{svc.host, svc.qpns[i]};
+}
+
+RdmaRpcClient::UdStatePtr RdmaRpcClient::ud_state() {
+  if (!ud_) {
+    ud_ = std::make_shared<UdState>(host_.sched());
+    ud_->ep = std::make_unique<verbs::UdEndpoint>(stack_, host_, ud_->cq, ud_->cq);
+    // Ring buffers hold a GRH-prefixed full-MTU datagram each; the depth
+    // bounds the client's registered-memory cost per the flat-state goal.
+    const std::size_t ring_buf = verbs::UdEndpoint::kGrhBytes + verbs::UdEndpoint::kMtu;
+    for (int i = 0; i < cfg_.ud.client_recv_depth; ++i) {
+      NativeBuffer* rb = native_.acquire(ring_buf);
+      ud_->ep->post_recv(wr_of(rb), rb->span);
+    }
+    host_.sched().spawn(ud_receive_loop(ud_));
+  }
+  return ud_;
+}
+
+sim::Task RdmaRpcClient::ud_receive_loop(UdStatePtr ud) {
+  // Hoisted like receive_loop: the loop may outlive the client object and
+  // re-checks ud->cancelled after every resumption.
+  cluster::Host& host = host_;
+  const cluster::CostModel& cm = host.cost();
+  try {
+    for (;;) {
+      verbs::WorkCompletion wc = co_await ud->cq.wait();
+      if (ud->cancelled) co_return;
+      if (wc.opcode == verbs::Opcode::kSend) {
+        if (NativeBuffer* b = buf_of(wc.wr_id); b != nullptr) native_.release(b);
+        continue;
+      }
+      if (wc.opcode != verbs::Opcode::kRecv) continue;
+      NativeBuffer* rb = buf_of(wc.wr_id);
+      // Charge the poll + the copy out of the ring slot up front so the
+      // demux below runs without a suspension between lookup and wakeup.
+      co_await host.compute(cm.cq_poll() + cm.thread_wakeup() + cm.rpc_framework() +
+                            cm.direct_copy(wc.byte_len));
+      if (ud->cancelled) co_return;
+      const std::size_t grh = verbs::UdEndpoint::kGrhBytes;
+      if (wc.byte_len > grh + 9) {
+        net::ByteSpan frame(rb->span.data() + grh, wc.byte_len - grh);
+        if (static_cast<FrameType>(frame[0]) == FrameType::kResp) {
+          std::uint64_t id = 0;
+          for (int i = 0; i < 8; ++i) {
+            id = (id << 8) | frame[1 + static_cast<std::size_t>(i)];
+          }
+          auto it = ud->pending.find(id);
+          if (it != ud->pending.end()) {
+            PendingCall* pc = it->second;
+            ud->pending.erase(it);
+            // Copy into a pooled buffer so the ring slot reposts
+            // immediately; the caller releases the copy after
+            // deserialization (never a recv slot on the UD path).
+            NativeBuffer* copy = shadow_.acquire_sized(frame.size());
+            std::memcpy(copy->span.data(), frame.data(), frame.size());
+            pc->resp = net::ByteSpan(copy->span.data(), frame.size());
+            pc->resp_buf = copy;
+            pc->resp_is_recv_slot = false;
+            pc->done.set();
+            ++stats_.ud_responses_received;
+          }
+          // else: a late duplicate (the retry already completed) — drop;
+          // server-side dedup guarantees it carries the same payload.
+        }
+      }
+      if (!ud->cancelled && ud->ep) {
+        ud->ep->post_recv(wr_of(rb), rb->span);
+      } else {
+        native_.release(rb);
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+    // Shutdown path.
+  }
+}
+
+sim::Co<void> RdmaRpcClient::ud_append_to_batch(UdStatePtr ud, net::Address addr,
+                                                net::Bytes payload,
+                                                const trace::TraceContext& ctx) {
+  auto it = ud_dests_.find(addr);
+  if (it == ud_dests_.end()) {
+    it = ud_dests_.emplace(addr, std::make_unique<UdDest>(batch_)).first;
+  }
+  UdDest& dest = *it->second;
+  rpc::CallBatcher& b = dest.batcher;
+  // The whole kUdCall datagram must fit the MTU: clamp the byte limit so
+  // wrapper + batch headers (9 + 5 + 4*count) always fit in the slack.
+  const std::size_t limit = std::min(
+      batch_.max_bytes, std::min(cfg_.eager_threshold, verbs::UdEndpoint::kMtu - 512));
+  if (b.would_overflow(payload.size(), limit)) {
+    ++stats_.batch_flush_full;
+    co_await ud_flush_batch(ud, addr);
+    if (ud->cancelled) co_return;
+  }
+  const bool was_empty = b.empty();
+  if (was_empty && ctx.valid()) dest.batch_ctx = ctx;
+  b.append(std::move(payload), host_.sched().now());
+  ++stats_.batched_calls;
+  if (b.full() || b.bytes() >= limit) {
+    ++stats_.batch_flush_full;
+    co_await ud_flush_batch(ud, addr);
+  } else if (was_empty) {
+    host_.sched().spawn(ud_batch_timer(ud, addr, b.epoch(), b.adaptive_linger()));
+  }
+}
+
+sim::Task RdmaRpcClient::ud_batch_timer(UdStatePtr ud, net::Address addr,
+                                        std::uint64_t epoch, sim::Dur linger) {
+  sim::Scheduler& sched = host_.sched();
+  co_await sim::delay(sched, linger);
+  if (ud->cancelled) co_return;
+  auto it = ud_dests_.find(addr);
+  if (it == ud_dests_.end()) co_return;
+  const rpc::CallBatcher& b = it->second->batcher;
+  if (b.empty() || b.epoch() != epoch) co_return;  // a full() flush beat us
+  if (linger > 0) {
+    ++stats_.batch_flush_linger;
+  } else {
+    ++stats_.batch_flush_immediate;
+  }
+  co_await ud_flush_batch(ud, addr);
+}
+
+sim::Co<void> RdmaRpcClient::ud_flush_batch(UdStatePtr ud, net::Address addr) {
+  auto dit = ud_dests_.find(addr);
+  if (dit == ud_dests_.end()) co_return;
+  UdDest& dest = *dit->second;
+  rpc::CallBatcher& b = dest.batcher;
+  if (b.empty()) co_return;
+  cluster::Host& host = host_;
+  const cluster::CostModel& cm = host.cost();
+  trace::TraceCollector* tr = trace::active(host.tracer());
+  const trace::TraceContext ctx = std::exchange(dest.batch_ctx, {});
+  const sim::Time t0 = host.sched().now();
+
+  std::vector<net::Bytes> items = b.take();
+  std::size_t payload_bytes = 0;
+  for (const net::Bytes& m : items) payload_bytes += m.size();
+  // [u8 kUdCall][u64 session][u8 kBatch][u32 count][u32 len_i][sub-frames]
+  // — one datagram, one doorbell for the lot.
+  const std::uint64_t sid = session_id(host_);
+  const std::size_t total = kUdHeaderBytes + 5 + 4 * items.size() + payload_bytes;
+  NativeBuffer* fb = shadow_.acquire_sized(total);
+  net::Byte* p = fb->span.data();
+  p[0] = static_cast<net::Byte>(FrameType::kUdCall);
+  for (int i = 0; i < 8; ++i) {
+    p[1 + i] = static_cast<net::Byte>((sid >> (8 * (7 - i))) & 0xff);
+  }
+  p[9] = static_cast<net::Byte>(FrameType::kBatch);
+  const std::uint32_t count = static_cast<std::uint32_t>(items.size());
+  std::memcpy(p + 10, &count, 4);
+  std::size_t off = kUdHeaderBytes + 5 + 4 * items.size();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::uint32_t len = static_cast<std::uint32_t>(items[i].size());
+    std::memcpy(p + 14 + 4 * i, &len, 4);
+    std::memcpy(p + off, items[i].data(), items[i].size());
+    off += items[i].size();
+  }
+  co_await host.compute(cm.direct_copy(total) + cm.jni_call());
+  if (ud->cancelled) co_return;
+  const verbs::UdService* svc = stack_.ud_service(addr);
+  if (svc == nullptr || svc->qpns.empty() || !ud->ep) {
+    // Service withdrawn (server stopped): the datagrams are "lost"; the
+    // callers time out and their retries take the RC or socket path.
+    native_.release(fb);
+    co_return;
+  }
+  try {
+    const net::ByteSpan wire(fb->span.data(), total);
+    co_await ud->ep->post_send(wr_of(fb), ud_target(*svc, sid, b.epoch()), wire);
+    // fb is released by ud_receive_loop at the kSend completion.
+  } catch (const std::exception&) {
+    if (ud->cancelled) co_return;
+    // A failed post is indistinguishable from a lost datagram: drop it
+    // and let the per-call timeouts drive the retries.
+    native_.release(fb);
+    co_return;
+  }
+  if (ud->cancelled) co_return;
+  ++stats_.batches_sent;
+  ++stats_.ud_datagrams_sent;
+  if (tr != nullptr && ctx.valid()) {
+    tr->add_complete("batch.flush", trace::Kind::kClient, trace::Category::kSend, ctx,
+                     host.id(), t0, host.sched().now());
+  }
+}
+
+sim::Co<bool> RdmaRpcClient::call_attempt_ud(net::Address addr, const verbs::UdService& svc,
+                                             const rpc::MethodKey& key,
+                                             const rpc::Writable& param,
+                                             rpc::Writable* response,
+                                             std::uint64_t call_id, bool retried,
+                                             trace::TraceCollector* tr,
+                                             const trace::TraceContext& t_parent) {
+  co_await pool_ready_.wait();
+  const cluster::CostModel& cm = host_.cost();
+  const sim::Time t_start = host_.sched().now();
+  trace::SpanScope rpc(tr, "rpc.ud:" + key.method, trace::Kind::kClient,
+                       trace::Category::kWire, t_parent, host_.id());
+  const trace::TraceContext ctx = rpc.context();
+  co_await host_.compute(cm.rpc_framework());
+
+  // --- Serialize the whole datagram: wrapper + a complete kCall frame ---
+  const std::uint64_t sid = session_id(host_);
+  const sim::Time t_ser_start = host_.sched().now();
+  RDMAOutputStream out(cm, shadow_, key);
+  const std::uint64_t id = call_id;
+  const sim::Time deadline =
+      retry_.call_timeout > 0 ? host_.sched().now() + retry_.call_timeout : 0;
+  try {
+    out.write_u8(static_cast<std::uint8_t>(FrameType::kUdCall));
+    out.write_u64(sid);
+    out.write_u8(static_cast<std::uint8_t>(FrameType::kCall));
+    std::uint64_t wire_id = id;
+    if (ctx.valid()) wire_id |= trace::kWireTraceFlag;
+    if (deadline != 0) wire_id |= trace::kWireDeadlineFlag;
+    if (retried && session_.enabled) wire_id |= trace::kWireRetryFlag;
+    out.write_u64(wire_id);
+    if (ctx.valid()) {
+      out.write_u64(ctx.trace_id);
+      out.write_u64(ctx.span_id);
+    }
+    if (deadline != 0) out.write_u64(deadline);
+    out.write_text(key.protocol);
+    out.write_text(key.method);
+    param.write(out);
+  } catch (const PoolExhaustedError&) {
+    // Let the RC path re-serialize and run its pool-exhaustion degrade
+    // (socket fallback); the stream destructor returns the partial lease.
+    rpc.end();
+    co_return false;
+  }
+  co_await host_.compute(out.take_accrued());
+  const sim::Time t_serialized = host_.sched().now();
+
+  const std::uint64_t regets = out.regets();
+  const std::size_t dg_len = out.length();
+  const std::size_t msg_len = dg_len - kUdHeaderBytes;  // inner frame
+  if (dg_len > ud_budget()) {
+    // Too big for one datagram: release the lease and let the RC path
+    // take it (eager-over-RC or rendezvous).
+    native_.release(out.take_buffer());
+    rpc.end();
+    co_return false;
+  }
+  if (ctx.valid()) {
+    tr->add_complete("serialize", trace::Kind::kInternal,
+                     trace::Category::kSerialization, ctx, host_.id(), t_ser_start,
+                     t_serialized);
+  }
+  const net::ByteSpan dg = out.data();
+  NativeBuffer* buf = out.take_buffer();
+  shadow_.update_history(key, dg_len);
+
+  UdStatePtr ud = ud_state();
+  PendingCall pc(host_.sched());
+  ud->pending[id] = &pc;
+
+  // --- Send: coalesced when small, else one datagram ---------------------
+  const std::size_t batch_limit = std::min(
+      batch_.max_bytes, std::min(cfg_.eager_threshold, verbs::UdEndpoint::kMtu - 512));
+  const bool batchable = batch_.batchable(msg_len) && msg_len <= batch_limit;
+  try {
+    if (batchable) {
+      // Append the *inner* frame: the flush re-wraps the batch in one
+      // kUdCall header carrying the shared session id.
+      net::Bytes payload(dg.begin() + kUdHeaderBytes, dg.end());
+      native_.release(buf);
+      buf = nullptr;
+      co_await host_.compute(cm.direct_copy(msg_len));
+      co_await ud_append_to_batch(ud, addr, std::move(payload), ctx);
+    } else {
+      co_await host_.compute(cm.jni_call());  // one JNI crossing per post
+      co_await ud->ep->post_send(wr_of(buf), ud_target(svc, sid, id), dg);
+      buf = nullptr;  // released by ud_receive_loop at the kSend completion
+      ++stats_.ud_datagrams_sent;
+    }
+  } catch (const std::exception& e) {
+    ud->pending.erase(id);
+    if (buf != nullptr) native_.release(buf);
+    throw rpc::RpcTransportError(e.what());
+  }
+  const sim::Time t_sent = host_.sched().now();
+  if (ctx.valid()) {
+    const trace::SpanId send = tr->add_complete(
+        "send", trace::Kind::kInternal, trace::Category::kSend, ctx, host_.id(),
+        t_serialized, t_sent);
+    tr->annotate(send, "path", batchable ? "ud-batched" : "ud");
+  }
+
+  rpc::MethodProfile& prof = stats_.method(key);
+  prof.mem_adjustments.add(static_cast<double>(regets));
+  prof.serialize_us.add(sim::to_us(t_serialized - t_start));
+  prof.send_us.add(sim::to_us(t_sent - t_serialized));
+  prof.msg_bytes.add(static_cast<double>(msg_len));
+  stats_.record_size(prof, static_cast<std::uint32_t>(msg_len));
+  ++stats_.calls_sent;
+
+  // --- Wait. A lost datagram (either direction) is pure silence: the
+  // per-attempt timeout fires and the outer retry loop retransmits with
+  // the retry flag set; the server's session-keyed retry cache makes the
+  // re-execution window exactly-once. ------------------------------------
+  if (const sim::Dur dl = retry_.call_timeout; dl > 0) {
+    const bool completed = co_await pc.done.wait_for(dl);
+    if (!completed) {
+      // Unregister so a late response is dropped by the receive loop.
+      ud->pending.erase(id);
+      throw rpc::RpcTimeoutError("call timed out after " +
+                                 std::to_string(sim::to_ms(dl)) + " ms");
+    }
+  } else {
+    co_await pc.done.wait();
+  }
+  if (pc.transport_error) throw rpc::RpcTransportError(pc.error_msg);
+
+  // --- Deserialize from the pooled copy ---------------------------------
+  const sim::Time t_deser = host_.sched().now();
+  RDMAInputStream in(cm, pc.resp.subspan(9));  // skip [type][id]
+  const std::uint8_t status = in.read_u8();
+  const bool is_error = status != static_cast<std::uint8_t>(rpc::RpcStatus::kSuccess);
+  std::string error_msg;
+  if (is_error) {
+    error_msg = in.read_text();
+  } else if (response != nullptr) {
+    response->read_fields(in);
+  }
+  co_await host_.compute(in.take_accrued());
+  if (ctx.valid()) {
+    tr->add_complete("deserialize", trace::Kind::kInternal,
+                     trace::Category::kSerialization, ctx, host_.id(), t_deser,
+                     host_.sched().now());
+  }
+  native_.release(pc.resp_buf);
+  if (status == static_cast<std::uint8_t>(rpc::RpcStatus::kSessionExpired)) {
+    throw rpc::SessionExpiredException(error_msg);
+  }
+  if (status == static_cast<std::uint8_t>(rpc::RpcStatus::kBusy)) {
+    throw rpc::ServerBusyException(error_msg);
+  }
+  if (is_error) throw rpc::RemoteException(error_msg);
+  prof.total_us.add(sim::to_us(host_.sched().now() - t_start));
+  rpc.end();
+  co_return true;
+}
+
 sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::MethodKey& key,
                                                const rpc::Writable& param,
                                                rpc::Writable* response) {
@@ -520,6 +909,20 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     trace::activate(tr, t_parent);
     co_await call_via_fallback(addr, key, param, response);
     co_return;
+  }
+  // UD eager path (ud.enabled): sub-MTU calls ride connectionless
+  // datagrams to the server's advertised UD endpoint pool — no RC
+  // bootstrap, no per-connection server state. A false return means the
+  // call did not fit the datagram budget (or the pool refused the lease)
+  // and falls through to the RC path below.
+  if (cfg_.ud.enabled) {
+    if (const verbs::UdService* svc = stack_.ud_service(addr);
+        svc != nullptr && !svc->qpns.empty()) {
+      const bool handled = co_await call_attempt_ud(addr, *svc, key, param, response,
+                                                    call_id, retried, tr, t_parent);
+      if (handled) co_return;
+      ++stats_.ud_rc_fallbacks;
+    }
   }
   const cluster::CostModel& cm = host_.cost();
   const sim::Time t_start = host_.sched().now();

@@ -34,6 +34,11 @@ struct RdmaClientConfig {
   /// server's companion listener — the paper's `rpc.ib.enabled` escape
   /// hatch, preserving Java-socket error semantics.
   bool fallback_to_socket = true;
+  /// UD datagram eager path (default off): sub-MTU eager calls ride
+  /// connectionless datagrams into the server's fixed UD endpoint pool;
+  /// RC QPs are bootstrapped only for rendezvous-sized calls. UD is
+  /// lossy — run sessions + a retry policy for exactly-once delivery.
+  UdConfig ud{};
 };
 
 class RdmaRpcClient final : public rpc::RpcClient {
@@ -111,6 +116,26 @@ class RdmaRpcClient final : public rpc::RpcClient {
   // map without freeing state that already-posted wakeups still touch.
   using ConnectionPtr = std::shared_ptr<Connection>;
 
+  /// Connectionless UD state, shared across every server address: one
+  /// endpoint + CQ, a receive loop, and the call-id -> waiter map (call
+  /// ids are client-unique, so no per-destination demux is needed).
+  /// Shared-owned like Connection so the loop outlives close_connections.
+  struct UdState {
+    explicit UdState(sim::Scheduler& s) : cq(s) {}
+    verbs::CompletionQueue cq;
+    std::unique_ptr<verbs::UdEndpoint> ep;
+    bool cancelled = false;
+    std::map<std::uint64_t, PendingCall*> pending;
+  };
+  using UdStatePtr = std::shared_ptr<UdState>;
+  /// Per-destination UD batch state: kBatch frames ride UD too, clamped
+  /// to the datagram budget instead of the negotiated RC threshold.
+  struct UdDest {
+    explicit UdDest(const rpc::BatchConfig& batch) : batcher(batch) {}
+    rpc::CallBatcher batcher;
+    trace::TraceContext batch_ctx;
+  };
+
   sim::Co<ConnectionPtr> get_connection(net::Address addr);
   sim::Task receive_loop(ConnectionPtr conn);
   sim::Task fetch_response(ConnectionPtr conn, std::uint32_t rkey, std::uint64_t off,
@@ -143,6 +168,30 @@ class RdmaRpcClient final : public rpc::RpcClient {
   sim::Co<void> call_via_fallback(net::Address addr, const rpc::MethodKey& key,
                                   const rpc::Writable& param, rpc::Writable* response);
 
+  /// Lazily create the client UD endpoint (+ ring + receive loop).
+  UdStatePtr ud_state();
+  sim::Task ud_receive_loop(UdStatePtr ud);
+  /// Largest serialized datagram (kUdCall wrapper included) the UD path
+  /// accepts; anything bigger falls back to the RC path.
+  std::size_t ud_budget() const;
+  /// Endpoint selection by RpcIdentifier{session, call}: spreads one
+  /// client's calls across the fixed server pool statelessly.
+  verbs::AddressHandle ud_target(const verbs::UdService& svc, std::uint64_t sid,
+                                 std::uint64_t call_id) const;
+  /// One attempt over the UD path. Returns false (nothing sent) when the
+  /// call exceeds the datagram budget or the pool refused the
+  /// serialization lease — the caller falls through to the RC path.
+  sim::Co<bool> call_attempt_ud(net::Address addr, const verbs::UdService& svc,
+                                const rpc::MethodKey& key, const rpc::Writable& param,
+                                rpc::Writable* response, std::uint64_t call_id,
+                                bool retried, trace::TraceCollector* tr,
+                                const trace::TraceContext& t_parent);
+  sim::Co<void> ud_append_to_batch(UdStatePtr ud, net::Address addr, net::Bytes payload,
+                                   const trace::TraceContext& ctx);
+  sim::Co<void> ud_flush_batch(UdStatePtr ud, net::Address addr);
+  sim::Task ud_batch_timer(UdStatePtr ud, net::Address addr, std::uint64_t epoch,
+                           sim::Dur linger);
+
   sim::Task init_pool_task();
 
   cluster::Host& host_;
@@ -154,6 +203,8 @@ class RdmaRpcClient final : public rpc::RpcClient {
   ShadowPool shadow_;
   sim::SimEvent pool_ready_;
   std::map<net::Address, std::shared_ptr<Connection>> connections_;
+  UdStatePtr ud_;
+  std::map<net::Address, std::unique_ptr<UdDest>> ud_dests_;
   // Socket-mode fallback after a failed bootstrap exchange (sticky per
   // address until close_connections()).
   std::set<net::Address> fallback_addrs_;

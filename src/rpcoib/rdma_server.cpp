@@ -61,6 +61,9 @@ struct CallHeader {
   rpc::MethodKey key;
 };
 
+/// kUdCall wrapper: [u8 type][u64 session id, big-endian][inner frame].
+inline constexpr std::size_t kUdHeaderBytes = 9;
+
 CallHeader parse_call_header(const cluster::CostModel& cm, net::ByteSpan frame) {
   CallHeader h;
   RDMAInputStream in(cm, frame);
@@ -137,6 +140,46 @@ void RdmaRpcServer::start() {
     if (shards_.back()->srq) host_.sched().spawn(srq_refill_loop(*shards_.back()));
   }
   if (cfg_.srq_idle_evict > 0) host_.sched().spawn(idle_evict_loop());
+  if (cfg_.ud.enabled) {
+    // Rebuild the fixed UD endpoint pool. Endpoints from a previous run
+    // fold their drop counts into the base first so ud_rx_dropped stays
+    // monotonic across restarts.
+    for (const auto& ep : ud_eps_) {
+      if (ep) ud_rx_dropped_base_ += ep->rx_dropped();
+    }
+    ud_eps_.clear();
+    ud_cq_ = std::make_unique<verbs::CompletionQueue>(host_.sched());
+    verbs::UdService svc;
+    svc.host = host_.id();
+    const int n_eps = std::max(1, cfg_.ud.server_endpoints);
+    for (int i = 0; i < n_eps; ++i) {
+      auto ep = std::make_unique<verbs::UdEndpoint>(stack_, host_, *ud_cq_, *ud_cq_);
+      // kRecv completions name the endpoint, so the responder can reply
+      // from the QPN the client targeted.
+      ep->set_context(static_cast<std::uint64_t>(i));
+      svc.qpns.push_back(ep->qpn());
+      ud_eps_.push_back(std::move(ep));
+    }
+    // Fill the rings BEFORE advertising: UD has no bootstrap handshake to
+    // order a client's first datagram after the server's buffer setup (RC
+    // rings hide behind accept()), so an advertise-first start would race
+    // the listener's pool registration and silently drop early calls. The
+    // rings are the datagram analogue of the SRQ stripes: a fixed
+    // pre-registered footprint that never grows with client count. An
+    // arrival overrunning the ring drops silently (no RNR on UD); the
+    // client's session/retry layer re-sends it.
+    const std::size_t slot = verbs::UdEndpoint::kGrhBytes + verbs::UdEndpoint::kMtu;
+    for (auto& ep : ud_eps_) {
+      for (int i = 0; i < cfg_.ud.recv_depth; ++i) {
+        NativeBuffer* b = native_.acquire(slot);
+        ep->post_recv(reinterpret_cast<std::uint64_t>(b), b->span);
+        ud_ring_bytes_ += b->span.size();
+      }
+    }
+    if (ud_ring_bytes_ > ud_ring_bytes_peak_) ud_ring_bytes_peak_ = ud_ring_bytes_;
+    stack_.ud_advertise(addr_, std::move(svc));
+    host_.sched().spawn(ud_reader_loop());
+  }
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
   for (auto& shard : shards_) host_.sched().spawn(reader_loop(*shard));
@@ -209,6 +252,19 @@ void RdmaRpcServer::stop() {
     }
   }
   for (auto& shard : shards_) shard->ring_bytes = 0;
+  if (ud_cq_) {
+    stack_.ud_withdraw(addr_);
+    for (auto& ep : ud_eps_) {
+      for (std::uint64_t wr : ep->drain_posted_recvs()) {
+        native_.release(reinterpret_cast<NativeBuffer*>(wr));
+      }
+    }
+    ud_ring_bytes_ = 0;
+    // Close but keep the CQ and endpoints alive (like the fallback
+    // listener): kSend completions for datagrams already in flight still
+    // land here when they fire, on a closed-but-live queue.
+    ud_cq_->close();
+  }
   for (auto& shard : shards_) {
     if (shard->cq) shard->cq->close();
   }
@@ -267,9 +323,18 @@ void RdmaRpcServer::sync_stats() {
   stats_.srq_refills = agg.srq_refills;
   stats_.srq_rnr_stalls = agg.srq_rnr_stalls;
   stats_.srq_evictions = agg.srq_evictions;
+  stats_.ud_calls_received = agg.ud_calls_received;
+  stats_.ud_responses_sent = agg.ud_responses_sent;
+  stats_.ud_resp_oversize = agg.ud_resp_oversize;
+  std::uint64_t ud_rx = ud_rx_dropped_base_;
+  for (const auto& ep : ud_eps_) {
+    if (ep) ud_rx += ep->rx_dropped();
+  }
+  stats_.ud_rx_dropped = ud_rx;
   // The stripes post independently, so the server-wide registered-memory
   // footprint is the sum of the per-stripe peaks (exact at one shard).
-  stats_.recv_ring_bytes_peak = ring_peak_sum;
+  // The UD rings are one more fixed stripe on top.
+  stats_.recv_ring_bytes_peak = ring_peak_sum + ud_ring_bytes_peak_;
   stats_.recv_alloc_us = agg.recv_alloc_us;
   stats_.recv_total_us = agg.recv_total_us;
   stats_.shards = std::move(agg.shards);
@@ -443,6 +508,13 @@ sim::Task RdmaRpcServer::listener_loop() {
           peer_threshold == 0
               ? cfg_.eager_threshold
               : std::min(cfg_.eager_threshold, static_cast<std::size_t>(peer_threshold));
+      // Ring sizing must follow the *larger* advertised threshold, not the
+      // negotiated min: when our advertisement reads as "not advertised"
+      // (threshold 0 in the legacy blob), the peer falls back to its own
+      // local knob and may legally send eager frames up to that size.
+      conn->recv_buf_size = std::max(
+          cfg_.recv_buf_size,
+          std::max(conn->eager_threshold, static_cast<std::size_t>(peer_threshold)) + 512);
       if (peer_threshold != 0 && peer_threshold != cfg_.eager_threshold) {
         ++stats_.threshold_mismatches;
       }
@@ -456,7 +528,7 @@ sim::Task RdmaRpcServer::listener_loop() {
         raw->qp->set_srq(shard.srq.get());
       } else {
         for (int i = 0; i < cfg_.recv_depth; ++i) {
-          post_recv_buffer(shard, raw, native_.acquire(cfg_.recv_buf_size));
+          post_recv_buffer(shard, raw, native_.acquire(raw->recv_buf_size));
         }
       }
     }
@@ -549,7 +621,7 @@ sim::Task RdmaRpcServer::reader_loop(Shard& shard) {
             call.recv_start = host_.sched().now();
             co_await enqueue_call(std::move(call));
             if (!shard.srq) {
-              post_recv_buffer(shard, conn.get(), native_.acquire(cfg_.recv_buf_size));
+              post_recv_buffer(shard, conn.get(), native_.acquire(conn->recv_buf_size));
             }
           } else if (type == FrameType::kBatch) {
             // Client-coalesced eager calls: split into pooled copies (each
@@ -616,6 +688,163 @@ sim::Task RdmaRpcServer::reader_loop(Shard& shard) {
       }
     }
   } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Task RdmaRpcServer::ud_reader_loop() {
+  const cluster::CostModel& cm = host_.cost();
+  verbs::CompletionQueue* cq = ud_cq_.get();
+  try {
+    for (;;) {
+      verbs::WorkCompletion wc = co_await cq->wait();
+      if (wc.opcode == verbs::Opcode::kSend) {
+        // Response datagram on the wire: pooled source is reusable.
+        if (auto* b = reinterpret_cast<NativeBuffer*>(wc.wr_id);
+            b != nullptr && (wc.wr_id & 1) == 0) {
+          native_.release(b);
+        }
+        continue;
+      }
+      if (wc.opcode != verbs::Opcode::kRecv) continue;
+      auto* rb = reinterpret_cast<NativeBuffer*>(wc.wr_id);
+      const std::size_t ep_index = static_cast<std::size_t>(wc.qp_context);
+      constexpr std::size_t grh = verbs::UdEndpoint::kGrhBytes;
+      if (running_ && wc.byte_len > grh + kUdHeaderBytes &&
+          static_cast<FrameType>(rb->span.data()[grh]) == FrameType::kUdCall) {
+        const net::ByteSpan frame(rb->span.data() + grh, wc.byte_len - grh);
+        co_await host_.compute(cm.cq_poll() + cm.thread_wakeup());
+        std::uint32_t src_host = 0, src_qpn = 0;
+        std::memcpy(&src_host, rb->span.data(), 4);
+        std::memcpy(&src_qpn, rb->span.data() + 4, 4);
+        std::uint64_t sid = 0;
+        for (std::size_t i = 0; i < 8; ++i) {
+          sid = (sid << 8) | static_cast<std::uint64_t>(frame[1 + i]);
+        }
+        if (!session_.enabled) sid = 0;
+        // One pseudo-connection per datagram: the handler pipeline keys
+        // sessions, fences, dedup and the response path off the ConnState,
+        // and UD keeps none per client — so each datagram carries its own,
+        // never entered into conns_. Owner and shard homing follow the
+        // session id exactly like a reconnecting RC client, so a retry
+        // that switches transport still deduplicates on the home shard.
+        auto conn = std::make_shared<ConnState>();
+        conn->session_id = sid;
+        conn->owner = sid != 0 ? sid : ((std::uint64_t{1} << 62) | src_host);
+        conn->shard = static_cast<std::uint32_t>(
+            sid != 0 ? sid % shards_.size() : src_host % shards_.size());
+        conn->eager_threshold = cfg_.eager_threshold;
+        conn->last_recv = host_.sched().now();
+        const verbs::AddressHandle peer{static_cast<cluster::HostId>(src_host), src_qpn};
+        Shard& shard = shard_of(*conn);
+        const net::ByteSpan inner(frame.data() + kUdHeaderBytes,
+                                  frame.size() - kUdHeaderBytes);
+        const auto itype = static_cast<FrameType>(inner[0]);
+        if (itype == FrameType::kCall) {
+          co_await host_.compute(cm.direct_copy(inner.size()));
+          NativeBuffer* sub = shadow_.acquire_sized(inner.size());
+          std::memcpy(sub->span.data(), inner.data(), inner.size());
+          ++shard.pipeline.stats().ud_calls_received;
+          ServerCall call;
+          call.conn = conn;
+          call.buf = sub;
+          call.frame_len = static_cast<std::uint32_t>(inner.size());
+          call.recv_start = host_.sched().now();
+          call.via_ud = true;
+          call.ud_peer = peer;
+          call.ud_ep = ep_index;
+          co_await enqueue_call(std::move(call));
+        } else if (itype == FrameType::kBatch) {
+          // Split per sub-call BEFORE any session logic: each sub-call of
+          // a batched frame meets the lease/fence/dedup checks on its own
+          // id, so a mid-flight session expiry bounces the affected
+          // sub-calls individually (kSessionExpired) instead of failing
+          // the frame as one retryable unit.
+          ++shard.pipeline.stats().batches_received;
+          std::uint32_t count = 0;
+          std::memcpy(&count, inner.data() + 1, 4);
+          co_await host_.compute(cm.direct_copy(inner.size()));
+          const sim::Time recv_start = host_.sched().now();
+          trace::TraceContext bctx;
+          std::size_t off = 5 + 4 * static_cast<std::size_t>(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            std::uint32_t sub_len = 0;
+            std::memcpy(&sub_len, inner.data() + 5 + 4 * static_cast<std::size_t>(i), 4);
+            NativeBuffer* sub = shadow_.acquire_sized(sub_len);
+            std::memcpy(sub->span.data(), inner.data() + off, sub_len);
+            off += sub_len;
+            ++shard.pipeline.stats().batched_calls_received;
+            ++shard.pipeline.stats().ud_calls_received;
+            if (!bctx.valid()) {
+              const CallHeader h =
+                  parse_call_header(cm, net::ByteSpan(sub->span.data(), sub_len));
+              if (h.ok) bctx = h.ctx;
+            }
+            ServerCall call;
+            call.conn = conn;
+            call.buf = sub;
+            call.frame_len = sub_len;
+            call.recv_start = recv_start;
+            call.via_ud = true;
+            call.ud_peer = peer;
+            call.ud_ep = ep_index;
+            co_await enqueue_call(std::move(call));
+          }
+          if (bctx.valid()) {
+            trace::TraceCollector* tr = trace::active(host_.tracer());
+            if (tr != nullptr) {
+              tr->add_complete("batch.parse", trace::Kind::kServer,
+                               trace::Category::kRecv, bctx, host_.id(), recv_start,
+                               host_.sched().now());
+            }
+          }
+        }
+      }
+      // The ring slot is fully copied out (or the datagram was garbage):
+      // repost it immediately so the fixed footprint holds.
+      if (running_ && ep_index < ud_eps_.size() && ud_eps_[ep_index]) {
+        ud_eps_[ep_index]->post_recv(wc.wr_id, rb->span);
+      } else {
+        native_.release(rb);
+      }
+    }
+  } catch (const sim::ChannelClosed&) {
+  }
+}
+
+sim::Co<void> RdmaRpcServer::ud_respond(ServerCall& call, NativeBuffer* buf,
+                                        net::ByteSpan msg) {
+  Shard& shard = shard_of(*call.conn);
+  if (!running_ || call.ud_ep >= ud_eps_.size() || !ud_eps_[call.ud_ep]) {
+    native_.release(buf);
+    co_return;
+  }
+  if (msg.size() > verbs::UdEndpoint::kMtu) {
+    // A datagram cannot fragment: bounce with an error frame naming the
+    // limit instead of throwing at the HCA. Responses this size belong on
+    // the RC path (the client's budget keeps *requests* off UD, but a
+    // small request may still produce a huge response).
+    ++shard.pipeline.stats().ud_resp_oversize;
+    std::uint64_t id = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      id = (id << 8) | static_cast<std::uint64_t>(msg[1 + i]);
+    }
+    native_.release(buf);
+    RDMAOutputStream err(host_.cost(), shadow_, rpc::MethodKey{"__ud", "oversize"});
+    err.write_u8(static_cast<std::uint8_t>(FrameType::kResp));
+    err.write_u64(id);
+    err.write_u8(static_cast<std::uint8_t>(rpc::RpcStatus::kError));
+    err.write_text("response exceeds the UD datagram MTU");
+    co_await host_.compute(err.take_accrued());
+    msg = err.data();
+    buf = err.take_buffer();
+  }
+  try {
+    co_await ud_eps_[call.ud_ep]->post_send(reinterpret_cast<std::uint64_t>(buf),
+                                            call.ud_peer, msg);
+    // Released by ud_reader_loop at the kSend completion (even wr_id).
+    ++shard.pipeline.stats().ud_responses_sent;
+  } catch (const verbs::VerbsError&) {
+    native_.release(buf);
   }
 }
 
@@ -935,6 +1164,18 @@ sim::Task RdmaRpcServer::handler_loop(Shard& home, int /*handler_id*/) {
 sim::Co<void> RdmaRpcServer::respond(ServerCall& call, RDMAOutputStream& out) {
   const cluster::CostModel& cm = host_.cost();
   ConnPtr conn = call.conn;
+  if (call.via_ud) {
+    // One kResp datagram back to the GRH source; no response batching (a
+    // pseudo-connection has no batcher) and no rendezvous (no QP to READ
+    // over) — oversize responses bounce inside ud_respond.
+    co_await host_.compute(out.take_accrued() + cm.jni_call() + cm.rpc_framework());
+    const std::size_t len = out.length();
+    const net::ByteSpan msg = out.data();
+    NativeBuffer* buf = out.take_buffer();
+    shadow_.update_history(out.key(), len);
+    co_await ud_respond(call, buf, msg);
+    co_return;
+  }
   const std::size_t batch_limit = std::min(batch_.max_bytes, conn->eager_threshold);
   if (conn->batcher != nullptr && batch_.batchable(out.length()) &&
       out.length() <= batch_limit) {
@@ -979,6 +1220,10 @@ sim::Co<void> RdmaRpcServer::respond_frame(ServerCall& call, net::ByteSpan frame
   NativeBuffer* buf = shadow_.acquire_sized(frame.size());
   std::memcpy(buf->span.data(), frame.data(), frame.size());
   co_await host_.compute(cm.direct_copy(frame.size()) + cm.jni_call() + cm.rpc_framework());
+  if (call.via_ud) {
+    co_await ud_respond(call, buf, net::ByteSpan(buf->span.data(), frame.size()));
+    co_return;
+  }
   Shard& shard = shard_of(*call.conn);
   try {
     if (frame.size() <= call.conn->eager_threshold) {

@@ -57,6 +57,11 @@ struct RdmaServerConfig {
   /// kSocketFallbackPortOffset` mirroring this server's dispatcher, so
   /// clients whose QP bootstrap fails can reroute (socket-mode fallback).
   bool socket_fallback = true;
+  /// UD datagram eager path (default off): a small fixed pool of
+  /// connectionless endpoints serves every client's sub-MTU eager calls,
+  /// so per-client server state (QPs, rings) stays flat at any client
+  /// count. Advertised on the verbs stack as a UdService at `addr`.
+  UdConfig ud{};
 };
 
 class RdmaRpcServer final : public rpc::RpcServer {
@@ -86,6 +91,11 @@ class RdmaRpcServer final : public rpc::RpcServer {
     // Negotiated per-connection eager/rendezvous switch point:
     // min(local, client-advertised) from the bootstrap handshake.
     std::size_t eager_threshold = 0;
+    // Per-connection legacy-ring buffer size, derived from the *larger*
+    // of the two advertised thresholds at the handshake — a peer that
+    // advertised more than our local knob may send eager frames that big
+    // when our advertisement reads as "none" (threshold 0).
+    std::size_t recv_buf_size = 0;
     // Small-response coalescer, allocated only when batching is enabled.
     std::unique_ptr<rpc::CallBatcher> batcher;
     // Last receive completion; the LRU idle-eviction sweep keys on this.
@@ -103,6 +113,12 @@ class RdmaRpcServer final : public rpc::RpcServer {
     // Protocol as pre-parsed at admission (per-protocol quota accounting);
     // only filled while admission control is on.
     std::string admit_protocol;
+    // UD arrivals carry a per-datagram pseudo-ConnState (session id, owner,
+    // home shard; no QP) plus the GRH return address — the response is one
+    // datagram from the endpoint that received the call.
+    bool via_ud = false;
+    verbs::AddressHandle ud_peer{};
+    std::size_t ud_ep = 0;  // index into the endpoint pool
   };
 
   /// One reader shard: a disjoint set of connections with its own CQ, SRQ
@@ -139,6 +155,13 @@ class RdmaRpcServer final : public rpc::RpcServer {
 
   sim::Task listener_loop();
   sim::Task reader_loop(Shard& shard);
+  /// Drain the shared UD CQ: unwrap kUdCall datagrams (splitting kBatch
+  /// frames per sub-call *before* any session logic) and feed the same
+  /// handler pipeline as RC traffic, homed by session id.
+  sim::Task ud_reader_loop();
+  /// Send one kResp datagram back through the receiving endpoint; bounces
+  /// over-MTU responses with an error frame (a datagram can't fragment).
+  sim::Co<void> ud_respond(ServerCall& call, NativeBuffer* buf, net::ByteSpan msg);
   sim::Task handler_loop(Shard& home, int handler_id);
   /// Refill one shard's receive stripe whenever it drops below its low
   /// watermark (woken by the SRQ limit event; exits when the SRQ closes).
@@ -196,6 +219,14 @@ class RdmaRpcServer final : public rpc::RpcServer {
 
   net::Listener* listener_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Fixed UD endpoint pool (cfg_.ud): shared CQ + reader; kept alive
+  // across stop() (like the fallback listener) so late completions land
+  // on a closed-but-live queue, and rebuilt by the next start().
+  std::unique_ptr<verbs::CompletionQueue> ud_cq_;
+  std::vector<std::unique_ptr<verbs::UdEndpoint>> ud_eps_;
+  std::size_t ud_ring_bytes_ = 0;
+  std::uint64_t ud_ring_bytes_peak_ = 0;
+  std::uint64_t ud_rx_dropped_base_ = 0;  // drops from endpoints of past runs
   std::uint64_t conn_seq_ = 0;
   // Keyed by ConnState::id — also the qp_context stamped into kRecv
   // completions, which is how SRQ-mode completions map back to their

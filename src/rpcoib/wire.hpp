@@ -28,6 +28,17 @@
 //   kStreamDone   [u8][u64 sid][u8 status]
 //   kStreamAbort  [u8][u64 sid][u32 rlen][reason]
 //   kStreamFetch  [u8][u64 token][u32 mlen][meta]
+//
+// UD datagram eager path (ud.* knobs; default off):
+//   kUdCall   [u8][u64 session][inner frame]      - inner is a complete kCall
+//                                                   or kBatch frame; carried in
+//                                                   one UD datagram to a server
+//                                                   UD endpoint. session=0 means
+//                                                   sessionless (dedup keyed by
+//                                                   source host instead).
+// UD responses are plain kResp frames sent as datagrams back to the
+// client's UD endpoint (the GRH supplies the return address, the call id
+// in the frame demuxes at the client).
 #pragma once
 
 #include <cstdint>
@@ -48,6 +59,7 @@ enum class FrameType : std::uint8_t {
   kStreamDone = 10,
   kStreamAbort = 11,
   kStreamFetch = 12,
+  kUdCall = 13,
 };
 
 struct WireDefaults {
@@ -57,6 +69,29 @@ struct WireDefaults {
   static constexpr std::size_t kRecvBufSize = 8 * 1024;
   /// Receive buffers pre-posted per queue pair.
   static constexpr int kRecvDepth = 16;
+};
+
+/// Unreliable-datagram eager path (ud.* knobs). Off by default: with
+/// enabled=false the RC/SRQ transport is byte-identical to builds without
+/// the UD layer. When on, sub-MTU eager calls (and batch frames, clamped
+/// to the MTU) ride connectionless UD datagrams into a small fixed pool
+/// of server endpoints, so per-client server state stays flat; RC QPs are
+/// created only when a rendezvous transfer or stream needs one. UD is
+/// lossy — callers must run the session + retry-cache layer
+/// (SessionConfig::enabled) for exactly-once delivery under loss.
+struct UdConfig {
+  bool enabled = false;
+  /// Server-side UD endpoint pool size (the paper's "few QPs serve all
+  /// clients" scaling argument); endpoint for a call is picked by
+  /// hash(session, call id).
+  int server_endpoints = 4;
+  /// Datagram receive buffers pre-posted per server endpoint.
+  int recv_depth = 64;
+  /// Datagram receive buffers pre-posted on the client endpoint. Must
+  /// cover a burst of near-simultaneous responses: a batched frame can
+  /// fan out to BatchConfig::max_calls handlers whose replies land
+  /// back-to-back, so the default covers two full batches in flight.
+  int client_recv_depth = 32;
 };
 
 /// Every RdmaRpcServer also listens for plain socket RPC at

@@ -301,6 +301,87 @@ sim::Co<void> QueuePair::post_rdma_read(std::uint64_t wr_id, net::MutByteSpan lo
 }
 
 // ---------------------------------------------------------------------------
+// UdEndpoint
+
+UdEndpoint::UdEndpoint(VerbsStack& stack, cluster::Host& host, CompletionQueue& send_cq,
+                       CompletionQueue& recv_cq)
+    : stack_(stack), host_(host), send_cq_(send_cq), recv_cq_(recv_cq) {
+  qpn_ = stack_.ud_register(this);
+}
+
+UdEndpoint::~UdEndpoint() { stack_.ud_unregister(qpn_); }
+
+void UdEndpoint::post_recv(std::uint64_t wr_id, net::MutByteSpan buf) {
+  ring_.push_back(PostedRecv{wr_id, buf});
+}
+
+std::vector<std::uint64_t> UdEndpoint::drain_posted_recvs() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(ring_.size());
+  for (const PostedRecv& pr : ring_) ids.push_back(pr.wr_id);
+  ring_.clear();
+  return ids;
+}
+
+sim::Co<void> UdEndpoint::post_send(std::uint64_t wr_id, const AddressHandle& ah,
+                                    net::ByteSpan buf) {
+  if (buf.size() > kMtu) throw VerbsError("UD send exceeds path MTU");
+  net::Fabric& fab = stack_.fabric();
+  const net::NetParams& p = fab.params(net::Transport::kIBVerbs);
+
+  // Doorbell: same WQE cost as an RC send.
+  co_await host_.compute(p.per_msg_send_cpu);
+
+  net::Bytes payload(buf.begin(), buf.end());
+  VerbsStack* stack = &stack_;
+  const cluster::HostId src_host = host_.id();
+  const std::uint32_t src_qpn = qpn_;
+  const std::uint32_t dst_qpn = ah.qpn;
+  // Destination resolution happens at arrival: a datagram to an endpoint
+  // that no longer exists simply vanishes.
+  const sim::Time arrival = fab.deliver_datagram(
+      src_host, ah.host, net::Transport::kIBVerbs, kGrhBytes + payload.size(),
+      [stack, src_host, src_qpn, dst_qpn, payload = std::move(payload)]() mutable {
+        UdEndpoint* ep = stack->ud_lookup(dst_qpn);
+        if (ep != nullptr) ep->on_datagram_arrival(src_host, src_qpn, std::move(payload));
+      });
+  // UD send completion once the datagram is on the wire — no ACK, so the
+  // completion is identical whether or not the datagram ever arrives.
+  CompletionQueue* scq = &send_cq_;
+  fab.sched().call_at(arrival - p.one_way_latency, [scq, wr_id, n = buf.size()] {
+    scq->push(WorkCompletion{wr_id, Opcode::kSend, static_cast<std::uint32_t>(n), 0});
+  });
+  co_return;
+}
+
+void UdEndpoint::on_datagram_arrival(cluster::HostId src_host, std::uint32_t src_qpn,
+                                     net::Bytes data) {
+  // No posted receive (ring overrun) or an undersized head buffer: the
+  // datagram is silently dropped. UD has no RNR backpressure — recovery is
+  // the caller's problem (RPCoIB rides the session/retry path).
+  if (ring_.empty()) {
+    ++rx_dropped_;
+    return;
+  }
+  PostedRecv pr = ring_.front();
+  ring_.pop_front();
+  if (kGrhBytes + data.size() > pr.buf.size()) {
+    ++rx_dropped_;
+    return;
+  }
+  // GRH-style source addressing: the first kGrhBytes of the receive buffer
+  // name the sender, so the receiver can reply with zero per-sender state.
+  std::memset(pr.buf.data(), 0, kGrhBytes);
+  const std::uint32_t sh = static_cast<std::uint32_t>(src_host);
+  std::memcpy(pr.buf.data(), &sh, sizeof(sh));
+  std::memcpy(pr.buf.data() + 4, &src_qpn, sizeof(src_qpn));
+  std::memcpy(pr.buf.data() + kGrhBytes, data.data(), data.size());
+  recv_cq_.push(WorkCompletion{pr.wr_id, Opcode::kRecv,
+                               static_cast<std::uint32_t>(kGrhBytes + data.size()), 0,
+                               context_});
+}
+
+// ---------------------------------------------------------------------------
 // ConnectionManager
 
 namespace {

@@ -275,6 +275,87 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   bool srq_waiting_ = false;  // queued on srq_->waiters_
 };
 
+/// Names a remote UD endpoint: the ibv_ah analogue. UD is connectionless —
+/// every post_send carries one of these instead of riding a paired QP.
+struct AddressHandle {
+  cluster::HostId host = -1;
+  std::uint32_t qpn = 0;
+};
+
+/// Unreliable-datagram endpoint (the ibv_qp IBV_QPT_UD analogue). Unlike an
+/// RC QueuePair it is never "connected": any number of peers send to it by
+/// address handle, each datagram is independently routed, MTU-capped, and
+/// may be silently lost in flight (net::Fabric::deliver_datagram). A
+/// datagram that arrives while the receive ring is empty is silently
+/// dropped — there is no RNR backpressure on UD — and every delivered
+/// datagram is prefixed with a GRH-style source-addressing header so the
+/// receiver can reply without any per-sender state.
+class UdEndpoint {
+ public:
+  /// UD path MTU: a post_send larger than this throws (real UD QPs bounce
+  /// oversized sends at the HCA).
+  static constexpr std::size_t kMtu = 4096;
+  /// GRH prefix length on every delivered datagram: bytes 0..3 carry the
+  /// source host id, 4..7 the source QPN (both little-endian u32); the
+  /// remaining bytes are zero, as real receivers ignore them.
+  static constexpr std::size_t kGrhBytes = 40;
+
+  UdEndpoint(VerbsStack& stack, cluster::Host& host, CompletionQueue& send_cq,
+             CompletionQueue& recv_cq);
+  ~UdEndpoint();
+  UdEndpoint(const UdEndpoint&) = delete;
+  UdEndpoint& operator=(const UdEndpoint&) = delete;
+
+  /// This endpoint's cluster-unique datagram queue-pair number.
+  std::uint32_t qpn() const { return qpn_; }
+  cluster::Host& host() const { return host_; }
+
+  /// Application context stamped into this endpoint's kRecv completions.
+  void set_context(std::uint64_t ctx) { context_ = ctx; }
+
+  /// Post a receive buffer; must hold kGrhBytes + kMtu to fit any datagram.
+  void post_recv(std::uint64_t wr_id, net::MutByteSpan buf);
+
+  /// Fire-and-forget datagram to `ah`. Completes kSend once the datagram
+  /// is on the wire — delivery is NOT acknowledged, and the send completes
+  /// identically whether the datagram arrives, is lost in flight, or finds
+  /// no posted receive at the destination.
+  sim::Co<void> post_send(std::uint64_t wr_id, const AddressHandle& ah, net::ByteSpan buf);
+
+  /// Remove and return the wr_ids of all still-posted receive buffers.
+  std::vector<std::uint64_t> drain_posted_recvs();
+
+  std::size_t posted() const { return ring_.size(); }
+  /// Datagrams dropped at this endpoint because the ring was empty (ring
+  /// overrun) or the head buffer was too small.
+  std::uint64_t rx_dropped() const { return rx_dropped_; }
+
+ private:
+  friend class VerbsStack;
+
+  /// Deliver one arrived datagram into the head receive buffer (or drop).
+  void on_datagram_arrival(cluster::HostId src_host, std::uint32_t src_qpn, net::Bytes data);
+
+  VerbsStack& stack_;
+  cluster::Host& host_;
+  CompletionQueue& send_cq_;
+  CompletionQueue& recv_cq_;
+  std::uint32_t qpn_ = 0;
+  std::uint64_t context_ = 0;
+  std::deque<PostedRecv> ring_;
+  std::uint64_t rx_dropped_ = 0;
+};
+
+/// A server's advertised pool of UD endpoints, resolvable by its RPC
+/// listen address — the simulator's stand-in for publishing well-known
+/// datagram QPNs through a name service (real UD RPC frameworks exchange
+/// them once out of band). Clients pick an endpoint per call; no
+/// per-client connection or server-side state is created.
+struct UdService {
+  cluster::HostId host = -1;
+  std::vector<std::uint32_t> qpns;
+};
+
 /// Cluster-wide verbs state: rkey resolution and device parameters.
 class VerbsStack {
  public:
@@ -306,6 +387,31 @@ class VerbsStack {
   }
   void cm_erase(std::uintptr_t cookie) { cm_pending_.erase(cookie); }
 
+  // UD datagram routing: endpoints register a cluster-unique QPN at
+  // construction; post_send resolves the destination at arrival time, so a
+  // datagram sent to an endpoint that died in flight simply vanishes (UD
+  // semantics, no dangling pointer).
+  std::uint32_t ud_register(UdEndpoint* ep) {
+    const std::uint32_t qpn = next_qpn_++;
+    ud_endpoints_[qpn] = ep;
+    return qpn;
+  }
+  void ud_unregister(std::uint32_t qpn) { ud_endpoints_.erase(qpn); }
+  UdEndpoint* ud_lookup(std::uint32_t qpn) const {
+    auto it = ud_endpoints_.find(qpn);
+    return it == ud_endpoints_.end() ? nullptr : it->second;
+  }
+
+  // UD service directory: a server advertises its endpoint pool under its
+  // RPC listen address; clients resolve it instead of bootstrapping a
+  // connection. Withdrawn at server stop.
+  void ud_advertise(net::Address addr, UdService svc) { ud_services_[addr] = std::move(svc); }
+  void ud_withdraw(net::Address addr) { ud_services_.erase(addr); }
+  const UdService* ud_service(net::Address addr) const {
+    auto it = ud_services_.find(addr);
+    return it == ud_services_.end() ? nullptr : &it->second;
+  }
+
   // Deterministic fault hook: make the next `n` bootstrap (QP-info)
   // exchanges fail with a VerbsError, modeling subnet-manager / GID
   // resolution trouble that leaves plain sockets working. RPCoIB clients
@@ -322,6 +428,9 @@ class VerbsStack {
   std::uint32_t next_key_ = 1;
   std::map<std::uint32_t, MemoryRegion> regions_;
   std::map<std::uintptr_t, QueuePairPtr> cm_pending_;
+  std::uint32_t next_qpn_ = 1;
+  std::map<std::uint32_t, UdEndpoint*> ud_endpoints_;
+  std::map<net::Address, UdService> ud_services_;
   int bootstrap_failures_ = 0;
 };
 

@@ -81,6 +81,7 @@ struct MrStack {
       cfg.retry = chaos->retry;
       cfg.overload = chaos->overload;
       cfg.session = chaos->session;
+      cfg.ud = chaos->ud;
     }
     return cfg;
   }

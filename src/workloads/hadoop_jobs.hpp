@@ -33,6 +33,7 @@ struct ChaosConfig {
   rpc::RpcRetryPolicy retry;              // applied to every RPC client
   rpc::OverloadConfig overload;           // admission + retry cache, every server
   rpc::SessionConfig session;             // durable sessions + reconnect recovery
+  oib::UdConfig ud;                       // datagram eager path (RPCoIB only)
   sim::Dur tracker_expiry = 0;            // JobTracker task re-execution
   int pipeline_retries = 0;               // DFSClient write-pipeline recovery
 };

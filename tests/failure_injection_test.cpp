@@ -519,10 +519,18 @@ TEST(Chaos, SrqServerSurvivesFaultedManyConnectionSweep) {
 }
 
 TEST(Chaos, DisabledFaultPlanIsByteIdenticalToNoPlan) {
-  auto run_once = [](bool attach_empty_plan) {
+  enum class Plan { kNone, kEmpty, kDatagramLossOnly };
+  auto run_once = [](Plan variant) {
     Scheduler s;
     net::TestbedConfig cfg = Testbed::cluster_b();
-    if (attach_empty_plan) cfg.fault = std::make_shared<net::FaultPlan>(chaos_seed());
+    if (variant != Plan::kNone) {
+      auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+      // The datagram-loss knob must be inert for RC/socket traffic: only
+      // the UD send path consults it, so with UD off the run must stay
+      // byte-identical to a fault-free fabric even with loss configured.
+      if (variant == Plan::kDatagramLossOnly) plan->set_datagram_loss(0.5);
+      cfg.fault = plan;
+    }
     Testbed tb(s, cfg);
     RpcEngine engine(tb, EngineConfig{.mode = RpcMode::kRpcoIB});
     auto server = engine.make_server(tb.host(1), kAddr);
@@ -540,7 +548,62 @@ TEST(Chaos, DisabledFaultPlanIsByteIdenticalToNoPlan) {
   };
   // An attached-but-empty plan draws zero random numbers and adds zero
   // delay: virtual timings match a fault-free fabric exactly.
-  EXPECT_EQ(run_once(false), run_once(true));
+  const sim::Time base = run_once(Plan::kNone);
+  EXPECT_EQ(base, run_once(Plan::kEmpty));
+  EXPECT_EQ(base, run_once(Plan::kDatagramLossOnly));
+}
+
+// --- FaultPlan RNG stream isolation -----------------------------------------
+//
+// The three fault sources draw from three independent streams of the same
+// seed: configuring (and drawing from) the datagram-loss knob must leave
+// the drop/spike and kill schedules bit-identical, and vice versa. This
+// pins the property the chaos suite's byte-identity tests rely on when
+// the UD matrix leg flips RPCOIB_UD=1 on an otherwise unchanged seed.
+TEST(Determinism, DatagramLossKnobRidesItsOwnRngStream) {
+  const net::LinkFaults faults{.drop_prob = 0.2, .spike_prob = 0.2,
+                               .spike_extra = sim::millis(1)};
+  // Signature of the drop/spike/kill schedule; optionally interleave a
+  // datagram draw between every step to try to perturb it.
+  auto reliable_sig = [&faults](bool draw_datagrams) {
+    net::FaultPlan p(chaos_seed());
+    p.set_default_faults(faults);
+    p.set_kill_prob(0.1);
+    if (draw_datagrams) p.set_datagram_loss(0.5);
+    std::string sig;
+    for (int i = 0; i < 256; ++i) {
+      const sim::Time now = sim::millis(i);
+      const net::FaultDecision d = p.decide(0, 1, now, /*reliable=*/(i % 2) == 0);
+      sig += d.lost ? 'L' : '.';
+      sig += std::to_string(d.extra);
+      sig += p.take_kill(0, 1, now) ? 'K' : '-';
+      if (draw_datagrams) (void)p.take_datagram_loss(0, 1, now);
+    }
+    return sig;
+  };
+  EXPECT_EQ(reliable_sig(false), reliable_sig(true));
+
+  // And the mirror: the datagram-loss schedule is unchanged when the
+  // drop/spike/kill knobs are configured and drawn from in between.
+  auto datagram_sig = [&faults](bool draw_others) {
+    net::FaultPlan p(chaos_seed());
+    p.set_datagram_loss(0.5);
+    if (draw_others) {
+      p.set_default_faults(faults);
+      p.set_kill_prob(0.1);
+    }
+    std::string sig;
+    for (int i = 0; i < 256; ++i) {
+      const sim::Time now = sim::millis(i);
+      sig += p.take_datagram_loss(0, 1, now) ? 'X' : '.';
+      if (draw_others) {
+        (void)p.decide(0, 1, now, /*reliable=*/(i % 2) == 0);
+        (void)p.take_kill(0, 1, now);
+      }
+    }
+    return sig;
+  };
+  EXPECT_EQ(datagram_sig(false), datagram_sig(true));
 }
 
 TEST(Chaos, HdfsPipelineRetriesThroughDatanodeLoss) {

@@ -55,6 +55,23 @@ oib::PoolConfig chaos_pool() {
   return p;
 }
 
+/// RPCOIB_UD=1 reroutes the RPCoIB legs' eager traffic over the UD
+/// datagram path (the CI chaos-matrix leg). Datagrams are connectionless,
+/// so connection kills no longer touch eager calls — kill-dependent
+/// assertions are gated on the transport actually opening connections,
+/// and the lease-expiry tests swallow the in-flight frame with an outage
+/// window instead of a kill.
+bool chaos_ud() {
+  const char* env = std::getenv("RPCOIB_UD");
+  return env != nullptr && env[0] == '1';
+}
+
+oib::UdConfig chaos_ud_cfg() {
+  oib::UdConfig u;
+  u.enabled = chaos_ud();
+  return u;
+}
+
 /// `bump` is the canonical non-idempotent method: each seq must land in
 /// the execution ledger exactly once no matter how many times the client
 /// re-sends it across reconnects.
@@ -146,11 +163,18 @@ Co<void> one_bump(rpc::RpcClient& client, int seq, bool& ok, bool& err) {
 TEST(Session, RetriedNonIdempotentAcrossReconnectExecutesOnce) {
   for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
     SCOPED_TRACE(oib::rpc_mode_name(mode));
+    const bool ud = mode == RpcMode::kRpcoIB && chaos_ud();
     auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
     // Kill the client->server connection on the first send at/after t=1s:
     // the bump call's first attempt goes out, the connection dies under
-    // it, and the retry rides the reconnect.
-    plan->add_connection_kill(0, 1, sim::seconds(1));
+    // it, and the retry rides the reconnect. Over UD there is no
+    // connection to kill; swallow the datagram with an outage instead so
+    // the retry machinery still fires.
+    if (ud) {
+      plan->add_outage(net::FaultWindow{0, 1, sim::seconds(1), sim::millis(1400)});
+    } else {
+      plan->add_connection_kill(0, 1, sim::seconds(1));
+    }
     net::TestbedConfig cfg = Testbed::cluster_b();
     cfg.fault = plan;
     Scheduler s;
@@ -159,6 +183,7 @@ TEST(Session, RetriedNonIdempotentAcrossReconnectExecutesOnce) {
                     .retry = session_retry()};
     ec.overload.retry_cache_entries = 256;
     ec.session = sessions_on();
+    ec.ud = chaos_ud_cfg();
     RpcEngine engine(tb, ec);
     auto server = engine.make_server(tb.host(1), kAddr);
     std::map<int, int> exec;
@@ -182,8 +207,12 @@ TEST(Session, RetriedNonIdempotentAcrossReconnectExecutesOnce) {
 
     EXPECT_TRUE(ok);
     EXPECT_FALSE(err);
-    EXPECT_EQ(plan->counters().kills, 1u);
-    EXPECT_EQ(client->stats().reconnects_fault_injected, 1u);
+    if (ud) {
+      EXPECT_GE(plan->counters().outage_hits, 1u);
+    } else {
+      EXPECT_EQ(plan->counters().kills, 1u);
+      EXPECT_EQ(client->stats().reconnects_fault_injected, 1u);
+    }
     EXPECT_GE(client->stats().retries, 1u);
     // The exactly-once gate: one execution, never zero, never two.
     EXPECT_EQ(exec[42], 1) << "retried non-idempotent call re-executed";
@@ -201,7 +230,8 @@ TEST(Session, RetriedNonIdempotentAcrossReconnectExecutesOnce) {
 TEST(Chaos, KillEveryConnectionExactlyOnce) {
   for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
     SCOPED_TRACE(oib::rpc_mode_name(mode));
-    auto run_once = [mode] {
+    const bool ud = mode == RpcMode::kRpcoIB && chaos_ud();
+    auto run_once = [mode, ud] {
       static constexpr cluster::HostId kClientHosts[] = {0, 2, 3, 4, 5, 6};
       constexpr int kConns = 6;
       constexpr int kCalls = 10;
@@ -220,6 +250,7 @@ TEST(Chaos, KillEveryConnectionExactlyOnce) {
       ec.overload.retry_cache_entries = 256;
       ec.session = sessions_on();
       ec.pool = chaos_pool();
+      ec.ud = chaos_ud_cfg();
       RpcEngine engine(tb, ec);
       auto server = engine.make_server(tb.host(1), kAddr);
       std::map<int, int> exec;
@@ -237,12 +268,18 @@ TEST(Chaos, KillEveryConnectionExactlyOnce) {
 
       EXPECT_EQ(completed, kConns * kCalls);
       EXPECT_EQ(errors, 0);
-      // Every link was killed at least once...
-      EXPECT_GE(plan->counters().kills, static_cast<std::uint64_t>(kConns));
       rpc::RpcStats merged;
       for (auto& c : clients) merged.merge_resilience(c->stats());
-      EXPECT_GE(merged.reconnects_fault_injected, static_cast<std::uint64_t>(kConns));
-      EXPECT_GE(merged.calls_replayed, static_cast<std::uint64_t>(kConns));
+      if (!ud) {
+        // Every link was killed at least once... (over UD the eager calls
+        // are connectionless, so the kill schedule never finds a target —
+        // the leg still proves the burst completes exactly-once)
+        EXPECT_GE(plan->counters().kills, static_cast<std::uint64_t>(kConns));
+        EXPECT_GE(merged.reconnects_fault_injected, static_cast<std::uint64_t>(kConns));
+        EXPECT_GE(merged.calls_replayed, static_cast<std::uint64_t>(kConns));
+      } else {
+        EXPECT_GE(merged.ud_datagrams_sent, static_cast<std::uint64_t>(kConns * kCalls));
+      }
       // ...and no bump executed twice (or zero times).
       EXPECT_EQ(exec.size(), static_cast<std::size_t>(kConns * kCalls));
       for (const auto& [seq, n] : exec) {
@@ -280,8 +317,12 @@ TEST(Chaos, KillEveryConnectionExactlyOnce) {
     const std::string a = run_once();
     const std::string b = run_once();
     EXPECT_EQ(a, b);
-    EXPECT_NE(a.find("reconnects (fault injected)"), std::string::npos);
-    EXPECT_NE(a.find("fault kills"), std::string::npos);
+    if (!ud) {
+      EXPECT_NE(a.find("reconnects (fault injected)"), std::string::npos);
+      EXPECT_NE(a.find("fault kills"), std::string::npos);
+    } else {
+      EXPECT_NE(a.find("ud datagrams sent"), std::string::npos);
+    }
     EXPECT_NE(a.find("server sessions opened"), std::string::npos);
   }
 }
@@ -297,8 +338,15 @@ TEST(Chaos, KillEveryConnectionExactlyOnce) {
 TEST(Session, LeaseExpiryRejectsRetryInsteadOfReExecuting) {
   for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
     SCOPED_TRACE(oib::rpc_mode_name(mode));
+    const bool ud = mode == RpcMode::kRpcoIB && chaos_ud();
     auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
-    plan->add_connection_kill(0, 1, sim::seconds(1));
+    if (ud) {
+      // No connection to kill on the datagram path: an outage window
+      // swallows the in-flight bump the same way.
+      plan->add_outage(net::FaultWindow{0, 1, sim::seconds(1), sim::millis(1400)});
+    } else {
+      plan->add_connection_kill(0, 1, sim::seconds(1));
+    }
     net::TestbedConfig cfg = Testbed::cluster_b();
     cfg.fault = plan;
     Scheduler s;
@@ -310,6 +358,7 @@ TEST(Session, LeaseExpiryRejectsRetryInsteadOfReExecuting) {
     ec.overload.retry_cache_entries = 256;
     ec.session = sessions_on();
     ec.session.lease = sim::seconds(2);
+    ec.ud = chaos_ud_cfg();
     RpcEngine engine(tb, ec);
     auto server = engine.make_server(tb.host(1), kAddr);
     std::map<int, int> exec;
@@ -355,8 +404,13 @@ TEST(Session, LeaseExpiryRejectsRetryInsteadOfReExecuting) {
 TEST(Session, FreshCallRevivingExpiredSessionDoesNotReExecuteStaleRetry) {
   for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
     SCOPED_TRACE(oib::rpc_mode_name(mode));
+    const bool ud = mode == RpcMode::kRpcoIB && chaos_ud();
     auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
-    plan->add_connection_kill(0, 1, sim::seconds(1));
+    if (ud) {
+      plan->add_outage(net::FaultWindow{0, 1, sim::seconds(1), sim::millis(1400)});
+    } else {
+      plan->add_connection_kill(0, 1, sim::seconds(1));
+    }
     net::TestbedConfig cfg = Testbed::cluster_b();
     cfg.fault = plan;
     Scheduler s;
@@ -368,6 +422,7 @@ TEST(Session, FreshCallRevivingExpiredSessionDoesNotReExecuteStaleRetry) {
     ec.overload.retry_cache_entries = 256;
     ec.session = sessions_on();
     ec.session.lease = sim::seconds(2);
+    ec.ud = chaos_ud_cfg();
     RpcEngine engine(tb, ec);
     auto server = engine.make_server(tb.host(1), kAddr);
     std::map<int, int> exec;
@@ -431,6 +486,7 @@ TEST(Session, TableStaysBoundedUnderConnectionChurnStorm) {
     ec.overload.retry_cache_entries = 256;
     ec.session = sessions_on();
     ec.session.table_cap = kCap;
+    ec.ud = chaos_ud_cfg();
     RpcEngine engine(tb, ec);
     auto server = engine.make_server(tb.host(1), kAddr);
     std::map<int, int> exec;
@@ -478,6 +534,9 @@ TEST(Session, TableStaysBoundedUnderConnectionChurnStorm) {
 // recovery paths must land in the cause-split reconnect counters and
 // neither may duplicate a bump.
 TEST(Session, IdleEvictionAndKillReconnectsStayExactlyOnce) {
+  // Deliberately never rides UD (no ec.ud): this test pins the RC-side
+  // recovery machinery — SRQ idle eviction and QP kills have no datagram
+  // analogue — so it stays meaningful in the RPCOIB_UD=1 matrix leg.
   auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
   plan->add_connection_kill(0, 1, sim::seconds(1));
   net::TestbedConfig cfg = Testbed::cluster_b();
@@ -530,6 +589,85 @@ TEST(Session, IdleEvictionAndKillReconnectsStayExactlyOnce) {
   s.drain_tasks();
 }
 
+// --- Exact reconnect-cause attribution --------------------------------------
+//
+// Each recovery activation must land in exactly one cause counter, with
+// the others untouched: a seeded kill mid-call is fault_injected (never
+// qp_error, though both surface as a failed post), and a stale QP found
+// after the server's idle sweep is idle_evicted (never peer_closed). Runs
+// on both transports and at shards {1, 4}; like the idle-eviction test
+// above, the RPCoIB leg keeps UD off — cause attribution is a property of
+// the connection-oriented path.
+TEST(Session, ReconnectCountersAttributeExactCauses) {
+  for (int shards : {1, 4}) {
+    SCOPED_TRACE(shards);
+    for (RpcMode mode : {RpcMode::kSocketIPoIB, RpcMode::kRpcoIB}) {
+      SCOPED_TRACE(oib::rpc_mode_name(mode));
+      auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+      plan->add_connection_kill(0, 1, sim::seconds(1));
+      net::TestbedConfig cfg = Testbed::cluster_b();
+      cfg.fault = plan;
+      Scheduler s;
+      Testbed tb(s, cfg);
+      EngineConfig ec{.mode = mode, .server_shards = shards, .retry = session_retry()};
+      ec.overload.retry_cache_entries = 256;
+      ec.session = sessions_on();
+      ec.pool = chaos_pool();
+      RpcEngine engine(tb, ec);
+      std::unique_ptr<rpc::RpcServer> server;
+      oib::RdmaRpcServer* rs = nullptr;
+      if (mode == RpcMode::kRpcoIB) {
+        oib::RdmaServerConfig scfg;
+        scfg.num_handlers = 4;
+        scfg.shards = shards;
+        scfg.pool = chaos_pool();
+        scfg.srq_idle_evict = sim::seconds(2);
+        auto owned = std::make_unique<oib::RdmaRpcServer>(tb.host(1), tb.sockets(),
+                                                          engine.verbs(), kAddr, scfg);
+        rs = owned.get();
+        server = std::move(owned);
+        server->set_overload(ec.overload);
+        server->set_session(ec.session);
+      } else {
+        server = engine.make_server(tb.host(1), kAddr);
+      }
+      std::map<int, int> exec;
+      register_session_methods(*server, exec);
+      server->start();
+      std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+      bool ok1 = false, ok2 = false, ok3 = false;
+      bool e1 = false, e2 = false, e3 = false;
+      s.spawn([](Scheduler& sc, rpc::RpcClient& c, bool& o1, bool& o2, bool& o3,
+                 bool& f1, bool& f2, bool& f3) -> Task {
+        co_await one_bump(c, 1, o1, f1);           // opens the connection
+        co_await sim::delay(sc, sim::seconds(1));  // kill fires under this call
+        co_await one_bump(c, 2, o2, f2);
+        co_await sim::delay(sc, sim::seconds(6));  // idle past the eviction sweep
+        co_await one_bump(c, 3, o3, f3);           // RPCoIB: stale QP on reuse
+      }(s, *client, ok1, ok2, ok3, e1, e2, e3));
+      s.run_until(sim::seconds(60));
+
+      EXPECT_TRUE(ok1 && ok2 && ok3);
+      EXPECT_FALSE(e1 || e2 || e3);
+      for (int seq : {1, 2, 3}) EXPECT_EQ(exec[seq], 1) << "seq " << seq;
+      EXPECT_EQ(plan->counters().kills, 1u);
+      const rpc::RpcStats& st = client->stats();
+      EXPECT_EQ(st.reconnects_fault_injected, 1u);
+      EXPECT_EQ(st.reconnects_qp_error, 0u);
+      EXPECT_EQ(st.reconnects_peer_closed, 0u);
+      if (mode == RpcMode::kRpcoIB && rs != nullptr && ec.pool.srq_depth != 0) {
+        EXPECT_EQ(st.reconnects_idle_evicted, 1u);
+        EXPECT_GE(rs->stats().srq_evictions, 1u);
+      } else if (mode != RpcMode::kRpcoIB) {
+        EXPECT_EQ(st.reconnects_idle_evicted, 0u);
+      }
+      server->stop();
+      s.drain_tasks();
+    }
+  }
+}
+
 // --- Determinism across shard geometries ------------------------------------
 //
 // Probabilistic kills + drops with sessions on: the merged report must be
@@ -553,6 +691,7 @@ TEST(Chaos, SeededKillRunsAreByteIdenticalAcrossShardGeometries) {
                         .retry = session_retry()};
         ec.overload.retry_cache_entries = 256;
         ec.session = sessions_on();
+        ec.ud = chaos_ud_cfg();
         RpcEngine engine(tb, ec);
         auto server = engine.make_server(tb.host(1), kAddr);
         std::map<int, int> exec;
@@ -602,6 +741,7 @@ TEST(Chaos, MiniSortWithConnectionKillsIsIdenticalAcrossRuns) {
     chaos.retry.retry_non_idempotent_on_timeout = true;
     chaos.overload.retry_cache_entries = 512;
     chaos.session.enabled = true;
+    chaos.ud.enabled = chaos_ud();
     chaos.tracker_expiry = sim::seconds(30);
     chaos.pipeline_retries = 5;
     const workloads::SortResult r = workloads::run_randomwriter_sort(
@@ -613,7 +753,12 @@ TEST(Chaos, MiniSortWithConnectionKillsIsIdenticalAcrossRuns) {
   const workloads::SortResult first = run_once(kills1);
   EXPECT_GT(first.randomwriter_secs, 0.0);
   EXPECT_GT(first.sort_secs, 0.0);
-  EXPECT_GT(kills1, 0u);  // the schedule actually killed connections
+  // With UD on, eager RPC is connectionless and only the bulk paths
+  // (rendezvous, streams) still expose kill targets — the count can
+  // legitimately be zero, so only the RC leg pins it.
+  if (!chaos_ud()) {
+    EXPECT_GT(kills1, 0u);  // the schedule actually killed connections
+  }
   const workloads::SortResult again = run_once(kills2);
   EXPECT_EQ(again.randomwriter_secs, first.randomwriter_secs);
   EXPECT_EQ(again.sort_secs, first.sort_secs);
@@ -634,8 +779,9 @@ TEST(Session, DisabledSessionsLeaveReportsSessionFree) {
     retry.call_timeout = sim::millis(500);
     retry.max_retries = 6;
     // Sessions stay default-off: no handshake bytes, no counters, no rows.
-    RpcEngine engine(tb, EngineConfig{.mode = mode, .server_shards = chaos_shards(),
-                                      .retry = retry});
+    EngineConfig ec{.mode = mode, .server_shards = chaos_shards(), .retry = retry};
+    ec.ud = chaos_ud_cfg();  // sessionless UD: dedup keys fall back to host
+    RpcEngine engine(tb, ec);
     auto server = engine.make_server(tb.host(1), kAddr);
     std::map<int, int> exec;
     register_session_methods(*server, exec);

@@ -1,0 +1,634 @@
+// UD datagram eager path: flat per-connection server state with lossy
+// delivery made exactly-once by the session/retry layer.
+//
+// The tentpole gate lives here: under seeded datagram loss every bump
+// seq must land in the server's execution ledger exactly once, with zero
+// RC connections opened (sub-MTU traffic never bootstraps a QP), the
+// pools balanced on both ends, and the merged resilience report
+// byte-identical across runs of the same seed. Seedable through
+// RPCOIB_CHAOS_SEED / RPCOIB_SHARDS like the rest of the chaos suite.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/testbed.hpp"
+#include "rpc/resilience.hpp"
+#include "rpcoib/engine.hpp"
+#include "verbs/verbs.hpp"
+
+namespace rpcoib {
+namespace {
+
+using net::Address;
+using net::Testbed;
+using oib::EngineConfig;
+using oib::RpcEngine;
+using oib::RpcMode;
+using sim::Co;
+using sim::Scheduler;
+using sim::Task;
+
+constexpr Address kAddr{1, 9500};
+const rpc::MethodKey kEcho{"test.UdProtocol", "echo"};
+const rpc::MethodKey kBump{"test.UdProtocol", "bump"};
+const rpc::MethodKey kBlob{"test.UdProtocol", "blob"};
+const rpc::MethodKey kSink{"test.UdProtocol", "sink"};
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("RPCOIB_CHAOS_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+int chaos_shards() {
+  const char* env = std::getenv("RPCOIB_SHARDS");
+  return env != nullptr ? static_cast<int>(std::strtoul(env, nullptr, 10)) : 1;
+}
+
+oib::UdConfig ud_on() {
+  oib::UdConfig u;
+  u.enabled = true;
+  return u;
+}
+
+/// echo/bump mirror the session suite; blob returns an n-byte payload
+/// (oversize-response probe) and sink swallows one (large-request probe).
+void register_ud_methods(rpc::RpcServer& server, std::map<int, int>& exec) {
+  server.dispatcher().register_method(
+      kEcho.protocol, kEcho.method,
+      [](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        rpc::IntWritable v;
+        v.read_fields(in);
+        v.write(out);
+        co_return;
+      });
+  server.dispatcher().register_method(
+      kBump.protocol, kBump.method,
+      [&exec](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        rpc::IntWritable seq;
+        seq.read_fields(in);
+        ++exec[seq.value];
+        seq.write(out);
+        co_return;
+      });
+  server.dispatcher().register_method(
+      kBlob.protocol, kBlob.method,
+      [](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        rpc::IntWritable n;
+        n.read_fields(in);
+        rpc::BytesWritable blob(net::Bytes(static_cast<std::size_t>(n.value), 0x5a));
+        blob.write(out);
+        co_return;
+      });
+  server.dispatcher().register_method(
+      kSink.protocol, kSink.method,
+      [](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
+        rpc::BytesWritable payload;
+        payload.read_fields(in);
+        rpc::IntWritable size(static_cast<int>(payload.value.size()));
+        size.write(out);
+        co_return;
+      });
+}
+
+rpc::RpcRetryPolicy session_retry() {
+  rpc::RpcRetryPolicy retry;
+  retry.call_timeout = sim::millis(500);
+  retry.max_retries = 10;
+  retry.backoff_base = sim::millis(100);
+  retry.non_idempotent.insert(kBump.to_string());
+  retry.retry_non_idempotent_on_timeout = true;
+  return retry;
+}
+
+rpc::SessionConfig sessions_on() {
+  rpc::SessionConfig s;
+  s.enabled = true;
+  return s;
+}
+
+Task bump_burst(Scheduler& s, rpc::RpcClient& client, int base_seq, int count,
+                sim::Dur gap, int& completed, int& errors) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim::delay(s, gap);
+    rpc::IntWritable param(base_seq + i), resp;
+    try {
+      co_await client.call(kAddr, kBump, param, &resp);
+      if (resp.value == base_seq + i) ++completed;
+    } catch (const rpc::RpcTransportError&) {
+      ++errors;
+    }
+  }
+}
+
+Co<void> one_echo(rpc::RpcClient& client, int v, int& out, bool& err) {
+  rpc::IntWritable param(v), resp;
+  try {
+    co_await client.call(kAddr, kEcho, param, &resp);
+    out = resp.value;
+  } catch (const rpc::RpcTransportError&) {
+    err = true;
+  }
+}
+
+Task echo_task(rpc::RpcClient& client, int v, int& out, bool& err) {
+  co_await one_echo(client, v, out, err);
+}
+
+Co<void> one_bump(rpc::RpcClient& client, int seq, bool& ok, bool& err) {
+  rpc::IntWritable param(seq), resp;
+  try {
+    co_await client.call(kAddr, kBump, param, &resp);
+    ok = resp.value == seq;
+  } catch (const rpc::RpcTransportError&) {
+    err = true;
+  }
+}
+
+// --- The flat-state core: eager calls never bootstrap RC ---------------------
+//
+// Sub-MTU calls ride datagrams into the fixed endpoint pool, so the
+// client opens zero RC connections; only a rendezvous-sized request
+// falls back to the connected path.
+TEST(Ud, EagerCallsRideDatagramsWithoutRcState) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_shards = chaos_shards()};
+  ec.ud = ud_on();
+  RpcEngine engine(tb, ec);
+  auto server = engine.make_server(tb.host(1), kAddr);
+  std::map<int, int> exec;
+  register_ud_methods(*server, exec);
+  server->start();
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+  int sunk = 0;
+  bool err = false;
+  s.spawn([](rpc::RpcClient& c, bool& e) -> Task {
+    for (int i = 0; i < 10; ++i) {
+      rpc::IntWritable param(i), resp;
+      try {
+        co_await c.call(kAddr, kEcho, param, &resp);
+        if (resp.value != i) e = true;
+      } catch (const rpc::RpcTransportError&) {
+        e = true;
+      }
+    }
+    co_return;
+  }(*client, err));
+  s.run_until(sim::seconds(5));
+  EXPECT_FALSE(err);
+  EXPECT_EQ(client->stats().calls_sent, 10u);
+  EXPECT_EQ(client->stats().ud_datagrams_sent, 10u);
+  EXPECT_EQ(client->stats().ud_responses_received, 10u);
+  // The flat-state claim: ten eager calls, zero RC connections.
+  EXPECT_EQ(client->stats().connections_opened, 0u);
+  EXPECT_EQ(server->stats().ud_calls_received, 10u);
+  EXPECT_EQ(server->stats().ud_responses_sent, 10u);
+
+  // A rendezvous-sized request exceeds the datagram budget and takes the
+  // RC path — the first and only QP bootstrap of the run.
+  bool sink_err = false;
+  s.spawn([](rpc::RpcClient& c, int& out, bool& e) -> Task {
+    rpc::BytesWritable payload(net::Bytes(8192, 0x33));
+    rpc::IntWritable resp;
+    try {
+      co_await c.call(kAddr, kSink, payload, &resp);
+      out = resp.value;
+    } catch (const rpc::RpcTransportError&) {
+      e = true;
+    }
+    co_return;
+  }(*client, sunk, sink_err));
+  s.run_until(sim::seconds(10));
+  EXPECT_FALSE(sink_err);
+  EXPECT_EQ(sunk, 8192);
+  EXPECT_GE(client->stats().ud_rc_fallbacks, 1u);
+  EXPECT_EQ(client->stats().connections_opened, 1u);
+
+  server->stop();
+  auto* rc = dynamic_cast<oib::RdmaRpcClient*>(client.get());
+  ASSERT_NE(rc, nullptr);
+  rc->close_connections();
+  EXPECT_EQ(rc->pool().native().stats().acquires, rc->pool().native().stats().releases);
+  auto* rs = dynamic_cast<oib::RdmaRpcServer*>(server.get());
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->pool().native().stats().acquires, rs->pool().native().stats().releases);
+  s.drain_tasks();
+}
+
+// --- Tentpole acceptance: exactly-once under seeded datagram loss -----------
+//
+// UD silently drops datagrams; the session + retry-cache path must turn
+// that into exactly-once execution. Four clients, seeded loss on every
+// link, every bump executes exactly once, no RC connections, balanced
+// pools, byte-identical reports across runs.
+TEST(Chaos, UdSeededDatagramLossStaysExactlyOnce) {
+  auto run_once = [] {
+    static constexpr cluster::HostId kClientHosts[] = {0, 2, 3, 4};
+    constexpr int kConns = 4;
+    constexpr int kCalls = 12;
+    auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+    plan->set_datagram_loss(0.08);
+    net::TestbedConfig cfg = Testbed::cluster_b();
+    cfg.fault = plan;
+    Scheduler s;
+    Testbed tb(s, cfg);
+    EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_handlers = 4,
+                    .server_shards = chaos_shards(), .retry = session_retry()};
+    ec.overload.retry_cache_entries = 256;
+    ec.session = sessions_on();
+    ec.ud = ud_on();
+    RpcEngine engine(tb, ec);
+    auto server = engine.make_server(tb.host(1), kAddr);
+    std::map<int, int> exec;
+    register_ud_methods(*server, exec);
+    server->start();
+
+    std::vector<std::unique_ptr<rpc::RpcClient>> clients;
+    int completed = 0, errors = 0;
+    for (int i = 0; i < kConns; ++i) {
+      clients.push_back(engine.make_client(tb.host(kClientHosts[i])));
+      s.spawn(bump_burst(s, *clients[i], 100 * (i + 1), kCalls, sim::millis(20),
+                         completed, errors));
+    }
+    s.run_until(sim::seconds(300));
+
+    EXPECT_EQ(completed, kConns * kCalls);
+    EXPECT_EQ(errors, 0);
+    EXPECT_GT(plan->counters().datagram_losses, 0u)
+        << "seed produced no loss; the gate proved nothing";
+    rpc::RpcStats merged;
+    for (auto& c : clients) merged.merge_resilience(c->stats());
+    EXPECT_GT(merged.ud_datagrams_sent, 0u);
+    EXPECT_GE(merged.retries, 1u);
+    // Losses never push traffic onto RC: sub-MTU retries are datagrams too.
+    EXPECT_EQ(merged.connections_opened, 0u);
+    // The exactly-once ledger: every seq exactly once, despite retransmits.
+    EXPECT_EQ(exec.size(), static_cast<std::size_t>(kConns * kCalls));
+    for (const auto& [seq, n] : exec) {
+      EXPECT_EQ(n, 1) << "seq " << seq << " executed " << n << " times";
+    }
+    std::string report =
+        rpc::resilience_report(merged, &plan->counters(), &server->stats());
+    EXPECT_NE(report.find("ud datagrams sent"), std::string::npos);
+    EXPECT_NE(report.find("server ud calls received"), std::string::npos);
+    EXPECT_NE(report.find("fault datagram losses"), std::string::npos);
+    report += "\nfinished at " + std::to_string(s.now());
+    server->stop();
+    for (auto& c : clients) {
+      auto* rc = dynamic_cast<oib::RdmaRpcClient*>(c.get());
+      EXPECT_NE(rc, nullptr);
+      if (rc != nullptr) {
+        rc->close_connections();
+        EXPECT_EQ(rc->pool().native().stats().acquires,
+                  rc->pool().native().stats().releases);
+      }
+    }
+    auto* rs = dynamic_cast<oib::RdmaRpcServer*>(server.get());
+    EXPECT_NE(rs, nullptr);
+    if (rs != nullptr) {
+      EXPECT_EQ(rs->pool().native().stats().acquires,
+                rs->pool().native().stats().releases);
+    }
+    s.drain_tasks();
+    return report;
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+// --- Batch frames ride UD, clamped to the datagram MTU ----------------------
+//
+// PR 4's multi-call coalescing wraps whole kBatch frames in one kUdCall
+// datagram. The byte limit must clamp to the MTU even when batch.max_bytes
+// is larger — an oversize post_send would throw and fail the calls.
+TEST(Ud, BatchedCallsShareDatagramsWithinMtu) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_shards = chaos_shards()};
+  ec.session = sessions_on();
+  ec.ud = ud_on();
+  ec.batch.enabled = true;
+  ec.batch.small_threshold = 512;
+  ec.batch.max_bytes = 65536;  // far past the MTU: the UD clamp must bite
+  RpcEngine engine(tb, ec);
+  auto server = engine.make_server(tb.host(1), kAddr);
+  std::map<int, int> exec;
+  register_ud_methods(*server, exec);
+  server->start();
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+  constexpr int kCalls = 32;
+  std::vector<int> outs(kCalls, -1);
+  std::vector<char> errs(kCalls, 0);
+  for (int i = 0; i < kCalls; ++i) {
+    s.spawn([](rpc::RpcClient& c, int v, int& out, char& e) -> Task {
+      bool berr = false;
+      co_await one_echo(c, v, out, berr);
+      e = berr ? 1 : 0;
+    }(*client, i, outs[i], errs[i]));
+  }
+  s.run_until(sim::seconds(10));
+
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(outs[i], i) << "call " << i;
+    EXPECT_EQ(errs[i], 0) << "call " << i;
+  }
+  EXPECT_EQ(client->stats().batched_calls, static_cast<std::uint64_t>(kCalls));
+  EXPECT_GE(client->stats().batches_sent, 2u);  // max_calls caps one frame at 16
+  EXPECT_EQ(client->stats().connections_opened, 0u);
+  EXPECT_GE(server->stats().batches_received, 2u);
+  EXPECT_EQ(server->stats().batched_calls_received, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(server->stats().ud_calls_received, static_cast<std::uint64_t>(kCalls));
+  server->stop();
+  s.drain_tasks();
+}
+
+// --- Oversize responses bounce with a terminal error ------------------------
+//
+// A sub-MTU request whose *response* cannot fit one datagram is answered
+// with an error frame instead of a silent drop (which would burn the
+// whole retry budget before failing).
+TEST(Ud, OversizeResponseBouncesWithRemoteError) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_shards = chaos_shards()};
+  ec.ud = ud_on();
+  RpcEngine engine(tb, ec);
+  auto server = engine.make_server(tb.host(1), kAddr);
+  std::map<int, int> exec;
+  register_ud_methods(*server, exec);
+  server->start();
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+  bool remote_err = false;
+  std::string err_msg;
+  int small_blob = 0;
+  s.spawn([](rpc::RpcClient& c, bool& e, std::string& msg, int& small) -> Task {
+    // 8 KB response: rides over the 16 KB eager threshold server-side but
+    // not through a 4 KB datagram.
+    rpc::IntWritable big(8192);
+    rpc::BytesWritable resp;
+    try {
+      co_await c.call(kAddr, kBlob, big, &resp);
+    } catch (const rpc::RemoteException& ex) {
+      e = true;
+      msg = ex.what();
+    }
+    // The endpoint pool stays healthy afterwards: a fitting response works.
+    rpc::IntWritable fit(512);
+    rpc::BytesWritable ok;
+    co_await c.call(kAddr, kBlob, fit, &ok);
+    small = static_cast<int>(ok.value.size());
+    co_return;
+  }(*client, remote_err, err_msg, small_blob));
+  s.run_until(sim::seconds(10));
+
+  EXPECT_TRUE(remote_err);
+  EXPECT_NE(err_msg.find("UD datagram MTU"), std::string::npos) << err_msg;
+  EXPECT_EQ(small_blob, 512);
+  EXPECT_EQ(server->stats().ud_resp_oversize, 1u);
+  EXPECT_EQ(client->stats().connections_opened, 0u);
+  server->stop();
+  s.drain_tasks();
+}
+
+// --- Default-off discipline -------------------------------------------------
+TEST(Ud, DisabledUdAdvertisesNothingAndKeepsReportsClean) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_shards = chaos_shards()};
+  RpcEngine engine(tb, ec);
+  auto server = engine.make_server(tb.host(1), kAddr);
+  std::map<int, int> exec;
+  register_ud_methods(*server, exec);
+  server->start();
+  // No UD service on the stack: clients cannot even try the datagram path.
+  EXPECT_EQ(engine.verbs().ud_service(kAddr), nullptr);
+  std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+  int out = 0;
+  bool err = false;
+  s.spawn(echo_task(*client, 5, out, err));
+  s.run_until(sim::seconds(5));
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(err);
+  EXPECT_EQ(client->stats().ud_datagrams_sent, 0u);
+  const std::string report =
+      rpc::resilience_report(client->stats(), nullptr, &server->stats());
+  EXPECT_EQ(report.find("ud datagrams sent"), std::string::npos);
+  EXPECT_EQ(report.find("server ud calls received"), std::string::npos);
+  server->stop();
+  s.drain_tasks();
+}
+
+// --- Satellite 1: mismatched eager thresholds cannot overrun recv rings -----
+//
+// The rings must be sized from the *negotiated* threshold, not the local
+// default: a peer that advertises nothing ("0") falls back to its own
+// threshold and may legally send eager frames far larger than this
+// side's recv_buf_size. Covered in both directions (client ring sized
+// against the server's advertisement; server legacy ring sized against
+// the client's), with the UD path both off and on.
+TEST(UdThreshold, MismatchedThresholdCannotOverrunPeerRing) {
+  for (bool ud_enabled : {false, true}) {
+    SCOPED_TRACE(ud_enabled ? "ud-on" : "ud-off");
+    // Direction A: the client advertises no threshold and sizes its own
+    // buffers small; the server (16 KB threshold) sends a 10 KB eager
+    // response that must still land in the client's ring.
+    {
+      Scheduler s;
+      Testbed tb(s, Testbed::cluster_b());
+      verbs::VerbsStack verbs(tb.fabric());
+      oib::RdmaServerConfig scfg;
+      scfg.shards = chaos_shards();
+      if (ud_enabled) scfg.ud = ud_on();
+      oib::RdmaRpcServer server(tb.host(1), tb.sockets(), verbs, kAddr, scfg);
+      std::map<int, int> exec;
+      register_ud_methods(server, exec);
+      server.start();
+
+      oib::RdmaClientConfig ccfg;
+      ccfg.eager_threshold = 0;  // "not advertised": peer uses its own 16 KB
+      ccfg.recv_buf_size = 1024;
+      if (ud_enabled) ccfg.ud = ud_on();
+      oib::RdmaRpcClient client(tb.host(0), tb.sockets(), verbs, ccfg);
+
+      int got = 0;
+      bool err = false;
+      s.spawn([](rpc::RpcClient& c, int& out, bool& e) -> Task {
+        rpc::IntWritable n(10000);
+        rpc::BytesWritable resp;
+        try {
+          co_await c.call(kAddr, kBlob, n, &resp);
+          out = static_cast<int>(resp.value.size());
+        } catch (const rpc::RpcTransportError&) {
+          e = true;
+        }
+        co_return;
+      }(client, got, err));
+      s.run_until(sim::seconds(10));
+      EXPECT_FALSE(err);
+      EXPECT_EQ(got, 10000) << "server's eager response overran the client ring";
+      server.stop();
+      client.close_connections();
+      s.drain_tasks();
+    }
+    // Direction B: the server advertises no threshold and sizes its
+    // legacy per-connection ring small; the client (16 KB threshold)
+    // sends a 10 KB eager call that must still land server-side.
+    {
+      Scheduler s;
+      Testbed tb(s, Testbed::cluster_b());
+      verbs::VerbsStack verbs(tb.fabric());
+      oib::RdmaServerConfig scfg;
+      scfg.shards = chaos_shards();
+      scfg.eager_threshold = 0;  // "not advertised": peer uses its own 16 KB
+      scfg.recv_buf_size = 1024;
+      if (ud_enabled) scfg.ud = ud_on();
+      oib::RdmaRpcServer server(tb.host(1), tb.sockets(), verbs, kAddr, scfg);
+      std::map<int, int> exec;
+      register_ud_methods(server, exec);
+      server.start();
+
+      oib::RdmaClientConfig ccfg;
+      if (ud_enabled) ccfg.ud = ud_on();
+      oib::RdmaRpcClient client(tb.host(0), tb.sockets(), verbs, ccfg);
+
+      int sunk = 0;
+      bool err = false;
+      s.spawn([](rpc::RpcClient& c, int& out, bool& e) -> Task {
+        rpc::BytesWritable payload(net::Bytes(10000, 0x77));
+        rpc::IntWritable resp;
+        try {
+          co_await c.call(kAddr, kSink, payload, &resp);
+          out = resp.value;
+        } catch (const rpc::RpcTransportError&) {
+          e = true;
+        }
+        co_return;
+      }(client, sunk, err));
+      s.run_until(sim::seconds(10));
+      EXPECT_FALSE(err);
+      EXPECT_EQ(sunk, 10000) << "client's eager call overran the server ring";
+      server.stop();
+      client.close_connections();
+      s.drain_tasks();
+    }
+  }
+}
+
+// --- Satellite 2: batched retries bounce per sub-call across expiry ---------
+//
+// Two non-idempotent calls coalesce into one kBatch frame; the link dies
+// under it and the session lease expires during the backoff. A fresh
+// call then revives (and fences) the session just before the retried
+// frame arrives. Every sub-call must be refused *individually* with the
+// terminal session-expired status — two rejections in the server
+// counters, not one frame-level bounce — and nothing re-executes. Runs
+// on sockets, RC, and UD (where the frame is swallowed by an outage
+// window instead of a connection kill: UD has no connection to kill).
+TEST(Session, BatchedRetryAcrossExpiryBouncesEachSubCall) {
+  struct Leg {
+    RpcMode mode;
+    bool ud;
+  };
+  for (Leg leg : {Leg{RpcMode::kSocketIPoIB, false}, Leg{RpcMode::kRpcoIB, false},
+                  Leg{RpcMode::kRpcoIB, true}}) {
+    SCOPED_TRACE(std::string(oib::rpc_mode_name(leg.mode)) +
+                 (leg.ud ? "+ud" : ""));
+    auto plan = std::make_shared<net::FaultPlan>(chaos_seed());
+    if (leg.ud) {
+      // Swallow every datagram in [1s, 1.4s): the batched first attempt
+      // vanishes exactly like a killed RC send.
+      plan->add_outage(net::FaultWindow{0, 1, sim::seconds(1), sim::millis(1400)});
+    } else {
+      plan->add_connection_kill(0, 1, sim::seconds(1));
+    }
+    net::TestbedConfig cfg = Testbed::cluster_b();
+    cfg.fault = plan;
+    Scheduler s;
+    Testbed tb(s, cfg);
+    rpc::RpcRetryPolicy retry = session_retry();
+    retry.max_retries = 3;
+    retry.backoff_base = sim::seconds(5);  // backoff outlives the lease
+    EngineConfig ec{.mode = leg.mode, .server_shards = chaos_shards(),
+                    .retry = retry};
+    ec.overload.retry_cache_entries = 256;
+    ec.session = sessions_on();
+    ec.session.lease = sim::seconds(2);
+    ec.batch.enabled = true;
+    ec.batch.small_threshold = 512;
+    if (leg.ud) ec.ud = ud_on();
+    RpcEngine engine(tb, ec);
+    auto server = engine.make_server(tb.host(1), kAddr);
+    std::map<int, int> exec;
+    register_ud_methods(*server, exec);
+    server->start();
+    std::unique_ptr<rpc::RpcClient> client = engine.make_client(tb.host(0));
+
+    int warm = 0;
+    bool warm_err = false;
+    s.spawn(echo_task(*client, 7, warm, warm_err));
+    s.run_until(sim::millis(500));
+    EXPECT_EQ(warm, 7);
+
+    // t=1s: two bumps issued back to back coalesce into one frame, which
+    // the kill/outage swallows; both retries back off 5s.
+    bool ok1 = false, err1 = false, ok2 = false, err2 = false;
+    s.spawn([](Scheduler& sc, rpc::RpcClient& c, bool& o, bool& e) -> Task {
+      co_await sim::delay(sc, sim::seconds(1));
+      co_await one_bump(c, 201, o, e);
+    }(s, *client, ok1, err1));
+    s.spawn([](Scheduler& sc, rpc::RpcClient& c, bool& o, bool& e) -> Task {
+      co_await sim::delay(sc, sim::seconds(1));
+      co_await one_bump(c, 202, o, e);
+    }(s, *client, ok2, err2));
+    // t=4.5s on: the lease (2s) has expired the session; fresh echoes
+    // revive and fence it, and keep it alive across the whole
+    // backoff+jitter window — so each retried sub-call races a LIVE
+    // session with an empty dedup cache, the exact per-sub-call race.
+    int revived = 0;
+    bool revived_err = false;
+    s.spawn([](Scheduler& sc, rpc::RpcClient& c, int& out, bool& e) -> Task {
+      co_await sim::delay(sc, sim::millis(4500));
+      for (int i = 0; i < 10 && !e; ++i) {
+        co_await one_echo(c, 11, out, e);
+        co_await sim::delay(sc, sim::millis(500));
+      }
+    }(s, *client, revived, revived_err));
+    s.run_until(sim::seconds(120));
+
+    EXPECT_EQ(revived, 11);
+    EXPECT_FALSE(revived_err);
+    // Both sub-calls bounce terminally and individually.
+    EXPECT_FALSE(ok1);
+    EXPECT_TRUE(err1);
+    EXPECT_FALSE(ok2);
+    EXPECT_TRUE(err2);
+    EXPECT_GE(server->stats().sessions_rejected, 2u)
+        << "expired batch was not refused per sub-call";
+    EXPECT_GE(server->stats().sessions_expired, 1u);
+    EXPECT_LE(exec[201], 1) << "batched retry re-executed sub-call 201";
+    EXPECT_LE(exec[202], 1) << "batched retry re-executed sub-call 202";
+    EXPECT_GE(client->stats().batches_sent, 1u);
+    if (leg.ud) {
+      EXPECT_GE(client->stats().ud_datagrams_sent, 1u);
+      EXPECT_EQ(client->stats().connections_opened, 0u);
+      EXPECT_GE(plan->counters().datagram_losses, 1u);
+    } else {
+      EXPECT_EQ(plan->counters().kills, 1u);
+    }
+    server->stop();
+    s.drain_tasks();
+  }
+}
+
+}  // namespace
+}  // namespace rpcoib
