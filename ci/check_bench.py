@@ -286,6 +286,43 @@ def check_ud_scale(t, data, failures):
             )
 
 
+def check_onesided(t, data, failures):
+    # The one-sided READ plane's headline: hot-key gets against a
+    # CPU-loaded server must beat plain RPC by the crossover factor
+    # (published keys bypass the handler chain entirely), and the
+    # write-hot leg must degrade through the bounded conflict fallback
+    # without ever serving a torn or recycled value.
+    rows = {(r["skew"], r["load"], r["mode"]): r for r in data["rows"]}
+    rpc = rows.get(("hot", "loaded", "rpc"))
+    onesided = rows.get(("hot", "loaded", "onesided"))
+    if rpc is None or onesided is None:
+        failures.append("onesided: missing hot/loaded rpc or onesided row")
+        return
+    ratio = onesided["ops_per_sec"] / rpc["ops_per_sec"]
+    lim = t["min_onesided_over_rpc_hot_loaded"]
+    print(f"onesided hot/loaded: onesided/rpc = {ratio:.3f}x (min {lim})")
+    if ratio < lim:
+        failures.append(f"onesided hot/loaded: throughput ratio {ratio:.3f} < {lim}")
+    if onesided.get("onesided_reads", 0) <= 0:
+        failures.append("onesided hot/loaded: no call resolved via RDMA READ")
+
+    conflict = rows.get(("hot", "write-hot", "onesided"))
+    if conflict is None:
+        failures.append("onesided: missing write-hot conflict row")
+        return
+    fb = conflict.get("conflict_fallbacks", 0)
+    lim = t["min_conflict_fallbacks"]
+    print(f"onesided write-hot: conflict fallbacks = {fb} (min {lim})")
+    if fb < lim:
+        failures.append(f"onesided write-hot: only {fb} conflict fallbacks < {lim}")
+    for row in data["rows"]:
+        if not row.get("correct", False):
+            failures.append(
+                f"onesided {row['skew']}/{row['load']}/{row['mode']}: "
+                "served a value that was never published"
+            )
+
+
 CHECKS = {
     "fig5_latency": check_fig5_latency,
     "fig5_throughput": check_fig5_throughput,
@@ -295,6 +332,7 @@ CHECKS = {
     "fig8_hbase": check_fig8_hbase,
     "srq_scale": check_srq_scale,
     "ud_scale": check_ud_scale,
+    "onesided": check_onesided,
     "stream_bw": check_stream_bw,
 }
 

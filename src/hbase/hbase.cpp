@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "rpc/buffers.hpp"
 #include "trace/trace.hpp"
 
 namespace rpcoib::hbase {
@@ -102,6 +103,20 @@ void RegionServer::register_handlers() {
                       if (flushing_ && flush_done_) co_await flush_done_->wait();
                       memstore_[p.key] = static_cast<std::uint32_t>(p.value.size());
                       memstore_bytes_ += p.value.size();
+                      // Export the get-shaped response for this row so hot
+                      // readers bypass the handler. The value bytes match
+                      // both the memstore and the flushed-store read path,
+                      // so the entry stays valid across a flush.
+                      if (rpc::OneSidedPublisher* pub = server_->onesided()) {
+                        GetResult cached;
+                        cached.found = true;
+                        cached.value.assign(p.value.size(), net::Byte{0x42});
+                        rpc::DataOutputBuffer buf(host_.cost());
+                        cached.write(buf);
+                        pub->publish(
+                            rpc::onesided_entry_key(kRegionProtocol, "get", p.key),
+                            buf.data());
+                      }
                       ++wal_pending_puts_;
                       if (wal_pending_puts_ >= static_cast<std::uint64_t>(cfg_.wal_batch)) {
                         // Group-commit leader: sync the batch to the WAL.

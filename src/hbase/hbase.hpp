@@ -79,6 +79,13 @@ struct GetParam final : rpc::Writable {
   std::string key;
   void write(rpc::DataOutput& out) const override { out.write_text(key); }
   void read_fields(rpc::DataInput& in) override { key = in.read_text(); }
+  /// Point gets are the region server's hot read path (YCSB zipfian):
+  /// eligible for the one-sided read plane, keyed by row key.
+  std::optional<std::string> onesided_key(const std::string& protocol,
+                                          const std::string& method) const override {
+    if (protocol == kRegionProtocol && method == "get") return key;
+    return std::nullopt;
+  }
 };
 
 struct GetResult final : rpc::Writable {

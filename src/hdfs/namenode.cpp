@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rpc/buffers.hpp"
+
 namespace rpcoib::hdfs {
 
 using sim::Co;
@@ -41,8 +43,13 @@ sim::Task NameNode::replication_monitor() {
     }
     for (DatanodeId d : dead) datanodes_.erase(d);
     if (dead.empty()) continue;
+    std::set<std::string> touched;
     for (auto& [block_id, info] : block_map_) {
+      const std::size_t before = info.replicas.size();
       for (DatanodeId d : dead) info.replicas.erase(d);
+      if (info.replicas.size() != before && !info.path.empty()) {
+        touched.insert(info.path);
+      }
       if (info.replicas.empty()) continue;  // data loss; nothing to copy from
       const int want = cfg_.replication;
       if (static_cast<int>(info.replicas.size()) >= want) continue;
@@ -61,6 +68,7 @@ sim::Task NameNode::replication_monitor() {
         pending_replications_[source].push_back(std::move(lb));
       }
     }
+    for (const std::string& p : touched) republish(p);
   }
 }
 
@@ -100,6 +108,58 @@ std::vector<DatanodeId> NameNode::choose_targets(int n) {
   return out;
 }
 
+void NameNode::make_file_status(const std::string& path, FileStatusResult& r) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  r.exists = true;
+  r.status.path = path;
+  r.status.is_dir = it->second.is_dir;
+  r.status.length = file_length(path);
+  r.status.replication = it->second.replication;
+  r.status.block_size = it->second.block_size;
+  r.status.modification_time = it->second.mtime;
+}
+
+bool NameNode::locate_blocks(const std::string& path, std::uint64_t offset,
+                             std::uint64_t length, LocatedBlocksResult& r) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  std::uint64_t off = 0;
+  for (BlockId id : it->second.blocks) {
+    const BlockInfo& bi = block_map_[id];
+    if (off + bi.num_bytes > offset && off < offset + length) {
+      LocatedBlock lb;
+      lb.block.id = id;
+      lb.block.num_bytes = bi.num_bytes;
+      lb.locations.assign(bi.replicas.begin(), bi.replicas.end());
+      r.blocks.push_back(std::move(lb));
+    }
+    off += bi.num_bytes;
+  }
+  r.file_length = off;
+  return true;
+}
+
+void NameNode::republish(const std::string& path) {
+  rpc::OneSidedPublisher* pub = server_ ? server_->onesided() : nullptr;
+  if (pub == nullptr) return;
+  {
+    FileStatusResult r;
+    make_file_status(path, r);
+    rpc::DataOutputBuffer out(host_.cost());
+    r.write(out);
+    pub->publish(rpc::onesided_entry_key(kClientProtocol, "getFileInfo", path),
+                 out.data());
+  }
+  {
+    LocatedBlocksResult r;
+    rpc::DataOutputBuffer out(host_.cost());
+    if (locate_blocks(path, 0, ~0ULL, r)) r.write(out);
+    pub->publish(rpc::onesided_entry_key(kClientProtocol, "getBlockLocations", path),
+                 out.data());
+  }
+}
+
 void NameNode::register_handlers() {
   rpc::Dispatcher& d = server_->dispatcher();
 
@@ -109,17 +169,11 @@ void NameNode::register_handlers() {
                       PathParam p;
                       p.read_fields(in);
                       FileStatusResult r;
-                      auto it = files_.find(p.path);
-                      if (it != files_.end()) {
-                        r.exists = true;
-                        r.status.path = p.path;
-                        r.status.is_dir = it->second.is_dir;
-                        r.status.length = file_length(p.path);
-                        r.status.replication = it->second.replication;
-                        r.status.block_size = it->second.block_size;
-                        r.status.modification_time = it->second.mtime;
-                      }
+                      make_file_status(p.path, r);
                       r.write(out);
+                      // Warm the one-sided entry so the *next* lookup of
+                      // this path can bypass the handler entirely.
+                      republish(p.path);
                       co_return;
                     });
 
@@ -130,6 +184,7 @@ void NameNode::register_handlers() {
                       INode& node = files_[p.path];
                       node.is_dir = true;
                       node.mtime = sim::to_us(host_.sched().now()) / 1000;
+                      republish(p.path);
                       rpc::BooleanWritable(true).write(out);
                       co_return;
                     });
@@ -149,6 +204,7 @@ void NameNode::register_handlers() {
                       node.lease_holder = p.client;
                       node.mtime = sim::to_us(host_.sched().now()) / 1000;
                       files_[p.path] = std::move(node);
+                      republish(p.path);
                       rpc::BooleanWritable(true).write(out);
                       co_return;
                     });
@@ -167,7 +223,10 @@ void NameNode::register_handlers() {
                         throw std::runtime_error("no datanodes available");
                       }
                       it->second.blocks.push_back(r.located.block.id);
-                      block_map_[r.located.block.id] = BlockInfo{};
+                      BlockInfo bi;
+                      bi.path = p.path;
+                      block_map_[r.located.block.id] = std::move(bi);
+                      republish(p.path);
                       r.write(out);
                       co_return;
                     });
@@ -181,6 +240,7 @@ void NameNode::register_handlers() {
                         std::erase(it->second.blocks, p.block);
                       }
                       block_map_.erase(p.block);
+                      republish(p.path);
                       rpc::BooleanWritable(true).write(out);
                       co_return;
                     });
@@ -200,6 +260,7 @@ void NameNode::register_handlers() {
                         }
                         if (done) it->second.under_construction = false;
                       }
+                      if (done) republish(p.path);
                       rpc::BooleanWritable(done).write(out);
                       co_return;
                     });
@@ -216,23 +277,12 @@ void NameNode::register_handlers() {
                     [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
                       GetBlockLocationsParam p;
                       p.read_fields(in);
-                      auto it = files_.find(p.path);
-                      if (it == files_.end()) throw std::runtime_error("no such file");
                       LocatedBlocksResult r;
-                      std::uint64_t off = 0;
-                      for (BlockId id : it->second.blocks) {
-                        const BlockInfo& bi = block_map_[id];
-                        if (off + bi.num_bytes > p.offset && off < p.offset + p.length) {
-                          LocatedBlock lb;
-                          lb.block.id = id;
-                          lb.block.num_bytes = bi.num_bytes;
-                          lb.locations.assign(bi.replicas.begin(), bi.replicas.end());
-                          r.blocks.push_back(std::move(lb));
-                        }
-                        off += bi.num_bytes;
+                      if (!locate_blocks(p.path, p.offset, p.length, r)) {
+                        throw std::runtime_error("no such file");
                       }
-                      r.file_length = off;
                       r.write(out);
+                      republish(p.path);
                       co_return;
                     });
 
@@ -268,6 +318,9 @@ void NameNode::register_handlers() {
                         files_[p.dst] = std::move(it->second);
                         files_.erase(it);
                         ok = true;
+                        for (BlockId b : files_[p.dst].blocks) block_map_[b].path = p.dst;
+                        republish(p.src);
+                        republish(p.dst);
                       }
                       rpc::BooleanWritable(ok).write(out);
                       co_return;
@@ -286,15 +339,19 @@ void NameNode::register_handlers() {
                       }
                       // Recursive delete of children for directories.
                       const std::string prefix = p.path + "/";
+                      std::vector<std::string> removed;
                       for (auto cit = files_.begin(); cit != files_.end();) {
                         if (cit->first.starts_with(prefix)) {
                           for (BlockId b : cit->second.blocks) block_map_.erase(b);
+                          removed.push_back(cit->first);
                           cit = files_.erase(cit);
                           ok = true;
                         } else {
                           ++cit;
                         }
                       }
+                      republish(p.path);
+                      for (const std::string& child : removed) republish(child);
                       rpc::BooleanWritable(ok).write(out);
                       co_return;
                     });
@@ -339,6 +396,7 @@ void NameNode::register_handlers() {
                       BlockInfo& bi = block_map_[p.block.id];
                       bi.num_bytes = p.block.num_bytes;
                       bi.replicas.insert(p.id);
+                      if (!bi.path.empty()) republish(bi.path);
                       rpc::BooleanWritable(true).write(out);
                       co_return;
                     });
@@ -347,13 +405,16 @@ void NameNode::register_handlers() {
                     [this](rpc::DataInput& in, rpc::DataOutput& out) -> Co<void> {
                       BlockReportParam p;
                       p.read_fields(in);
+                      std::set<std::string> touched;
                       for (const Block& b : p.blocks) {
                         auto it = block_map_.find(b.id);
                         if (it != block_map_.end()) {
                           it->second.replicas.insert(p.id);
                           it->second.num_bytes = b.num_bytes;
+                          if (!it->second.path.empty()) touched.insert(it->second.path);
                         }
                       }
+                      for (const std::string& path : touched) republish(path);
                       rpc::BooleanWritable(true).write(out);
                       co_return;
                     });

@@ -55,6 +55,9 @@ class NameNode {
   struct BlockInfo {
     std::uint64_t num_bytes = 0;
     std::set<DatanodeId> replicas;
+    // Owning file, so datanode-driven updates (blockReceived/blockReport,
+    // re-replication) can republish that path's one-sided entries.
+    std::string path;
   };
   struct DatanodeInfo {
     std::uint64_t capacity = 0;
@@ -65,6 +68,20 @@ class NameNode {
   void register_handlers();
   std::vector<DatanodeId> choose_targets(int n);
   sim::Task replication_monitor();
+
+  /// Shared response builders: the RPC handlers and the one-sided export
+  /// serialize through the same code, so a READ-served response is
+  /// byte-identical to what the wire would have carried.
+  void make_file_status(const std::string& path, FileStatusResult& r) const;
+  /// False when the file does not exist (the RPC handler throws there).
+  bool locate_blocks(const std::string& path, std::uint64_t offset, std::uint64_t length,
+                     LocatedBlocksResult& r);
+  /// Re-export both one-sided entries for `path` (getFileInfo and the
+  /// whole-file getBlockLocations). No-op unless the server runs a
+  /// one-sided region. A missing file publishes exists=false for
+  /// getFileInfo and a tombstone (empty payload -> client falls back to
+  /// RPC, which throws) for getBlockLocations.
+  void republish(const std::string& path);
 
   cluster::Host& host_;
   oib::RpcEngine& engine_;

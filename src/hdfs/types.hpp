@@ -127,6 +127,14 @@ struct PathParam final : rpc::Writable {
     path = in.read_text();
     client = in.read_text();
   }
+  /// getFileInfo is the NameNode's hot read-mostly lookup: eligible for the
+  /// one-sided read plane, keyed by path. Every other PathParam method
+  /// (mkdirs, delete, getListing, ...) mutates or scans — RPC only.
+  std::optional<std::string> onesided_key(const std::string& protocol,
+                                          const std::string& method) const override {
+    if (protocol == kClientProtocol && method == "getFileInfo") return path;
+    return std::nullopt;
+  }
 };
 
 struct RenameParam final : rpc::Writable {
@@ -176,6 +184,17 @@ struct GetBlockLocationsParam final : rpc::Writable {
     path = in.read_text();
     offset = in.read_u64();
     length = in.read_u64();
+  }
+  /// Whole-file location lookups (the DFSClient read path asks for
+  /// [0, ~0)) are what the NameNode exports; ranged queries vary by
+  /// offset/length and stay on RPC.
+  std::optional<std::string> onesided_key(const std::string& protocol,
+                                          const std::string& method) const override {
+    if (protocol == kClientProtocol && method == "getBlockLocations" && offset == 0 &&
+        length == ~0ULL) {
+      return path;
+    }
+    return std::nullopt;
   }
 };
 

@@ -55,6 +55,18 @@ inline std::string resilience_report(const RpcStats& stats,
     t.row({"ud responses received", std::to_string(stats.ud_responses_received)});
     t.row({"ud rc fallbacks", std::to_string(stats.ud_rc_fallbacks)});
   }
+  // One-sided read-plane rows appear only when the fast path was tried
+  // (default-off; RPC-only reports must stay byte-identical).
+  if (stats.onesided_reads + stats.onesided_misses + stats.onesided_conflict_fallbacks +
+          stats.onesided_stale_refreshes + stats.onesided_fallbacks >
+      0) {
+    t.row({"onesided reads", std::to_string(stats.onesided_reads)});
+    t.row({"onesided misses", std::to_string(stats.onesided_misses)});
+    t.row({"onesided conflict fallbacks",
+           std::to_string(stats.onesided_conflict_fallbacks)});
+    t.row({"onesided stale refreshes", std::to_string(stats.onesided_stale_refreshes)});
+    t.row({"onesided fallbacks", std::to_string(stats.onesided_fallbacks)});
+  }
   // Cold-start session recovery (first datagram of a session lost on a
   // lossy path); own gate so loss-free reports grow no row.
   if (stats.session_cold_restarts > 0) {
@@ -113,6 +125,12 @@ inline std::string resilience_report(const RpcStats& stats,
       t.row({"server ud responses sent", std::to_string(server->ud_responses_sent)});
       t.row({"server ud rx dropped", std::to_string(server->ud_rx_dropped)});
       t.row({"server ud oversize responses", std::to_string(server->ud_resp_oversize)});
+    }
+    // Server one-sided rows appear only when something was published
+    // (region layer is default-off).
+    if (server->onesided_published + server->onesided_reexports > 0) {
+      t.row({"server onesided published", std::to_string(server->onesided_published)});
+      t.row({"server onesided reexports", std::to_string(server->onesided_reexports)});
     }
     // Session-table rows appear only once a session was opened (the layer
     // is default-off; sessionless reports must not change).

@@ -23,6 +23,25 @@
 
 namespace rpcoib::rpc {
 
+/// Sink for the one-sided read plane: application servers (NameNode,
+/// RegionServer) push the serialized response bytes for an entity here
+/// whenever the backing state changes, and the transport exports them to
+/// its registered seqlock region. An empty payload retracts the entry
+/// (tombstone -> clients miss and fall back to RPC).
+class OneSidedPublisher {
+ public:
+  virtual ~OneSidedPublisher() = default;
+  virtual void publish(const std::string& key, net::ByteSpan payload) = 0;
+};
+
+/// Canonical region-entry key for a published response: clients and
+/// servers must derive it identically for the fast path to hit.
+inline std::string onesided_entry_key(const std::string& protocol,
+                                      const std::string& method,
+                                      const std::string& entity) {
+  return protocol + "/" + method + ":" + entity;
+}
+
 class RpcClient {
  public:
   virtual ~RpcClient() {
@@ -140,6 +159,11 @@ class RpcServer {
   /// start(); disabled by default.
   void set_session(SessionConfig cfg) { session_ = cfg; }
   const SessionConfig& session() const { return session_; }
+
+  /// The server's one-sided publish sink, or nullptr when the transport
+  /// has no exported region (socket servers, onesided.enabled=false).
+  /// Application servers gate their publish calls on this.
+  virtual OneSidedPublisher* onesided() { return nullptr; }
 
  protected:
   Dispatcher dispatcher_;

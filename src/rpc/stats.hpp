@@ -144,6 +144,16 @@ struct RpcStats {
   std::uint64_t ud_rx_dropped = 0;        // datagrams silently dropped (ring overrun)
   std::uint64_t ud_resp_oversize = 0;     // responses too big for a datagram, bounced
 
+  // One-sided read-plane counters (rpcoib, onesided.* knobs). Client side:
+  std::uint64_t onesided_reads = 0;       // Get/lookup calls served by RDMA READ
+  std::uint64_t onesided_misses = 0;      // slot empty / hash mismatch -> RPC
+  std::uint64_t onesided_conflict_fallbacks = 0;  // retry budget spent -> RPC
+  std::uint64_t onesided_stale_refreshes = 0;  // stale generation, advert re-fetched
+  std::uint64_t onesided_fallbacks = 0;   // all READ->RPC degradations, any cause
+  // Server side:
+  std::uint64_t onesided_published = 0;   // entries published into the region
+  std::uint64_t onesided_reexports = 0;   // region growth re-exports (gen bumps)
+
   // Bulk-streaming counters (rpcoib/stream, stream.* knobs).
   std::uint64_t streams_opened = 0;     // granted streams (writer and reader hubs)
   std::uint64_t stream_chunks = 0;      // chunks RDMA-WRITTEN
@@ -215,6 +225,13 @@ struct RpcStats {
     ud_responses_sent += o.ud_responses_sent;
     ud_rx_dropped += o.ud_rx_dropped;
     ud_resp_oversize += o.ud_resp_oversize;
+    onesided_reads += o.onesided_reads;
+    onesided_misses += o.onesided_misses;
+    onesided_conflict_fallbacks += o.onesided_conflict_fallbacks;
+    onesided_stale_refreshes += o.onesided_stale_refreshes;
+    onesided_fallbacks += o.onesided_fallbacks;
+    onesided_published += o.onesided_published;
+    onesided_reexports += o.onesided_reexports;
     streams_opened += o.streams_opened;
     stream_chunks += o.stream_chunks;
     stream_bytes += o.stream_bytes;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -150,6 +151,19 @@ class Writable {
   virtual ~Writable() = default;
   virtual void write(DataOutput& out) const = 0;
   virtual void read_fields(DataInput& in) = 0;
+
+  /// One-sided read-plane eligibility: if this parameter, used as the
+  /// request of `protocol`/`method`, names an entity whose serialized
+  /// response the server may have published to its exported region,
+  /// return that entity key. std::nullopt (the default) keeps the call on
+  /// the normal RPC path. Only read-only, deterministic-response methods
+  /// may opt in — the fast path returns a published snapshot verbatim.
+  virtual std::optional<std::string> onesided_key(const std::string& protocol,
+                                                  const std::string& method) const {
+    (void)protocol;
+    (void)method;
+    return std::nullopt;
+  }
 };
 
 // --- Primitive writables ---------------------------------------------------

@@ -75,6 +75,7 @@ std::unique_ptr<rpc::RpcClient> RpcEngine::make_client_impl(cluster::Host& host)
       rc.pool = cfg_.pool;
       rc.fallback_to_socket = cfg_.socket_fallback;
       rc.ud = cfg_.ud;
+      rc.onesided = cfg_.onesided;
       return std::make_unique<RdmaRpcClient>(host, tb_.sockets(), verbs_, rc);
     }
   }
@@ -101,6 +102,7 @@ std::unique_ptr<rpc::RpcServer> RpcEngine::make_server(cluster::Host& host,
       sc.pool = cfg_.pool;
       sc.socket_fallback = cfg_.socket_fallback;
       sc.ud = cfg_.ud;
+      sc.onesided = cfg_.onesided;
       server = std::make_unique<RdmaRpcServer>(host, tb_.sockets(), verbs_, addr, sc);
       break;
     }

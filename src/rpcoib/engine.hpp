@@ -72,6 +72,12 @@ struct EngineConfig {
   /// is lossy — enable `session` and a retry policy with it for
   /// exactly-once delivery. Default-disabled: byte-identical to RC-only.
   UdConfig ud{};
+  /// RPCoIB only: one-sided read plane (onesided.* knobs). Servers export
+  /// hot read-mostly responses into a registered seqlock region; clients
+  /// resolve eligible lookups with RDMA READ and fall back to RPC on
+  /// miss/conflict/stale generation. Default-disabled: no region, no
+  /// advertisement, byte-identical wire and reports.
+  OneSidedConfig onesided{};
 };
 
 /// Owns the verbs stack for a testbed and stamps out clients/servers.

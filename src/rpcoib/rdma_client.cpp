@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/fault.hpp"
+#include "rpcoib/onesided.hpp"
 #include "trace/trace.hpp"
 
 namespace rpcoib::oib {
@@ -345,7 +346,10 @@ sim::Task RdmaRpcClient::receive_loop(ConnectionPtr conn) {
         }
         case verbs::Opcode::kRdmaRead: {
           auto it = conn->read_waiters.find(wc.wr_id);
-          if (it != conn->read_waiters.end()) it->second->set();
+          if (it != conn->read_waiters.end()) {
+            if (wc.status != 0) conn->read_errors.insert(wc.wr_id);
+            it->second->set();
+          }
           break;
         }
         case verbs::Opcode::kRecv: {
@@ -896,6 +900,161 @@ sim::Co<void> RdmaRpcClient::call_via_fallback(net::Address addr, const rpc::Met
   co_await fallback_->call(companion, key, param, response);
 }
 
+sim::Co<bool> RdmaRpcClient::call_attempt_onesided(net::Address addr,
+                                                   const rpc::MethodKey& key,
+                                                   const rpc::Writable& param,
+                                                   rpc::Writable* response,
+                                                   trace::TraceCollector* tr,
+                                                   const trace::TraceContext& t_parent) {
+  const std::optional<std::string> entity = param.onesided_key(key.protocol, key.method);
+  if (!entity) co_return false;
+  auto cached = onesided_cache_.find(addr);
+  if (cached == onesided_cache_.end()) {
+    const verbs::OneSidedService* adv = stack_.onesided_service(addr);
+    if (adv == nullptr) co_return false;  // server exports no region
+    cached = onesided_cache_.emplace(addr, *adv).first;
+  }
+  verbs::OneSidedService svc = cached->second;
+  constexpr std::size_t kMeta =
+      OneSidedRegion::kHeaderBytes + OneSidedRegion::kTrailerBytes;
+  if (svc.slots == 0 || svc.slot_bytes <= kMeta) co_return false;
+  ConnectionPtr conn;
+  try {
+    conn = co_await get_connection(addr);
+  } catch (const verbs::VerbsError&) {
+    co_return false;  // the RPC path owns bootstrap-failure fallback
+  }
+  // Connection-kill fault hook (mirrors the RPC send path): a scheduled
+  // kill fires on the first attempt that touches the link, one-sided
+  // READs included. The fallback RPC re-bootstraps and carries the call
+  // through the session/retry machinery.
+  if (net::FaultPlan* plan = stack_.fabric().fault_plan();
+      plan != nullptr && plan->kills_enabled() && !conn->broken &&
+      plan->take_kill(host_.id(), addr.host, host_.sched().now())) {
+    teardown_connection(conn, addr, rpc::ReconnectCause::kFaultInjected,
+                        "connection killed (injected fault)");
+    ++stats_.onesided_fallbacks;
+    co_return false;
+  }
+  const cluster::CostModel& cm = host_.cost();
+  const sim::Time t_start = host_.sched().now();
+  const std::uint64_t h =
+      OneSidedRegion::hash_key(rpc::onesided_entry_key(key.protocol, key.method, *entity));
+
+  NativeBuffer* dst = shadow_.try_acquire_sized(svc.slot_bytes);
+  if (dst == nullptr) {
+    ++stats_.onesided_fallbacks;  // capped pool refused the staging lease
+    co_return false;
+  }
+  // Fallback ladder: seqlock conflict (bounded retries) -> stale
+  // generation (one advertisement refresh) -> miss -> RPC. Every exit
+  // below releases `dst` exactly once; a cancelled client is the one
+  // exception — the pool died with it (same rule as fetch_response).
+  bool refreshed = false;
+  int conflicts = 0;
+  for (;;) {
+    const std::size_t slot = static_cast<std::size_t>(h % svc.slots);
+    const std::uint64_t token = (conn->next_read_token++ << 1) | 1;
+    sim::SimEvent read_done(host_.sched());
+    conn->read_waiters[token] = &read_done;
+    bool read_failed = false;
+    try {
+      co_await host_.compute(cm.jni_call());  // one JNI crossing per post
+      net::MutByteSpan into(dst->span.data(), svc.slot_bytes);
+      co_await conn->qp->post_rdma_read(
+          token, into,
+          verbs::RemoteBuffer{svc.rkey,
+                              static_cast<std::uint64_t>(slot) * svc.slot_bytes,
+                              svc.slot_bytes});
+      co_await read_done.wait();  // receive_loop routes the completion here
+      conn->read_waiters.erase(token);
+      if (conn->cancelled) {
+        throw rpc::RpcTransportError("client closed during one-sided read");
+      }
+      read_failed = conn->read_errors.erase(token) > 0;
+    } catch (const rpc::RpcTransportError&) {
+      throw;
+    } catch (const std::exception&) {
+      // QP dead (kill/teardown raced the post): let the RPC path
+      // re-bootstrap and carry the call.
+      conn->read_waiters.erase(token);
+      if (!conn->cancelled) {
+        native_.release(dst);
+        ++stats_.onesided_fallbacks;
+        co_return false;
+      }
+      throw rpc::RpcTransportError("client closed during one-sided read");
+    }
+    if (read_failed) break;  // remote region gone at the verbs layer
+    const net::Byte* s = dst->span.data();
+    std::uint64_t v1 = 0, gen = 0, slot_hash = 0, v2 = 0;
+    std::uint32_t len = 0;
+    std::memcpy(&v1, s, 8);
+    std::memcpy(&gen, s + 8, 8);
+    std::memcpy(&slot_hash, s + 16, 8);
+    std::memcpy(&len, s + 24, 4);
+    std::memcpy(&v2, s + svc.slot_bytes - 8, 8);
+    if (v1 != v2 || (v1 & 1) != 0) {
+      // Seqlock write window observed: retry within the budget, then
+      // degrade — a write-hot entry must not spin.
+      if (++conflicts > cfg_.onesided.max_version_retries) {
+        ++stats_.onesided_conflict_fallbacks;
+        break;
+      }
+      continue;
+    }
+    if (gen != svc.generation) {
+      // Stale advertisement (the server re-exported; retired slots carry
+      // generation 0) — refresh once, then degrade.
+      const verbs::OneSidedService* fresh = stack_.onesided_service(addr);
+      if (!refreshed && fresh != nullptr && fresh->generation != svc.generation &&
+          fresh->slots != 0 && fresh->slot_bytes > kMeta) {
+        refreshed = true;
+        ++stats_.onesided_stale_refreshes;
+        onesided_cache_[addr] = *fresh;
+        svc = *fresh;
+        if (svc.slot_bytes > dst->span.size()) {
+          native_.release(dst);
+          dst = shadow_.try_acquire_sized(svc.slot_bytes);
+          if (dst == nullptr) {
+            ++stats_.onesided_fallbacks;
+            co_return false;
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    if (slot_hash != h || len == 0 ||
+        len > svc.slot_bytes - kMeta) {
+      // Empty slot, tombstone, or a direct-map collision with another key:
+      // the entry is not published — fall back.
+      ++stats_.onesided_misses;
+      break;
+    }
+    // Consistent snapshot: deserialize the published response in place.
+    ++stats_.onesided_reads;
+    RDMAInputStream in(cm, net::ByteSpan(s + OneSidedRegion::kHeaderBytes, len));
+    if (response != nullptr) response->read_fields(in);
+    co_await host_.compute(in.take_accrued());
+    native_.release(dst);
+    if (tr != nullptr) {
+      tr->add_complete("onesided:" + key.method, trace::Kind::kClient,
+                       trace::Category::kOneSided, t_parent, host_.id(), t_start,
+                       host_.sched().now());
+    }
+    co_return true;
+  }
+  native_.release(dst);
+  ++stats_.onesided_fallbacks;
+  if (tr != nullptr) {
+    tr->add_complete("onesided.fallback:" + key.method, trace::Kind::kClient,
+                     trace::Category::kOneSided, t_parent, host_.id(), t_start,
+                     host_.sched().now());
+  }
+  co_return false;
+}
+
 sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKey& key,
                                           const rpc::Writable& param,
                                           rpc::Writable* response, std::uint64_t call_id,
@@ -909,6 +1068,16 @@ sim::Co<void> RdmaRpcClient::call_attempt(net::Address addr, const rpc::MethodKe
     trace::activate(tr, t_parent);
     co_await call_via_fallback(addr, key, param, response);
     co_return;
+  }
+  // One-sided fast path (onesided.enabled): eligible read-mostly lookups
+  // resolve against the server's exported seqlock region with a single
+  // RDMA READ, bypassing its admission/handler chain entirely. A false
+  // return (miss, conflict budget spent, stale generation, staging lease
+  // refused) degrades to the normal RPC path below.
+  if (cfg_.onesided.enabled) {
+    const bool handled =
+        co_await call_attempt_onesided(addr, key, param, response, tr, t_parent);
+    if (handled) co_return;
   }
   // UD eager path (ud.enabled): sub-MTU calls ride connectionless
   // datagrams to the server's advertised UD endpoint pool — no RC

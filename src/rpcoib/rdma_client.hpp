@@ -39,6 +39,10 @@ struct RdmaClientConfig {
   /// RC QPs are bootstrapped only for rendezvous-sized calls. UD is
   /// lossy — run sessions + a retry policy for exactly-once delivery.
   UdConfig ud{};
+  /// One-sided read plane (default off): eligible Get/lookup calls are
+  /// resolved by RDMA READ against the server's advertised seqlock
+  /// region, falling back to plain RPC on miss/conflict/stale generation.
+  OneSidedConfig onesided{};
 };
 
 class RdmaRpcClient final : public rpc::RpcClient {
@@ -109,6 +113,9 @@ class RdmaRpcClient final : public rpc::RpcClient {
     // wr_ids are even addresses, so the spaces can't collide).
     std::map<std::uint64_t, sim::SimEvent*> read_waiters;
     std::uint64_t next_read_token = 1;
+    // Tokens whose READ completed with a non-zero status (remote region
+    // torn down mid-flight); the waiter checks-and-erases after waking.
+    std::set<std::uint64_t> read_errors;
   };
 
   // Connections are shared-owned: the map, the receive loop, and every
@@ -168,6 +175,17 @@ class RdmaRpcClient final : public rpc::RpcClient {
   sim::Co<void> call_via_fallback(net::Address addr, const rpc::MethodKey& key,
                                   const rpc::Writable& param, rpc::Writable* response);
 
+  /// One attempt over the one-sided read plane. Returns true iff the call
+  /// was fully served by an RDMA READ (seqlock-consistent, generation
+  /// fresh, key present); false degrades to the normal RPC path. Every
+  /// false return has released its staging lease — the pool stays
+  /// balanced across all fallback causes.
+  sim::Co<bool> call_attempt_onesided(net::Address addr, const rpc::MethodKey& key,
+                                      const rpc::Writable& param,
+                                      rpc::Writable* response,
+                                      trace::TraceCollector* tr,
+                                      const trace::TraceContext& t_parent);
+
   /// Lazily create the client UD endpoint (+ ring + receive loop).
   UdStatePtr ud_state();
   sim::Task ud_receive_loop(UdStatePtr ud);
@@ -205,6 +223,10 @@ class RdmaRpcClient final : public rpc::RpcClient {
   std::map<net::Address, std::shared_ptr<Connection>> connections_;
   UdStatePtr ud_;
   std::map<net::Address, std::unique_ptr<UdDest>> ud_dests_;
+  // Cached one-sided advertisements, fetched once per address (the
+  // bootstrap-time exchange) and refreshed only when a READ fails the
+  // generation check — a server re-export must be detected, never assumed.
+  std::map<net::Address, verbs::OneSidedService> onesided_cache_;
   // Socket-mode fallback after a failed bootstrap exchange (sticky per
   // address until close_connections()).
   std::set<net::Address> fallback_addrs_;

@@ -110,6 +110,10 @@ void RdmaRpcServer::start() {
   if (running_) return;
   running_ = true;
   alive_ = std::make_shared<bool>(true);
+  // Retire (never destroy) the previous run's shards: their reader and
+  // handler loops are still suspended on the closed channels and exit only
+  // when the scheduler runs the wakes stop() posted.
+  for (auto& shard : shards_) retired_shards_.push_back(std::move(shard));
   shards_.clear();
   const int n = cfg_.shards;
   for (int i = 0; i < n; ++i) {
@@ -148,6 +152,7 @@ void RdmaRpcServer::start() {
       if (ep) ud_rx_dropped_base_ += ep->rx_dropped();
     }
     ud_eps_.clear();
+    if (ud_cq_) retired_ud_cqs_.push_back(std::move(ud_cq_));
     ud_cq_ = std::make_unique<verbs::CompletionQueue>(host_.sched());
     verbs::UdService svc;
     svc.host = host_.id();
@@ -179,6 +184,15 @@ void RdmaRpcServer::start() {
     if (ud_ring_bytes_ > ud_ring_bytes_peak_) ud_ring_bytes_peak_ = ud_ring_bytes_;
     stack_.ud_advertise(addr_, std::move(svc));
     host_.sched().spawn(ud_reader_loop());
+  }
+  if (cfg_.onesided.enabled) {
+    // The region (and everything published into it) survives restarts;
+    // only the advertisement is withdrawn at stop() and renewed here.
+    if (!onesided_region_) {
+      onesided_region_ = std::make_unique<OneSidedRegion>(stack_, native_.pd(), addr_,
+                                                          cfg_.onesided);
+    }
+    onesided_region_->advertise();
   }
   listener_ = &sockets_.listen(addr_);
   host_.sched().spawn(listener_loop());
@@ -265,6 +279,7 @@ void RdmaRpcServer::stop() {
     // land here when they fire, on a closed-but-live queue.
     ud_cq_->close();
   }
+  if (onesided_region_) onesided_region_->withdraw();
   for (auto& shard : shards_) {
     if (shard->cq) shard->cq->close();
   }
@@ -331,6 +346,10 @@ void RdmaRpcServer::sync_stats() {
     if (ep) ud_rx += ep->rx_dropped();
   }
   stats_.ud_rx_dropped = ud_rx;
+  // Region counters are assignments (not +=) so repeated syncs stay
+  // idempotent like the shard-sourced fields.
+  stats_.onesided_published = onesided_region_ ? onesided_region_->published() : 0;
+  stats_.onesided_reexports = onesided_region_ ? onesided_region_->reexports() : 0;
   // The stripes post independently, so the server-wide registered-memory
   // footprint is the sum of the per-stripe peaks (exact at one shard).
   // The UD rings are one more fixed stripe on top.
@@ -800,8 +819,12 @@ sim::Task RdmaRpcServer::ud_reader_loop() {
         }
       }
       // The ring slot is fully copied out (or the datagram was garbage):
-      // repost it immediately so the fixed footprint holds.
-      if (running_ && ep_index < ud_eps_.size() && ud_eps_[ep_index]) {
+      // repost it immediately so the fixed footprint holds. The CQ identity
+      // check keeps a retired run's loop (draining its last completions
+      // across a restart) from injecting its buffer into the new pool's
+      // rings.
+      if (running_ && cq == ud_cq_.get() && ep_index < ud_eps_.size() &&
+          ud_eps_[ep_index]) {
         ud_eps_[ep_index]->post_recv(wc.wr_id, rb->span);
       } else {
         native_.release(rb);

@@ -25,6 +25,7 @@
 #include "rpc/rpc.hpp"
 #include "rpc/socket_server.hpp"
 #include "rpcoib/buffer_pool.hpp"
+#include "rpcoib/onesided.hpp"
 #include "rpcoib/rdma_streams.hpp"
 #include "rpcoib/wire.hpp"
 #include "sim/channel.hpp"
@@ -62,6 +63,10 @@ struct RdmaServerConfig {
   /// so per-client server state (QPs, rings) stays flat at any client
   /// count. Advertised on the verbs stack as a UdService at `addr`.
   UdConfig ud{};
+  /// One-sided read plane (default off): export hot read-mostly responses
+  /// into a registered seqlock region clients fetch with RDMA READ,
+  /// advertised on the verbs stack as a OneSidedService at `addr`.
+  OneSidedConfig onesided{};
 };
 
 class RdmaRpcServer final : public rpc::RpcServer {
@@ -80,6 +85,11 @@ class RdmaRpcServer final : public rpc::RpcServer {
   const net::Address& addr() const { return addr_; }
   ShadowPool& pool() { return shadow_; }
   int num_shards() const { return cfg_.shards; }
+
+  /// Publish sink for application servers; nullptr with onesided off.
+  rpc::OneSidedPublisher* onesided() override { return onesided_region_.get(); }
+  /// The exported region itself — exposed for tests/benches.
+  OneSidedRegion* onesided_region() { return onesided_region_.get(); }
 
  private:
   struct ConnState {
@@ -219,6 +229,14 @@ class RdmaRpcServer final : public rpc::RpcServer {
 
   net::Listener* listener_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Restart graveyard: a stopped run's CQs and shard pipelines still have
+  // wakes posted to their suspended reader/handler loops (Channel::close
+  // defers them to the scheduler), so a back-to-back stop()/start() must
+  // retire the old objects here instead of destroying them — the loops
+  // dereference their channels once more while exiting. Freed with the
+  // server.
+  std::vector<std::unique_ptr<Shard>> retired_shards_;
+  std::vector<std::unique_ptr<verbs::CompletionQueue>> retired_ud_cqs_;
   // Fixed UD endpoint pool (cfg_.ud): shared CQ + reader; kept alive
   // across stop() (like the fallback listener) so late completions land
   // on a closed-but-live queue, and rebuilt by the next start().
@@ -227,6 +245,10 @@ class RdmaRpcServer final : public rpc::RpcServer {
   std::size_t ud_ring_bytes_ = 0;
   std::uint64_t ud_ring_bytes_peak_ = 0;
   std::uint64_t ud_rx_dropped_base_ = 0;  // drops from endpoints of past runs
+  // Exported one-sided read region (cfg_.onesided). Created at the first
+  // start() and kept across stop()/start() cycles: published entries and
+  // the generation survive a restart; only the advertisement toggles.
+  std::unique_ptr<OneSidedRegion> onesided_region_;
   std::uint64_t conn_seq_ = 0;
   // Keyed by ConnState::id — also the qp_context stamped into kRecv
   // completions, which is how SRQ-mode completions map back to their

@@ -94,6 +94,33 @@ struct UdConfig {
   int client_recv_depth = 32;
 };
 
+/// One-sided read plane (onesided.* knobs). Off by default: with
+/// enabled=false no region is registered or advertised and the wire (and
+/// resilience report) stay byte-identical to builds without the layer.
+/// When on, the server exports hot read-mostly state into a versioned,
+/// pre-registered region of per-entry seqlock slots; clients resolve
+/// eligible Get/lookup calls with RDMA READ against the advertised region
+/// and fall back to plain RPC on version conflict, entry miss, or stale
+/// generation — correctness never depends on the fast path.
+struct OneSidedConfig {
+  bool enabled = false;
+  /// Direct-mapped slot count in the exported region (entry -> slot by
+  /// key hash; a hash-tagged mismatch reads as a miss, never wrong data).
+  int slots = 256;
+  /// Initial payload capacity per slot, in bytes. An entry that outgrows
+  /// it triggers a region re-export at double the capacity (new rkey,
+  /// bumped generation; stale READs fail closed on the generation word).
+  int slot_payload = 512;
+  /// Seqlock conflict retries before the client degrades the call to RPC
+  /// (onesided_conflict_fallbacks) — bounds the spin on write-hot keys.
+  int max_version_retries = 2;
+  /// Publisher write-window, in microseconds: the span a slot stays
+  /// odd-versioned while the server copies the new payload in. Models the
+  /// store not being atomic; concurrent READs observing the window see an
+  /// odd or unequal version pair and retry/fall back.
+  std::uint32_t write_window_us = 2;
+};
+
 /// Every RdmaRpcServer also listens for plain socket RPC at
 /// `addr.port + kSocketFallbackPortOffset`; clients whose QP bootstrap
 /// exchange fails reroute there (socket-mode fallback). The offset keeps

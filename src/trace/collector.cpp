@@ -19,6 +19,7 @@ const char* category_name(Category c) {
     case Category::kOverload: return "overload/deadline";
     case Category::kStream: return "bulk stream";
     case Category::kSession: return "session/reconnect";
+    case Category::kOneSided: return "onesided read";
   }
   return "?";
 }

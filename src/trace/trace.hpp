@@ -49,8 +49,9 @@ enum class Category : std::uint8_t {
   kOverload,       // admission shedding, deadline drops, retry-cache dedup
   kStream,         // pipelined bulk streaming (chunk writes, credit waits)
   kSession,        // session lifecycle + reconnect recovery state machine
+  kOneSided,       // one-sided READ fast path (issue, seqlock retry, fallback)
 };
-inline constexpr int kCategoryCount = 15;
+inline constexpr int kCategoryCount = 16;
 
 const char* category_name(Category c);
 

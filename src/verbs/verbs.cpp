@@ -288,7 +288,19 @@ sim::Co<void> QueuePair::post_rdma_read(std::uint64_t wr_id, net::MutByteSpan lo
   cluster::HostId requester = host_.id();
   fab.sched().call_at(req_arrival, [&fab, stack, scq, wr_id, local, src, responder,
                                     requester, p] {
-    net::MutByteSpan source = stack->resolve(src.rkey, src.offset, local.size());
+    // The rkey resolves when the request *arrives* at the responder. A
+    // region deregistered while the request was in flight is a remote
+    // access error: the requester gets a failed completion (status != 0)
+    // with an untouched buffer, never a crash or a read of freed memory.
+    net::MutByteSpan source;
+    try {
+      source = stack->resolve(src.rkey, src.offset, local.size());
+    } catch (const VerbsError&) {
+      WorkCompletion wc{wr_id, Opcode::kRdmaRead, 0, 0};
+      wc.status = 1;
+      scq->push(wc);
+      return;
+    }
     fab.deliver(responder, requester, net::Transport::kIBVerbs, local.size(),
                 [scq, wr_id, local, source] {
                   std::memcpy(local.data(), source.data(), local.size());

@@ -57,6 +57,11 @@ struct WorkCompletion {
   /// no longer identifies the connection a message arrived on; receivers
   /// set a context per QP and read it back here.
   std::uint64_t qp_context = 0;
+  /// ibv_wc.status analogue: 0 = IBV_WC_SUCCESS. A one-sided READ whose
+  /// rkey no longer resolves (region torn down mid-flight) completes with
+  /// a non-zero status and an untouched local buffer instead of crashing
+  /// the requester — the remote-access-error path real HCAs report.
+  std::uint32_t status = 0;
 };
 
 /// A registered memory region. `lkey`/`rkey` identify it locally/remotely;
@@ -356,6 +361,19 @@ struct UdService {
   std::vector<std::uint32_t> qpns;
 };
 
+/// A server's advertised one-sided read region, resolvable by its RPC
+/// listen address — the advertisement blob clients cache so eligible
+/// lookups can go straight to RDMA READ. `generation` is bumped on every
+/// re-export (region growth); clients holding an older generation detect
+/// staleness via the per-slot generation word and fall back to RPC.
+struct OneSidedService {
+  cluster::HostId host = -1;
+  std::uint32_t rkey = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t slots = 0;
+  std::uint32_t slot_bytes = 0;  // full slot stride incl. seqlock words
+};
+
 /// Cluster-wide verbs state: rkey resolution and device parameters.
 class VerbsStack {
  public:
@@ -412,6 +430,19 @@ class VerbsStack {
     return it == ud_services_.end() ? nullptr : &it->second;
   }
 
+  // One-sided service directory: the advertisement blob for a server's
+  // exported read region, alongside the UD directory above. Re-advertised
+  // (same address, new rkey/generation) on region growth; withdrawn at
+  // server stop.
+  void onesided_advertise(net::Address addr, OneSidedService svc) {
+    onesided_services_[addr] = std::move(svc);
+  }
+  void onesided_withdraw(net::Address addr) { onesided_services_.erase(addr); }
+  const OneSidedService* onesided_service(net::Address addr) const {
+    auto it = onesided_services_.find(addr);
+    return it == onesided_services_.end() ? nullptr : &it->second;
+  }
+
   // Deterministic fault hook: make the next `n` bootstrap (QP-info)
   // exchanges fail with a VerbsError, modeling subnet-manager / GID
   // resolution trouble that leaves plain sockets working. RPCoIB clients
@@ -431,6 +462,7 @@ class VerbsStack {
   std::uint32_t next_qpn_ = 1;
   std::map<std::uint32_t, UdEndpoint*> ud_endpoints_;
   std::map<net::Address, UdService> ud_services_;
+  std::map<net::Address, OneSidedService> onesided_services_;
   int bootstrap_failures_ = 0;
 };
 

@@ -630,5 +630,85 @@ TEST(Session, BatchedRetryAcrossExpiryBouncesEachSubCall) {
   }
 }
 
+// --- rx_dropped aggregation: monotonic across stop/start, idempotent syncs --
+//
+// The server folds the previous run's endpoint drop counts into
+// ud_rx_dropped_base_ when start() rebuilds the pool, and sync_stats()
+// reports base + the live endpoints' counts as an assignment. Regression
+// gates: a stop/start cycle neither double-counts nor loses drops, and
+// calling stats() repeatedly (each call re-syncs) never inflates the
+// number.
+TEST(Ud, RxDroppedAggregationSurvivesRestartWithoutDoubleCount) {
+  Scheduler s;
+  Testbed tb(s, Testbed::cluster_b());
+  rpc::RpcRetryPolicy retry;
+  retry.call_timeout = sim::millis(200);
+  retry.max_retries = 10;
+  retry.backoff_base = sim::millis(50);
+  EngineConfig ec{.mode = RpcMode::kRpcoIB, .server_shards = chaos_shards(),
+                  .retry = retry};
+  ec.ud = ud_on();
+  // One endpoint with a single-slot ring: simultaneous bursts from four
+  // hosts must overrun it while a datagram is being copied out.
+  ec.ud.server_endpoints = 1;
+  ec.ud.recv_depth = 1;
+  RpcEngine engine(tb, ec);
+  auto server = engine.make_server(tb.host(1), kAddr);
+  std::map<int, int> exec;
+  register_ud_methods(*server, exec);
+  server->start();
+
+  static constexpr cluster::HostId kHosts[] = {0, 2, 3, 4};
+  std::vector<std::unique_ptr<rpc::RpcClient>> clients;
+  for (cluster::HostId h : kHosts) clients.push_back(engine.make_client(tb.host(h)));
+
+  // Results arena: the echo tasks write through references, so the
+  // storage must outlive every spawned task.
+  std::vector<int> outs(256, -1);
+  std::vector<char> errs(256, 0);
+  std::size_t next_slot = 0;
+  auto burst = [&](int base) {
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      for (int j = 0; j < 6; ++j) {
+        const std::size_t slot = next_slot++;
+        s.spawn([](rpc::RpcClient& c, int v, int& out, char& e) -> Task {
+          bool berr = false;
+          co_await one_echo(c, v, out, berr);
+          e = berr ? 1 : 0;
+        }(*clients[i], base + j, outs[slot], errs[slot]));
+      }
+    }
+    s.run_until(s.now() + sim::seconds(30));
+  };
+  burst(0);
+
+  const std::uint64_t d1 = server->stats().ud_rx_dropped;
+  EXPECT_GT(d1, 0u) << "the burst never overran the single-slot ring";
+  // Repeated syncs are assignments, not accumulation.
+  EXPECT_EQ(server->stats().ud_rx_dropped, d1);
+  EXPECT_EQ(server->stats().ud_rx_dropped, d1);
+
+  // Restart: the fold into the base must neither double-count (fold +
+  // still-live endpoints) nor lose the history (cleared endpoints).
+  server->stop();
+  server->start();
+  EXPECT_EQ(server->stats().ud_rx_dropped, d1);
+  EXPECT_EQ(server->stats().ud_rx_dropped, d1);
+
+  burst(100);
+  const std::uint64_t d2 = server->stats().ud_rx_dropped;
+  EXPECT_GT(d2, d1) << "post-restart drops vanished from the aggregate";
+  EXPECT_EQ(server->stats().ud_rx_dropped, d2);
+
+  server->stop();
+  server->start();
+  EXPECT_EQ(server->stats().ud_rx_dropped, d2);
+  server->stop();
+  // A final stop does not fold (only start() does) — the live endpoints
+  // still carry their counts, so the report stays stable.
+  EXPECT_EQ(server->stats().ud_rx_dropped, d2);
+  s.drain_tasks();
+}
+
 }  // namespace
 }  // namespace rpcoib
